@@ -1,0 +1,96 @@
+"""Ablation A5: summary (merging) gates on the wide workloads.
+
+Fig. 6's slow group — e80a4 / extsub4 — suffers from root explosion:
+wide schemas make subscriptions incomparable. The merging layer
+(`repro.matching.summaries`, after Li et al. [17]) clusters roots under
+hull gates so a failed gate skips a whole cluster. This benchmark
+compares matching cost with and without the layer on a wide and a
+narrow workload.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import bench_spec
+from repro.bench.report import format_table
+from repro.matching.poset import ContainmentForest
+from repro.matching.summaries import SummarizedForest
+from repro.sgx.platform import SgxPlatform
+from repro.workloads.datasets import build_dataset
+
+N_SUBSCRIPTIONS = 6000
+N_PUBLICATIONS = 12
+WORKLOADS = ("e80a4", "extsub4", "e80a1")
+
+
+def _measure(platform, index_structure, publications):
+    memory = platform.memory
+    costs = platform.spec.costs
+    for event in publications:  # warm-up
+        index_structure.match_traced(event)
+    start = memory.cycles
+    visited_total = 0
+    for event in publications:
+        _m, visited, evaluated = index_structure.match_traced(event)
+        visited_total += visited
+        memory.charge(visited * costs.node_visit_cycles
+                      + evaluated * costs.predicate_eval_cycles)
+    n = len(publications)
+    return (platform.spec.cycles_to_us(memory.cycles - start) / n,
+            visited_total / n)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_summary_gates(benchmark):
+    spec = bench_spec()
+    rows = {}
+
+    def run():
+        for workload in WORKLOADS:
+            dataset = build_dataset(workload, N_SUBSCRIPTIONS,
+                                    N_PUBLICATIONS)
+            plain_platform = SgxPlatform(spec=spec)
+            plain = ContainmentForest(
+                arena=plain_platform.memory.new_arena(enclave=False),
+                trace_inserts=False)
+            summary_platform = SgxPlatform(spec=spec)
+            summarized = SummarizedForest(
+                arena=summary_platform.memory.new_arena(enclave=False),
+                min_cluster=4)
+            for index, subscription in enumerate(dataset.subscriptions):
+                plain.insert(subscription, index)
+                summarized.insert(subscription, index)
+            n_summaries = summarized.rebuild_summaries()
+            plain_us, plain_visits = _measure(
+                plain_platform, plain, dataset.publications)
+            summary_us, summary_visits = _measure(
+                summary_platform, summarized, dataset.publications)
+            # exactness spot-check
+            for event in dataset.publications:
+                assert summarized.match(event) == plain.match(event)
+            rows[workload] = (plain_us, summary_us, plain_visits,
+                              summary_visits, n_summaries)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for workload in WORKLOADS:
+        plain_us, summary_us, plain_visits, summary_visits, \
+            n_summaries = rows[workload]
+        table.append([workload, round(plain_us, 1),
+                      round(summary_us, 1),
+                      f"{plain_us / summary_us:.2f}x",
+                      int(plain_visits), int(summary_visits),
+                      n_summaries])
+    emit("ablation_summaries", format_table(
+        ["workload", "plain us", "summary us", "speedup",
+         "visits plain", "visits summary", "gates"],
+        table, title=f"Ablation A5 — merged summary gates "
+                     f"({N_SUBSCRIPTIONS} subscriptions)"))
+
+    # The wide workloads must benefit: fewer visits and faster.
+    for workload in ("e80a4", "extsub4"):
+        plain_us, summary_us, plain_visits, summary_visits, _g = \
+            rows[workload]
+        assert summary_visits < plain_visits
+        assert summary_us < plain_us

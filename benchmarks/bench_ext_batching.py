@@ -1,0 +1,85 @@
+"""Extension E2: message batching across the enclave boundary (§6).
+
+The paper proposes "using message batching" to cut enclave
+enters/exits. We match a fixed publication stream through the enclave
+engine with batch sizes 1..64 and report the per-publication time; the
+EENTER/EEXIT cost amortises away, which matters most when the index is
+small (transition cost is then a large fraction of a match).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import bench_spec
+from repro.bench.report import format_table
+from repro.core.messages import SecureChannel, decode_header, \
+    encode_header
+from repro.matching.poset import ContainmentForest
+from repro.sgx.platform import SgxPlatform
+from repro.workloads.datasets import build_dataset
+
+BATCH_SIZES = [1, 2, 4, 8, 16, 32, 64]
+N_SUBSCRIPTIONS = 1000
+N_PUBLICATIONS = 64
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_message_batching(benchmark):
+    spec = bench_spec()
+    dataset = build_dataset("e100a1", N_SUBSCRIPTIONS, N_PUBLICATIONS)
+    channel = SecureChannel(b"K" * 16)
+    wire = [channel.protect(encode_header(event))
+            for event in dataset.publications]
+    rows = {}
+
+    def run():
+        for batch in BATCH_SIZES:
+            platform = SgxPlatform(spec=spec)
+            arena = platform.memory.new_arena(enclave=True)
+            forest = ContainmentForest(arena=arena,
+                                       trace_inserts=False)
+            for index in range(N_SUBSCRIPTIONS):
+                forest.insert(dataset.subscriptions[index], index)
+            platform.memory.prefault(arena.base,
+                                     arena.allocated_bytes,
+                                     enclave=True)
+            memory = platform.memory
+            costs = spec.costs
+            # warm-up
+            for event in dataset.publications:
+                forest.match_traced(event)
+            start = memory.cycles
+            for offset in range(0, N_PUBLICATIONS, batch):
+                memory.charge(costs.eenter_cycles)  # one entry per batch
+                for blob in wire[offset:offset + batch]:
+                    plaintext, _aad = channel.open(blob)
+                    blocks = (len(blob) + 15) // 16
+                    memory.charge(costs.aes_setup_cycles
+                                  + blocks * costs.aes_block_cycles)
+                    event = decode_header(plaintext)
+                    _m, visited, evaluated = forest.match_traced(event)
+                    memory.charge(
+                        visited * costs.node_visit_cycles
+                        + evaluated * costs.predicate_eval_cycles)
+                memory.charge(costs.eexit_cycles)
+            rows[batch] = spec.cycles_to_us(
+                memory.cycles - start) / N_PUBLICATIONS
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    transition_us = spec.cycles_to_us(spec.costs.eenter_cycles
+                                      + spec.costs.eexit_cycles)
+    table = [[batch, round(rows[batch], 2),
+              round(rows[1] - rows[batch], 2)]
+             for batch in BATCH_SIZES]
+    emit("ext_batching", format_table(
+        ["batch", "us/publication", "saved vs batch=1"],
+        table, title=f"Extension E2 — ecall amortisation by batching "
+                     f"(transition cost {transition_us:.1f} us, "
+                     f"{N_SUBSCRIPTIONS} subscriptions)"))
+
+    # Batching monotonically helps (within noise-free simulation).
+    assert rows[64] < rows[1]
+    # And recovers nearly the whole transition cost.
+    saved = rows[1] - rows[64]
+    assert saved > 0.8 * transition_us * (1 - 1 / 64)

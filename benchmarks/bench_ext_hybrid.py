@@ -1,0 +1,116 @@
+"""Extension E1: the §6 enclave/external split index vs full-enclave.
+
+The paper's future work proposes "splitting [the containment trees]
+into enclaved and external parts" to avoid EPC paging. This benchmark
+registers a database large enough to blow the (scaled) EPC and matches
+through (a) the ordinary full-enclave forest and (b) the hybrid forest
+with the hot top level protected and deeper nodes sealed outside.
+
+Expected crossover: below the EPC limit the full-enclave index wins
+(no per-node crypto); beyond it the hybrid index never pages and pulls
+ahead.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import bench_spec, full_mode
+from repro.bench.report import format_table
+from repro.matching.hybrid import HybridContainmentForest
+from repro.matching.poset import ContainmentForest
+from repro.sgx.platform import SgxPlatform
+from repro.workloads.datasets import build_dataset
+
+SIZES = [1000, 2500, 5000, 10000, 15000, 20000]
+N_PUBLICATIONS = 12
+
+
+def _measure(platform, forest, publications):
+    """Simulated µs/match through an already-registered index."""
+    memory = platform.memory
+    costs = platform.spec.costs
+    for event in publications:  # warm-up pass
+        forest.match_traced(event)
+    start = memory.cycles
+    for event in publications:
+        memory.charge(costs.eenter_cycles)
+        _m, visited, evaluated = forest.match_traced(event)
+        memory.charge(visited * costs.node_visit_cycles
+                      + evaluated * costs.predicate_eval_cycles
+                      + costs.eexit_cycles)
+    return platform.spec.cycles_to_us(memory.cycles - start) \
+        / len(publications)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_hybrid_split_index(benchmark):
+    sizes = SIZES if not full_mode() else [s * 3 for s in SIZES]
+    spec = bench_spec(epc=True)
+    dataset = build_dataset("e80a1", max(sizes), N_PUBLICATIONS)
+    rows = {}
+
+    def run():
+        # Full-enclave index.
+        full_platform = SgxPlatform(spec=spec)
+        full_arena = full_platform.memory.new_arena(enclave=True)
+        full_forest = ContainmentForest(arena=full_arena,
+                                        trace_inserts=False)
+        # Hybrid index on its own platform.
+        hybrid_platform = SgxPlatform(spec=spec)
+        hybrid_forest = HybridContainmentForest(
+            hybrid_platform.memory.new_arena(enclave=True),
+            hybrid_platform.memory.new_arena(enclave=False),
+            spec.costs, split_depth=1)
+        registered = 0
+        for size in sizes:
+            for index in range(registered, size):
+                subscription = dataset.subscriptions[index]
+                full_forest.insert(subscription, index)
+                hybrid_forest.insert(subscription, index)
+            registered = size
+            full_platform.memory.prefault(full_arena.base,
+                                          full_arena.allocated_bytes,
+                                          enclave=True)
+            full_us = _measure(full_platform, full_forest,
+                               dataset.publications)
+            hybrid_us = _measure(hybrid_platform, hybrid_forest,
+                                 dataset.publications)
+            internal, external = hybrid_forest.placement_summary()
+            rows[size] = (full_us, hybrid_us,
+                          full_forest.index_bytes,
+                          hybrid_forest.protected_bytes,
+                          internal, external,
+                          full_platform.memory.epc.faults)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    limit = spec.epc_usable_bytes
+    table = []
+    for size in sizes:
+        full_us, hybrid_us, full_bytes, protected, internal, external, \
+            faults = rows[size]
+        table.append([
+            size,
+            round(full_us, 1), round(hybrid_us, 1),
+            f"{full_us / hybrid_us:.2f}x",
+            round(full_bytes / (1024 * 1024), 2),
+            round(protected / (1024 * 1024), 2),
+            f"{internal}/{external}",
+        ])
+    emit("ext_hybrid", format_table(
+        ["subs", "full us", "hybrid us", "full/hybrid", "full MiB",
+         "hybrid protected MiB", "in/out nodes"],
+        table, title=f"Extension E1 — full-enclave vs hybrid split "
+                     f"index (e80a1, EPC usable "
+                     f"{limit // (1024 * 1024)} MiB)"))
+
+    # The hybrid keeps its protected set under the EPC at every size.
+    for size in sizes:
+        assert rows[size][3] < limit
+    # Below the limit the full index is at least competitive...
+    small = sizes[0]
+    assert rows[small][0] <= rows[small][1] * 1.5
+    # ...past it the hybrid wins decisively.
+    big = sizes[-1]
+    assert rows[big][2] > limit  # full index does exceed the EPC
+    assert rows[big][0] > 1.5 * rows[big][1]

@@ -1,0 +1,86 @@
+"""Extension E3: StreamHub-style horizontal scale-out (§3.4, §6).
+
+The paper's answer to both the EPC limit and matching latency is
+replication: "This limitation can be overcome through horizontal
+scalability". We slice one large subscription database across 1..8
+matcher enclaves (each on its own simulated machine) and measure the
+per-publication latency (max over slices, since they run in parallel)
+for both assignment policies.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import bench_spec, full_mode
+from repro.bench.report import format_table
+from repro.core.cluster import MatcherCluster
+from repro.workloads.datasets import build_dataset
+
+SLICE_COUNTS = [1, 2, 4, 8]
+N_SUBSCRIPTIONS = 12000
+N_PUBLICATIONS = 12
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_cluster_scaleout(benchmark):
+    n_subs = N_SUBSCRIPTIONS * (3 if full_mode() else 1)
+    spec = bench_spec()
+    dataset = build_dataset("e80a1", n_subs, N_PUBLICATIONS)
+    rows = {}
+
+    def run():
+        for policy in MatcherCluster.ASSIGNMENTS:
+            for n_slices in SLICE_COUNTS:
+                cluster = MatcherCluster(n_slices, spec=spec,
+                                         assignment=policy)
+                for index, subscription in enumerate(
+                        dataset.subscriptions):
+                    cluster.register(subscription, index)
+                cluster.warm()
+                for event in dataset.publications:  # warm-up
+                    cluster.match(event)
+                latency = 0.0
+                expected = None
+                for event in dataset.publications:
+                    result = cluster.match(event)
+                    latency += result.latency_us
+                rows[(policy, n_slices)] = (
+                    latency / N_PUBLICATIONS,
+                    cluster.slice_sizes(),
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for policy in MatcherCluster.ASSIGNMENTS:
+        base = rows[(policy, 1)][0]
+        for n_slices in SLICE_COUNTS:
+            latency, sizes = rows[(policy, n_slices)]
+            table.append([policy, n_slices, round(latency, 1),
+                          f"{base / latency:.2f}x",
+                          f"{min(sizes)}-{max(sizes)}"])
+    emit("ext_scaleout", format_table(
+        ["assignment", "slices", "us/publication", "speedup",
+         "slice sizes"],
+        table, title=f"Extension E3 — matcher cluster scale-out "
+                     f"(e80a1, {n_subs} subscriptions)"))
+
+    # Correctness guard: both policies, all widths, same matches.
+    reference = None
+    for policy in MatcherCluster.ASSIGNMENTS:
+        cluster = MatcherCluster(3, spec=spec, assignment=policy)
+        for index, subscription in enumerate(
+                dataset.subscriptions[:2000]):
+            cluster.register(subscription, index)
+        matches = [frozenset(cluster.match(event).subscribers)
+                   for event in dataset.publications]
+        if reference is None:
+            reference = matches
+        else:
+            assert matches == reference
+
+    # Scale-out must pay off for both policies.
+    for policy in MatcherCluster.ASSIGNMENTS:
+        assert rows[(policy, 8)][0] < rows[(policy, 1)][0]
+        speedup = rows[(policy, 1)][0] / rows[(policy, 8)][0]
+        assert speedup > 1.5, (policy, speedup)

@@ -1,0 +1,87 @@
+"""Figure 5: overhead of encryption and of the enclave (e100a1).
+
+Reproduces the four curves — {In, Out} x {AES, plain} matching time vs.
+number of registered subscriptions — plus the acceptance checks from
+DESIGN.md: encryption overhead small and near-constant, in/out gap
+growing once the index outgrows the LLC.
+"""
+
+import pytest
+
+import os
+
+from conftest import RESULTS_DIR, emit
+from repro.bench.export import write_measurements
+from repro.bench.experiments import (FilterSweep, bench_spec,
+                                     default_subscription_sizes,
+                                     run_fig5)
+from repro.bench.report import format_series_chart, format_table
+
+N_PUBLICATIONS = 25
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_enclave_overhead(benchmark):
+    sizes = default_subscription_sizes()
+    results = {}
+
+    def run():
+        results["rows"] = run_fig5(sizes=sizes,
+                                   n_publications=N_PUBLICATIONS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    write_measurements(results["rows"],
+                       os.path.join(RESULTS_DIR, "fig5.csv"))
+
+    by_size = {}
+    for m in results["rows"]:
+        by_size.setdefault(m.n_subscriptions, {})[m.configuration] = m
+
+    table = []
+    series = {"in-aes": {}, "in-plain": {}, "out-aes": {},
+              "out-plain": {}}
+    for size in sizes:
+        cfgs = by_size[size]
+        for label in series:
+            series[label][size] = cfgs[label].mean_us
+        table.append([
+            size,
+            round(cfgs["in-aes"].mean_us, 1),
+            round(cfgs["in-plain"].mean_us, 1),
+            round(cfgs["out-aes"].mean_us, 1),
+            round(cfgs["out-plain"].mean_us, 1),
+            f"{cfgs['out-aes'].llc_miss_rate * 100:.0f}%",
+            f"{cfgs['in-aes'].mean_us / cfgs['out-aes'].mean_us:.2f}",
+            cfgs["in-aes"].index_bytes // 1024,
+        ])
+    emit("fig5_enclave_overhead", format_table(
+        ["subs", "In AES us", "In plain us", "Out AES us",
+         "Out plain us", "LLC miss", "in/out", "index KiB"],
+        table, title="Figure 5 — matching time vs subscriptions "
+                     "(e100a1, simulated us)")
+        + "\n\n" + format_series_chart(
+            series, title="Figure 5 (log-log)"))
+
+    # -- acceptance checks (shape, per DESIGN.md section 4) ----------------
+    spec = bench_spec()
+    for size in sizes:
+        cfgs = by_size[size]
+        # Encryption overhead: small (<5 us) at every size, both sides.
+        assert 0 < cfgs["out-aes"].mean_us - cfgs["out-plain"].mean_us \
+            < 5.0
+        assert 0 < cfgs["in-aes"].mean_us - cfgs["in-plain"].mean_us \
+            < 5.0
+        # The enclave is never free.
+        assert cfgs["in-plain"].mean_us > cfgs["out-plain"].mean_us
+
+    # In/out *absolute* gap grows once the index exceeds the LLC.
+    small = by_size[sizes[0]]
+    large = by_size[sizes[-1]]
+    assert large["in-aes"].index_bytes > spec.llc_bytes
+    gap_small = small["in-aes"].mean_us - small["out-aes"].mean_us
+    gap_large = large["in-aes"].mean_us - large["out-aes"].mean_us
+    assert gap_large > 3 * gap_small
+    # Driven by cache misses, as the paper explains.
+    assert large["out-aes"].llc_miss_rate > \
+        small["out-aes"].llc_miss_rate

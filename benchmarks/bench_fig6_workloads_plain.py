@@ -1,0 +1,59 @@
+"""Figure 6: the containment algorithm across all nine workloads.
+
+Plaintext matching outside enclaves, matching time vs. subscription
+count, one series per Table 1 dataset. Acceptance: the all-equality /
+Zipf-on-all workloads are the fastest and the 4x-attribute workloads
+the slowest at the top size (the paper's root/depth explanation).
+"""
+
+import pytest
+
+import os
+
+from conftest import RESULTS_DIR, emit
+from repro.bench.export import write_measurements
+from repro.bench.experiments import (default_subscription_sizes,
+                                     run_fig6)
+from repro.bench.report import format_series_chart, format_table
+from repro.workloads.spec import workload_names
+
+N_PUBLICATIONS = 20
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_workloads_plaintext(benchmark):
+    sizes = default_subscription_sizes()
+    results = {}
+
+    def run():
+        results["rows"] = run_fig6(sizes=sizes,
+                                   n_publications=N_PUBLICATIONS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    write_measurements(results["rows"],
+                       os.path.join(RESULTS_DIR, "fig6.csv"))
+
+    series = {}
+    for m in results["rows"]:
+        series.setdefault(m.workload, {})[m.n_subscriptions] = m.mean_us
+
+    table = [[name] + [round(series[name][size], 1) for size in sizes]
+             for name in workload_names()]
+    emit("fig6_workloads_plain", format_table(
+        ["workload"] + [str(s) for s in sizes],
+        table, title="Figure 6 — matching time (us) per workload, "
+                     "plaintext outside enclaves")
+        + "\n\n" + format_series_chart(series,
+                                       title="Figure 6 (log-log)"))
+
+    top = sizes[-1]
+    at_top = {name: series[name][top] for name in series}
+    fastest_two = sorted(at_top, key=at_top.get)[:3]
+    slowest_two = sorted(at_top, key=at_top.get)[-2:]
+    # Paper: e100a1 and e100a1zz100 best (deep containment trees)...
+    assert set(fastest_two) & {"e100a1", "e100a1zz100", "e80a1zz100"}
+    # ... e80a4 and extsub4 worst (more roots, shallow trees).
+    assert set(slowest_two) <= {"e80a4", "extsub4", "e80a2", "extsub2"}
+    # And the spread is substantial.
+    assert max(at_top.values()) > 2 * min(at_top.values())

@@ -1,0 +1,71 @@
+"""Figure 8: performance loss when exceeding the EPC limit.
+
+Registers subscriptions (workload e80a1, plaintext) inside and outside
+an enclave and reports the in/out ratios of per-registration time and
+page faults versus database size. Geometry is scaled (EPC usable = 4
+MiB here vs ~90 MB in the paper); the *shape* — calm until the limit,
+then a cliff with fault ratios in the thousands and time ratios over an
+order of magnitude — is the reproduced result.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import bench_spec, full_mode, run_fig8
+from repro.bench.report import format_series_chart, format_table
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_epc_paging(benchmark):
+    results = {}
+
+    def run():
+        results["points"] = run_fig8()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    points = results["points"]
+    spec = bench_spec(epc=True)
+    limit = spec.epc_usable_bytes
+
+    table = []
+    time_series = {}
+    fault_series = {}
+    for p in points:
+        marker = " <-- EPC limit" if (
+            table and table[-1][0] * 1024 * 1024 < limit <= p.db_bytes
+        ) else ""
+        table.append([
+            round(p.db_bytes / (1024 * 1024), 2),
+            round(p.in_us_per_registration, 2),
+            round(p.out_us_per_registration, 2),
+            round(p.time_ratio_in_out, 1),
+            p.in_faults,
+            p.out_faults,
+            round(p.fault_ratio_in_out, 1),
+        ])
+        mb = p.db_bytes / (1024 * 1024)
+        time_series[mb] = p.time_ratio_in_out
+        fault_series[mb] = max(p.fault_ratio_in_out, 0.1)
+    emit("fig8_paging", format_table(
+        ["DB MiB", "in us/reg", "out us/reg", "time in/out",
+         "in faults", "out faults", "fault in/out"],
+        table, title=f"Figure 8 — registration in/out ratios "
+                     f"(EPC usable = {limit // (1024 * 1024)} MiB, "
+                     f"scaled from the paper's ~90 MB)")
+        + "\n\n" + format_series_chart(
+            {"time ratio": time_series, "fault ratio": fault_series},
+            logx=False, title="Figure 8 ratios vs DB size (log y)"))
+
+    below = [p for p in points if p.db_bytes < 0.8 * limit]
+    above = [p for p in points if p.db_bytes > 1.3 * limit]
+    assert below and above
+    calm = sum(p.time_ratio_in_out for p in below) / len(below)
+    peak = max(p.time_ratio_in_out for p in above)
+    # Paper: modest ratio below the limit, ~18x at the top size.
+    assert calm < 4.0
+    assert peak > 8.0
+    # Fault ratio explodes (paper: up to ~40,000x; scale-dependent).
+    assert max(p.fault_ratio_in_out for p in above) > 100
+    # Monotone-ish growth past the cliff: last point worse than first
+    # above-limit point.
+    assert above[-1].time_ratio_in_out > above[0].time_ratio_in_out * 0.8

@@ -1,0 +1,22 @@
+"""Shared benchmark helpers: result emission and common fixtures.
+
+Every figure/table benchmark writes its paper-style output both to
+stdout (visible with ``pytest -s``) and to ``benchmarks/results/*.txt``
+so a full ``pytest benchmarks/ --benchmark-only`` run leaves the
+reproduced rows/series on disk next to the harness.
+"""
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    sys.stdout.write(banner)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` in offline environments that
+lack the `wheel` package (legacy editable installs via setup.py develop).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""ASPE baseline: software-only encrypted matching (paper refs [7], [4]).
+
+Asymmetric scalar-product-preserving encryption lets an untrusted
+router evaluate subscription half-space tests directly on encrypted
+publications, at the price of a full linear scan and per-predicate
+(d+2)-wide dot products. The Bloom pre-filter variant implements the
+"thrifty privacy" optimisation the paper cites.
+"""
+
+from repro.aspe.bloom import BloomFilter
+from repro.aspe.matcher import AspeMatcher, AspeMatchResult
+from repro.aspe.matrix import AspeKey, random_invertible
+from repro.aspe.prefilter import (PrefilteredAspeMatcher, event_bloom,
+                                  subscription_bloom)
+from repro.aspe.scheme import (AspeScheme, AttributeSchema, EncryptedPoint,
+                               EncryptedSubscription, equality_token)
+
+__all__ = [
+    "BloomFilter",
+    "AspeMatcher", "AspeMatchResult",
+    "AspeKey", "random_invertible",
+    "PrefilteredAspeMatcher", "event_bloom", "subscription_bloom",
+    "AspeScheme", "AttributeSchema", "EncryptedPoint",
+    "EncryptedSubscription", "equality_token",
+]

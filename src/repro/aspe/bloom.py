@@ -1,0 +1,65 @@
+"""Bloom filters for the "thrifty privacy" equality pre-filter.
+
+Barazzutti et al. [4] accelerate ASPE by encoding each subscription's
+equality constraints in a Bloom filter: a publication whose own filter
+does not superset a subscription's filter cannot satisfy its equality
+constraints, so the expensive scalar-product tests are skipped. This
+module provides the fixed-width filter; the integration lives in
+:mod:`repro.aspe.prefilter`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-width Bloom filter over arbitrary hashable tokens.
+
+    Backed by a Python int bit set; ``bits`` should be sized for the
+    expected number of equality tokens (a few per subscription).
+    """
+
+    __slots__ = ("bits", "n_hashes", "mask")
+
+    def __init__(self, bits: int = 128, n_hashes: int = 3) -> None:
+        if bits < 8 or bits & (bits - 1):
+            raise ValueError("bits must be a power of two >= 8")
+        if n_hashes < 1:
+            raise ValueError("need at least one hash function")
+        self.bits = bits
+        self.n_hashes = n_hashes
+        self.mask = 0
+
+    def _positions(self, token: str) -> Iterable[int]:
+        digest = hashlib.sha256(token.encode()).digest()
+        for i in range(self.n_hashes):
+            chunk = digest[4 * i:4 * i + 4]
+            yield int.from_bytes(chunk, "big") % self.bits
+
+    def add(self, token: str) -> None:
+        """Insert a token."""
+        for position in self._positions(token):
+            self.mask |= 1 << position
+
+    def might_contain(self, token: str) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self.mask >> p & 1 for p in self._positions(token))
+
+    def subset_of(self, other: "BloomFilter") -> bool:
+        """All our tokens possibly present in ``other``?
+
+        The pre-filter test: a subscription's filter must be a subset of
+        the publication's filter for the equalities to be satisfiable.
+        """
+        if self.bits != other.bits or self.n_hashes != other.n_hashes:
+            raise ValueError("incompatible Bloom filter parameters")
+        return self.mask & ~other.mask == 0
+
+    @property
+    def popcount(self) -> int:
+        """Number of set bits (filter load factor diagnostic)."""
+        return bin(self.mask).count("1")

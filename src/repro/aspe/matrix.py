@@ -1,0 +1,70 @@
+"""Random invertible matrices: the secret keys of the ASPE scheme.
+
+ASPE's security rests on a secret invertible transform M applied to
+(augmented) data points and its inverse applied to queries. We sample
+well-conditioned random matrices so that sign tests on the preserved
+scalar products remain numerically trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+__all__ = ["random_invertible", "AspeKey"]
+
+_MAX_CONDITION = 1e6
+
+
+def random_invertible(
+        dimension: int,
+        rng: Optional[np.random.Generator] = None,
+        max_condition: float = _MAX_CONDITION
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample an invertible ``dimension x dimension`` matrix.
+
+    Returns ``(matrix, inverse)``. Rejects badly conditioned samples so
+    downstream sign tests keep plenty of float headroom.
+    """
+    if dimension < 1:
+        raise CryptoError("matrix dimension must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    for _ in range(64):
+        candidate = rng.standard_normal((dimension, dimension))
+        condition = np.linalg.cond(candidate)
+        if np.isfinite(condition) and condition < max_condition:
+            return candidate, np.linalg.inv(candidate)
+    raise CryptoError("failed to sample a well-conditioned matrix")
+
+
+class AspeKey:
+    """The data-owner secret: M and its inverse.
+
+    The *encryption* side (M^T, applied to points) can be given to
+    publishers; the *query* side (M^-1, applied to subscription
+    hyperplanes) stays with whoever encrypts subscriptions. Neither
+    side lets the router recover plaintext values (modulo ASPE's known
+    weakness to known-plaintext attacks, which the paper notes).
+    """
+
+    def __init__(self, dimension: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.dimension = dimension
+        self.matrix, self.inverse = random_invertible(dimension, rng)
+
+    def encrypt_point(self, augmented: np.ndarray,
+                      scale: float) -> np.ndarray:
+        """c = scale * M^T x̂ (scale > 0 randomises magnitudes)."""
+        if scale <= 0:
+            raise CryptoError("point scale must be positive")
+        return scale * (self.matrix.T @ augmented)
+
+    def encrypt_query(self, hyperplane: np.ndarray,
+                      scale: float) -> np.ndarray:
+        """q = scale * M^-1 ŵ, so that c.q = scales * (x̂.ŵ)."""
+        if scale <= 0:
+            raise CryptoError("query scale must be positive")
+        return scale * (self.inverse @ hyperplane)

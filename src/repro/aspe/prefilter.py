@@ -1,0 +1,165 @@
+"""Bloom-filter pre-filtering in front of the ASPE scan ([4]).
+
+The ablation experiment A2 (DESIGN.md) quantifies how much of ASPE's
+linear-scan cost the pre-filter recovers on equality-heavy workloads:
+subscriptions whose equality tokens cannot all be present in the
+publication are skipped without touching their half-space rows.
+
+Token convention: ``attribute=embedded_value``; publications insert a
+token per (attribute, value) pair, subscriptions per equality
+constraint. Range-only subscriptions have empty filters (subset of
+everything) and are always fully tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.aspe.bloom import BloomFilter
+from repro.aspe.matcher import AspeMatchResult, AspeMatcher
+from repro.aspe.scheme import (AspeScheme, EncryptedPoint,
+                               EncryptedSubscription, equality_token)
+from repro.matching.events import Event
+from repro.sgx.platform import SgxPlatform
+
+__all__ = ["PrefilteredAspeMatcher", "event_bloom", "subscription_bloom"]
+
+_BLOOM_BITS = 256
+_BLOOM_HASHES = 3
+
+
+def event_bloom(scheme: AspeScheme, event: Event) -> BloomFilter:
+    """Publication-side filter over every (attribute, value) pair."""
+    bloom = BloomFilter(_BLOOM_BITS, _BLOOM_HASHES)
+    for attribute in scheme.schema.attributes:
+        value = event.get(attribute)
+        if value is None:
+            continue
+        bloom.add(equality_token(attribute, value))
+    return bloom
+
+
+def subscription_bloom(
+        encrypted: EncryptedSubscription) -> BloomFilter:
+    """Subscription-side filter over its equality tokens."""
+    bloom = BloomFilter(_BLOOM_BITS, _BLOOM_HASHES)
+    for token in encrypted.equality_tokens:
+        bloom.add(token)
+    return bloom
+
+
+class PrefilteredAspeMatcher:
+    """ASPE matcher with the Bloom equality pre-filter in front.
+
+    Keeps one inner :class:`AspeMatcher` per *candidate set* call: the
+    pre-filter selects candidate subscriptions cheaply, then only their
+    half-space rows are evaluated.
+    """
+
+    def __init__(self, cipher_dimension: int,
+                 platform: Optional[SgxPlatform] = None) -> None:
+        self.cipher_dimension = cipher_dimension
+        self.platform = platform
+        self._subs: List[EncryptedSubscription] = []
+        self._subscribers: List[Set[object]] = []
+        self._blooms: List[BloomFilter] = []
+        self._masks: Optional[np.ndarray] = None
+        self._rows: Optional[np.ndarray] = None
+        self._strict: Optional[np.ndarray] = None
+        self._abs_rows: Optional[np.ndarray] = None
+        self._boundaries: Optional[np.ndarray] = None
+
+    def register(self, encrypted: EncryptedSubscription,
+                 subscriber: object) -> None:
+        self._subs.append(encrypted)
+        self._subscribers.append({subscriber})
+        self._blooms.append(subscription_bloom(encrypted))
+        self._masks = None
+
+    @property
+    def n_subscriptions(self) -> int:
+        return len(self._subs)
+
+    def _compile(self) -> None:
+        # 256-bit masks as 4 x uint64 rows for a vectorised subset test.
+        masks = np.zeros((len(self._blooms), _BLOOM_BITS // 64),
+                         dtype=np.uint64)
+        for i, bloom in enumerate(self._blooms):
+            mask = bloom.mask
+            for word in range(_BLOOM_BITS // 64):
+                masks[i, word] = (mask >> (64 * word)) \
+                    & 0xFFFFFFFFFFFFFFFF
+        self._masks = masks
+        self._rows = np.concatenate([s.rows for s in self._subs], axis=0)
+        self._strict = np.concatenate([s.strict for s in self._subs])
+        self._abs_rows = np.abs(self._rows)
+        counts = np.array([s.rows.shape[0] for s in self._subs])
+        self._boundaries = np.concatenate([[0], np.cumsum(counts)])
+
+    def match(self, point: EncryptedPoint,
+              publication_bloom: BloomFilter) -> AspeMatchResult:
+        """Pre-filter by Bloom subset, then run ASPE on candidates."""
+        if self._masks is None:
+            self._compile()
+        pub_words = np.zeros(_BLOOM_BITS // 64, dtype=np.uint64)
+        for word in range(_BLOOM_BITS // 64):
+            pub_words[word] = (publication_bloom.mask >> (64 * word)) \
+                & 0xFFFFFFFFFFFFFFFF
+        # Candidate iff every subscription bit is present: mask & ~pub == 0.
+        leftovers = self._masks & ~pub_words
+        candidates = ~leftovers.any(axis=1)
+        candidate_indices = np.nonzero(candidates)[0]
+
+        # Charge the pre-filter pass (one AND/compare per word per sub).
+        simulated_us = 0.0
+        if self.platform is not None:
+            costs = self.platform.spec.costs
+            cycles = len(self._subs) * (_BLOOM_BITS // 64) \
+                * costs.aspe_mac_cycles
+            self.platform.memory.charge(cycles)
+            simulated_us += self.platform.spec.cycles_to_us(cycles)
+
+        matched: Set[object] = set()
+        halfspaces = 0
+        if candidate_indices.size:
+            boundaries = self._boundaries
+            row_index = np.concatenate([
+                np.arange(boundaries[i], boundaries[i + 1])
+                for i in candidate_indices])
+            rows = self._rows[row_index]
+            scores = rows @ point.vector
+            tolerance = 1e-12 * (self._abs_rows[row_index]
+                                 @ np.abs(point.vector))
+            passed = np.where(self._strict[row_index],
+                              scores > tolerance, scores >= -tolerance)
+            offset = 0
+            for i in candidate_indices:
+                count = boundaries[i + 1] - boundaries[i]
+                if passed[offset:offset + count].all():
+                    matched |= self._subscribers[i]
+                offset += count
+            halfspaces = int(rows.shape[0])
+            if self.platform is not None:
+                spec = self.platform.spec
+                costs = spec.costs
+                cycles = halfspaces * self.cipher_dimension \
+                    * costs.aspe_mac_cycles
+                cycles += candidate_indices.size \
+                    * costs.aspe_sub_overhead_cycles
+                matrix_bytes = halfspaces * self.cipher_dimension * 8
+                lines = matrix_bytes // spec.cache_line_bytes + 1
+                if matrix_bytes > 0.9 * spec.llc_bytes:
+                    cycles += lines * costs.llc_miss_cycles
+                else:
+                    cycles += lines * costs.llc_hit_cycles
+                self.platform.memory.charge(cycles)
+                simulated_us += spec.cycles_to_us(cycles)
+        return AspeMatchResult(
+            subscribers=matched,
+            subscriptions_tested=int(candidate_indices.size),
+            halfspaces_tested=halfspaces,
+            simulated_us=simulated_us,
+        )

@@ -1,0 +1,270 @@
+"""ASPE: asymmetric scalar-product-preserving encryption for CBR.
+
+The software-only baseline the paper evaluates against (Choi, Ghinita,
+Bertino [7]; building on Wong et al.'s secure kNN transform). Every
+publication becomes an augmented point; every subscription predicate
+becomes a hyperplane half-space test whose sign survives encryption:
+
+    point   ĉ = r * M^T (x_1..x_d, 1, ρ)           r > 0, ρ random
+    query   q̂ = s * M^-1 (w_1..w_d, -b, 0)          s > 0 random
+    then    ĉ · q̂ = r*s*(w·x - b)   — same sign as the plaintext test.
+
+A predicate ``a >= v`` is the half-space ``e_a · x - v >= 0``; ranges
+and equalities are conjunctions of two half-spaces.
+
+Numerical conditioning
+----------------------
+Sign tests on floats demand that rounding error stays below the
+smallest meaningful margin. Two measures keep the scheme exact on the
+paper's workloads:
+
+* **per-attribute normalisation** — the schema divides each attribute
+  by a scale chosen so coordinates are O(1..1e3) (heterogeneous
+  magnitudes such as prices vs. volumes would otherwise destroy the
+  error budget of every small-margin test);
+* **string interning** — string values map to small integer codes
+  assigned by the scheme (the data provider encrypts both sides in
+  SCBR's deployment, so a shared code book is realistic), giving
+  equality tests a separation of 1 unit.
+
+The matcher then uses the element-wise error bound
+``tol = 1e-12 * (|rows| @ |point|)`` per half-space, far above
+accumulated rounding error and far below any admissible margin.
+
+Consequence: predicate margins below ~1e-9 of the coordinate scale are
+*not resolvable* — a bound that close to a publication value decides
+arbitrarily. Real workloads (prices in cents, volumes in units) sit
+many orders of magnitude above this floor; it is the price ASPE pays
+for computing on encrypted floats, not a property of SCBR's plaintext
+matcher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.aspe.matrix import AspeKey
+from repro.matching.events import Event
+from repro.matching.subscriptions import Subscription
+
+__all__ = ["AttributeSchema", "EncryptedPoint", "EncryptedSubscription",
+           "AspeScheme", "equality_token"]
+
+
+def equality_token(attribute: str, value) -> str:
+    """Stable token naming one (attribute, value) equality.
+
+    Shared by the Bloom pre-filter on both the publication and the
+    subscription side; works on raw values so it is independent of the
+    ASPE embedding.
+    """
+    if isinstance(value, str):
+        return f"{attribute}=s:{value}"
+    return f"{attribute}=n:{float(value):.9g}"
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """Fixed attribute layout shared by publishers and subscribers.
+
+    ASPE needs a fixed dimensionality: attribute *i* of the schema maps
+    to coordinate *i* of the point. ``scales`` normalises each
+    attribute's magnitude (see module docstring); defaults to 1.0.
+
+    The cost of the scheme scaling with the attribute count is the
+    effect Fig. 7 shows on the ``a2``/``a4`` workloads.
+    """
+
+    attributes: Tuple[str, ...]
+    scales: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise MatchingError("schema must name at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise MatchingError("duplicate attribute in schema")
+        for attribute, scale in self.scales.items():
+            if scale <= 0:
+                raise MatchingError(
+                    f"non-positive scale for {attribute!r}")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise MatchingError(
+                f"attribute {attribute!r} not in ASPE schema")
+
+    def scale_of(self, attribute: str) -> float:
+        return self.scales.get(attribute, 1.0)
+
+    @classmethod
+    def from_events(cls, attributes: Sequence[str],
+                    events: Sequence[Event]) -> "AttributeSchema":
+        """Derive scales so numeric coordinates land in O(100)."""
+        scales: Dict[str, float] = {}
+        for attribute in attributes:
+            peak = 0.0
+            for event in events:
+                value = event.get(attribute)
+                if value is not None and not isinstance(value, str):
+                    peak = max(peak, abs(float(value)))
+            if peak > 100.0:
+                scales[attribute] = peak / 100.0
+        return cls(tuple(attributes), scales)
+
+
+@dataclass(frozen=True)
+class EncryptedPoint:
+    """An ASPE-encrypted publication."""
+
+    vector: np.ndarray  # shape (d+2,)
+
+
+@dataclass(frozen=True)
+class EncryptedSubscription:
+    """An ASPE-encrypted subscription: stacked half-space queries.
+
+    ``rows`` has one encrypted hyperplane per half-space; ``strict[i]``
+    distinguishes ``>`` from ``>=`` sign tests.
+    """
+
+    sub_id: int
+    rows: np.ndarray        # shape (n_halfspaces, d+2)
+    strict: np.ndarray      # shape (n_halfspaces,), bool
+    #: tokens of equality constraints, for the Bloom pre-filter [4].
+    equality_tokens: Tuple[str, ...] = ()
+
+
+class AspeScheme:
+    """Key + encryption operations over a fixed attribute schema."""
+
+    #: spacing between interned string codes (error budget: rounding
+    #: error across the transform stays orders of magnitude below 1).
+    _CODE_STEP = 1.0
+
+    #: coordinate encoding an absent attribute: outside every
+    #: normalised range (coordinates are O(1e3)) so subscriptions
+    #: constraining that attribute never match such publications —
+    #: plaintext-matcher semantics — while staying small enough not to
+    #: blow the rounding-error budget of other rows' sign tests.
+    MISSING_SENTINEL = -1e5
+
+    def __init__(self, schema: AttributeSchema,
+                 rng: Optional[np.random.Generator] = None,
+                 fill_missing: bool = False) -> None:
+        self.schema = schema
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.fill_missing = fill_missing
+        #: d data coordinates + homogeneous coordinate + blinding coord.
+        self.cipher_dimension = schema.dimension + 2
+        self.key = AspeKey(self.cipher_dimension, self._rng)
+        self._string_codes: Dict[str, float] = {}
+
+    # -- value embedding -----------------------------------------------------
+
+    def _string_code(self, value: str) -> float:
+        """Interned small-integer code for a string value."""
+        code = self._string_codes.get(value)
+        if code is None:
+            code = (len(self._string_codes) + 1) * self._CODE_STEP
+            self._string_codes[value] = code
+        return code
+
+    def embed(self, attribute: str, value) -> float:
+        """Map one attribute value onto its normalised coordinate."""
+        if isinstance(value, str):
+            return self._string_code(value)
+        return float(value) / self.schema.scale_of(attribute)
+
+    # -- publications -----------------------------------------------------------
+
+    def encrypt_event(self, event: Event) -> EncryptedPoint:
+        """Encrypt a publication header into an ASPE point."""
+        augmented = np.empty(self.cipher_dimension)
+        for i, attribute in enumerate(self.schema.attributes):
+            value = event.get(attribute)
+            if value is None:
+                if not self.fill_missing:
+                    raise MatchingError(
+                        f"event missing schema attribute {attribute!r}")
+                augmented[i] = self.MISSING_SENTINEL
+                continue
+            augmented[i] = self.embed(attribute, value)
+        augmented[-2] = 1.0
+        augmented[-1] = self._rng.standard_normal()  # blinding coord
+        scale = float(self._rng.uniform(0.5, 2.0))
+        return EncryptedPoint(self.key.encrypt_point(augmented, scale))
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def _halfspace(self, coefficient_index: int, sign: float,
+                   bound: float) -> np.ndarray:
+        """Hyperplane for ``sign * x_i - sign*bound >= 0``."""
+        hyperplane = np.zeros(self.cipher_dimension)
+        hyperplane[coefficient_index] = sign
+        hyperplane[-2] = -sign * bound
+        hyperplane[-1] = 0.0
+        return hyperplane
+
+    def encrypt_subscription(
+            self, subscription: Subscription) -> EncryptedSubscription:
+        """Compile a subscription into encrypted half-space tests.
+
+        Exclusion (``!=``) constraints are rejected: ASPE's conjunction
+        of half-space sign tests cannot express them — one of the
+        expressiveness gaps versus plaintext matching in the enclave.
+        """
+        rows: List[np.ndarray] = []
+        strict: List[bool] = []
+        tokens: List[str] = []
+        for attribute, constraint in subscription.items:
+            if constraint.excluded:
+                raise MatchingError(
+                    "ASPE cannot express != constraints")
+            index = self.schema.index_of(attribute)
+            if constraint.is_string:
+                if constraint.equals is None:
+                    raise MatchingError(
+                        "ASPE needs equality on string attributes")
+                code = self._string_code(constraint.equals)
+                rows.append(self._halfspace(index, 1.0, code))
+                strict.append(False)
+                rows.append(self._halfspace(index, -1.0, code))
+                strict.append(False)
+                tokens.append(equality_token(attribute, constraint.equals))
+                continue
+            scale = self.schema.scale_of(attribute)
+            if constraint.is_equality():
+                tokens.append(equality_token(attribute, constraint.lo))
+            if constraint.lo != -np.inf:
+                rows.append(self._halfspace(
+                    index, 1.0, float(constraint.lo) / scale))
+                strict.append(constraint.lo_open)
+            if constraint.hi != np.inf:
+                rows.append(self._halfspace(
+                    index, -1.0, float(constraint.hi) / scale))
+                strict.append(constraint.hi_open)
+        if not rows:
+            raise MatchingError(
+                "subscription has no ASPE-expressible constraint")
+        scales = self._rng.uniform(0.5, 2.0, size=len(rows))
+        encrypted = np.stack([
+            self.key.encrypt_query(row, float(scale))
+            for row, scale in zip(rows, scales)
+        ])
+        return EncryptedSubscription(
+            sub_id=subscription.sub_id,
+            rows=encrypted,
+            strict=np.asarray(strict, dtype=bool),
+            equality_tokens=tuple(tokens),
+        )

@@ -1,0 +1,27 @@
+"""Benchmark harness: per-figure experiment runners and reporting."""
+
+from repro.bench.experiments import (FilterMeasurement, RegistrationPoint,
+                                     default_subscription_sizes,
+                                     full_mode, measure_aspe,
+                                     measure_filter,
+                                     run_containment_ablation, run_fig5,
+                                     run_fig6, run_fig7, run_fig8,
+                                     run_prefilter_ablation)
+from repro.bench.export import (measurements_to_csv,
+                                measurements_to_json,
+                                write_measurements)
+from repro.bench.queueing import (QueueingResult, simulate_queue,
+                                  sustainable_rate)
+from repro.bench.report import format_series_chart, format_table
+
+__all__ = [
+    "FilterMeasurement", "RegistrationPoint",
+    "default_subscription_sizes", "full_mode",
+    "measure_filter", "measure_aspe",
+    "run_fig5", "run_fig6", "run_fig7", "run_fig8",
+    "run_containment_ablation", "run_prefilter_ablation",
+    "format_table", "format_series_chart",
+    "QueueingResult", "simulate_queue", "sustainable_rate",
+    "measurements_to_csv", "measurements_to_json",
+    "write_measurements",
+]

@@ -1,0 +1,68 @@
+"""Result export: CSV/JSON for external plotting tools.
+
+The ASCII tables in `benchmarks/results/` are human-oriented; this
+module exports the underlying measurements in machine-readable form so
+the figures can be re-plotted with gnuplot/matplotlib outside this
+repository (the paper's figures are log-log gnuplot charts).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ScbrError
+
+__all__ = ["measurements_to_csv", "measurements_to_json",
+           "write_measurements"]
+
+
+def _as_record(measurement) -> dict:
+    if is_dataclass(measurement):
+        record = asdict(measurement)
+    elif isinstance(measurement, dict):
+        record = dict(measurement)
+    else:
+        raise ScbrError(
+            f"cannot export {type(measurement).__name__}: expected a "
+            f"dataclass or dict")
+    for key, value in record.items():
+        if isinstance(value, (set, frozenset)):
+            record[key] = sorted(map(str, value))
+    return record
+
+
+def measurements_to_csv(measurements: Sequence) -> str:
+    """Render measurements as CSV text (header from the first row)."""
+    records = [_as_record(m) for m in measurements]
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer.writeheader()
+    for record in records:
+        writer.writerow({key: (json.dumps(value)
+                               if isinstance(value, list) else value)
+                         for key, value in record.items()})
+    return buffer.getvalue()
+
+
+def measurements_to_json(measurements: Sequence) -> str:
+    """Render measurements as a JSON array."""
+    return json.dumps([_as_record(m) for m in measurements], indent=2)
+
+
+def write_measurements(measurements: Sequence, path: str) -> None:
+    """Write measurements to ``path`` (.csv or .json by extension)."""
+    if path.endswith(".csv"):
+        text = measurements_to_csv(measurements)
+    elif path.endswith(".json"):
+        text = measurements_to_json(measurements)
+    else:
+        raise ScbrError(f"unknown export extension for {path!r} "
+                        f"(use .csv or .json)")
+    with open(path, "w") as fh:
+        fh.write(text)

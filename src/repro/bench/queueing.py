@@ -1,0 +1,135 @@
+"""Queueing analysis: sustainable publication rates for the router.
+
+The paper reports per-publication matching *latency*; a deployment
+cares about *throughput*: what arrival rate can one routing enclave
+sustain before queueing delay explodes? This module closes that gap
+with a deterministic event-driven M/G/1-style simulation fed by the
+platform model's measured service times:
+
+* arrivals: Poisson with the requested rate (seeded, reproducible);
+* service: drawn from an empirical distribution of per-publication
+  matching times (e.g. produced by a
+  :class:`~repro.bench.experiments.FilterSweep`);
+* a single FIFO server (one enclave thread, as in the paper's setup).
+
+The ``ext_throughput`` benchmark sweeps the arrival rate for the in-
+and out-of-enclave service distributions: the throughput knee sits at
+1/mean-service-time and the enclave's ~1.5x service-time tax becomes a
+~35 % loss of sustainable rate — the system-level consequence of
+Fig. 5's microsecond gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ScbrError
+
+__all__ = ["QueueingResult", "simulate_queue", "sustainable_rate"]
+
+
+@dataclass(frozen=True)
+class QueueingResult:
+    """Outcome of one arrival-rate simulation."""
+
+    arrival_rate_per_s: float
+    offered_load: float          # lambda * E[service]
+    n_served: int
+    mean_latency_us: float       # sojourn time (wait + service)
+    p50_latency_us: float
+    p99_latency_us: float
+    max_queue_length: int
+    utilization: float           # busy time / horizon
+
+    @property
+    def stable(self) -> bool:
+        """Offered load below 1 (queue does not grow without bound)."""
+        return self.offered_load < 1.0
+
+
+def simulate_queue(service_times_us: Sequence[float],
+                   arrival_rate_per_s: float,
+                   n_arrivals: int = 20000,
+                   seed: int = 1) -> QueueingResult:
+    """Simulate a FIFO single server at the given Poisson arrival rate.
+
+    ``service_times_us`` is the empirical service distribution; jobs
+    draw from it uniformly at random (with replacement).
+    """
+    if not service_times_us:
+        raise ScbrError("empty service-time distribution")
+    if arrival_rate_per_s <= 0:
+        raise ScbrError("arrival rate must be positive")
+    if n_arrivals <= 0:
+        raise ScbrError("n_arrivals must be positive")
+    rng = np.random.default_rng(seed)
+    inter_arrivals_us = rng.exponential(1e6 / arrival_rate_per_s,
+                                        size=n_arrivals)
+    arrivals = np.cumsum(inter_arrivals_us)
+    services = rng.choice(np.asarray(service_times_us, dtype=float),
+                          size=n_arrivals, replace=True)
+
+    latencies = np.empty(n_arrivals)
+    server_free_at = 0.0
+    busy_time = 0.0
+    queue: List[float] = []  # arrival times currently waiting
+    max_queue = 0
+    # FIFO with a single server: service start = max(arrival, free_at).
+    for index in range(n_arrivals):
+        arrival = arrivals[index]
+        start = arrival if arrival > server_free_at else server_free_at
+        finish = start + services[index]
+        latencies[index] = finish - arrival
+        busy_time += services[index]
+        server_free_at = finish
+        # Track backlog: jobs whose arrival precedes this job's start.
+        # (Approximated via delay: queue length ~ lambda * wait.)
+        wait = start - arrival
+        backlog = int(wait * arrival_rate_per_s / 1e6)
+        if backlog > max_queue:
+            max_queue = backlog
+
+    horizon = max(float(arrivals[-1]), server_free_at)
+    mean_service = float(np.mean(services))
+    return QueueingResult(
+        arrival_rate_per_s=arrival_rate_per_s,
+        offered_load=arrival_rate_per_s * mean_service / 1e6,
+        n_served=n_arrivals,
+        mean_latency_us=float(np.mean(latencies)),
+        p50_latency_us=float(np.percentile(latencies, 50)),
+        p99_latency_us=float(np.percentile(latencies, 99)),
+        max_queue_length=max_queue,
+        utilization=min(busy_time / horizon, 1.0),
+    )
+
+
+def sustainable_rate(service_times_us: Sequence[float],
+                     latency_bound_us: float,
+                     n_arrivals: int = 8000,
+                     seed: int = 1,
+                     tolerance: float = 0.02) -> float:
+    """Largest Poisson rate whose p99 sojourn stays under the bound.
+
+    Binary search over the arrival rate between 1 % and 99.9 % of the
+    service-capacity rate 1/E[S].
+    """
+    if latency_bound_us <= 0:
+        raise ScbrError("latency bound must be positive")
+    mean_service = float(np.mean(np.asarray(service_times_us)))
+    if mean_service >= latency_bound_us:
+        return 0.0
+    capacity = 1e6 / mean_service  # jobs/s at 100% utilisation
+    lo, hi = 0.01 * capacity, 0.999 * capacity
+    while (hi - lo) / capacity > tolerance:
+        mid = (lo + hi) / 2
+        result = simulate_queue(service_times_us, mid,
+                                n_arrivals=n_arrivals, seed=seed)
+        if result.p99_latency_us <= latency_bound_us:
+            lo = mid
+        else:
+            hi = mid
+    return lo

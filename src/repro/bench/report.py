@@ -1,0 +1,91 @@
+"""Result tables: render experiment output the way the paper reports it.
+
+Plain-text tables (and a minimal gnuplot-style log-log ASCII chart) so
+benchmark runs print the same rows/series the figures show, with no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series_chart"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.2f}"
+        return str(value)
+
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_chart(series: Dict[str, Dict[float, float]],
+                        width: int = 64, height: int = 18,
+                        logx: bool = True, logy: bool = True,
+                        title: str = "") -> str:
+    """ASCII scatter of multiple (x -> y) series, log-log by default.
+
+    A poor researcher's gnuplot for eyeballing the figures' shapes in
+    benchmark output; one symbol per series.
+    """
+    symbols = "ox+*#@%&$"
+    points = []
+    for index, (_name, values) in enumerate(series.items()):
+        for x, y in values.items():
+            if x > 0 and y > 0:
+                points.append((x, y, symbols[index % len(symbols)]))
+    if not points:
+        return "(no data)"
+
+    def _tx(value: float) -> float:
+        return math.log10(value) if logx else value
+
+    def _ty(value: float) -> float:
+        return math.log10(value) if logy else value
+
+    xs = [_tx(p[0]) for p in points]
+    ys = [_ty(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, symbol), tx, ty in zip(points, xs, ys):
+        col = int((tx - x_lo) / x_span * (width - 1))
+        row = int((ty - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = symbol
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{10 ** y_lo if logy else y_lo:.3g} .. "
+                 f"{10 ** y_hi if logy else y_hi:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{10 ** x_lo if logx else x_lo:.3g} .. "
+                 f"{10 ** x_hi if logx else x_hi:.3g}]   legend: "
+                 + ", ".join(f"{symbols[i % len(symbols)]}={name}"
+                             for i, name in enumerate(series)))
+    return "\n".join(lines)

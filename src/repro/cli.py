@@ -1,0 +1,269 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` regenerates a single table/figure or runs
+the demo, without going through pytest. Useful for quick looks and for
+scripting sweeps with custom sizes.
+
+Commands::
+
+    demo                     the quickstart pub/sub flow
+    table1                   workload recipes and generated statistics
+    fig5 [--sizes ...]       encryption + enclave overhead (e100a1)
+    fig6 [--sizes ...]       all nine workloads, plaintext
+    fig7 [--sizes ...]       SCBR vs ASPE per workload
+    fig8 [--subs N]          the EPC paging cliff
+    ablations                containment + Bloom pre-filter ablations
+    workloads                shape statistics of the nine datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import (default_subscription_sizes,
+                                     run_containment_ablation, run_fig5,
+                                     run_fig6, run_fig7, run_fig8,
+                                     run_prefilter_ablation)
+from repro.bench.report import format_series_chart, format_table
+
+__all__ = ["main"]
+
+
+def _sizes_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="subscription counts to sweep (default: "
+             f"{default_subscription_sizes()})")
+
+
+def _publications_argument(parser: argparse.ArgumentParser,
+                           default: int) -> None:
+    parser.add_argument("--publications", type=int, default=default,
+                        help="publications per measurement")
+
+
+def _csv_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="also write raw measurements as CSV")
+
+
+def _maybe_export(rows, path) -> None:
+    if path:
+        from repro.bench.export import write_measurements
+        write_measurements(rows, path)
+        print(f"wrote {path}")
+
+
+
+def _run_demo(_args: argparse.Namespace) -> int:
+    # Local import: keeps CLI startup fast for the other commands.
+    from repro import MessageBus, SgxPlatform
+    from repro.core import (Client, Publisher, Router,
+                            ScbrEnclaveLibrary, ServiceProvider)
+    from repro.crypto.rsa import generate_keypair
+    from repro.sgx import AttestationService, EnclaveBuilder
+
+    bus = MessageBus()
+    platform = SgxPlatform()
+    service = AttestationService()
+    service.register_platform(platform)
+    vendor = generate_keypair(bits=1024)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor)
+    provider = ServiceProvider(bus, rsa_bits=1024,
+                               attestation_service=service,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+    alice = Client(bus, "alice", provider.keys.public_key)
+    alice.process_admission(provider.admit_client("alice"))
+    alice.subscribe("provider", {"symbol": "HAL", "price": ("<", 50.0)})
+    provider.pump("router")
+    router.pump()
+    publisher.publish("router", {"symbol": "HAL", "price": 48.5},
+                      b"HAL below 50")
+    router.pump()
+    alice.pump()
+    print(f"alice received: {alice.received}")
+    print(f"simulated platform time: {platform.simulated_us():.1f} us")
+    return 0
+
+
+def _run_table1(_args: argparse.Namespace) -> int:
+    from repro.workloads.datasets import (build_dataset,
+                                          dataset_statistics)
+    from repro.workloads.spec import WORKLOADS, workload_names
+    rows = []
+    for name in workload_names():
+        dataset = build_dataset(name, 1500, 10)
+        stats = dataset_statistics(dataset)
+        spec = WORKLOADS[name]
+        rows.append([name,
+                     " ".join(f"{int(100 * p)}%:{k}eq" for k, p in
+                              sorted(spec.equality_mix.items())),
+                     f"{stats['min_pub_attributes']}-"
+                     f"{stats['max_pub_attributes']}",
+                     spec.distribution,
+                     stats["distinct_subscriptions"]])
+    print(format_table(
+        ["workload", "equality mix", "pub attrs", "distribution",
+         "distinct"], rows, title="Table 1 workload recipes"))
+    return 0
+
+
+def _run_fig5(args: argparse.Namespace) -> int:
+    rows = run_fig5(sizes=args.sizes, n_publications=args.publications)
+    _maybe_export(rows, args.csv)
+    by_size = {}
+    for m in rows:
+        by_size.setdefault(m.n_subscriptions, {})[m.configuration] = m
+    table = []
+    for size in sorted(by_size):
+        cfgs = by_size[size]
+        table.append([size] + [round(cfgs[c].mean_us, 1) for c in
+                               ("in-aes", "in-plain", "out-aes",
+                                "out-plain")]
+                     + [f"{cfgs['out-aes'].llc_miss_rate * 100:.0f}%"])
+    print(format_table(["subs", "in-aes", "in-plain", "out-aes",
+                        "out-plain", "miss"], table,
+                       title="Figure 5 (simulated us/match)"))
+    return 0
+
+
+def _run_fig6(args: argparse.Namespace) -> int:
+    rows = run_fig6(sizes=args.sizes, n_publications=args.publications)
+    _maybe_export(rows, args.csv)
+    series = {}
+    for m in rows:
+        series.setdefault(m.workload, {})[m.n_subscriptions] = m.mean_us
+    sizes = sorted({m.n_subscriptions for m in rows})
+    table = [[name] + [round(series[name][s], 1) for s in sizes]
+             for name in series]
+    print(format_table(["workload"] + [str(s) for s in sizes], table,
+                       title="Figure 6 (simulated us/match)"))
+    print()
+    print(format_series_chart(series, title="Figure 6 (log-log)"))
+    return 0
+
+
+def _run_fig7(args: argparse.Namespace) -> int:
+    rows = run_fig7(sizes=args.sizes, n_publications=args.publications)
+    _maybe_export(rows, args.csv)
+    data = {}
+    for m in rows:
+        data.setdefault(m.workload, {}).setdefault(
+            m.configuration, {})[m.n_subscriptions] = m
+    for name, series in data.items():
+        sizes = sorted(series["out-aes"])
+        table = [[s, round(series["out-aspe"][s].mean_us, 1),
+                  round(series["in-aes"][s].mean_us, 1),
+                  round(series["out-aes"][s].mean_us, 1)]
+                 for s in sizes]
+        print(format_table(["subs", "out-aspe", "in-aes", "out-aes"],
+                           table, title=f"Figure 7 — {name}"))
+        print()
+    return 0
+
+
+def _run_fig8(args: argparse.Namespace) -> int:
+    points = run_fig8(n_subscriptions=args.subs)
+    table = [[round(p.db_bytes / 2 ** 20, 2),
+              round(p.time_ratio_in_out, 1),
+              round(p.fault_ratio_in_out, 1)] for p in points]
+    print(format_table(["DB MiB", "time in/out", "faults in/out"],
+                       table, title="Figure 8 ratios"))
+    return 0
+
+
+def _run_ablations(args: argparse.Namespace) -> int:
+    rows = run_containment_ablation(sizes=args.sizes)
+    print(format_table(
+        ["subs", "poset us", "naive us"],
+        [[s, round(p, 1), round(n, 1)] for s, p, n in rows],
+        title="Containment ablation"))
+    print()
+    rows = run_prefilter_ablation(sizes=args.sizes)
+    print(format_table(
+        ["subs", "aspe us", "aspe+bloom us"],
+        [[s, round(p, 1), round(b, 1)] for s, p, b in rows],
+        title="ASPE Bloom pre-filter ablation"))
+    return 0
+
+
+def _run_workloads(_args: argparse.Namespace) -> int:
+    from repro.matching.poset import ContainmentForest
+    from repro.matching.stats import forest_stats
+    from repro.workloads.datasets import build_dataset
+    from repro.workloads.spec import workload_names
+    rows = []
+    for name in workload_names():
+        dataset = build_dataset(name, 2000, 5)
+        forest = ContainmentForest()
+        for index, subscription in enumerate(dataset.subscriptions):
+            forest.insert(subscription, index)
+        stats = forest_stats(forest)
+        rows.append([name, stats.n_roots,
+                     f"{stats.max_depth}/{stats.mean_depth:.2f}",
+                     f"{stats.containment_ratio:.3f}",
+                     stats.index_bytes // 1024])
+    print(format_table(
+        ["workload", "roots", "depth max/mean", "containment",
+         "index KiB"], rows,
+        title="Index shapes at 2000 subscriptions"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCBR reproduction — regenerate the paper's "
+                    "tables and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart pub/sub flow") \
+        .set_defaults(func=_run_demo)
+    sub.add_parser("table1", help="Table 1 workload recipes") \
+        .set_defaults(func=_run_table1)
+
+    p5 = sub.add_parser("fig5", help="encryption + enclave overhead")
+    _sizes_argument(p5)
+    _publications_argument(p5, 25)
+    _csv_argument(p5)
+    p5.set_defaults(func=_run_fig5)
+
+    p6 = sub.add_parser("fig6", help="workload comparison (plaintext)")
+    _sizes_argument(p6)
+    _publications_argument(p6, 20)
+    _csv_argument(p6)
+    p6.set_defaults(func=_run_fig6)
+
+    p7 = sub.add_parser("fig7", help="SCBR vs ASPE")
+    _sizes_argument(p7)
+    _publications_argument(p7, 12)
+    _csv_argument(p7)
+    p7.set_defaults(func=_run_fig7)
+
+    p8 = sub.add_parser("fig8", help="EPC paging cliff")
+    p8.add_argument("--subs", type=int, default=None,
+                    help="subscriptions to register")
+    p8.set_defaults(func=_run_fig8)
+
+    pa = sub.add_parser("ablations", help="design-choice ablations")
+    _sizes_argument(pa)
+    pa.set_defaults(func=_run_ablations)
+
+    sub.add_parser("workloads", help="index shapes per workload") \
+        .set_defaults(func=_run_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""SCBR: the paper's contribution — secure CBR through an SGX enclave.
+
+Roles (provider, publisher, client, router), the Fig. 4 protocol, wire
+formats, key management, and the enclave-resident routing engine.
+"""
+
+from repro.core.cluster import (ClusterMatchResult, MatcherCluster,
+                                MatcherSlice)
+from repro.core.engine import PROVISION_AAD, ScbrEnclaveLibrary
+from repro.core.keys import GroupKeyManager, ProviderKeyChain
+from repro.core.messages import (SecureChannel, decode_header,
+                                 decode_public_key, decode_subscription,
+                                 encode_header, encode_public_key,
+                                 encode_subscription, from_wire,
+                                 hybrid_decrypt, hybrid_encrypt, to_wire)
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import Router
+from repro.core.subscriber import Client
+
+__all__ = [
+    "MatcherCluster", "MatcherSlice", "ClusterMatchResult",
+    "ScbrEnclaveLibrary", "PROVISION_AAD",
+    "GroupKeyManager", "ProviderKeyChain",
+    "SecureChannel", "encode_header", "decode_header",
+    "encode_subscription", "decode_subscription",
+    "encode_public_key", "decode_public_key",
+    "hybrid_encrypt", "hybrid_decrypt", "to_wire", "from_wire",
+    "ServiceProvider", "Publisher", "Router", "Client",
+]

@@ -1,0 +1,156 @@
+"""Horizontal scale-out: a StreamHub-style matcher cluster (paper §3.4).
+
+The paper argues against broker overlays and advocates StreamHub's
+architecture — specialise the components and parallelise the matching
+stage — noting that "the current publisher-matcher key management
+scheme could be simply replicated". This module implements exactly
+that: ``MatcherCluster`` slices the subscription database across N
+routing enclaves (each on its own simulated platform, each provisioned
+with SK through its own attestation), fans every publication out to all
+slices and unions the matches.
+
+Because slices run on independent machines, the cluster's latency for
+one publication is the *maximum* of the slice latencies, and adding
+slices shrinks each slice's index — the scale-out escape hatch the
+paper's conclusion offers for both the EPC limit and matching latency.
+The ``ext_scaleout`` benchmark measures the resulting speedup curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.matching.events import Event
+from repro.matching.poset import ContainmentForest
+from repro.matching.subscriptions import Subscription
+from repro.sgx.cpu import PlatformSpec, SKYLAKE_I7_6700
+from repro.sgx.platform import SgxPlatform
+
+__all__ = ["MatcherSlice", "MatcherCluster", "ClusterMatchResult"]
+
+
+class MatcherSlice:
+    """One matcher replica: its own platform, enclave arena and index."""
+
+    def __init__(self, slice_id: int, spec: PlatformSpec) -> None:
+        self.slice_id = slice_id
+        self.platform = SgxPlatform(spec=spec)
+        self.arena = self.platform.memory.new_arena(
+            enclave=True, name=f"slice-{slice_id}")
+        self.forest = ContainmentForest(arena=self.arena,
+                                        trace_inserts=False)
+
+    def register(self, subscription: Subscription,
+                 subscriber: object) -> None:
+        self.forest.insert(subscription, subscriber)
+
+    def warm(self) -> None:
+        """Prefault the slice's index pages (post-registration state)."""
+        self.platform.memory.prefault(self.arena.base,
+                                      self.arena.allocated_bytes,
+                                      enclave=True)
+
+    def match(self, event: Event) -> Tuple[Set[object], float]:
+        """Match one event; returns (subscribers, simulated µs)."""
+        memory = self.platform.memory
+        costs = self.platform.spec.costs
+        start = memory.cycles
+        memory.charge(costs.eenter_cycles)
+        matched, visited, evaluated = self.forest.match_traced(event)
+        memory.charge(visited * costs.node_visit_cycles
+                      + evaluated * costs.predicate_eval_cycles
+                      + costs.eexit_cycles)
+        return matched, self.platform.spec.cycles_to_us(
+            memory.cycles - start)
+
+
+class ClusterMatchResult:
+    """Union of slice matches plus the parallel-latency accounting."""
+
+    __slots__ = ("subscribers", "latency_us", "slice_latencies_us")
+
+    def __init__(self, subscribers: Set[object],
+                 slice_latencies_us: List[float]) -> None:
+        self.subscribers = subscribers
+        self.slice_latencies_us = slice_latencies_us
+        #: Slices match in parallel on separate machines: the
+        #: publication is fully routed when the slowest slice finishes.
+        self.latency_us = max(slice_latencies_us) \
+            if slice_latencies_us else 0.0
+
+
+class MatcherCluster:
+    """N matcher slices behind one logical router.
+
+    ``assignment`` chooses how subscriptions spread across slices:
+
+    * ``"round-robin"`` (default) — balanced sizes, StreamHub style;
+    * ``"symbol-hash"`` — subscriptions pinning a ``symbol`` equality
+      are routed by its hash (keeps same-symbol subscriptions together,
+      preserving containment density within a slice); subscriptions
+      without one fall back to round-robin.
+    """
+
+    ASSIGNMENTS = ("round-robin", "symbol-hash")
+
+    def __init__(self, n_slices: int,
+                 spec: PlatformSpec = SKYLAKE_I7_6700,
+                 assignment: str = "round-robin",
+                 symbol_attribute: str = "symbol") -> None:
+        if n_slices < 1:
+            raise RoutingError("cluster needs at least one slice")
+        if assignment not in self.ASSIGNMENTS:
+            raise RoutingError(f"unknown assignment {assignment!r}")
+        self.slices = [MatcherSlice(i, spec) for i in range(n_slices)]
+        self.assignment = assignment
+        self.symbol_attribute = symbol_attribute
+        self._next = 0
+        self.n_subscriptions = 0
+
+    # -- registration ------------------------------------------------------
+
+    def _slice_for(self, subscription: Subscription) -> MatcherSlice:
+        if self.assignment == "symbol-hash":
+            for attribute, constraint in subscription.items:
+                if attribute == self.symbol_attribute \
+                        and constraint.is_string \
+                        and constraint.equals is not None:
+                    import zlib
+                    digest = zlib.crc32(constraint.equals.encode())
+                    return self.slices[digest % len(self.slices)]
+        chosen = self.slices[self._next % len(self.slices)]
+        self._next += 1
+        return chosen
+
+    def register(self, subscription: Subscription,
+                 subscriber: object) -> int:
+        """Register into the owning slice; returns the slice id."""
+        chosen = self._slice_for(subscription)
+        chosen.register(subscription, subscriber)
+        self.n_subscriptions += 1
+        return chosen.slice_id
+
+    def warm(self) -> None:
+        for matcher_slice in self.slices:
+            matcher_slice.warm()
+
+    # -- matching -------------------------------------------------------------
+
+    def match(self, event: Event) -> ClusterMatchResult:
+        """Fan the publication out to every slice; union the matches."""
+        subscribers: Set[object] = set()
+        latencies: List[float] = []
+        for matcher_slice in self.slices:
+            matched, elapsed = matcher_slice.match(event)
+            subscribers |= matched
+            latencies.append(elapsed)
+        return ClusterMatchResult(subscribers, latencies)
+
+    # -- introspection -----------------------------------------------------------
+
+    def slice_sizes(self) -> List[int]:
+        return [s.forest.n_subscriptions for s in self.slices]
+
+    def slice_index_bytes(self) -> List[int]:
+        return [s.forest.index_bytes for s in self.slices]

@@ -1,0 +1,262 @@
+"""The SCBR routing engine: the trusted code loaded into the enclave.
+
+This is the paper's core artefact — "a CBR engine in a secure enclave".
+The library holds the containment index in protected memory, receives
+SK through the attestation-based provisioning protocol, and exposes the
+registration/matching entry points the untrusted router calls:
+
+* :meth:`attestation_report` — step 0: bind an ephemeral key pair
+  generated *inside* the enclave to an attestation report;
+* :meth:`provision` — receive SK and the provider's public key over
+  the attested channel (only this enclave can decrypt them);
+* :meth:`register_subscription` — Fig. 4 step 3: verify the provider's
+  signature, decrypt {s}_SK, insert into the poset;
+* :meth:`match_publication` — step 5: decrypt the header of {m}_SK
+  inside the enclave, match, return the subscriber list (the payload
+  never enters the enclave);
+* :meth:`seal_state` / :meth:`restore_state` — persist the engine
+  across restarts without a fresh remote attestation, with monotonic-
+  counter rollback protection (paper §2, last paragraph).
+
+Every cryptographic and index operation charges the platform cost
+model, so running the *same library* in an enclave or in a plain
+process (see :class:`repro.matching.MatchingEngine`) reproduces the
+paper's in/out comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+from repro.core.messages import (SecureChannel, decode_header,
+                                 decode_public_key, decode_subscription,
+                                 encode_public_key, encode_subscription,
+                                 hybrid_decrypt)
+from repro.crypto.encoding import pack_fields, unpack_fields
+from repro.crypto.rsa import RsaPublicKey, _generate_keypair_unchecked
+from repro.errors import EnclaveError, RoutingError
+from repro.matching.poset import ContainmentForest
+from repro.sgx.platform import KeyPolicy
+from repro.sgx.sdk import EnclaveLibrary, ecall
+from repro.sgx.sealing import SealedBlob, seal, unseal
+
+__all__ = ["ScbrEnclaveLibrary", "PROVISION_AAD"]
+
+PROVISION_AAD = b"scbr-provision-v1"
+
+
+class ScbrEnclaveLibrary(EnclaveLibrary):
+    """Trusted routing engine (the enclave 'shared library')."""
+
+    def __init__(self, runtime, rsa_bits: int = 768) -> None:
+        super().__init__(runtime)
+        self._forest = ContainmentForest(arena=runtime.arena)
+        # Ephemeral key pair generated inside the enclave; its hash is
+        # bound into the attestation report so the provider knows the
+        # matching private key lives behind the measurement it checked.
+        self._ephemeral = _generate_keypair_unchecked(rsa_bits, 65537)
+        self._sk_channel: Optional[SecureChannel] = None
+        self._provider_pk: Optional[RsaPublicKey] = None
+        self._sk: Optional[bytes] = None
+        # Created lazily at first seal; a restarted instance adopts the
+        # counter id stored (in plaintext) beside the sealed blob, as
+        # real SGX applications do.
+        self._counter_id: Optional[bytes] = None
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _charge_aes(self, n_bytes: int) -> None:
+        """Charge AES-CTR work over ``n_bytes`` (SDK crypto cost)."""
+        costs = self.runtime.costs
+        blocks = (n_bytes + 15) // 16
+        self.runtime.memory.charge(costs.aes_setup_cycles
+                                   + blocks * costs.aes_block_cycles)
+
+    def _require_provisioned(self) -> SecureChannel:
+        if self._sk_channel is None:
+            raise EnclaveError("engine not provisioned with SK yet")
+        return self._sk_channel
+
+    # -- provisioning -------------------------------------------------------------
+
+    @ecall
+    def attestation_report(self, target_mr_enclave: bytes):
+        """Report binding the in-enclave ephemeral public key.
+
+        Returns ``(report, public_key_blob)``; the report's
+        ``report_data`` is the SHA-256 of the key blob, so a verifier
+        of the quote also authenticates the key.
+        """
+        blob = encode_public_key(self._ephemeral.public_key)
+        report = self.runtime.ereport(target_mr_enclave,
+                                      hashlib.sha256(blob).digest())
+        return report, blob
+
+    @ecall
+    def provision(self, secrets_blob: bytes) -> bool:
+        """Install SK and the provider identity (attested channel).
+
+        ``secrets_blob`` is hybrid-encrypted under the ephemeral key
+        whose hash was attested; only this enclave instance can open it.
+        """
+        plaintext, aad = hybrid_decrypt(self._ephemeral, secrets_blob)
+        if aad != PROVISION_AAD:
+            raise RoutingError("unexpected provisioning context")
+        fields = unpack_fields(plaintext)
+        if len(fields) != 2:
+            raise RoutingError("malformed provisioning payload")
+        sk, provider_pk_blob = fields
+        self._sk = sk
+        self._sk_channel = SecureChannel(sk)
+        self._provider_pk = decode_public_key(provider_pk_blob)
+        return True
+
+    # -- registration (Fig. 4, step 3) -----------------------------------------------
+
+    @ecall
+    def register_subscription(self, envelope: bytes,
+                              signature: bytes) -> str:
+        """Validate, decrypt and index one {s}_SK subscription.
+
+        The envelope's authenticated associated data carries the client
+        identity in the clear (the paper: "subscriptions also embed
+        information about the clients that is visible to the code
+        running outside the enclave"), so the untrusted router can
+        route deliveries; the constraints themselves stay sealed.
+        """
+        channel = self._require_provisioned()
+        if self._provider_pk is None:
+            raise EnclaveError("provider key missing")
+        self._provider_pk.verify(envelope, signature)
+        plaintext, aad = channel.open(envelope)
+        self._charge_aes(len(envelope))
+        subscription = decode_subscription(plaintext)
+        client_id = aad.decode("utf-8")
+        if not client_id:
+            raise RoutingError("subscription without client identity")
+        costs = self.runtime.costs
+        self.runtime.memory.charge(
+            costs.node_visit_cycles
+            + costs.predicate_eval_cycles * subscription.n_constraints)
+        self._forest.insert(subscription, client_id)
+        return client_id
+
+    @ecall
+    def unregister_subscription(self, envelope: bytes,
+                                signature: bytes) -> bool:
+        """Withdraw a previously registered subscription."""
+        channel = self._require_provisioned()
+        self._provider_pk.verify(envelope, signature)
+        plaintext, aad = channel.open(envelope)
+        subscription = decode_subscription(plaintext)
+        return self._forest.remove_subscriber(subscription,
+                                              aad.decode("utf-8"))
+
+    # -- matching (Fig. 4, step 5) ------------------------------------------------------
+
+    @ecall
+    def match_publication(self, header_envelope: bytes) -> List[str]:
+        """Decrypt a publication header and match it in the enclave."""
+        channel = self._require_provisioned()
+        plaintext, _aad = channel.open(header_envelope)
+        self._charge_aes(len(header_envelope))
+        event = decode_header(plaintext)
+        matched, visited, evaluated = self._forest.match_traced(event)
+        costs = self.runtime.costs
+        self.runtime.memory.charge(
+            visited * costs.node_visit_cycles
+            + evaluated * costs.predicate_eval_cycles)
+        return sorted(str(client) for client in matched)
+
+    @ecall
+    def match_publications(self, header_envelopes: List[bytes]
+                           ) -> List[List[str]]:
+        """Batched matching: one enclave transition for many headers.
+
+        Implements the paper's §6 proposal of "using message batching"
+        to reduce the frequency of enclave enters/exits; the
+        ``ext_batching`` benchmark quantifies the amortisation. Returns
+        one subscriber list per header, in order.
+        """
+        channel = self._require_provisioned()
+        costs = self.runtime.costs
+        results: List[List[str]] = []
+        for envelope in header_envelopes:
+            plaintext, _aad = channel.open(envelope)
+            self._charge_aes(len(envelope))
+            event = decode_header(plaintext)
+            matched, visited, evaluated = \
+                self._forest.match_traced(event)
+            self.runtime.memory.charge(
+                visited * costs.node_visit_cycles
+                + evaluated * costs.predicate_eval_cycles)
+            results.append(sorted(str(c) for c in matched))
+        return results
+
+    # -- persistence -----------------------------------------------------------------
+
+    @ecall
+    def seal_state(self,
+                   policy: str = KeyPolicy.MRENCLAVE
+                   ) -> Tuple[bytes, bytes]:
+        """Seal SK + the registered subscriptions for restart.
+
+        Returns ``(sealed_bytes, counter_id)``; the counter id is not
+        secret and is stored beside the blob so a restarted enclave can
+        check freshness.
+
+        ``policy`` selects the seal-key binding: the default
+        ``MRENCLAVE`` restricts restore to byte-identical code, while
+        ``MRSIGNER`` lets a *newer version from the same vendor* pick
+        the state up — the standard SGX enclave-upgrade path.
+        """
+        self._require_provisioned()
+        if self._counter_id is None:
+            self._counter_id = self.runtime.create_monotonic_counter()
+        entries: List[bytes] = []
+        for node in self._forest.iter_nodes():
+            blob = encode_subscription(node.subscription)
+            for client in sorted(str(c) for c in node.subscribers):
+                entries.append(pack_fields([blob, client.encode()]))
+        payload = pack_fields([
+            self._sk,
+            encode_public_key(self._provider_pk),
+            pack_fields(entries),
+        ])
+        sealed = seal(self.runtime, payload, policy=policy,
+                      counter_id=self._counter_id)
+        return sealed.to_bytes(), self._counter_id
+
+    @ecall
+    def restore_state(self, sealed_bytes: bytes,
+                      counter_id: bytes) -> int:
+        """Rebuild the engine from sealed state; returns #subscriptions.
+
+        Raises :class:`repro.errors.RollbackError` when handed a stale
+        blob (monotonic counter mismatch).
+        """
+        blob = SealedBlob.from_bytes(sealed_bytes)
+        payload = unseal(self.runtime, blob, counter_id=counter_id)
+        self._counter_id = counter_id
+        fields = unpack_fields(payload)
+        if len(fields) != 3:
+            raise RoutingError("malformed sealed state")
+        sk, provider_pk_blob, entries_blob = fields
+        self._sk = sk
+        self._sk_channel = SecureChannel(sk)
+        self._provider_pk = decode_public_key(provider_pk_blob)
+        self._forest = ContainmentForest(arena=self.runtime.arena)
+        for entry in unpack_fields(entries_blob):
+            sub_blob, client = unpack_fields(entry)
+            self._forest.insert(decode_subscription(sub_blob),
+                                client.decode("utf-8"))
+        return self._forest.n_subscriptions
+
+    # -- introspection ------------------------------------------------------------------
+
+    @ecall
+    def engine_stats(self) -> Tuple[int, int, int]:
+        """(subscriptions, index nodes, modelled index bytes)."""
+        return (self._forest.n_subscriptions, self._forest.n_nodes,
+                self._forest.index_bytes)

@@ -1,0 +1,140 @@
+"""Key material and group-key management for the SCBR roles.
+
+Three kinds of keys exist in the system (paper §3.2-§3.4):
+
+* the provider's RSA pair **PK/PK⁻¹** — clients encrypt subscription
+  requests under PK;
+* the symmetric key **SK**, shared between the publishers and the code
+  inside the routing enclave (provisioned via remote attestation) and
+  *never* visible to clients or the infrastructure;
+* the **group key** protecting publication payloads, shared between the
+  publisher and the *current* set of admitted clients; rotating it on
+  membership change locks revoked clients out of new publications.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.messages import SecureChannel
+from repro.crypto.hkdf import hkdf
+from repro.crypto.rsa import RsaPrivateKey, _generate_keypair_unchecked
+from repro.errors import AdmissionError, CryptoError
+
+__all__ = ["ProviderKeyChain", "GroupKeyManager"]
+
+
+class ProviderKeyChain:
+    """The service provider's long-term secrets.
+
+    ``rsa_bits`` is configurable because pure-Python keygen is slow;
+    tests use small keys, examples 1024+.
+    """
+
+    def __init__(self, rsa_bits: int = 1024) -> None:
+        self.rsa: RsaPrivateKey = _generate_keypair_unchecked(rsa_bits,
+                                                              65537)
+        #: SK — shared with enclave code only (via attestation).
+        self.sk: bytes = secrets.token_bytes(16)
+
+    @property
+    def public_key(self):
+        return self.rsa.public_key
+
+    def channel(self) -> SecureChannel:
+        """The symmetric envelope under SK (publisher/enclave side)."""
+        return SecureChannel(self.sk)
+
+
+@dataclass(frozen=True)
+class _Epoch:
+    number: int
+    key: bytes
+
+
+class GroupKeyManager:
+    """Epoch-based payload group keys with member-targeted delivery.
+
+    Each admitted client shares a per-client secret with the provider
+    (established at admission). Group keys are derived per epoch and
+    delivered wrapped under each member's secret; rotation bumps the
+    epoch, and only *current* members receive the new key — the
+    paper's mechanism for excluding clients that "have cancelled their
+    membership ... from accessing newly published messages" (§3.4).
+    """
+
+    def __init__(self, master: Optional[bytes] = None) -> None:
+        self._master = master if master is not None \
+            else secrets.token_bytes(32)
+        self._epoch = 1
+        self._members: Dict[str, bytes] = {}  # client id -> secret
+
+    # -- membership -----------------------------------------------------------
+
+    def add_member(self, client_id: str) -> bytes:
+        """Admit a client; returns the per-client secret to hand it."""
+        if client_id in self._members:
+            return self._members[client_id]
+        secret = secrets.token_bytes(16)
+        self._members[client_id] = secret
+        return secret
+
+    def remove_member(self, client_id: str) -> None:
+        """Expel a client and rotate so it cannot read new payloads."""
+        if client_id not in self._members:
+            raise AdmissionError(f"unknown group member {client_id!r}")
+        del self._members[client_id]
+        self.rotate()
+
+    def is_member(self, client_id: str) -> bool:
+        return client_id in self._members
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return tuple(self._members)
+
+    # -- epochs ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def rotate(self) -> int:
+        """Advance to a fresh epoch key."""
+        self._epoch += 1
+        return self._epoch
+
+    def key_for_epoch(self, epoch: int) -> bytes:
+        """Derive the 16-byte group key of ``epoch``."""
+        if epoch < 1 or epoch > self._epoch:
+            raise CryptoError(f"epoch {epoch} never existed")
+        return hkdf(self._master, info=b"group-epoch-%d" % epoch,
+                    length=16)
+
+    def current_key(self) -> bytes:
+        return self.key_for_epoch(self._epoch)
+
+    # -- delivery -----------------------------------------------------------------
+
+    def wrap_current_key_for(self, client_id: str) -> bytes:
+        """Group key of the current epoch, wrapped for one member."""
+        secret = self._members.get(client_id)
+        if secret is None:
+            raise AdmissionError(
+                f"client {client_id!r} is not a group member")
+        payload = self._epoch.to_bytes(8, "big") + self.current_key()
+        return SecureChannel(secret).protect(payload,
+                                             aad=client_id.encode())
+
+    @staticmethod
+    def unwrap_key(secret: bytes, blob: bytes,
+                   client_id: str) -> Tuple[int, bytes]:
+        """Client-side: recover ``(epoch, key)`` from a wrapped blob."""
+        plaintext, aad = SecureChannel(secret).open(blob)
+        if aad != client_id.encode():
+            raise CryptoError("group key wrapped for a different client")
+        if len(plaintext) != 24:
+            raise CryptoError("malformed group key payload")
+        return int.from_bytes(plaintext[:8], "big"), plaintext[8:]

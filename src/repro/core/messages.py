@@ -1,0 +1,264 @@
+"""Wire formats: headers, subscriptions, authenticated envelopes.
+
+Everything that crosses a trust boundary in SCBR is serialised here:
+
+* publication headers (attribute/value maps) and subscriptions
+  (normalised constraints) get canonical binary encodings;
+* the :class:`SecureChannel` implements the paper's symmetric path —
+  AES-CTR with an encrypt-then-MAC envelope under keys derived from SK
+  (the Intel SDK's crypto equivalent);
+* :func:`hybrid_encrypt`/:func:`hybrid_decrypt` implement the
+  client-to-provider path: RSA-OAEP for a fresh content key plus the
+  symmetric envelope for the body (subscriptions can exceed what a
+  single RSA block carries);
+* Base64 text framing (§3.5) wraps every message put on the bus.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.crypto.cmac import cmac, cmac_verify
+from repro.crypto.ctr import AesCtr
+from repro.crypto.encoding import (b64decode, b64encode, pack_fields,
+                                   unpack_fields)
+from repro.crypto.hkdf import hkdf
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import CryptoError, NetworkError, RoutingError
+from repro.matching.events import Event
+from repro.matching.predicates import Constraint, Op, Predicate
+from repro.matching.subscriptions import Subscription
+
+__all__ = [
+    "encode_header", "decode_header",
+    "encode_subscription", "decode_subscription",
+    "SecureChannel", "hybrid_encrypt", "hybrid_decrypt",
+    "encode_public_key", "decode_public_key",
+    "to_wire", "from_wire",
+]
+
+_NONCE = 16
+
+
+# -- attribute values ---------------------------------------------------------
+
+def _encode_value(value) -> bytes:
+    if isinstance(value, bool):
+        raise RoutingError("boolean attribute values are unsupported")
+    if isinstance(value, int):
+        return b"i" + value.to_bytes(8, "big", signed=True)
+    if isinstance(value, float):
+        return b"f" + struct.pack(">d", value)
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    raise RoutingError(f"unsupported value type {type(value).__name__}")
+
+
+def _decode_value(blob: bytes):
+    if not blob:
+        raise RoutingError("empty value field")
+    tag, body = blob[:1], blob[1:]
+    if tag == b"i":
+        return int.from_bytes(body, "big", signed=True)
+    if tag == b"f":
+        return struct.unpack(">d", body)[0]
+    if tag == b"s":
+        return body.decode("utf-8")
+    raise RoutingError(f"unknown value tag {tag!r}")
+
+
+# -- publication headers ---------------------------------------------------------
+
+def encode_header(event: Event) -> bytes:
+    """Canonical binary encoding of a publication header."""
+    fields: List[bytes] = []
+    for name, value in event.canonical():
+        fields.append(name.encode("utf-8"))
+        fields.append(_encode_value(value))
+    return pack_fields(fields)
+
+
+def decode_header(blob: bytes, event_id: int = 0) -> Event:
+    """Invert :func:`encode_header`."""
+    fields = unpack_fields(blob)
+    if len(fields) % 2:
+        raise RoutingError("odd field count in header")
+    header: Dict[str, object] = {}
+    for i in range(0, len(fields), 2):
+        header[fields[i].decode("utf-8")] = _decode_value(fields[i + 1])
+    return Event(header, event_id=event_id)
+
+
+# -- subscriptions -----------------------------------------------------------------
+
+_FLAG_STRING = 1
+_FLAG_LO_OPEN = 2
+_FLAG_HI_OPEN = 4
+_FLAG_HAS_EQUALS = 8
+
+
+def _encode_constraint(attribute: str, constraint: Constraint) -> bytes:
+    flags = 0
+    if constraint.is_string:
+        flags |= _FLAG_STRING
+    if constraint.lo_open:
+        flags |= _FLAG_LO_OPEN
+    if constraint.hi_open:
+        flags |= _FLAG_HI_OPEN
+    if constraint.equals is not None:
+        flags |= _FLAG_HAS_EQUALS
+    fields = [
+        attribute.encode("utf-8"),
+        bytes([flags]),
+        struct.pack(">d", constraint.lo),
+        struct.pack(">d", constraint.hi),
+        (constraint.equals or "").encode("utf-8"),
+        pack_fields([_encode_value(v)
+                     for v in sorted(constraint.excluded, key=repr)]),
+    ]
+    return pack_fields(fields)
+
+
+def encode_subscription(subscription: Subscription) -> bytes:
+    """Canonical binary encoding of a normalised subscription."""
+    return pack_fields([_encode_constraint(attribute, constraint)
+                        for attribute, constraint in subscription.items])
+
+
+def decode_subscription(blob: bytes) -> Subscription:
+    """Invert :func:`encode_subscription`.
+
+    The subscription is rebuilt through predicates, so the decoded
+    object re-normalises to exactly the encoded constraints.
+    """
+    predicates: List[Predicate] = []
+    for constraint_blob in unpack_fields(blob):
+        fields = unpack_fields(constraint_blob)
+        if len(fields) != 6:
+            raise RoutingError("malformed constraint block")
+        attribute = fields[0].decode("utf-8")
+        flags = fields[1][0]
+        lo = struct.unpack(">d", fields[2])[0]
+        hi = struct.unpack(">d", fields[3])[0]
+        equals = fields[4].decode("utf-8")
+        excluded = [_decode_value(v) for v in unpack_fields(fields[5])]
+        if flags & _FLAG_STRING:
+            if flags & _FLAG_HAS_EQUALS:
+                predicates.append(Predicate(attribute, Op.EQ, equals))
+            elif not excluded:
+                # String-typed constraint with neither pin nor
+                # exclusions cannot be expressed; treat as exists.
+                predicates.append(Predicate(attribute, Op.EXISTS))
+        else:
+            if not math.isinf(lo):
+                predicates.append(Predicate(
+                    attribute, Op.GT if flags & _FLAG_LO_OPEN else Op.GE,
+                    lo))
+            if not math.isinf(hi):
+                predicates.append(Predicate(
+                    attribute, Op.LT if flags & _FLAG_HI_OPEN else Op.LE,
+                    hi))
+            if math.isinf(lo) and math.isinf(hi) and not excluded:
+                predicates.append(Predicate(attribute, Op.EXISTS))
+        for value in excluded:
+            predicates.append(Predicate(attribute, Op.NE, value))
+    return Subscription(predicates)
+
+
+# -- symmetric envelope --------------------------------------------------------------
+
+class SecureChannel:
+    """AES-CTR + CMAC envelope under keys derived from a master key.
+
+    The publisher <-> enclave channel of the paper: both ends hold SK;
+    encryption and MAC keys are derived with HKDF so the raw SK is
+    never used directly for either purpose.
+    """
+
+    def __init__(self, master_key: bytes) -> None:
+        if len(master_key) not in (16, 24, 32):
+            raise CryptoError("master key must be an AES key size")
+        self._ctr = AesCtr(hkdf(master_key, info=b"scbr-enc", length=16))
+        self._mac_key = hkdf(master_key, info=b"scbr-mac", length=16)
+
+    def protect(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt-then-MAC; ``aad`` is authenticated, not encrypted."""
+        nonce = secrets.token_bytes(_NONCE)
+        ciphertext = self._ctr.process(nonce, plaintext)
+        tag = cmac(self._mac_key, nonce + aad + ciphertext)
+        return pack_fields([nonce, ciphertext, tag, aad])
+
+    def open(self, blob: bytes) -> Tuple[bytes, bytes]:
+        """Verify and decrypt; returns ``(plaintext, aad)``."""
+        try:
+            fields = unpack_fields(blob)
+        except NetworkError as exc:
+            raise CryptoError(f"malformed secure envelope: {exc}")
+        if len(fields) != 4:
+            raise CryptoError("malformed secure envelope")
+        nonce, ciphertext, tag, aad = fields
+        cmac_verify(self._mac_key, nonce + aad + ciphertext, tag)
+        return self._ctr.process(nonce, ciphertext), aad
+
+
+# -- hybrid asymmetric envelope ---------------------------------------------------------
+
+def hybrid_encrypt(public_key: RsaPublicKey, plaintext: bytes,
+                   aad: bytes = b"") -> bytes:
+    """RSA-OAEP a fresh content key; protect the body symmetrically."""
+    content_key = secrets.token_bytes(16)
+    wrapped = public_key.encrypt(content_key, label=b"scbr-hybrid")
+    body = SecureChannel(content_key).protect(plaintext, aad)
+    return pack_fields([wrapped, body])
+
+
+def hybrid_decrypt(private_key: RsaPrivateKey,
+                   blob: bytes) -> Tuple[bytes, bytes]:
+    """Invert :func:`hybrid_encrypt`; returns ``(plaintext, aad)``."""
+    try:
+        fields = unpack_fields(blob)
+    except NetworkError as exc:
+        raise CryptoError(f"malformed hybrid envelope: {exc}")
+    if len(fields) != 2:
+        raise CryptoError("malformed hybrid envelope")
+    wrapped, body = fields
+    content_key = private_key.decrypt(wrapped, label=b"scbr-hybrid")
+    return SecureChannel(content_key).open(body)
+
+
+# -- keys on the wire -----------------------------------------------------------------
+
+def encode_public_key(public_key: RsaPublicKey) -> bytes:
+    n_bytes = public_key.n.to_bytes(
+        (public_key.n.bit_length() + 7) // 8, "big")
+    e_bytes = public_key.e.to_bytes(8, "big")
+    return pack_fields([n_bytes, e_bytes])
+
+
+def decode_public_key(blob: bytes) -> RsaPublicKey:
+    fields = unpack_fields(blob)
+    if len(fields) != 2:
+        raise CryptoError("malformed public key blob")
+    return RsaPublicKey(int.from_bytes(fields[0], "big"),
+                        int.from_bytes(fields[1], "big"))
+
+
+# -- Base64 text framing (paper §3.5) ---------------------------------------------------
+
+def to_wire(message_type: str, blob: bytes) -> bytes:
+    """Frame a binary message as ``type:base64`` text bytes."""
+    return f"{message_type}:{b64encode(blob)}".encode("ascii")
+
+
+def from_wire(frame: bytes) -> Tuple[str, bytes]:
+    """Invert :func:`to_wire`."""
+    try:
+        text = frame.decode("ascii")
+        message_type, encoded = text.split(":", 1)
+    except (UnicodeDecodeError, ValueError):
+        raise RoutingError("malformed wire frame")
+    return message_type, b64decode(encoded)

@@ -1,0 +1,155 @@
+"""The SCBR interaction protocol: message types of Fig. 4.
+
+Thin builders/parsers around the wire encodings of
+:mod:`repro.core.messages`, one pair per protocol step. Every message
+travels as a single Base64 text frame (``type:payload``), matching the
+paper's serialisation choice (§3.5).
+
+Steps (paper §3.3-§3.4):
+
+1. client -> provider: ``SUBREQ`` — {s}_PK (hybrid RSA), client id.
+2. provider -> router: ``REG`` — {s}_SK signed by the provider.
+3. (router -> enclave: ecall, not a bus message)
+4. publisher -> router: ``PUB`` — {header}_SK + {payload}_groupkey.
+5. (enclave match: ecall)
+6. router -> clients: ``DLV`` — encrypted payload, untouched.
+
+Plus management traffic: admission responses (``ADMIT``), group-key
+distribution (``GK``) and subscription invalidation (``UNREG``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.messages import from_wire, to_wire
+from repro.crypto.encoding import pack_fields, unpack_fields
+from repro.errors import RoutingError
+
+__all__ = [
+    "MSG_SUBSCRIPTION_REQUEST", "MSG_REGISTER", "MSG_UNREGISTER",
+    "MSG_PUBLISH", "MSG_DELIVER", "MSG_ADMIT", "MSG_GROUP_KEY",
+    "build_subscription_request", "parse_subscription_request",
+    "build_register", "parse_register",
+    "build_unregister", "parse_unregister",
+    "build_publish", "parse_publish",
+    "build_deliver", "parse_deliver",
+    "build_admit", "parse_admit",
+    "build_group_key", "parse_group_key",
+    "message_type",
+]
+
+MSG_SUBSCRIPTION_REQUEST = "SUBREQ"
+MSG_REGISTER = "REG"
+MSG_UNREGISTER = "UNREG"
+MSG_PUBLISH = "PUB"
+MSG_DELIVER = "DLV"
+MSG_ADMIT = "ADMIT"
+MSG_GROUP_KEY = "GK"
+
+
+def message_type(frame: bytes) -> str:
+    """Peek at a frame's message type."""
+    return from_wire(frame)[0]
+
+
+def _expect(frame: bytes, expected: str) -> bytes:
+    kind, blob = from_wire(frame)
+    if kind != expected:
+        raise RoutingError(f"expected {expected} frame, got {kind}")
+    return blob
+
+
+# -- step 1: client -> provider ------------------------------------------------
+
+def build_subscription_request(client_id: str,
+                               encrypted_subscription: bytes) -> bytes:
+    """``{s}_PK`` plus the requesting client's identity."""
+    blob = pack_fields([client_id.encode(), encrypted_subscription])
+    return to_wire(MSG_SUBSCRIPTION_REQUEST, blob)
+
+
+def parse_subscription_request(frame: bytes) -> Tuple[str, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_SUBSCRIPTION_REQUEST))
+    if len(fields) != 2:
+        raise RoutingError("malformed subscription request")
+    return fields[0].decode(), fields[1]
+
+
+# -- step 2: provider -> router ---------------------------------------------------
+
+def build_register(envelope: bytes, signature: bytes) -> bytes:
+    """``{s}_SK`` plus the provider's signature."""
+    return to_wire(MSG_REGISTER, pack_fields([envelope, signature]))
+
+
+def parse_register(frame: bytes) -> Tuple[bytes, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_REGISTER))
+    if len(fields) != 2:
+        raise RoutingError("malformed register message")
+    return fields[0], fields[1]
+
+
+def build_unregister(envelope: bytes, signature: bytes) -> bytes:
+    """Provider-initiated invalidation of a subscription."""
+    return to_wire(MSG_UNREGISTER, pack_fields([envelope, signature]))
+
+
+def parse_unregister(frame: bytes) -> Tuple[bytes, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_UNREGISTER))
+    if len(fields) != 2:
+        raise RoutingError("malformed unregister message")
+    return fields[0], fields[1]
+
+
+# -- step 4: publisher -> router -----------------------------------------------------
+
+def build_publish(header_envelope: bytes,
+                  payload_envelope: bytes) -> bytes:
+    """``{header}_SK`` + the group-key-encrypted payload (opaque)."""
+    return to_wire(MSG_PUBLISH,
+                   pack_fields([header_envelope, payload_envelope]))
+
+
+def parse_publish(frame: bytes) -> Tuple[bytes, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_PUBLISH))
+    if len(fields) != 2:
+        raise RoutingError("malformed publish message")
+    return fields[0], fields[1]
+
+
+# -- step 6: router -> client ---------------------------------------------------------
+
+def build_deliver(payload_envelope: bytes) -> bytes:
+    """Forwarded payload; the router never decrypts it."""
+    return to_wire(MSG_DELIVER, payload_envelope)
+
+
+def parse_deliver(frame: bytes) -> bytes:
+    return _expect(frame, MSG_DELIVER)
+
+
+# -- management: admission & group keys --------------------------------------------------
+
+def build_admit(client_id: str, client_secret: bytes,
+                wrapped_group_key: bytes) -> bytes:
+    """Admission response carrying the per-client secret."""
+    blob = pack_fields([client_id.encode(), client_secret,
+                        wrapped_group_key])
+    return to_wire(MSG_ADMIT, blob)
+
+
+def parse_admit(frame: bytes) -> Tuple[str, bytes, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_ADMIT))
+    if len(fields) != 3:
+        raise RoutingError("malformed admission message")
+    return fields[0].decode(), fields[1], fields[2]
+
+
+def build_group_key(wrapped_group_key: bytes) -> bytes:
+    """Group-key rotation notice for one member."""
+    return to_wire(MSG_GROUP_KEY, wrapped_group_key)
+
+
+def parse_group_key(frame: bytes) -> bytes:
+    return _expect(frame, MSG_GROUP_KEY)

@@ -1,0 +1,166 @@
+"""The service (data) provider: owner of the data and the keys.
+
+The provider (paper §3.2) produces the information flows, admits and
+revokes clients, and is the only party that talks to the routing
+enclave about secrets:
+
+* it **provisions SK** into the enclave after verifying a remote
+  attestation (quote checked against the expected MRENCLAVE and the
+  attestation service's signature);
+* it **admits clients** — registering them for payload group keys —
+  and re-encrypts their subscription requests under SK, signed, for
+  the router (Fig. 4 steps 1-2);
+* it **revokes clients**, rotating the group key and invalidating
+  their registered subscriptions at the router.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.keys import GroupKeyManager, ProviderKeyChain
+from repro.core.messages import (SecureChannel, encode_public_key,
+                                 encode_subscription, hybrid_decrypt,
+                                 hybrid_encrypt)
+from repro.core.protocol import (build_admit, build_group_key,
+                                 build_register, build_unregister,
+                                 parse_subscription_request)
+from repro.core.engine import PROVISION_AAD
+from repro.crypto.encoding import pack_fields
+from repro.errors import AdmissionError, AttestationError, RoutingError
+from repro.matching.subscriptions import Subscription
+from repro.core.messages import decode_subscription
+from repro.network.bus import Endpoint, MessageBus
+from repro.sgx.attestation import (AttestationService, QuotingEnclave,
+                                   verify_avr)
+
+__all__ = ["ServiceProvider"]
+
+
+class ServiceProvider:
+    """Admission control, key management and subscription signing."""
+
+    def __init__(self, bus: MessageBus, name: str = "provider",
+                 rsa_bits: int = 1024,
+                 attestation_service: Optional[AttestationService] = None,
+                 expected_mr_enclave: Optional[bytes] = None) -> None:
+        self.name = name
+        self.endpoint: Endpoint = bus.endpoint(name)
+        self.keys = ProviderKeyChain(rsa_bits)
+        self.group = GroupKeyManager()
+        self._attestation_service = attestation_service
+        self.expected_mr_enclave = expected_mr_enclave
+        self._clients: Dict[str, str] = {}  # id -> "active" | "revoked"
+        #: client id -> subscription envelopes we registered for it.
+        self._registered: Dict[str, List[Tuple[bytes, bytes]]] = {}
+
+    # -- attestation-based provisioning (to be run per router enclave) -----------
+
+    def provision_router(self, router) -> None:
+        """Attest the router's enclave and hand it SK (paper §3.3).
+
+        ``router`` is a :class:`repro.core.router.Router`; the exchange
+        uses direct calls (in production it is a TLS-like channel, but
+        the security argument rests on the quote, not the transport).
+        """
+        if self._attestation_service is None:
+            raise AttestationError(
+                "provider has no attestation service configured")
+        quoting = QuotingEnclave(router.platform)
+        report, pubkey_blob = router.attestation_report(
+            QuotingEnclave.MR_ENCLAVE)
+        quote = quoting.quote(report)
+        avr = self._attestation_service.verify_quote(quote)
+        verify_avr(avr,
+                   self._attestation_service.report_signing_public_key,
+                   expected_mr_enclave=self.expected_mr_enclave)
+        # The quote's report_data authenticates the enclave's ephemeral
+        # public key: check the binding before encrypting secrets to it.
+        if avr.quote.report_data != hashlib.sha256(pubkey_blob).digest():
+            raise AttestationError(
+                "attested key hash does not match the delivered key")
+        from repro.core.messages import decode_public_key
+        enclave_pk = decode_public_key(pubkey_blob)
+        secrets_payload = pack_fields([
+            self.keys.sk,
+            encode_public_key(self.keys.public_key),
+        ])
+        blob = hybrid_encrypt(enclave_pk, secrets_payload,
+                              aad=PROVISION_AAD)
+        router.provision(blob)
+
+    # -- admission ------------------------------------------------------------------
+
+    def admit_client(self, client_id: str) -> bytes:
+        """Admit a client; returns the ``ADMIT`` frame to send it."""
+        if self._clients.get(client_id) == "revoked":
+            raise AdmissionError(f"client {client_id!r} was revoked")
+        self._clients[client_id] = "active"
+        secret = self.group.add_member(client_id)
+        wrapped = self.group.wrap_current_key_for(client_id)
+        return build_admit(client_id, secret, wrapped)
+
+    def revoke_client(self, client_id: str) -> List[bytes]:
+        """Revoke a client (paper §3.1: exclude clients that stop
+        paying or misbehave).
+
+        Rotates the group key (locking the client out of new payloads),
+        notifies remaining members, and returns the ``UNREG`` frames the
+        router needs to drop the client's subscriptions.
+        """
+        if self._clients.get(client_id) != "active":
+            raise AdmissionError(f"client {client_id!r} is not active")
+        self._clients[client_id] = "revoked"
+        self.group.remove_member(client_id)  # rotates the epoch
+        for member in self.group.members:
+            self.endpoint.send(member, [build_group_key(
+                self.group.wrap_current_key_for(member))])
+        unregisters = []
+        for envelope, signature in self._registered.pop(client_id, []):
+            unregisters.append(build_unregister(envelope, signature))
+        return unregisters
+
+    def client_status(self, client_id: str) -> str:
+        return self._clients.get(client_id, "unknown")
+
+    # -- subscription handling (Fig. 4 steps 1-2) ---------------------------------------
+
+    def handle_subscription_request(self, frame: bytes) -> bytes:
+        """Decrypt {s}_PK, validate, re-encrypt under SK and sign.
+
+        Returns the ``REG`` frame for the router. Raises
+        :class:`AdmissionError` for unknown/revoked clients and
+        :class:`RoutingError` for malformed subscriptions.
+        """
+        client_id, encrypted = parse_subscription_request(frame)
+        if self._clients.get(client_id) != "active":
+            raise AdmissionError(
+                f"subscription from non-admitted client {client_id!r}")
+        plaintext, aad = hybrid_decrypt(self.keys.rsa, encrypted)
+        if aad != client_id.encode():
+            raise RoutingError(
+                "subscription request bound to a different client")
+        subscription = decode_subscription(plaintext)
+        if not subscription.is_satisfiable():
+            raise RoutingError("unsatisfiable subscription rejected")
+        envelope = self.keys.channel().protect(
+            encode_subscription(subscription), aad=client_id.encode())
+        signature = self.keys.rsa.sign(envelope)
+        self._registered.setdefault(client_id, []).append(
+            (envelope, signature))
+        return build_register(envelope, signature)
+
+    def pump(self, router_name: str) -> int:
+        """Process pending bus traffic; forwards REG frames to router.
+
+        Returns the number of requests handled.
+        """
+        handled = 0
+        for _sender, frames in self.endpoint.recv_all():
+            for frame in frames:
+                register_frame = self.handle_subscription_request(frame)
+                self.endpoint.send(router_name, [register_frame])
+                handled += 1
+        return handled

@@ -1,0 +1,57 @@
+"""Publishers: data sources inside the provider's domain (Fig. 3).
+
+A publisher shares the provider's SK (they sit in the same
+administrative domain) and the group-key manager. For each publication
+it encrypts the *header* under SK — only the routing enclave can open
+it — and the *payload* under the current group key — only admitted
+clients can open it. The router sees neither in plaintext.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Union
+
+from repro.core.keys import GroupKeyManager, ProviderKeyChain
+from repro.core.messages import SecureChannel, encode_header
+from repro.core.protocol import build_publish
+from repro.errors import RoutingError
+from repro.matching.events import Event
+from repro.network.bus import Endpoint, MessageBus
+
+__all__ = ["Publisher"]
+
+
+class Publisher:
+    """One data source; publish() produces ``PUB`` frames."""
+
+    def __init__(self, bus: MessageBus, keys: ProviderKeyChain,
+                 group: GroupKeyManager, name: str = "publisher") -> None:
+        self.name = name
+        self.endpoint: Endpoint = bus.endpoint(name)
+        self._channel: SecureChannel = keys.channel()
+        self._group = group
+        self._sequence = itertools.count(1)
+        self.published = 0
+
+    def make_publication(self,
+                         header: Union[Event, Dict[str, object]],
+                         payload: bytes) -> bytes:
+        """Encrypt one publication into a ``PUB`` frame (Fig. 4 step 4)."""
+        event = header if isinstance(header, Event) else Event(dict(header))
+        sequence = next(self._sequence)
+        header_envelope = self._channel.protect(
+            encode_header(event), aad=b"pub-%d" % sequence)
+        epoch = self._group.epoch
+        payload_channel = SecureChannel(self._group.current_key())
+        payload_envelope = payload_channel.protect(
+            payload, aad=b"epoch-%d" % epoch)
+        return build_publish(header_envelope, payload_envelope)
+
+    def publish(self, router_name: str,
+                header: Union[Event, Dict[str, object]],
+                payload: bytes) -> None:
+        """Encrypt and send one publication to the router."""
+        frame = self.make_publication(header, payload)
+        self.endpoint.send(router_name, [frame])
+        self.published += 1

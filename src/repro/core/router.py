@@ -1,0 +1,129 @@
+"""The router: untrusted host process around the routing enclave.
+
+Runs in the infrastructure provider's cloud (Fig. 3) and is trusted by
+nobody. It hosts the enclave, relays provider traffic into ecalls, and
+forwards matched payloads to clients — seeing only ciphertext and the
+client identities the protocol deliberately exposes for routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
+                                 MSG_UNREGISTER, build_deliver,
+                                 message_type, parse_publish,
+                                 parse_register, parse_unregister)
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import NetworkError, RoutingError
+from repro.network.bus import Endpoint, MessageBus
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sdk import load_enclave
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Enclave-hosting CBR router."""
+
+    def __init__(self, bus: MessageBus, platform: SgxPlatform,
+                 enclave_signing_key: RsaPrivateKey,
+                 name: str = "router", rsa_bits: int = 768) -> None:
+        self.name = name
+        self.platform = platform
+        self.endpoint: Endpoint = bus.endpoint(name)
+        self.enclave = load_enclave(platform, ScbrEnclaveLibrary,
+                                    enclave_signing_key,
+                                    rsa_bits=rsa_bits)
+        self.registrations = 0
+        self.publications = 0
+        self.deliveries = 0
+        #: deliveries dropped because the subscriber endpoint is gone
+        #: (clients may disconnect while their subscription is live).
+        self.dropped = 0
+
+    # -- enclave pass-throughs used by the provider's provisioning -----------------
+
+    @property
+    def mr_enclave(self) -> bytes:
+        return self.enclave.mr_enclave
+
+    def attestation_report(self, target_mr_enclave: bytes):
+        return self.enclave.ecall("attestation_report",
+                                  target_mr_enclave)
+
+    def provision(self, secrets_blob: bytes) -> bool:
+        return self.enclave.ecall("provision", secrets_blob)
+
+    # -- message handling ---------------------------------------------------------------
+
+    def handle_register(self, frame: bytes) -> str:
+        """REG frame -> ecall; returns the registered client id."""
+        envelope, signature = parse_register(frame)
+        client_id = self.enclave.ecall("register_subscription",
+                                       envelope, signature)
+        self.registrations += 1
+        return client_id
+
+    def handle_unregister(self, frame: bytes) -> bool:
+        envelope, signature = parse_unregister(frame)
+        return self.enclave.ecall("unregister_subscription",
+                                  envelope, signature)
+
+    def handle_publish(self, frame: bytes) -> List[str]:
+        """PUB frame -> match ecall -> forward payload to subscribers.
+
+        The payload envelope is forwarded byte-for-byte: the router
+        cannot read it (group key) nor the header (SK).
+        """
+        header_envelope, payload_envelope = parse_publish(frame)
+        matched = self.enclave.ecall("match_publication",
+                                     header_envelope)
+        self.publications += 1
+        deliver_frame = build_deliver(payload_envelope)
+        for client_id in matched:
+            try:
+                self.endpoint.send(client_id, [deliver_frame])
+            except NetworkError:
+                self.dropped += 1
+                continue
+            self.deliveries += 1
+        return matched
+
+    def pump(self) -> int:
+        """Drain the router inbox; returns frames processed."""
+        processed = 0
+        for _sender, frames in self.endpoint.recv_all():
+            for frame in frames:
+                kind = message_type(frame)
+                if kind == MSG_REGISTER:
+                    self.handle_register(frame)
+                elif kind == MSG_UNREGISTER:
+                    self.handle_unregister(frame)
+                elif kind == MSG_PUBLISH:
+                    self.handle_publish(frame)
+                else:
+                    raise RoutingError(
+                        f"router got unexpected {kind} frame")
+                processed += 1
+        return processed
+
+    # -- persistence --------------------------------------------------------------------
+
+    def seal(self, policy: str = "mrenclave") -> Tuple[bytes, bytes]:
+        """Seal engine state; returns (sealed_bytes, counter_id).
+
+        ``policy="mrsigner"`` produces a blob a newer enclave version
+        from the same vendor can restore (upgrade path).
+        """
+        return self.enclave.ecall("seal_state", policy)
+
+    def restore(self, sealed_bytes: bytes, counter_id: bytes) -> int:
+        """Restore engine state into this router's enclave."""
+        return self.enclave.ecall("restore_state", sealed_bytes,
+                                  counter_id)
+
+    def stats(self) -> Tuple[int, int, int]:
+        """(subscriptions, index nodes, modelled index bytes)."""
+        return self.enclave.ecall("engine_stats")

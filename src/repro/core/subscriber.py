@@ -1,0 +1,128 @@
+"""Clients (subscribers): the consumers of the information flows.
+
+A client trusts the data provider but not the infrastructure (paper
+§3.2). It encrypts its subscription under the provider's public key
+(so neither the router nor the cloud learns the predicates), receives
+matched payloads from the router, and decrypts them with the group key
+of the epoch they were published in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.keys import GroupKeyManager
+from repro.core.messages import (SecureChannel, encode_subscription,
+                                 hybrid_encrypt)
+from repro.core.protocol import (MSG_ADMIT, MSG_DELIVER, MSG_GROUP_KEY,
+                                 build_subscription_request,
+                                 message_type, parse_admit,
+                                 parse_deliver, parse_group_key)
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import CryptoError, RoutingError
+from repro.matching.subscriptions import Subscription
+from repro.network.bus import Endpoint, MessageBus
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One subscriber endpoint."""
+
+    def __init__(self, bus: MessageBus, client_id: str,
+                 provider_public_key: RsaPublicKey) -> None:
+        self.client_id = client_id
+        self.endpoint: Endpoint = bus.endpoint(client_id)
+        self._provider_pk = provider_public_key
+        self._secret: Optional[bytes] = None
+        self._group_keys: Dict[int, bytes] = {}  # epoch -> key
+        #: decrypted payloads, in delivery order.
+        self.received: List[bytes] = []
+        #: deliveries that failed to decrypt (e.g. post-revocation).
+        self.undecryptable: int = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def process_admission(self, frame: bytes) -> None:
+        """Install the per-client secret and initial group key."""
+        client_id, secret, wrapped = parse_admit(frame)
+        if client_id != self.client_id:
+            raise RoutingError("admission for a different client")
+        self._secret = secret
+        epoch, key = GroupKeyManager.unwrap_key(secret, wrapped,
+                                                self.client_id)
+        self._group_keys[epoch] = key
+
+    def process_group_key(self, frame: bytes) -> None:
+        """Install a rotated group key."""
+        if self._secret is None:
+            raise RoutingError("client not admitted yet")
+        wrapped = parse_group_key(frame)
+        epoch, key = GroupKeyManager.unwrap_key(self._secret, wrapped,
+                                                self.client_id)
+        self._group_keys[epoch] = key
+
+    # -- subscribing (Fig. 4 step 1) ----------------------------------------------
+
+    def make_subscription_request(
+            self,
+            subscription: Union[Subscription, Dict[str, object],
+                                str]) -> bytes:
+        """Encrypt a subscription under the provider's PK.
+
+        Accepts a :class:`Subscription`, a dict spec, or the paper's
+        textual notation (``'symbol = "HAL" and price < 50'``).
+        """
+        if isinstance(subscription, str):
+            from repro.matching.query import parse_query
+            subscription = parse_query(subscription)
+        elif not isinstance(subscription, Subscription):
+            subscription = Subscription.parse(subscription)
+        blob = encode_subscription(subscription)
+        encrypted = hybrid_encrypt(self._provider_pk, blob,
+                                   aad=self.client_id.encode())
+        return build_subscription_request(self.client_id, encrypted)
+
+    def subscribe(self, provider_name: str,
+                  subscription: Union[Subscription, Dict[str, object],
+                                      str]) -> None:
+        """Send the subscription request to the provider."""
+        frame = self.make_subscription_request(subscription)
+        self.endpoint.send(provider_name, [frame])
+
+    # -- receiving (Fig. 4 step 6) ---------------------------------------------------
+
+    def _decrypt_delivery(self, payload_envelope: bytes) -> Optional[bytes]:
+        # The epoch travels as authenticated associated data; try the
+        # matching key. A revoked client lacks the new epoch's key.
+        for epoch, key in sorted(self._group_keys.items(), reverse=True):
+            try:
+                plaintext, aad = SecureChannel(key).open(payload_envelope)
+            except CryptoError:
+                continue
+            if aad == b"epoch-%d" % epoch:
+                return plaintext
+        return None
+
+    def pump(self) -> int:
+        """Drain the inbox; returns the number of frames processed."""
+        processed = 0
+        for _sender, frames in self.endpoint.recv_all():
+            for frame in frames:
+                kind = message_type(frame)
+                if kind == MSG_DELIVER:
+                    plaintext = self._decrypt_delivery(
+                        parse_deliver(frame))
+                    if plaintext is None:
+                        self.undecryptable += 1
+                    else:
+                        self.received.append(plaintext)
+                elif kind == MSG_ADMIT:
+                    self.process_admission(frame)
+                elif kind == MSG_GROUP_KEY:
+                    self.process_group_key(frame)
+                else:
+                    raise RoutingError(
+                        f"client got unexpected {kind} frame")
+                processed += 1
+        return processed

@@ -1,0 +1,235 @@
+"""AES block cipher (FIPS-197) implemented from scratch.
+
+The paper's SCBR prototype uses AES-CTR both inside the enclave (Intel SDK
+crypto) and outside (Crypto++). This module provides the block primitive;
+:mod:`repro.crypto.ctr` and :mod:`repro.crypto.cmac` build the modes on top.
+
+The S-box and round constants are *derived* (GF(2^8) inversion + affine
+transform) rather than transcribed, then the implementation is verified
+against the FIPS-197 / NIST test vectors in the test-suite.
+
+This is a clean-room educational implementation: it favours clarity over
+side-channel resistance (table lookups are not constant time), which is
+acceptable for a simulator whose threat model is explicitly *modelled*, not
+enforced, in software.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import CryptoError
+
+__all__ = ["AES", "BLOCK_SIZE", "xor_bytes"]
+
+BLOCK_SIZE = 16
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (Russian-peasant style)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    """Derive the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses via exponentiation by the group order - 1.
+    inverse = [0] * 256
+    for x in range(1, 256):
+        y = x
+        # x^254 == x^-1 in GF(2^8)*
+        acc = 1
+        exponent = 254
+        while exponent:
+            if exponent & 1:
+                acc = _gf_mul(acc, y)
+            y = _gf_mul(y, y)
+            exponent >>= 1
+        inverse[x] = acc
+
+    def _affine(value: int) -> int:
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            rotated = ((value << shift) | (value >> (8 - shift))) & 0xFF
+            result ^= rotated
+        return result
+
+    sbox = bytes(_affine(inverse[x]) for x in range(256))
+    inv_sbox = bytearray(256)
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return sbox, bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants: rcon[i] = x^(i-1) in GF(2^8).
+_RCON = [0] * 11
+_value = 1
+for _i in range(1, 11):
+    _RCON[_i] = _value
+    _value = _xtime(_value)
+
+# Precomputed multiply-by-constant tables for (Inv)MixColumns.
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+_MUL9 = bytes(_gf_mul(x, 9) for x in range(256))
+_MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
+_MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
+_MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
+
+
+class AES:
+    """AES-128/192/256 block cipher over 16-byte blocks.
+
+    >>> cipher = AES(bytes(16))
+    >>> len(cipher.encrypt_block(bytes(16)))
+    16
+    """
+
+    _ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in self._ROUNDS_BY_KEYLEN:
+            raise CryptoError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = self._ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size (10, 12 or 14)."""
+        return self._rounds
+
+    # -- key schedule -----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion; returns one 16-int list per round key."""
+        key_words = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(key_words)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(key_words, total_words):
+            temp = list(words[i - 1])
+            if i % key_words == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // key_words]
+            elif key_words == 8 and i % key_words == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([t ^ w for t, w in zip(temp, words[i - key_words])])
+        round_keys = []
+        for r in range(self._rounds + 1):
+            flat: List[int] = []
+            for w in words[4 * r:4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- round transforms (state is a flat 16-int column-major list) ------
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[col*4 + row]; row r rotates left by r.
+        return [
+            state[0], state[5], state[10], state[15],
+            state[4], state[9], state[14], state[3],
+            state[8], state[13], state[2], state[7],
+            state[12], state[1], state[6], state[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        return [
+            state[0], state[13], state[10], state[7],
+            state[4], state[1], state[14], state[11],
+            state[8], state[5], state[2], state[15],
+            state[12], state[9], state[6], state[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c:c + 4]
+            state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c:c + 4]
+            state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    # -- public API --------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self._rounds):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for r in range(self._rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise CryptoError("xor_bytes requires equal-length inputs")
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,77 @@
+"""AES-CMAC (RFC 4493), used to authenticate encrypted headers and blobs.
+
+SGX itself derives 128-bit CMAC-based report keys; our simulated
+attestation (:mod:`repro.sgx.attestation`) and sealing use this
+implementation, as does the authenticated envelope in
+:mod:`repro.core.messages`.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.aes import AES, BLOCK_SIZE, xor_bytes
+from repro.errors import AuthenticationError, CryptoError
+
+__all__ = ["AesCmac", "cmac", "cmac_verify"]
+
+_RB = 0x87  # constant for 128-bit block size subkey derivation
+
+
+def _left_shift_one(block: bytes) -> bytes:
+    """Shift a 16-byte string left by one bit."""
+    as_int = int.from_bytes(block, "big")
+    shifted = (as_int << 1) & ((1 << 128) - 1)
+    return shifted.to_bytes(16, "big")
+
+
+class AesCmac:
+    """CMAC tag generation/verification bound to one AES key."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        zero = self._aes.encrypt_block(bytes(BLOCK_SIZE))
+        k1 = _left_shift_one(zero)
+        if zero[0] & 0x80:
+            k1 = k1[:-1] + bytes([k1[-1] ^ _RB])
+        k2 = _left_shift_one(k1)
+        if k1[0] & 0x80:
+            k2 = k2[:-1] + bytes([k2[-1] ^ _RB])
+        self._k1 = k1
+        self._k2 = k2
+
+    def tag(self, message: bytes) -> bytes:
+        """Compute the 16-byte CMAC tag of ``message``."""
+        n_blocks, remainder = divmod(len(message), BLOCK_SIZE)
+        if n_blocks == 0 or remainder:
+            # Incomplete (or empty) final block: pad with 10* and use K2.
+            padded = message[n_blocks * BLOCK_SIZE:] + b"\x80"
+            padded += bytes(BLOCK_SIZE - len(padded))
+            last = xor_bytes(padded, self._k2)
+            full_blocks = n_blocks
+        else:
+            last = xor_bytes(message[-BLOCK_SIZE:], self._k1)
+            full_blocks = n_blocks - 1
+
+        state = bytes(BLOCK_SIZE)
+        for i in range(full_blocks):
+            block = message[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
+            state = self._aes.encrypt_block(xor_bytes(state, block))
+        return self._aes.encrypt_block(xor_bytes(state, last))
+
+    def verify(self, message: bytes, tag: bytes) -> None:
+        """Raise :class:`AuthenticationError` unless ``tag`` is valid."""
+        if len(tag) != BLOCK_SIZE:
+            raise CryptoError(f"CMAC tag must be 16 bytes, got {len(tag)}")
+        if not hmac.compare_digest(self.tag(message), tag):
+            raise AuthenticationError("CMAC verification failed")
+
+
+def cmac(key: bytes, message: bytes) -> bytes:
+    """One-shot AES-CMAC tag."""
+    return AesCmac(key).tag(message)
+
+
+def cmac_verify(key: bytes, message: bytes, tag: bytes) -> None:
+    """One-shot AES-CMAC verification; raises on mismatch."""
+    AesCmac(key).verify(message, tag)

@@ -1,0 +1,82 @@
+"""AES-CTR mode, the symmetric cipher used throughout SCBR (paper §3.5).
+
+Publications and subscriptions are encrypted by the producer under the
+shared key SK and decrypted inside the enclave with the same keystream.
+CTR turns the AES block cipher into a stream cipher, so encryption and
+decryption are the same operation and no padding is needed.
+
+The nonce handling mirrors common practice (and the Intel SDK's
+``sgx_aes_ctr_encrypt``): a 16-byte initial counter block whose low bits
+are incremented per block, big-endian.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.errors import CryptoError
+
+__all__ = ["AesCtr", "ctr_encrypt", "ctr_decrypt"]
+
+NONCE_SIZE = 16
+
+
+def _increment_counter(counter: bytearray) -> None:
+    """Increment a 16-byte big-endian counter in place (wraps at 2^128)."""
+    for i in range(len(counter) - 1, -1, -1):
+        counter[i] = (counter[i] + 1) & 0xFF
+        if counter[i]:
+            return
+
+
+class AesCtr:
+    """Stateless AES-CTR transform bound to a key.
+
+    >>> key = bytes(range(16))
+    >>> ctr = AesCtr(key)
+    >>> nonce = bytes(16)
+    >>> ctr.process(nonce, ctr.process(nonce, b"attack at dawn"))
+    b'attack at dawn'
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+
+    def process(self, nonce: bytes, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` under the given initial counter."""
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(
+                f"CTR nonce must be {NONCE_SIZE} bytes, got {len(nonce)}"
+            )
+        out = bytearray(len(data))
+        counter = bytearray(nonce)
+        encrypt = self._aes.encrypt_block
+        for offset in range(0, len(data), BLOCK_SIZE):
+            keystream = encrypt(bytes(counter))
+            chunk = data[offset:offset + BLOCK_SIZE]
+            for i, byte in enumerate(chunk):
+                out[offset + i] = byte ^ keystream[i]
+            _increment_counter(counter)
+        return bytes(out)
+
+    def encrypt_with_fresh_nonce(self, data: bytes) -> bytes:
+        """Encrypt under a random nonce; returns ``nonce || ciphertext``."""
+        nonce = secrets.token_bytes(NONCE_SIZE)
+        return nonce + self.process(nonce, data)
+
+    def decrypt_with_prefixed_nonce(self, blob: bytes) -> bytes:
+        """Invert :meth:`encrypt_with_fresh_nonce`."""
+        if len(blob) < NONCE_SIZE:
+            raise CryptoError("ciphertext shorter than its nonce prefix")
+        return self.process(blob[:NONCE_SIZE], blob[NONCE_SIZE:])
+
+
+def ctr_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """One-shot AES-CTR encryption."""
+    return AesCtr(key).process(nonce, plaintext)
+
+
+def ctr_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    """One-shot AES-CTR decryption (identical to encryption)."""
+    return AesCtr(key).process(nonce, ciphertext)

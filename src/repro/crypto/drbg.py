@@ -1,0 +1,55 @@
+"""Deterministic random bit generator (HMAC-DRBG flavoured).
+
+A seeded, reproducible byte stream used by the workload generators and by
+tests that need deterministic "randomness" (e.g. key material in protocol
+unit tests). Production key generation uses :mod:`secrets` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["HmacDrbg"]
+
+
+class HmacDrbg:
+    """NIST SP 800-90A style HMAC-DRBG (SHA-256), without reseeding.
+
+    >>> HmacDrbg(b"seed").generate(4) == HmacDrbg(b"seed").generate(4)
+    True
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        self._key = bytes(32)
+        self._value = b"\x01" * 32
+        self._update(seed)
+
+    def _hmac(self, data: bytes) -> bytes:
+        return hmac.new(self._key, data, hashlib.sha256).digest()
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._key = self._hmac(self._value + b"\x00" + provided)
+        self._value = self._hmac(self._value)
+        if provided:
+            self._key = self._hmac(self._value + b"\x01" + provided)
+            self._value = self._hmac(self._value)
+
+    def generate(self, n_bytes: int) -> bytes:
+        """Produce ``n_bytes`` of deterministic output."""
+        output = b""
+        while len(output) < n_bytes:
+            self._value = self._hmac(self._value)
+            output += self._value
+        self._update()
+        return output[:n_bytes]
+
+    def randint(self, lower: int, upper: int) -> int:
+        """Uniform integer in [lower, upper] via rejection sampling."""
+        span = upper - lower + 1
+        n_bytes = (span.bit_length() + 7) // 8 + 1
+        while True:
+            candidate = int.from_bytes(self.generate(n_bytes), "big")
+            limit = (1 << (8 * n_bytes)) - (1 << (8 * n_bytes)) % span
+            if candidate < limit:
+                return lower + candidate % span

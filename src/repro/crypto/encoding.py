@@ -1,0 +1,61 @@
+"""Base64 wire encoding, as used by the paper's prototype (§3.5).
+
+SCBR serialises both plaintext and encrypted messages in Base64 before
+putting them on the wire. We add a tiny length-prefixed multi-field
+packing layer so that envelopes (nonce, ciphertext, tag, metadata) travel
+as a single text token.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import List, Sequence
+
+from repro.errors import NetworkError
+
+__all__ = ["b64encode", "b64decode", "pack_fields", "unpack_fields"]
+
+
+def b64encode(data: bytes) -> str:
+    """Standard Base64 text encoding."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    """Strict Base64 decoding; raises :class:`NetworkError` on bad input."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise NetworkError(f"invalid base64 frame: {exc}")
+
+
+def pack_fields(fields: Sequence[bytes]) -> bytes:
+    """Length-prefix and concatenate binary fields (4-byte BE lengths)."""
+    out = bytearray()
+    out += len(fields).to_bytes(2, "big")
+    for field in fields:
+        out += len(field).to_bytes(4, "big")
+        out += field
+    return bytes(out)
+
+
+def unpack_fields(blob: bytes) -> List[bytes]:
+    """Invert :func:`pack_fields`; raises on truncation or trailing junk."""
+    if len(blob) < 2:
+        raise NetworkError("packed fields blob too short")
+    count = int.from_bytes(blob[:2], "big")
+    offset = 2
+    fields: List[bytes] = []
+    for _ in range(count):
+        if offset + 4 > len(blob):
+            raise NetworkError("truncated field length")
+        length = int.from_bytes(blob[offset:offset + 4], "big")
+        offset += 4
+        if offset + length > len(blob):
+            raise NetworkError("truncated field body")
+        fields.append(blob[offset:offset + length])
+        offset += length
+    if offset != len(blob):
+        raise NetworkError("trailing bytes after packed fields")
+    return fields

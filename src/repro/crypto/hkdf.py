@@ -1,0 +1,45 @@
+"""HKDF (RFC 5869) over HMAC-SHA-256.
+
+Used to derive session keys from attestation shared secrets
+(:mod:`repro.sgx.attestation`) and group keys for payload encryption
+(:mod:`repro.core.keys`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key into ``length`` bytes of output."""
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF output length too large")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(prk, block + info + bytes([counter]),
+                         hashlib.sha256).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
+         length: int = 32) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,84 @@
+"""Probabilistic prime generation for the RSA substrate.
+
+SCBR's registration path uses the data provider's RSA key pair (paper
+§3.3, Fig. 4 step 1). We generate RSA moduli from scratch: random odd
+candidates, trial division by small primes, then Miller-Rabin.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Callable, Optional
+
+from repro.errors import CryptoError
+
+__all__ = ["is_probable_prime", "generate_prime", "SMALL_PRIMES"]
+
+
+def _sieve(limit: int) -> list:
+    """Primes below ``limit`` via Eratosthenes."""
+    flags = bytearray([1]) * limit
+    flags[0:2] = b"\x00\x00"
+    for p in range(2, int(limit ** 0.5) + 1):
+        if flags[p]:
+            flags[p * p::p] = bytes(len(flags[p * p::p]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES = _sieve(2000)
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random bases.
+
+    Error probability is at most 4^-rounds for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    condition: Optional[Callable[[int], bool]] = None,
+    max_attempts: int = 100000,
+) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    ``condition`` may impose extra constraints (e.g. gcd(p-1, e) == 1 for
+    RSA). Raises :class:`CryptoError` if no prime is found in
+    ``max_attempts`` candidates, which for sane parameters never happens.
+    """
+    if bits < 8:
+        raise CryptoError("refusing to generate primes below 8 bits")
+    for _ in range(max_attempts):
+        candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if not is_probable_prime(candidate):
+            continue
+        if condition is not None and not condition(candidate):
+            continue
+        return candidate
+    raise CryptoError(f"no {bits}-bit prime found in {max_attempts} attempts")

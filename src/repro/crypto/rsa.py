@@ -1,0 +1,229 @@
+"""RSA with OAEP encryption and PSS signatures, built from scratch.
+
+The SCBR registration path (paper §3.3) encrypts subscriptions under the
+data provider's public key PK; the provider signs re-encrypted
+subscriptions before handing them to the routing enclave. We implement
+RSAES-OAEP and RSASSA-PSS (PKCS#1 v2.2, SHA-256/MGF1) over moduli built
+from our own Miller-Rabin prime generator, with CRT-accelerated private
+key operations.
+
+Key sizes default to 2048 bits; tests use smaller keys for speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import math
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+from repro.errors import AuthenticationError, CryptoError
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
+
+_HASH = hashlib.sha256
+_HASH_LEN = 32
+DEFAULT_EXPONENT = 65537
+
+
+def _i2osp(x: int, length: int) -> bytes:
+    """Integer-to-octet-string primitive (big endian, fixed length)."""
+    if x >= 1 << (8 * length):
+        raise CryptoError("integer too large for target length")
+    return x.to_bytes(length, "big")
+
+
+def _os2ip(octets: bytes) -> int:
+    """Octet-string-to-integer primitive."""
+    return int.from_bytes(octets, "big")
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation function with SHA-256."""
+    output = bytearray()
+    for counter in range((length + _HASH_LEN - 1) // _HASH_LEN):
+        output.extend(_HASH(seed + _i2osp(counter, 4)).digest())
+    return bytes(output[:length])
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)`` supporting OAEP encrypt / PSS verify."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus length in octets (k in PKCS#1 terms)."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def max_message_length(self) -> int:
+        """Largest plaintext OAEP can carry under this modulus."""
+        return self.byte_length - 2 * _HASH_LEN - 2
+
+    def encrypt(self, message: bytes, label: bytes = b"") -> bytes:
+        """RSAES-OAEP encryption of ``message``."""
+        k = self.byte_length
+        if len(message) > self.max_message_length:
+            raise CryptoError(
+                f"message too long for OAEP: {len(message)} > "
+                f"{self.max_message_length}"
+            )
+        l_hash = _HASH(label).digest()
+        padding = bytes(k - len(message) - 2 * _HASH_LEN - 2)
+        data_block = l_hash + padding + b"\x01" + message
+        seed = secrets.token_bytes(_HASH_LEN)
+        masked_db = _xor(data_block, _mgf1(seed, k - _HASH_LEN - 1))
+        masked_seed = _xor(seed, _mgf1(masked_db, _HASH_LEN))
+        encoded = b"\x00" + masked_seed + masked_db
+        return _i2osp(pow(_os2ip(encoded), self.e, self.n), k)
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """RSASSA-PSS verification; raises AuthenticationError on failure."""
+        k = self.byte_length
+        if len(signature) != k:
+            raise AuthenticationError("signature length mismatch")
+        em = _i2osp(pow(_os2ip(signature), self.e, self.n), k)
+        em_bits = self.n.bit_length() - 1
+        try:
+            _pss_verify(message, em, em_bits)
+        except CryptoError as exc:
+            raise AuthenticationError(f"PSS verification failed: {exc}")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        # CRT precomputation; object is frozen so use __dict__ directly.
+        object.__setattr__(self, "_dp", self.d % (self.p - 1))
+        object.__setattr__(self, "_dq", self.d % (self.q - 1))
+        object.__setattr__(self, "_qinv", pow(self.q, -1, self.p))
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The matching public key."""
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def _private_op(self, c: int) -> int:
+        """m = c^d mod n via the Chinese remainder theorem."""
+        m1 = pow(c % self.p, self._dp, self.p)
+        m2 = pow(c % self.q, self._dq, self.q)
+        h = (self._qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    def decrypt(self, ciphertext: bytes, label: bytes = b"") -> bytes:
+        """RSAES-OAEP decryption."""
+        k = self.byte_length
+        if len(ciphertext) != k:
+            raise CryptoError("ciphertext length mismatch")
+        em = _i2osp(self._private_op(_os2ip(ciphertext)), k)
+        if em[0] != 0:
+            raise CryptoError("OAEP decoding error")
+        masked_seed = em[1:1 + _HASH_LEN]
+        masked_db = em[1 + _HASH_LEN:]
+        seed = _xor(masked_seed, _mgf1(masked_db, _HASH_LEN))
+        data_block = _xor(masked_db, _mgf1(seed, k - _HASH_LEN - 1))
+        l_hash = _HASH(label).digest()
+        if not hmac.compare_digest(data_block[:_HASH_LEN], l_hash):
+            raise CryptoError("OAEP label hash mismatch")
+        # Find the 0x01 separator after the zero padding.
+        rest = data_block[_HASH_LEN:]
+        sep = rest.find(b"\x01")
+        if sep < 0 or any(rest[:sep]):
+            raise CryptoError("OAEP padding error")
+        return rest[sep + 1:]
+
+    def sign(self, message: bytes) -> bytes:
+        """RSASSA-PSS signature over ``message``."""
+        em_bits = self.n.bit_length() - 1
+        em = _pss_encode(message, em_bits)
+        return _i2osp(self._private_op(_os2ip(em)), self.byte_length)
+
+
+def _pss_encode(message: bytes, em_bits: int, salt_len: int = _HASH_LEN) -> bytes:
+    em_len = (em_bits + 7) // 8
+    m_hash = _HASH(message).digest()
+    if em_len < _HASH_LEN + salt_len + 2:
+        raise CryptoError("modulus too small for PSS")
+    salt = secrets.token_bytes(salt_len)
+    m_prime = bytes(8) + m_hash + salt
+    h = _HASH(m_prime).digest()
+    ps = bytes(em_len - salt_len - _HASH_LEN - 2)
+    db = ps + b"\x01" + salt
+    masked_db = bytearray(_xor(db, _mgf1(h, em_len - _HASH_LEN - 1)))
+    # Clear leftmost 8*em_len - em_bits bits.
+    masked_db[0] &= 0xFF >> (8 * em_len - em_bits)
+    return bytes(masked_db) + h + b"\xbc"
+
+
+def _pss_verify(message: bytes, em: bytes, em_bits: int,
+                salt_len: int = _HASH_LEN) -> None:
+    em_len = (em_bits + 7) // 8
+    m_hash = _HASH(message).digest()
+    if em_len < _HASH_LEN + salt_len + 2:
+        raise CryptoError("modulus too small for PSS")
+    if em[-1] != 0xBC:
+        raise CryptoError("bad PSS trailer")
+    masked_db = bytearray(em[:em_len - _HASH_LEN - 1])
+    h = em[em_len - _HASH_LEN - 1:-1]
+    top_bits = 8 * em_len - em_bits
+    if masked_db[0] >> (8 - top_bits) if top_bits else 0:
+        raise CryptoError("nonzero leading PSS bits")
+    db = bytearray(_xor(bytes(masked_db), _mgf1(h, em_len - _HASH_LEN - 1)))
+    db[0] &= 0xFF >> top_bits
+    pad_len = em_len - _HASH_LEN - salt_len - 2
+    if any(db[:pad_len]) or db[pad_len] != 0x01:
+        raise CryptoError("bad PSS padding")
+    salt = bytes(db[pad_len + 1:])
+    m_prime = bytes(8) + m_hash + salt
+    if not hmac.compare_digest(_HASH(m_prime).digest(), h):
+        raise CryptoError("PSS hash mismatch")
+
+
+def generate_keypair(bits: int = 2048,
+                     exponent: int = DEFAULT_EXPONENT) -> RsaPrivateKey:
+    """Generate an RSA key pair with an exact ``bits``-bit modulus."""
+    if bits < 512:
+        raise CryptoError("RSA modulus below 512 bits is insecure; refused "
+                          "(tests may use test-only constructors)")
+    return _generate_keypair_unchecked(bits, exponent)
+
+
+def _generate_keypair_unchecked(bits: int, exponent: int) -> RsaPrivateKey:
+    """Key generation without the minimum-size guard (for fast tests)."""
+    half = bits // 2
+
+    def _coprime_with_e(p: int) -> bool:
+        return math.gcd(p - 1, exponent) == 1
+
+    while True:
+        p = generate_prime(half, condition=_coprime_with_e)
+        q = generate_prime(bits - half, condition=_coprime_with_e)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+        d = pow(exponent, -1, lam)
+        return RsaPrivateKey(n=n, e=exponent, d=d, p=p, q=q)

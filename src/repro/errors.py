@@ -1,0 +1,74 @@
+"""Exception hierarchy for the SCBR reproduction.
+
+Every subsystem raises subclasses of :class:`ScbrError` so that callers can
+distinguish library failures from programming errors, and so that security
+failures (authentication, integrity, attestation) are never silently
+conflated with ordinary operational errors.
+"""
+
+from __future__ import annotations
+
+
+class ScbrError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ScbrError):
+    """A cryptographic operation failed (bad key size, bad padding...)."""
+
+
+class AuthenticationError(CryptoError):
+    """A MAC or signature did not verify.
+
+    Raised, among others, by sealed-blob unsealing, subscription signature
+    checks and the memory integrity tree. Callers must treat the associated
+    data as hostile.
+    """
+
+
+class SgxError(ScbrError):
+    """Generic failure of the simulated SGX platform."""
+
+
+class EnclaveError(SgxError):
+    """Invalid enclave lifecycle transition or ecall/ocall misuse."""
+
+
+class EpcError(SgxError):
+    """Enclave-page-cache management failure (double map, bad evict...)."""
+
+
+class MemoryLockError(SgxError):
+    """The simulated memory controller locked after an integrity mismatch.
+
+    On real hardware this state requires a machine reboot; in the simulator
+    the platform refuses all further memory traffic until reset.
+    """
+
+
+class AttestationError(SgxError):
+    """Remote attestation failed: bad quote, unknown measurement..."""
+
+
+class RollbackError(SgxError):
+    """A sealed state was older than the platform monotonic counter."""
+
+
+class MatchingError(ScbrError):
+    """Malformed predicate, subscription or publication."""
+
+
+class AdmissionError(ScbrError):
+    """The service provider rejected a client subscription request."""
+
+
+class RoutingError(ScbrError):
+    """The router could not process a message (unknown client, bad frame)."""
+
+
+class NetworkError(ScbrError):
+    """Transport-level failure in the in-process message bus."""
+
+
+class WorkloadError(ScbrError):
+    """A workload specification or dataset could not be generated."""

@@ -1,0 +1,36 @@
+"""Containment-based content filtering: the algorithmic heart of SCBR.
+
+Events, predicates, subscriptions, the covering relation, and the
+Siena-style containment forest the routing engine matches against —
+plus the naive linear baseline and shape statistics used by the
+evaluation.
+"""
+
+from repro.matching.attributes import AttributeValue
+from repro.matching.containment import (covers, equivalent,
+                                        maximal_elements, strictly_covers)
+from repro.matching.events import Event
+from repro.matching.hybrid import HybridContainmentForest, HybridNode
+from repro.matching.matcher import MatchingEngine, MatchResult
+from repro.matching.naive import NaiveMatcher
+from repro.matching.poset import ContainmentForest, PosetNode
+from repro.matching.query import parse_predicate, parse_query
+from repro.matching.predicates import (Constraint, Op, Predicate,
+                                       constraint_from_predicates)
+from repro.matching.stats import ForestStats, forest_stats
+from repro.matching.summaries import (SummarizedForest,
+                                      hull_subscription)
+from repro.matching.subscriptions import Subscription
+
+__all__ = [
+    "AttributeValue", "Event",
+    "Op", "Predicate", "Constraint", "constraint_from_predicates",
+    "parse_query", "parse_predicate",
+    "Subscription",
+    "covers", "strictly_covers", "equivalent", "maximal_elements",
+    "ContainmentForest", "PosetNode",
+    "HybridContainmentForest", "HybridNode",
+    "MatchingEngine", "MatchResult", "NaiveMatcher",
+    "ForestStats", "forest_stats",
+    "SummarizedForest", "hull_subscription",
+]

@@ -1,0 +1,51 @@
+"""Attribute model for publication headers and subscription predicates.
+
+SCBR messages carry a *header* of named attributes with numeric or
+string values (paper §3.2: "a header that contains several attributes
+and associated values"); the opaque payload never enters the matcher.
+This module defines the value domain and validation helpers shared by
+events and predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import MatchingError
+
+__all__ = ["AttributeValue", "is_numeric", "validate_attribute_name",
+           "validate_value", "values_comparable"]
+
+AttributeValue = Union[int, float, str]
+
+
+def is_numeric(value: AttributeValue) -> bool:
+    """True for int/float values (bool is excluded on purpose)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_attribute_name(name: str) -> str:
+    """Check an attribute name is a non-empty printable string."""
+    if not isinstance(name, str) or not name:
+        raise MatchingError(f"invalid attribute name: {name!r}")
+    if any(ch in name for ch in "\x00\n|"):
+        raise MatchingError(f"attribute name contains forbidden char: "
+                            f"{name!r}")
+    return name
+
+
+def validate_value(value: AttributeValue) -> AttributeValue:
+    """Check a header/predicate value is in the supported domain."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise MatchingError(
+            f"unsupported attribute value type: {type(value).__name__}")
+    if isinstance(value, float) and value != value:  # NaN
+        raise MatchingError("NaN attribute values are not comparable")
+    return value
+
+
+def values_comparable(a: AttributeValue, b: AttributeValue) -> bool:
+    """True when the two values live in the same ordered domain."""
+    if isinstance(a, str) or isinstance(b, str):
+        return isinstance(a, str) and isinstance(b, str)
+    return True

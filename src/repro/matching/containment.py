@@ -1,0 +1,53 @@
+"""Containment (covering) relation utilities.
+
+``s covers s'`` means every event matching ``s'`` also matches ``s``
+(paper §3.2). The relation is a partial order on satisfiable
+subscriptions; SCBR's index (:mod:`repro.matching.poset`) exploits it
+to prune matching work and reduce the enclave's memory footprint.
+
+This module adds the relation-level helpers the index and the tests
+need: strict covering, equivalence, and a reference partial-order
+checker used by the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.matching.subscriptions import Subscription
+
+__all__ = ["covers", "strictly_covers", "equivalent", "maximal_elements"]
+
+
+def covers(general: Subscription, specific: Subscription) -> bool:
+    """``general`` ⊒ ``specific`` (non-strict)."""
+    return general.covers(specific)
+
+
+def equivalent(a: Subscription, b: Subscription) -> bool:
+    """Same admitted event set (identical canonical constraints)."""
+    return a.key() == b.key()
+
+
+def strictly_covers(general: Subscription, specific: Subscription) -> bool:
+    """``general`` admits everything ``specific`` does, and more."""
+    return general.covers(specific) and not equivalent(general, specific)
+
+
+def maximal_elements(
+        subscriptions: Iterable[Subscription]) -> List[Subscription]:
+    """Subscriptions not strictly covered by any other in the set.
+
+    These are the forest roots a fresh containment index would have —
+    useful to predict index shape when analysing workloads (Fig. 6's
+    explanation is in terms of root counts and tree depth).
+    """
+    subs = list(subscriptions)
+    result = []
+    for candidate in subs:
+        dominated = any(
+            strictly_covers(other, candidate) for other in subs
+            if other is not candidate)
+        if not dominated:
+            result.append(candidate)
+    return result

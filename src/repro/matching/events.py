@@ -1,0 +1,58 @@
+"""Publications (events) as seen by the matcher.
+
+A publication is a *header* — the attribute/value map the CBR engine
+filters on — plus an opaque payload that never enters the matcher
+(paper §3.2). The wire representation (encryption, Base64) lives in
+:mod:`repro.core.messages`; here we keep the plain in-memory form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import MatchingError
+from repro.matching.attributes import (AttributeValue,
+                                       validate_attribute_name,
+                                       validate_value)
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable publication header (payload handled elsewhere).
+
+    >>> event = Event({"symbol": "HAL", "price": 48.2})
+    >>> event["price"]
+    48.2
+    """
+
+    header: Dict[str, AttributeValue]
+    event_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.header:
+            raise MatchingError("publication header must not be empty")
+        for name, value in self.header.items():
+            validate_attribute_name(name)
+            validate_value(value)
+
+    def __getitem__(self, attribute: str) -> AttributeValue:
+        return self.header[attribute]
+
+    def get(self, attribute: str):
+        return self.header.get(attribute)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.header
+
+    def __len__(self) -> int:
+        return len(self.header)
+
+    def items(self) -> Iterator[Tuple[str, AttributeValue]]:
+        return iter(self.header.items())
+
+    def canonical(self) -> Tuple[Tuple[str, AttributeValue], ...]:
+        """Sorted item tuple, used for serialisation and hashing."""
+        return tuple(sorted(self.header.items()))

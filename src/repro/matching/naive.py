@@ -1,0 +1,74 @@
+"""Naive linear-scan matcher: the no-containment baseline.
+
+Used by the containment ablation benchmark (DESIGN.md experiment A1) to
+quantify what the poset buys: the naive matcher evaluates every stored
+subscription against every event, which is also the cost envelope that
+encrypted-matching schemes like ASPE are stuck with (they cannot prune
+without learning the data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.matching.events import Event
+from repro.matching.subscriptions import Subscription
+from repro.sgx.memory import MemoryArena
+
+__all__ = ["NaiveMatcher"]
+
+
+class NaiveMatcher:
+    """Flat subscription table with linear-scan matching."""
+
+    def __init__(self, arena: Optional[MemoryArena] = None) -> None:
+        self._entries: List[Tuple[Subscription, Set[object], int, int]] = []
+        self._by_key: Dict[tuple, int] = {}
+        self.arena = arena
+        self._bytes = 0
+
+    def insert(self, subscription: Subscription,
+               subscriber: object) -> None:
+        """Store a subscription (identical ones share an entry)."""
+        index = self._by_key.get(subscription.key())
+        if index is not None:
+            self._entries[index][1].add(subscriber)
+            return
+        size = subscription.size_bytes()
+        address = self.arena.alloc(size) if self.arena is not None else 0
+        self._by_key[subscription.key()] = len(self._entries)
+        self._entries.append((subscription, {subscriber}, address, size))
+        self._bytes += size
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def index_bytes(self) -> int:
+        return self._bytes
+
+    def match(self, event: Event) -> Set[object]:
+        """Scan every entry; no pruning."""
+        matched: Set[object] = set()
+        for subscription, subscribers, _, _ in self._entries:
+            if subscription.matches(event):
+                matched |= subscribers
+        return matched
+
+    def match_traced(self, event: Event) -> Tuple[Set[object], int, int]:
+        """Linear scan with memory touches and evaluation counts."""
+        arena = self.arena
+        matched: Set[object] = set()
+        visited = 0
+        evaluated = 0
+        for subscription, subscribers, address, size in self._entries:
+            visited += 1
+            ok, n_evals = subscription.matches_counting(event)
+            evaluated += n_evals
+            if arena is not None:
+                # Same short-circuit-aware touch model as the forest.
+                arena.touch(address, min(size, 64 + 48 * n_evals))
+            if ok:
+                matched |= subscribers
+        return matched, visited, evaluated

@@ -1,0 +1,274 @@
+"""Containment forest: the subscription index of the routing engine.
+
+Pioneered by Siena (Carzaniga et al. [5]), the index arranges
+subscriptions so that a parent *covers* each of its children. Matching
+then prunes aggressively: if an event fails a node's subscription, no
+descendant can match (they are all more specific) and the whole subtree
+is skipped. Workloads whose subscriptions nest deeply (e.g. all-equality
+``e100a1``) produce few roots and deep trees — the fast end of Fig. 6 —
+while wide many-attribute workloads (``e80a4``, ``extsub4``) yield many
+shallow roots and approach a linear scan.
+
+Identical subscriptions share a node (the "reduction of the number of
+subscriptions stored" the paper credits containment with), keeping the
+in-enclave footprint small.
+
+Nodes are arena-allocated: the index takes an optional
+:class:`~repro.sgx.memory.MemoryArena`, and every traversal during
+insert/match reports its touches, which is how the enclave-vs-native
+curves of Figs 5/7/8 are produced from one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.errors import MatchingError
+from repro.matching.events import Event
+from repro.matching.subscriptions import Subscription
+from repro.sgx.memory import MemoryArena
+
+__all__ = ["PosetNode", "ContainmentForest"]
+
+
+class PosetNode:
+    """One stored subscription plus the subscribers interested in it."""
+
+    __slots__ = ("subscription", "children", "subscribers", "address",
+                 "size")
+
+    def __init__(self, subscription: Subscription, address: int,
+                 size: int) -> None:
+        self.subscription = subscription
+        self.children: List[PosetNode] = []
+        self.subscribers: Set[object] = set()
+        self.address = address
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PosetNode({self.subscription!r}, "
+                f"children={len(self.children)})")
+
+
+class ContainmentForest:
+    """Covering-based subscription index with arena-traced traversals."""
+
+    def __init__(self, arena: Optional[MemoryArena] = None,
+                 trace_inserts: bool = True) -> None:
+        self.roots: List[PosetNode] = []
+        self.arena = arena
+        #: When False, insertions allocate addresses but do not touch
+        #: the memory model (used by sweeps that only measure matching;
+        #: the Fig. 8 registration experiment keeps this True).
+        self.trace_inserts = trace_inserts
+        self.n_nodes = 0
+        self.n_subscriptions = 0
+        self._bytes = 0
+        # Authoritative key -> node map: identical subscriptions must
+        # share a node even when the first-cover descent, after
+        # re-parenting, would not walk past the existing copy.
+        self._by_key: dict = {}
+
+    # -- memory model ----------------------------------------------------------
+
+    def _new_node(self, subscription: Subscription) -> PosetNode:
+        size = subscription.size_bytes()
+        if self.arena is not None:
+            address = self.arena.alloc(size)
+        else:
+            address = 0
+        self.n_nodes += 1
+        self._bytes += size
+        return PosetNode(subscription, address, size)
+
+    @property
+    def index_bytes(self) -> int:
+        """Modelled memory footprint of the stored index."""
+        return self._bytes
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, subscription: Subscription,
+               subscriber: object) -> PosetNode:
+        """Register ``subscriber``'s interest in ``subscription``.
+
+        Descends to the most specific stored subscription covering the
+        new one; if an identical subscription exists the subscriber is
+        added to it, otherwise a new node is created there and any
+        now-covered siblings are re-parented beneath it.
+        """
+        if not subscription.is_satisfiable():
+            raise MatchingError("refusing to index an unsatisfiable "
+                                "subscription")
+        arena = self.arena if self.trace_inserts else None
+        siblings = self.roots
+        while True:
+            container = None
+            for node in siblings:
+                if arena is not None:
+                    arena.touch(node.address, node.size)
+                node_sub = node.subscription
+                if node_sub.covers(subscription):
+                    if subscription.key() == node_sub.key():
+                        node.subscribers.add(subscriber)
+                        self.n_subscriptions += 1
+                        return node
+                    container = node
+                    break
+            if container is None:
+                break
+            siblings = container.children
+
+        existing = self._by_key.get(subscription.key())
+        if existing is not None:
+            existing.subscribers.add(subscriber)
+            self.n_subscriptions += 1
+            return existing
+
+        new_node = self._new_node(subscription)
+        new_node.subscribers.add(subscriber)
+        # Adopt siblings that the new subscription covers.
+        kept = []
+        for node in siblings:
+            if subscription.covers(node.subscription):
+                new_node.children.append(node)
+            else:
+                kept.append(node)
+        siblings[:] = kept
+        siblings.append(new_node)
+        self._by_key[subscription.key()] = new_node
+        if arena is not None:
+            arena.touch(new_node.address, new_node.size)
+        self.n_subscriptions += 1
+        return new_node
+
+    def remove_subscriber(self, subscription: Subscription,
+                          subscriber: object) -> bool:
+        """Withdraw one subscriber's interest; prunes empty leaf nodes.
+
+        Returns True if the (subscription, subscriber) pair was found.
+        Nodes left with no subscribers but with children are kept as
+        routing structure (their subscription still summarises the
+        subtree), matching Siena's behaviour.
+        """
+        # The target node's ancestors all cover it, so we only need to
+        # explore covering branches — but *every* covering branch, since
+        # re-parenting may have moved the node away from the first-cover
+        # path the original insertion took.
+        target_key = subscription.key()
+        node = None
+        siblings: List[PosetNode] = self.roots
+        stack: List[Tuple[List[PosetNode], PosetNode]] = [
+            (self.roots, root) for root in self.roots]
+        while stack:
+            sibling_list, candidate = stack.pop()
+            if not candidate.subscription.covers(subscription):
+                continue
+            if candidate.subscription.key() == target_key:
+                node = candidate
+                siblings = sibling_list
+                break
+            stack.extend((candidate.children, child)
+                         for child in candidate.children)
+        if node is None or subscriber not in node.subscribers:
+            return False
+        node.subscribers.discard(subscriber)
+        self.n_subscriptions -= 1
+        if not node.subscribers:
+            # Splice the node out, hoisting its children.
+            siblings.remove(node)
+            siblings.extend(node.children)
+            del self._by_key[node.subscription.key()]
+            self.n_nodes -= 1
+            self._bytes -= node.size
+        return True
+
+    # -- matching -----------------------------------------------------------------
+
+    def match(self, event: Event) -> Set[object]:
+        """All subscribers whose subscription matches ``event``.
+
+        Untraced fast path (no memory accounting) — used by wall-clock
+        benchmarks and by correctness tests.
+        """
+        matched: Set[object] = set()
+        stack = list(self.roots)
+        pop = stack.pop
+        while stack:
+            node = pop()
+            if node.subscription.matches(event):
+                matched |= node.subscribers
+                stack.extend(node.children)
+        return matched
+
+    def match_traced(self, event: Event) -> Tuple[Set[object], int, int]:
+        """Matching with full memory/compute accounting.
+
+        Touches each visited node's arena allocation and returns
+        ``(subscribers, nodes_visited, predicates_evaluated)`` so the
+        caller can charge per-evaluation cycles to the platform.
+        """
+        arena = self.arena
+        if arena is None:
+            raise MatchingError("match_traced requires an arena-backed "
+                                "index")
+        touch = arena.touch
+        matched: Set[object] = set()
+        visited = 0
+        evaluated = 0
+        stack = list(self.roots)
+        pop = stack.pop
+        while stack:
+            node = pop()
+            visited += 1
+            ok, n_evals = node.subscription.matches_counting(event)
+            evaluated += n_evals
+            # Touch only what the visit actually read: the node header
+            # plus the constraints evaluated before short-circuiting
+            # (a failed first predicate does not stream the whole node
+            # through the cache).
+            touch(node.address,
+                  min(node.size, 64 + 48 * n_evals))
+            if ok:
+                matched |= node.subscribers
+                stack.extend(node.children)
+        return matched, visited, evaluated
+
+    # -- introspection ---------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterable[PosetNode]:
+        """Depth-first iteration over all stored nodes."""
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (used by property tests).
+
+        Every child must be strictly covered by its parent, and no node
+        may appear twice in the forest.
+        """
+        seen = set()
+        seen_keys = set()
+        stack = [(None, root) for root in self.roots]
+        while stack:
+            parent, node = stack.pop()
+            if id(node) in seen:
+                raise MatchingError("node linked twice in the forest")
+            seen.add(id(node))
+            key = node.subscription.key()
+            if key in seen_keys:
+                raise MatchingError(
+                    "identical subscription stored in two nodes")
+            seen_keys.add(key)
+            if self._by_key.get(key) is not node:
+                raise MatchingError("key map out of sync with forest")
+            if parent is not None:
+                if not parent.subscription.covers(node.subscription):
+                    raise MatchingError(
+                        "child not covered by its parent")
+                if parent.subscription.key() == node.subscription.key():
+                    raise MatchingError("duplicate subscription nodes")
+            stack.extend((node, child) for child in node.children)

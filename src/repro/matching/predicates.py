@@ -1,0 +1,253 @@
+"""Predicates: the atoms subscriptions are made of.
+
+A predicate constrains one attribute: equality, inequality, ordered
+comparisons or ranges — "equality constraints or generally any kind of
+ranges over the values of the attributes" (paper §3.2). Subscriptions
+normalise conjunctions of predicates into per-attribute
+:class:`Constraint` objects (an interval plus an exclusion set), on
+which both matching and containment are defined.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import MatchingError
+from repro.matching.attributes import (AttributeValue, is_numeric,
+                                       validate_attribute_name,
+                                       validate_value, values_comparable)
+
+__all__ = ["Op", "Predicate", "Constraint", "constraint_from_predicates"]
+
+_NEG_INF = -math.inf
+_POS_INF = math.inf
+
+
+class Op:
+    """Predicate operators (string constants keep wire formats simple)."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    RANGE = "in"  # closed interval [lo, hi]
+    EXISTS = "exists"
+
+    ALL = (EQ, NE, LT, LE, GT, GE, RANGE, EXISTS)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One constraint over one attribute, e.g. ``price < 50``.
+
+    For ``Op.RANGE`` the value is a ``(lo, hi)`` tuple; ``Op.EXISTS``
+    takes no value. Ordered operators require numeric values; strings
+    support only ``==``, ``!=`` and ``exists``.
+    """
+
+    attribute: str
+    op: str
+    value: Optional[AttributeValue] = None
+
+    def __post_init__(self) -> None:
+        validate_attribute_name(self.attribute)
+        if self.op not in Op.ALL:
+            raise MatchingError(f"unknown operator: {self.op!r}")
+        if self.op == Op.EXISTS:
+            if self.value is not None:
+                raise MatchingError("exists predicate takes no value")
+            return
+        if self.op == Op.RANGE:
+            if (not isinstance(self.value, tuple) or len(self.value) != 2):
+                raise MatchingError("range predicate needs a (lo, hi) pair")
+            lo, hi = self.value
+            validate_value(lo)
+            validate_value(hi)
+            if not (is_numeric(lo) and is_numeric(hi)):
+                raise MatchingError("range bounds must be numeric")
+            if lo > hi:
+                raise MatchingError(f"empty range: {lo} > {hi}")
+            return
+        validate_value(self.value)
+        if self.op in (Op.LT, Op.LE, Op.GT, Op.GE) \
+                and not is_numeric(self.value):
+            raise MatchingError(
+                f"ordered operator {self.op} requires a numeric value")
+
+    def __str__(self) -> str:
+        if self.op == Op.EXISTS:
+            return f"{self.attribute} exists"
+        if self.op == Op.RANGE:
+            lo, hi = self.value
+            return f"{self.attribute} in [{lo}, {hi}]"
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Normalised per-attribute constraint: interval + exclusions.
+
+    ``lo``/``hi`` bound numeric values (open bounds flagged); for string
+    attributes ``equals`` pins an exact value. ``excluded`` holds values
+    ruled out by ``!=`` predicates. The admitted set is::
+
+        { v : lo (<|<=) v (<|<=) hi,  v not in excluded }   (numeric)
+        { equals } - excluded  or  any-string - excluded     (string)
+    """
+
+    lo: float = _NEG_INF
+    hi: float = _POS_INF
+    lo_open: bool = False
+    hi_open: bool = False
+    equals: Optional[str] = None  # exact string pin, if string-typed
+    is_string: bool = False
+    excluded: FrozenSet[AttributeValue] = frozenset()
+
+    def is_universal_interval(self) -> bool:
+        """True when the numeric interval part constrains nothing.
+
+        Such a constraint (e.g. built from ``exists`` or pure ``!=``
+        predicates) admits values of *any* type modulo exclusions.
+        """
+        return (not self.is_string and self.lo == _NEG_INF
+                and self.hi == _POS_INF)
+
+    def admits(self, value: AttributeValue) -> bool:
+        """Does ``value`` satisfy this constraint?"""
+        if value in self.excluded:
+            return False
+        if self.is_string:
+            if not isinstance(value, str):
+                return False
+            return self.equals is None or value == self.equals
+        if not is_numeric(value):
+            # An unbounded non-string constraint ("exists", bare "!=")
+            # admits any type; a bounded interval admits numerics only.
+            return self.is_universal_interval()
+        if value < self.lo or (self.lo_open and value == self.lo):
+            return False
+        if value > self.hi or (self.hi_open and value == self.hi):
+            return False
+        return True
+
+    def is_satisfiable(self) -> bool:
+        """False when no value can ever satisfy the constraint."""
+        if self.is_string:
+            return self.equals is None or self.equals not in self.excluded
+        if self.lo > self.hi:
+            return False
+        if self.lo == self.hi:
+            return not (self.lo_open or self.hi_open) \
+                and self.lo not in self.excluded
+        return True
+
+    def is_equality(self) -> bool:
+        """True when exactly one value is admitted."""
+        if self.is_string:
+            return self.equals is not None
+        return self.lo == self.hi and not self.lo_open and not self.hi_open
+
+    def covers(self, other: "Constraint") -> bool:
+        """Is every value admitted by ``other`` admitted by ``self``?
+
+        Conservative where exclusions interact with continuous
+        intervals: we require each of our excluded values to be
+        explicitly ruled out by ``other`` (excluded or outside its
+        interval), which is exact for the discrete cases workloads use.
+        """
+        if not other.is_satisfiable():
+            return True
+        if self.is_string != other.is_string:
+            # Different domains: only a universal (unbounded, non-string)
+            # constraint covers across types; exclusions checked below.
+            if not self.is_universal_interval():
+                return False
+        elif self.is_string:
+            if self.equals is not None and (other.equals is None
+                                            or other.equals != self.equals):
+                return False
+        else:
+            if other.lo < self.lo or (other.lo == self.lo
+                                      and self.lo_open
+                                      and not other.lo_open):
+                return False
+            if other.hi > self.hi or (other.hi == self.hi
+                                      and self.hi_open
+                                      and not other.hi_open):
+                return False
+        for value in self.excluded:
+            if other.admits(value):
+                return False
+        return True
+
+    def key(self) -> Tuple:
+        """Hashable canonical form (used to deduplicate subscriptions)."""
+        return (self.is_string, self.equals, self.lo, self.hi,
+                self.lo_open, self.hi_open,
+                tuple(sorted(self.excluded, key=repr)))
+
+
+def constraint_from_predicates(predicates) -> Constraint:
+    """Fold same-attribute predicates into one :class:`Constraint`."""
+    lo, hi = _NEG_INF, _POS_INF
+    lo_open = hi_open = False
+    equals: Optional[str] = None
+    is_string = False
+    excluded = set()
+
+    def _tighten_lo(value: float, open_: bool) -> None:
+        nonlocal lo, lo_open
+        if value > lo or (value == lo and open_):
+            lo, lo_open = value, open_
+
+    def _tighten_hi(value: float, open_: bool) -> None:
+        nonlocal hi, hi_open
+        if value < hi or (value == hi and open_):
+            hi, hi_open = value, open_
+
+    for pred in predicates:
+        if pred.op == Op.EXISTS:
+            continue
+        value = pred.value
+        if pred.op == Op.NE:
+            excluded.add(value)
+            if isinstance(value, str):
+                is_string = True
+            continue
+        if isinstance(value, str):
+            if pred.op != Op.EQ:
+                raise MatchingError(
+                    f"operator {pred.op} unsupported for strings")
+            is_string = True
+            if equals is not None and equals != value:
+                # Contradictory equalities: exclude the pinned value so
+                # the constraint becomes unsatisfiable.
+                excluded.add(equals)
+            else:
+                equals = value
+            continue
+        if pred.op == Op.EQ:
+            _tighten_lo(value, False)
+            _tighten_hi(value, False)
+        elif pred.op == Op.LT:
+            _tighten_hi(value, True)
+        elif pred.op == Op.LE:
+            _tighten_hi(value, False)
+        elif pred.op == Op.GT:
+            _tighten_lo(value, True)
+        elif pred.op == Op.GE:
+            _tighten_lo(value, False)
+        elif pred.op == Op.RANGE:
+            range_lo, range_hi = value
+            _tighten_lo(range_lo, False)
+            _tighten_hi(range_hi, False)
+    if is_string and (lo != _NEG_INF or hi != _POS_INF):
+        raise MatchingError(
+            "attribute mixes string and numeric predicates")
+    return Constraint(lo=lo, hi=hi, lo_open=lo_open, hi_open=hi_open,
+                      equals=equals, is_string=is_string,
+                      excluded=frozenset(excluded))

@@ -1,0 +1,174 @@
+"""Textual subscription language: the paper's own notation, parsed.
+
+The paper writes subscriptions as predicates like::
+
+    symbol = "HAL" and price < 50
+
+This module parses that notation into :class:`Subscription` objects so
+applications (and tests) can express filters the way the paper does.
+
+Grammar (conjunctions only — CBR subscriptions are conjunctive; an OR
+is expressed as two subscriptions)::
+
+    query      := predicate ( ("and" | "&&" | "∧") predicate )*
+    predicate  := name op value
+                | name "in" "[" number "," number "]"
+                | "exists" name
+    op         := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+    value      := number | quoted string | bare word
+    name       := [A-Za-z_][A-Za-z0-9_.]*
+
+Numbers with a decimal point or exponent parse as floats, others as
+ints; values in single or double quotes are strings; unquoted
+non-numeric values are treated as strings for convenience
+(``symbol = HAL``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+from repro.errors import MatchingError
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+
+__all__ = ["parse_query", "parse_predicate"]
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<and>\band\b|&&|∧)
+  | (?P<exists>\bexists\b)
+  | (?P<in>\bin\b)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<op><=|>=|==|!=|=|<|>)
+  | (?P<number>[-+]?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+""", re.VERBOSE)
+
+_OP_MAP = {
+    "=": Op.EQ, "==": Op.EQ, "!=": Op.NE,
+    "<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE,
+}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise MatchingError(
+                f"query syntax error at column {position}: "
+                f"{text[position:position + 12]!r}")
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    if re.fullmatch(r"[-+]?\d+", text):
+        return int(text)
+    return float(text)
+
+
+class _Parser:
+    """Recursive-descent over the token list."""
+
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self, expected: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise MatchingError(
+                f"unexpected end of query: {self._source!r}")
+        if expected is not None and token.kind != expected:
+            raise MatchingError(
+                f"expected {expected} at column {token.position}, got "
+                f"{token.text!r}")
+        self._index += 1
+        return token
+
+    def parse(self) -> List[Predicate]:
+        predicates = [self._predicate()]
+        while self._peek() is not None:
+            self._next("and")
+            predicates.append(self._predicate())
+        return predicates
+
+    def _predicate(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise MatchingError("empty query")
+        if token.kind == "exists":
+            self._next()
+            name = self._next("name")
+            return Predicate(name.text, Op.EXISTS)
+        name = self._next("name")
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "in":
+            self._next()
+            self._next("lbracket")
+            lo = _parse_number(self._next("number").text)
+            self._next("comma")
+            hi = _parse_number(self._next("number").text)
+            self._next("rbracket")
+            return Predicate(name.text, Op.RANGE, (lo, hi))
+        op_token = self._next("op")
+        operator = _OP_MAP[op_token.text]
+        value_token = self._next()
+        if value_token.kind == "number":
+            value: Union[int, float, str] = _parse_number(
+                value_token.text)
+        elif value_token.kind == "string":
+            value = value_token.text[1:-1]
+        elif value_token.kind == "name":
+            # Bare word: treat as string ('symbol = HAL').
+            value = value_token.text
+        else:
+            raise MatchingError(
+                f"expected a value at column {value_token.position}, "
+                f"got {value_token.text!r}")
+        return Predicate(name.text, operator, value)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a single predicate, e.g. ``'price < 50'``."""
+    parser = _Parser(_tokenize(text), text)
+    predicate = parser._predicate()
+    if parser._peek() is not None:
+        raise MatchingError(f"trailing input in predicate: {text!r}")
+    return predicate
+
+
+def parse_query(text: str) -> Subscription:
+    """Parse a conjunctive query into a :class:`Subscription`.
+
+    >>> sub = parse_query('symbol = "HAL" and price < 50')
+    >>> from repro.matching.events import Event
+    >>> sub.matches(Event({"symbol": "HAL", "price": 48.0}))
+    True
+    """
+    if not text or not text.strip():
+        raise MatchingError("empty query")
+    return Subscription(_Parser(_tokenize(text), text).parse())

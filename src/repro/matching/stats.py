@@ -1,0 +1,69 @@
+"""Index-shape statistics: the quantities that explain Figure 6.
+
+The paper attributes workload performance differences to containment
+structure: all-equality workloads "form deeper containment trees" while
+many-attribute workloads "yield indexes with more roots and shallow
+trees, therefore inducing more comparisons" (§4). These metrics make
+that explanation measurable in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.matching.poset import ContainmentForest, PosetNode
+
+__all__ = ["ForestStats", "forest_stats"]
+
+
+@dataclass(frozen=True)
+class ForestStats:
+    """Shape summary of a containment forest."""
+
+    n_nodes: int
+    n_subscriptions: int
+    n_roots: int
+    max_depth: int
+    mean_depth: float
+    mean_fanout: float
+    containment_ratio: float  # stored nodes / registered subscriptions
+    index_bytes: int
+
+    def describe(self) -> str:
+        return (f"nodes={self.n_nodes} subs={self.n_subscriptions} "
+                f"roots={self.n_roots} depth(max/mean)="
+                f"{self.max_depth}/{self.mean_depth:.2f} "
+                f"fanout={self.mean_fanout:.2f} "
+                f"containment={self.containment_ratio:.3f} "
+                f"bytes={self.index_bytes}")
+
+
+def forest_stats(forest: ContainmentForest) -> ForestStats:
+    """Compute shape statistics by walking the forest."""
+    depths: List[int] = []
+    fanouts: List[int] = []
+    n_nodes = 0
+    stack = [(root, 1) for root in forest.roots]
+    while stack:
+        node, depth = stack.pop()
+        n_nodes += 1
+        depths.append(depth)
+        if node.children:
+            fanouts.append(len(node.children))
+            stack.extend((child, depth + 1) for child in node.children)
+    max_depth = max(depths) if depths else 0
+    mean_depth = sum(depths) / len(depths) if depths else 0.0
+    mean_fanout = sum(fanouts) / len(fanouts) if fanouts else 0.0
+    ratio = (n_nodes / forest.n_subscriptions
+             if forest.n_subscriptions else 0.0)
+    return ForestStats(
+        n_nodes=n_nodes,
+        n_subscriptions=forest.n_subscriptions,
+        n_roots=len(forest.roots),
+        max_depth=max_depth,
+        mean_depth=mean_depth,
+        mean_fanout=mean_fanout,
+        containment_ratio=ratio,
+        index_bytes=forest.index_bytes,
+    )

@@ -1,0 +1,5 @@
+"""In-process messaging substrate (the ZeroMQ stand-in)."""
+
+from repro.network.bus import Endpoint, Frame, MessageBus
+
+__all__ = ["MessageBus", "Endpoint", "Frame"]

@@ -1,0 +1,116 @@
+"""In-process message bus: the ZeroMQ substitute (paper §3.5).
+
+The paper wires producer, filter and consumers with ZeroMQ and
+serialises messages in Base64 text. Offline and single-process, we
+model the same shape: named endpoints exchanging multipart frames
+through a broker object, with per-endpoint FIFO inboxes and traffic
+counters. Matching-time measurements are taken at the filtering engine
+(as in the paper), so the bus needs determinism, not real sockets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+
+__all__ = ["Frame", "MessageBus", "Endpoint"]
+
+Frame = List[bytes]
+
+
+@dataclass
+class _Mailbox:
+    inbox: Deque[Tuple[str, Frame]] = field(default_factory=deque)
+    received_messages: int = 0
+    received_bytes: int = 0
+
+
+class Endpoint:
+    """One party on the bus (publisher, router, client...)."""
+
+    def __init__(self, bus: "MessageBus", name: str) -> None:
+        self._bus = bus
+        self.name = name
+        self.sent_messages = 0
+        self.sent_bytes = 0
+
+    def send(self, to: str, frames: Frame) -> None:
+        """Deliver a multipart message to another endpoint's inbox."""
+        self._bus.deliver(self.name, to, frames)
+        self.sent_messages += 1
+        self.sent_bytes += sum(len(f) for f in frames)
+
+    def recv(self) -> Optional[Tuple[str, Frame]]:
+        """Pop the oldest pending ``(sender, frames)``, or None."""
+        return self._bus.pop(self.name)
+
+    def recv_all(self) -> List[Tuple[str, Frame]]:
+        """Drain the inbox."""
+        messages = []
+        while True:
+            message = self.recv()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    @property
+    def pending(self) -> int:
+        return self._bus.pending(self.name)
+
+
+class MessageBus:
+    """Broker connecting named endpoints with FIFO delivery."""
+
+    def __init__(self) -> None:
+        self._mailboxes: Dict[str, _Mailbox] = {}
+        self._endpoints: Dict[str, Endpoint] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Create (or fetch) the endpoint with this identity."""
+        if not name:
+            raise NetworkError("endpoint name must be non-empty")
+        if name not in self._endpoints:
+            self._endpoints[name] = Endpoint(self, name)
+            self._mailboxes[name] = _Mailbox()
+        return self._endpoints[name]
+
+    def deliver(self, sender: str, to: str, frames: Frame) -> None:
+        mailbox = self._mailboxes.get(to)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {to!r}")
+        if not isinstance(frames, list) or not all(
+                isinstance(f, (bytes, bytearray)) for f in frames):
+            raise NetworkError("frames must be a list of bytes")
+        payload = [bytes(f) for f in frames]
+        mailbox.inbox.append((sender, payload))
+        size = sum(len(f) for f in payload)
+        mailbox.received_messages += 1
+        mailbox.received_bytes += size
+        self.total_messages += 1
+        self.total_bytes += size
+
+    def pop(self, name: str) -> Optional[Tuple[str, Frame]]:
+        mailbox = self._mailboxes.get(name)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {name!r}")
+        if not mailbox.inbox:
+            return None
+        return mailbox.inbox.popleft()
+
+    def pending(self, name: str) -> int:
+        mailbox = self._mailboxes.get(name)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {name!r}")
+        return len(mailbox.inbox)
+
+    def stats(self, name: str) -> Tuple[int, int]:
+        """(messages, bytes) received by an endpoint so far."""
+        mailbox = self._mailboxes.get(name)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {name!r}")
+        return mailbox.received_messages, mailbox.received_bytes

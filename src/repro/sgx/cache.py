@@ -1,0 +1,86 @@
+"""Set-associative last-level cache model with LRU replacement.
+
+Fed with the matcher's real memory-access trace, this model produces the
+LLC miss rates that drive the in-enclave vs. native gap of Figures 5
+and 7: once the subscription index outgrows the LLC, every miss inside
+an enclave additionally pays the MEE decrypt/verify cost.
+
+The model tracks cache *lines* only (no data): a line is identified by
+``address >> line_shift``. Sets are lists in LRU order (front = LRU).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["CacheModel"]
+
+
+class CacheModel:
+    """LRU set-associative cache over line addresses.
+
+    >>> cache = CacheModel(size_bytes=1024, line_bytes=64, associativity=2)
+    >>> cache.access(0)      # cold miss
+    False
+    >>> cache.access(0)      # now resident
+    True
+    """
+
+    __slots__ = ("line_shift", "ways", "n_sets", "_set_mask", "_sets",
+                 "hits", "misses")
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64,
+                 associativity: int = 16) -> None:
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError("cache size must be a multiple of way size")
+        self.line_shift = line_bytes.bit_length() - 1
+        if 1 << self.line_shift != line_bytes:
+            raise ValueError("line size must be a power of two")
+        self.ways = associativity
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch the line containing ``address``; True on hit."""
+        return self.access_line(address >> self.line_shift)
+
+    def access_line(self, line: int) -> bool:
+        """Touch a line address directly (hot path for traced loops)."""
+        cache_set = self._sets[line & self._set_mask]
+        if line in cache_set:
+            if cache_set[-1] != line:
+                cache_set.remove(line)
+                cache_set.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set.append(line)
+        if len(cache_set) > self.ways:
+            del cache_set[0]
+        return False
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when no traffic yet)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def flush(self) -> None:
+        """Invalidate every line (keeps hit/miss counters)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (keeps cache contents)."""
+        self.hits = 0
+        self.misses = 0

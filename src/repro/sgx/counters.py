@@ -1,0 +1,62 @@
+"""Monotonic counters for rollback protection (paper §2, last ¶).
+
+An enclave persisting sealed state must defend against an attacker
+serving it an *older*, correctly sealed blob. SGX platforms expose
+monotonic counters: the enclave increments the counter on every write
+and stores the value inside the sealed blob; on restart it compares the
+blob's value against the hardware counter.
+
+Counters survive enclave teardown (they are a platform service), which
+is exactly what :mod:`repro.sgx.sealing` relies on.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, Tuple
+
+from repro.errors import SgxError
+
+__all__ = ["MonotonicCounterService"]
+
+
+class MonotonicCounterService:
+    """Platform-wide monotonic counter facility.
+
+    Counters are identified by a random UUID handed out at creation and
+    scoped to an owner identity (the creating enclave's MRSIGNER) so one
+    vendor's enclaves cannot manipulate another's counters.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[bytes, Tuple[bytes, int]] = {}
+
+    def create(self, owner: bytes) -> bytes:
+        """Create a counter at 0; returns its capability id."""
+        counter_id = secrets.token_bytes(16)
+        self._counters[counter_id] = (owner, 0)
+        return counter_id
+
+    def _lookup(self, counter_id: bytes, owner: bytes) -> int:
+        entry = self._counters.get(counter_id)
+        if entry is None:
+            raise SgxError("unknown monotonic counter")
+        counter_owner, value = entry
+        if counter_owner != owner:
+            raise SgxError("monotonic counter owned by another signer")
+        return value
+
+    def read(self, counter_id: bytes, owner: bytes) -> int:
+        """Current value of the counter."""
+        return self._lookup(counter_id, owner)
+
+    def increment(self, counter_id: bytes, owner: bytes) -> int:
+        """Increment and return the new value."""
+        value = self._lookup(counter_id, owner) + 1
+        self._counters[counter_id] = (owner, value)
+        return value
+
+    def destroy(self, counter_id: bytes, owner: bytes) -> None:
+        """Release the counter (it may never be recreated with old state)."""
+        self._lookup(counter_id, owner)
+        del self._counters[counter_id]

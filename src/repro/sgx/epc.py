@@ -1,0 +1,99 @@
+"""Enclave page cache (EPC) residency model.
+
+Enclave code and data live in the EPC, a region of physical memory
+(128 MB on the paper's machine, ~90 MB usable) that the CPU encrypts and
+authenticates. When an enclave's working set exceeds the usable EPC, the
+SGX kernel driver evicts pages (EWB: encrypt, MAC, version) to untrusted
+memory and reloads them on demand (ELD: decrypt, verify freshness) — the
+mechanism behind the paging cliff of Figure 8.
+
+This module tracks *residency* and *versions*; the cost of each fault is
+charged by :class:`repro.sgx.memory.MemorySubsystem`, and the actual
+page-content cryptography for functional demonstrations lives in
+:class:`repro.sgx.mee.MemoryEncryptionEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import EpcError
+from repro.sgx.cpu import PlatformSpec
+from repro.sgx.paging import make_policy
+
+__all__ = ["EpcManager"]
+
+
+class EpcManager:
+    """Residency tracking for enclave pages.
+
+    Pages are identified by virtual page number (address >> page shift).
+    A version counter per evicted page models SGX's version array, which
+    is what defeats replay of stale evicted pages. Victim selection is
+    delegated to the driver's replacement policy
+    (:mod:`repro.sgx.paging`; chosen via ``spec.epc_policy``).
+    """
+
+    __slots__ = ("capacity_pages", "_resident", "_versions", "faults",
+                 "evictions", "loads", "policy")
+
+    def __init__(self, spec: PlatformSpec) -> None:
+        self.capacity_pages = spec.epc_usable_pages
+        if self.capacity_pages <= 0:
+            raise EpcError("EPC has no usable pages")
+        self._resident: Dict[int, bool] = {}
+        self._versions: Dict[int, int] = {}
+        self.policy = make_policy(spec.epc_policy)
+        self.faults = 0
+        self.evictions = 0
+        self.loads = 0
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently resident in the EPC."""
+        return len(self._resident)
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    def version_of(self, page: int) -> int:
+        """Eviction count of ``page`` (0 if never evicted)."""
+        return self._versions.get(page, 0)
+
+    def access(self, page: int) -> bool:
+        """Touch ``page``; returns True if it faulted (was not resident).
+
+        A fault loads the page, evicting the LRU page if the EPC is full.
+        """
+        resident = self._resident
+        if page in resident:
+            self.policy.accessed(page)
+            return False
+        self.faults += 1
+        self.loads += 1
+        if len(resident) >= self.capacity_pages:
+            victim = self.policy.evict()
+            del resident[victim]
+            self.evictions += 1
+            self._versions[victim] = self._versions.get(victim, 0) + 1
+        resident[page] = True
+        self.policy.loaded(page)
+        return True
+
+    def remove(self, page: int) -> None:
+        """EREMOVE: drop a page from the EPC (enclave teardown)."""
+        if self._resident.pop(page, None) is not None:
+            self.policy.removed(page)
+
+    def reset_counters(self) -> None:
+        """Zero fault/eviction/load counters (keeps residency state)."""
+        self.faults = 0
+        self.evictions = 0
+        self.loads = 0
+
+
+def touched_pages(address: int, n_bytes: int, page_bytes: int) -> range:
+    """Page numbers spanned by an access of ``n_bytes`` at ``address``."""
+    first = address // page_bytes
+    last = (address + max(n_bytes, 1) - 1) // page_bytes
+    return range(first, last + 1)

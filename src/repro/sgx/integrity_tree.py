@@ -1,0 +1,161 @@
+"""Integrity tree over protected memory (stateful MAC with nonces).
+
+SGX guarantees integrity and freshness of enclave memory through a
+counter/MAC tree (Gueron 2016; Rogers et al. 2007): every protected
+block is authenticated together with a per-block nonce; nonces are in
+turn authenticated by parent nodes, up to a root stored on-die and
+unreachable from outside. A mismatch anywhere locks the memory
+controller until reboot.
+
+This module implements that mechanism functionally over page-sized
+blobs: writes bump the block's nonce and recompute the MAC path; reads
+verify the path. Tampering with stored data, MACs or nonces — or
+replaying an old (data, MAC, nonce) triple — is detected, and the tree
+enters the locked state (:class:`repro.errors.MemoryLockError`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, List
+
+from repro.errors import AuthenticationError, MemoryLockError
+
+__all__ = ["IntegrityTree"]
+
+_MAC_LEN = 16
+
+
+def _mac(key: bytes, *parts: bytes) -> bytes:
+    message = b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+    return hmac.new(key, message, hashlib.sha256).digest()[:_MAC_LEN]
+
+
+class IntegrityTree:
+    """k-ary nonce/MAC tree over ``n_blocks`` protected blocks.
+
+    The tree's internal nodes (nonces and MACs) live in *untrusted*
+    storage — the public attributes :attr:`nonces` and :attr:`macs` —
+    which an attacker may overwrite; only ``_root`` and the MAC key are
+    "on die". This mirrors the hardware layout and lets tests mount
+    realistic tamper/replay attacks.
+    """
+
+    def __init__(self, key: bytes, n_blocks: int, arity: int = 8) -> None:
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self._key = key
+        self.arity = arity
+        self.n_blocks = n_blocks
+        # Level 0: one counter per block. Upper levels: one counter per
+        # group of `arity` children. The root covers the top level.
+        self._level_sizes: List[int] = [n_blocks]
+        while self._level_sizes[-1] > 1:
+            size = (self._level_sizes[-1] + arity - 1) // arity
+            self._level_sizes.append(size)
+        # Untrusted state (attacker-accessible).
+        self.nonces: List[List[int]] = [[0] * s for s in self._level_sizes]
+        self.macs: Dict[int, bytes] = {}  # block index -> data MAC
+        self.node_macs: Dict = {}  # (level, index) -> node MAC
+        # Trusted on-die state.
+        self._root = self._compute_root()
+        self._locked = False
+
+    # -- internal -----------------------------------------------------------
+
+    def _check_locked(self) -> None:
+        if self._locked:
+            raise MemoryLockError(
+                "memory controller locked after integrity violation; "
+                "platform reset required"
+            )
+
+    def _lock(self, reason: str) -> None:
+        self._locked = True
+        raise MemoryLockError(f"integrity violation: {reason}")
+
+    def _node_mac(self, level: int, index: int) -> bytes:
+        """MAC authenticating node (level, index)'s children nonces."""
+        lo = index * self.arity
+        hi = min(lo + self.arity, self._level_sizes[level - 1])
+        child_nonces = self.nonces[level - 1][lo:hi]
+        payload = b"".join(n.to_bytes(8, "big") for n in child_nonces)
+        own_nonce = self.nonces[level][index].to_bytes(8, "big")
+        return _mac(self._key, b"node", level.to_bytes(2, "big"),
+                    index.to_bytes(4, "big"), payload, own_nonce)
+
+    def _compute_root(self) -> bytes:
+        top = len(self._level_sizes) - 1
+        payload = b"".join(n.to_bytes(8, "big") for n in self.nonces[top])
+        return _mac(self._key, b"root", payload)
+
+    def _verify_path(self, block: int) -> None:
+        """Verify the nonce path from ``block`` up to the on-die root."""
+        index = block
+        for level in range(1, len(self._level_sizes)):
+            index //= self.arity
+            stored = self.node_macs.get((level, index))
+            if stored is None:
+                # A missing node MAC is only legitimate while the node
+                # and all its children are in the pristine all-zero
+                # state; otherwise someone deleted it to hide a replay.
+                lo = index * self.arity
+                hi = min(lo + self.arity, self._level_sizes[level - 1])
+                pristine = (self.nonces[level][index] == 0 and
+                            not any(self.nonces[level - 1][lo:hi]))
+                if not pristine:
+                    self._lock(f"missing node MAC at level {level}")
+                continue
+            if not hmac.compare_digest(stored, self._node_mac(level, index)):
+                self._lock(f"node MAC mismatch at level {level}")
+        if not hmac.compare_digest(self._root, self._compute_root()):
+            self._lock("root mismatch (possible replay of nonce state)")
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def locked(self) -> bool:
+        """True once an integrity violation has been detected."""
+        return self._locked
+
+    def write(self, block: int, data: bytes) -> None:
+        """Authenticate a new version of ``block`` holding ``data``."""
+        self._check_locked()
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        self._verify_path(block)
+        # Bump the block nonce and re-MAC the whole path.
+        self.nonces[0][block] += 1
+        nonce = self.nonces[0][block]
+        self.macs[block] = _mac(self._key, b"data",
+                                block.to_bytes(4, "big"),
+                                nonce.to_bytes(8, "big"), data)
+        index = block
+        for level in range(1, len(self._level_sizes)):
+            index //= self.arity
+            self.nonces[level][index] += 1
+            self.node_macs[(level, index)] = self._node_mac(level, index)
+        self._root = self._compute_root()
+
+    def verify(self, block: int, data: bytes) -> None:
+        """Check ``data`` is the latest authenticated content of ``block``.
+
+        Raises :class:`MemoryLockError` on any mismatch (tamper or
+        replay) and locks the controller, or
+        :class:`AuthenticationError` if the block was never written.
+        """
+        self._check_locked()
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        stored = self.macs.get(block)
+        if stored is None:
+            raise AuthenticationError(f"block {block} has no MAC on record")
+        nonce = self.nonces[0][block]
+        expected = _mac(self._key, b"data", block.to_bytes(4, "big"),
+                        nonce.to_bytes(8, "big"), data)
+        if not hmac.compare_digest(stored, expected):
+            self._lock(f"data MAC mismatch for block {block}")
+        self._verify_path(block)

@@ -1,0 +1,221 @@
+"""Traced memory subsystem: allocation, cache/EPC accounting, cycles.
+
+This is the spine of the performance model. Data structures that the
+routing engine traverses (the containment poset, the ASPE matrix store)
+allocate their nodes from a :class:`MemoryArena`; every traversal then
+reports its touches to the owning :class:`MemorySubsystem`, which drives
+the LLC model, the EPC residency model and the cycle account.
+
+Two address spaces are distinguished by the arena's ``enclave`` flag:
+
+* *enclave* addresses — misses additionally pay the MEE line cost, and
+  page touches go through the EPC manager (faulting when the working
+  set exceeds the usable EPC);
+* *untrusted* addresses — misses pay a plain DRAM access, and each page
+  pays a single OS minor fault on first touch (``getrusage`` ``minflt``
+  semantics, which Figure 8 compares against EPC faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.errors import SgxError
+from repro.sgx.cache import CacheModel
+from repro.sgx.cpu import PlatformSpec, SKYLAKE_I7_6700
+from repro.sgx.epc import EpcManager
+
+__all__ = ["MemorySubsystem", "MemoryArena", "MemoryCounters"]
+
+#: Enclave allocations live in a disjoint upper address range.
+ENCLAVE_BASE = 1 << 40
+UNTRUSTED_BASE = 1 << 20
+
+
+@dataclass
+class MemoryCounters:
+    """Snapshot of the subsystem's accounting state."""
+
+    cycles: float
+    llc_hits: int
+    llc_misses: int
+    epc_faults: int
+    epc_evictions: int
+    minor_faults: int
+
+    @property
+    def llc_accesses(self) -> int:
+        return self.llc_hits + self.llc_misses
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.llc_accesses
+        return self.llc_misses / total if total else 0.0
+
+    def delta(self, earlier: "MemoryCounters") -> "MemoryCounters":
+        """Counters accumulated since ``earlier``."""
+        return MemoryCounters(
+            cycles=self.cycles - earlier.cycles,
+            llc_hits=self.llc_hits - earlier.llc_hits,
+            llc_misses=self.llc_misses - earlier.llc_misses,
+            epc_faults=self.epc_faults - earlier.epc_faults,
+            epc_evictions=self.epc_evictions - earlier.epc_evictions,
+            minor_faults=self.minor_faults - earlier.minor_faults,
+        )
+
+
+class MemorySubsystem:
+    """Cycle-accounted cache + paging model shared by one platform."""
+
+    __slots__ = ("spec", "costs", "cache", "epc", "cycles",
+                 "_untrusted_pages", "minor_faults", "_line_shift",
+                 "_page_shift")
+
+    def __init__(self, spec: PlatformSpec = SKYLAKE_I7_6700) -> None:
+        self.spec = spec
+        self.costs = spec.costs
+        self.cache = CacheModel(spec.llc_bytes, spec.cache_line_bytes,
+                                spec.llc_associativity)
+        self.epc = EpcManager(spec)
+        self.cycles = 0.0
+        self._untrusted_pages: Set[int] = set()
+        self.minor_faults = 0
+        self._line_shift = self.cache.line_shift
+        self._page_shift = spec.page_bytes.bit_length() - 1
+        if 1 << self._page_shift != spec.page_bytes:
+            raise SgxError("page size must be a power of two")
+
+    # -- hot path ----------------------------------------------------------
+
+    def touch(self, address: int, n_bytes: int, enclave: bool) -> None:
+        """Account for a data access of ``n_bytes`` at ``address``."""
+        costs = self.costs
+        cache = self.cache
+        cycles = 0.0
+
+        first_line = address >> self._line_shift
+        last_line = (address + n_bytes - 1) >> self._line_shift
+        if enclave:
+            miss_cost = costs.llc_miss_cycles + costs.mee_line_cycles
+        else:
+            miss_cost = costs.llc_miss_cycles
+        for line in range(first_line, last_line + 1):
+            if cache.access_line(line):
+                cycles += costs.llc_hit_cycles
+            else:
+                cycles += miss_cost
+
+        first_page = address >> self._page_shift
+        last_page = (address + n_bytes - 1) >> self._page_shift
+        if enclave:
+            epc_access = self.epc.access
+            for page in range(first_page, last_page + 1):
+                if epc_access(page):
+                    cycles += costs.epc_fault_cycles
+        else:
+            pages = self._untrusted_pages
+            for page in range(first_page, last_page + 1):
+                if page not in pages:
+                    pages.add(page)
+                    self.minor_faults += 1
+                    cycles += costs.minor_fault_cycles
+        self.cycles += cycles
+
+    def charge(self, cycles: float) -> None:
+        """Charge raw compute cycles (predicate evals, crypto, ...)."""
+        self.cycles += cycles
+
+    def prefault(self, address: int, n_bytes: int, enclave: bool) -> None:
+        """Make pages resident without charging cycles or counters.
+
+        Used to reconstruct the residency state a preceding untraced
+        phase (e.g. registration excluded from a measurement) would
+        have left behind. LLC state is deliberately not touched.
+        """
+        if n_bytes <= 0:
+            return
+        first_page = address >> self._page_shift
+        last_page = (address + n_bytes - 1) >> self._page_shift
+        if enclave:
+            epc = self.epc
+            faults, evictions, loads = (epc.faults, epc.evictions,
+                                        epc.loads)
+            for page in range(first_page, last_page + 1):
+                epc.access(page)
+            epc.faults, epc.evictions, epc.loads = (faults, evictions,
+                                                    loads)
+        else:
+            self._untrusted_pages.update(
+                range(first_page, last_page + 1))
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def snapshot(self) -> MemoryCounters:
+        """Current cumulative counters."""
+        return MemoryCounters(
+            cycles=self.cycles,
+            llc_hits=self.cache.hits,
+            llc_misses=self.cache.misses,
+            epc_faults=self.epc.faults,
+            epc_evictions=self.epc.evictions,
+            minor_faults=self.minor_faults,
+        )
+
+    def elapsed_us(self, since: Optional[MemoryCounters] = None) -> float:
+        """Simulated microseconds, optionally since a snapshot."""
+        cycles = self.cycles - (since.cycles if since else 0.0)
+        return self.spec.cycles_to_us(cycles)
+
+    def new_arena(self, enclave: bool, name: str = "") -> "MemoryArena":
+        """Create an allocation arena in the chosen address space."""
+        return MemoryArena(self, enclave=enclave, name=name)
+
+
+class MemoryArena:
+    """Bump allocator handing out addresses inside one address space.
+
+    Arenas within the same subsystem and space are laid out one after
+    another; allocations are cache-line aligned so that distinct nodes
+    do not share lines (conservative but simple).
+    """
+
+    _next_enclave_base = ENCLAVE_BASE
+    _next_untrusted_base = UNTRUSTED_BASE
+    #: Gap between arenas, large enough for any experiment in this repo.
+    ARENA_SPAN = 1 << 36
+
+    __slots__ = ("memory", "enclave", "name", "base", "_cursor", "_align")
+
+    def __init__(self, memory: MemorySubsystem, enclave: bool,
+                 name: str = "") -> None:
+        self.memory = memory
+        self.enclave = enclave
+        self.name = name
+        cls = MemoryArena
+        if enclave:
+            self.base = cls._next_enclave_base
+            cls._next_enclave_base += cls.ARENA_SPAN
+        else:
+            self.base = cls._next_untrusted_base
+            cls._next_untrusted_base += cls.ARENA_SPAN
+        self._cursor = self.base
+        self._align = memory.spec.cache_line_bytes
+
+    def alloc(self, n_bytes: int) -> int:
+        """Allocate ``n_bytes``; returns the simulated address."""
+        if n_bytes <= 0:
+            raise SgxError("allocation size must be positive")
+        align = self._align
+        address = (self._cursor + align - 1) // align * align
+        self._cursor = address + n_bytes
+        return address
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes handed out so far (including alignment padding)."""
+        return self._cursor - self.base
+
+    def touch(self, address: int, n_bytes: int) -> None:
+        """Record an access to a previously allocated region."""
+        self.memory.touch(address, n_bytes, self.enclave)

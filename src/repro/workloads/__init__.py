@@ -1,0 +1,30 @@
+"""Workload generation: the paper's nine Table 1 datasets.
+
+Synthetic stock quotes (the offline Yahoo! finance substitute), Zipf
+samplers, subscription synthesis and dataset assembly.
+"""
+
+from repro.workloads.datasets import (Dataset, build_dataset,
+                                      dataset_statistics)
+from repro.workloads.io import load_dataset, save_dataset
+from repro.workloads.quotes import (BASE_ATTRIBUTES, OPTIONAL_ATTRIBUTES,
+                                    Quote, QuoteCollection,
+                                    generate_quotes)
+from repro.workloads.spec import (Distribution, WORKLOADS, WorkloadSpec,
+                                  get_workload, workload_names)
+from repro.workloads.subscriptions_gen import (SubscriptionGenerator,
+                                               merged_events)
+from repro.workloads.symbols import KNOWN_SYMBOLS, symbol_universe
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "Dataset", "build_dataset", "dataset_statistics",
+    "save_dataset", "load_dataset",
+    "Quote", "QuoteCollection", "generate_quotes",
+    "BASE_ATTRIBUTES", "OPTIONAL_ATTRIBUTES",
+    "Distribution", "WorkloadSpec", "WORKLOADS", "workload_names",
+    "get_workload",
+    "SubscriptionGenerator", "merged_events",
+    "KNOWN_SYMBOLS", "symbol_universe",
+    "ZipfSampler",
+]

@@ -1,0 +1,147 @@
+"""Dataset persistence: save and reload workload instances.
+
+The paper's datasets were fixed files derived from one crawl, reused
+across experiments. This module gives our synthetic datasets the same
+property: a generated :class:`~repro.workloads.datasets.Dataset` can be
+written to a single portable file (JSON-lines, one record per quote /
+publication / subscription) and reloaded bit-for-bit, so experiment
+runs can share exact inputs across machines and sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from repro.errors import WorkloadError
+from repro.matching.events import Event
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+from repro.workloads.datasets import Dataset
+from repro.workloads.quotes import Quote, QuoteCollection
+from repro.workloads.spec import get_workload
+
+__all__ = ["save_dataset", "load_dataset", "subscription_to_record",
+           "subscription_from_record"]
+
+_FORMAT_VERSION = 1
+
+
+def subscription_to_record(subscription: Subscription) -> Dict:
+    """JSON-safe record capturing a subscription's exact constraints."""
+    constraints = []
+    for attribute, c in subscription.items:
+        constraints.append({
+            "attr": attribute,
+            "string": c.is_string,
+            "equals": c.equals,
+            "lo": None if c.lo == float("-inf") else c.lo,
+            "hi": None if c.hi == float("inf") else c.hi,
+            "lo_open": c.lo_open,
+            "hi_open": c.hi_open,
+            "excluded": sorted(
+                [["s", v] if isinstance(v, str) else ["n", v]
+                 for v in c.excluded]),
+        })
+    return {"constraints": constraints}
+
+
+def subscription_from_record(record: Dict) -> Subscription:
+    """Rebuild a subscription from :func:`subscription_to_record`."""
+    predicates: List[Predicate] = []
+    for block in record["constraints"]:
+        attribute = block["attr"]
+        if block["string"]:
+            if block["equals"] is not None:
+                predicates.append(Predicate(attribute, Op.EQ,
+                                            block["equals"]))
+            elif not block["excluded"]:
+                predicates.append(Predicate(attribute, Op.EXISTS))
+        else:
+            lo, hi = block["lo"], block["hi"]
+            if lo is not None:
+                predicates.append(Predicate(
+                    attribute, Op.GT if block["lo_open"] else Op.GE,
+                    lo))
+            if hi is not None:
+                predicates.append(Predicate(
+                    attribute, Op.LT if block["hi_open"] else Op.LE,
+                    hi))
+            if lo is None and hi is None and not block["excluded"]:
+                predicates.append(Predicate(attribute, Op.EXISTS))
+        for kind, value in block["excluded"]:
+            predicates.append(Predicate(
+                attribute, Op.NE, value if kind == "s" else value))
+    return Subscription(predicates)
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write a dataset to ``path`` (JSON-lines)."""
+    with open(path, "w") as fh:
+        _write(dataset, fh)
+
+
+def _write(dataset: Dataset, fh: TextIO) -> None:
+    fh.write(json.dumps({
+        "kind": "header",
+        "version": _FORMAT_VERSION,
+        "workload": dataset.name,
+        "attributes": list(dataset.attribute_names),
+        "symbols": list(dataset.collection.symbols),
+        "n_quotes": len(dataset.collection),
+        "n_subscriptions": len(dataset.subscriptions),
+        "n_publications": len(dataset.publications),
+    }) + "\n")
+    for quote in dataset.collection.quotes:
+        fh.write(json.dumps({"kind": "quote",
+                             "header": quote.header}) + "\n")
+    for event in dataset.publications:
+        fh.write(json.dumps({"kind": "publication",
+                             "id": event.event_id,
+                             "header": event.header}) + "\n")
+    for subscription in dataset.subscriptions:
+        record = subscription_to_record(subscription)
+        record["kind"] = "subscription"
+        fh.write(json.dumps(record) + "\n")
+
+
+def load_dataset(path: str) -> Dataset:
+    """Reload a dataset written by :func:`save_dataset`."""
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or lines[0].get("kind") != "header":
+        raise WorkloadError(f"{path}: not a dataset file")
+    header = lines[0]
+    if header.get("version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"{path}: unsupported dataset version "
+            f"{header.get('version')}")
+    quotes: List[Quote] = []
+    publications: List[Event] = []
+    subscriptions: List[Subscription] = []
+    for record in lines[1:]:
+        kind = record.get("kind")
+        if kind == "quote":
+            quotes.append(Quote(record["header"]["symbol"],
+                                record["header"]))
+        elif kind == "publication":
+            publications.append(Event(record["header"],
+                                      event_id=record.get("id", 0)))
+        elif kind == "subscription":
+            subscriptions.append(subscription_from_record(record))
+        else:
+            raise WorkloadError(f"{path}: unknown record kind {kind!r}")
+    expected = (header["n_quotes"], header["n_subscriptions"],
+                header["n_publications"])
+    actual = (len(quotes), len(subscriptions), len(publications))
+    if expected != actual:
+        raise WorkloadError(
+            f"{path}: truncated dataset (expected {expected} records, "
+            f"got {actual})")
+    collection = QuoteCollection(quotes, header["symbols"])
+    return Dataset(name=header["workload"],
+                   spec=get_workload(header["workload"]),
+                   subscriptions=subscriptions,
+                   publications=publications,
+                   attribute_names=tuple(header["attributes"]),
+                   collection=collection)

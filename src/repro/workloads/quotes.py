@@ -1,0 +1,143 @@
+"""Synthetic stock-quote generator (the Yahoo! finance substitute).
+
+The paper's datasets come from ~250 000 real quotes with 8-11
+attributes each (§4). Offline, we synthesise an equivalent collection:
+per-symbol geometric-Brownian price paths with correlated OHLC fields,
+log-normal volumes, and a per-symbol static profile (market cap, P/E,
+dividend yield) that appears on a random subset of quotes so the
+per-publication attribute count varies over the paper's 8-11 range.
+
+Determinism: everything derives from one numpy seed, so datasets are
+reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.matching.events import Event
+from repro.workloads.symbols import symbol_universe
+
+__all__ = ["Quote", "QuoteCollection", "generate_quotes",
+           "BASE_ATTRIBUTES", "OPTIONAL_ATTRIBUTES"]
+
+#: always present (8 attributes, including the symbol).
+BASE_ATTRIBUTES = ("symbol", "open", "high", "low", "close", "volume",
+                   "change_pct", "avg_volume")
+#: present on a random subset of quotes (8 -> up to 11 attributes).
+OPTIONAL_ATTRIBUTES = ("market_cap", "pe_ratio", "dividend_yield")
+
+
+@dataclass(frozen=True)
+class Quote:
+    """One synthetic quote; ``header`` is the publication header."""
+
+    symbol: str
+    header: Dict[str, float]
+
+    def to_event(self, event_id: int = 0) -> Event:
+        return Event(dict(self.header), event_id=event_id)
+
+
+class QuoteCollection:
+    """A generated quote dataset with its symbol universe."""
+
+    def __init__(self, quotes: List[Quote], symbols: List[str]) -> None:
+        if not quotes:
+            raise WorkloadError("empty quote collection")
+        self.quotes = quotes
+        self.symbols = symbols
+        self._by_symbol: Dict[str, List[Quote]] = {}
+        for quote in quotes:
+            self._by_symbol.setdefault(quote.symbol, []).append(quote)
+
+    def __len__(self) -> int:
+        return len(self.quotes)
+
+    def __getitem__(self, index: int) -> Quote:
+        return self.quotes[index]
+
+    def quotes_for(self, symbol: str) -> List[Quote]:
+        return self._by_symbol.get(symbol, [])
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Union of attributes appearing in the collection."""
+        return BASE_ATTRIBUTES + OPTIONAL_ATTRIBUTES
+
+    def events(self) -> List[Event]:
+        """The whole collection as publication events."""
+        return [quote.to_event(i) for i, quote in enumerate(self.quotes)]
+
+
+def _symbol_profile(rng: np.random.Generator) -> Dict[str, float]:
+    """Static per-symbol fundamentals."""
+    return {
+        "base_price": float(rng.uniform(5.0, 500.0)),
+        "volatility": float(rng.uniform(0.01, 0.04)),
+        "base_volume": float(rng.uniform(1e5, 5e7)),
+        "market_cap": float(rng.uniform(0.5, 500.0)),  # billions
+        "pe_ratio": float(rng.uniform(5.0, 60.0)),
+        "dividend_yield": float(rng.uniform(0.0, 6.0)),
+    }
+
+
+def generate_quotes(n_quotes: int, n_symbols: int = 100,
+                    seed: int = 2016) -> QuoteCollection:
+    """Generate ``n_quotes`` quotes over ``n_symbols`` tickers.
+
+    Quotes are interleaved day-by-day across symbols; prices follow a
+    geometric Brownian walk per symbol so ranges drawn around observed
+    values (the subscription generator's strategy) overlap and nest the
+    way real financial subscriptions do.
+    """
+    if n_quotes <= 0:
+        raise WorkloadError("n_quotes must be positive")
+    rng = np.random.default_rng(seed)
+    symbols = symbol_universe(n_symbols)
+    profiles = {symbol: _symbol_profile(rng) for symbol in symbols}
+    prices = {symbol: profiles[symbol]["base_price"] for symbol in symbols}
+
+    quotes: List[Quote] = []
+    # Pre-draw symbol sequence: uniform across the universe.
+    chosen = rng.integers(0, n_symbols, size=n_quotes)
+    normals = rng.standard_normal(n_quotes)
+    uniforms = rng.random((n_quotes, 6))
+    for i in range(n_quotes):
+        symbol = symbols[int(chosen[i])]
+        profile = profiles[symbol]
+        last_close = prices[symbol]
+        drift = profile["volatility"] * float(normals[i])
+        open_price = last_close
+        close = max(0.5, open_price * (1.0 + drift))
+        spread = abs(drift) + 0.25 * profile["volatility"]
+        high = max(open_price, close) * (1.0 + spread
+                                         * float(uniforms[i, 0]))
+        low = min(open_price, close) * (1.0 - spread
+                                        * float(uniforms[i, 1]))
+        volume = profile["base_volume"] \
+            * float(np.exp(0.5 * (uniforms[i, 2] - 0.5)))
+        header: Dict[str, float] = {
+            "symbol": symbol,
+            "open": round(open_price, 2),
+            "high": round(high, 2),
+            "low": round(low, 2),
+            "close": round(close, 2),
+            "volume": round(volume, 0),
+            "change_pct": round(100.0 * drift, 3),
+            "avg_volume": round(profile["base_volume"], 0),
+        }
+        # 8-11 attributes: each optional field present with p=0.5.
+        if uniforms[i, 3] < 0.5:
+            header["market_cap"] = round(profile["market_cap"], 2)
+        if uniforms[i, 4] < 0.5:
+            header["pe_ratio"] = round(profile["pe_ratio"], 1)
+        if uniforms[i, 5] < 0.5:
+            header["dividend_yield"] = round(profile["dividend_yield"], 2)
+        prices[symbol] = close
+        quotes.append(Quote(symbol, header))
+    return QuoteCollection(quotes, symbols)

@@ -1,0 +1,95 @@
+"""Workload specifications: the nine dataset recipes of Table 1.
+
+Each workload fixes (a) the proportion of subscriptions with 0-3
+equality predicates, (b) the attribute multiplicity (original quotes,
+or 2x/4x attributes obtained by merging multiple quotes into one
+publication), and (c) the distribution used to select subscription
+values (uniform, Zipf on the symbol, or Zipf on all attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = ["Distribution", "WorkloadSpec", "WORKLOADS", "workload_names",
+           "get_workload"]
+
+
+class Distribution:
+    """How subscription seed values are selected from the quote data."""
+
+    UNIFORM = "uniform"
+    ZIPF_SYMBOL = "zipf_symbol"  # Zipf law over the symbol popularity
+    ZIPF_ALL = "zipf_all"        # Zipf over quotes *and* range shapes
+
+    ALL = (UNIFORM, ZIPF_SYMBOL, ZIPF_ALL)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table 1."""
+
+    name: str
+    #: fraction of subscriptions having k equality predicates.
+    equality_mix: Dict[int, float]
+    #: 1 = original 8-11 attributes; 2/4 = merged quotes (2x/4x attrs).
+    attribute_multiplier: int
+    #: value-selection distribution (Table 1, last column).
+    distribution: str
+    #: Zipf exponent for the skewed variants (paper: s = 1).
+    zipf_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        total = sum(self.equality_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"{self.name}: equality mix sums to {total}, expected 1")
+        if self.attribute_multiplier not in (1, 2, 4):
+            raise WorkloadError(
+                f"{self.name}: attribute multiplier must be 1, 2 or 4")
+        if self.distribution not in Distribution.ALL:
+            raise WorkloadError(
+                f"{self.name}: unknown distribution "
+                f"{self.distribution!r}")
+
+    @property
+    def mean_equality_predicates(self) -> float:
+        return sum(k * p for k, p in self.equality_mix.items())
+
+
+_E80_MIX = {0: 0.20, 1: 0.80}
+_EXT_MIX = {0: 0.15, 1: 0.60, 2: 0.15, 3: 0.10}
+
+#: Table 1 (adapted from Barazzutti et al. [4]).
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (
+        WorkloadSpec("e100a1", {1: 1.0}, 1, Distribution.UNIFORM),
+        WorkloadSpec("e80a1", dict(_E80_MIX), 1, Distribution.UNIFORM),
+        WorkloadSpec("e80a2", dict(_E80_MIX), 2, Distribution.UNIFORM),
+        WorkloadSpec("e80a4", dict(_E80_MIX), 4, Distribution.UNIFORM),
+        WorkloadSpec("extsub2", dict(_EXT_MIX), 2, Distribution.UNIFORM),
+        WorkloadSpec("extsub4", dict(_EXT_MIX), 4, Distribution.UNIFORM),
+        WorkloadSpec("e80a1z100", dict(_E80_MIX), 1,
+                     Distribution.ZIPF_SYMBOL),
+        WorkloadSpec("e80a1zz100", dict(_E80_MIX), 1,
+                     Distribution.ZIPF_ALL),
+        WorkloadSpec("e100a1zz100", {1: 1.0}, 1, Distribution.ZIPF_ALL),
+    )
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """The nine dataset names in Table 1 order."""
+    return tuple(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload; raises WorkloadError for unknown names."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}")

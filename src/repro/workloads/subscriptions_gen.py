@@ -1,0 +1,213 @@
+"""Subscription synthesis: turning quotes into Table 1 datasets.
+
+The paper built synthetic subscription datasets "containing an
+assortment of equality and range predicates on the quotes' attributes"
+(§4) from the collected quotes. The generator reproduces that recipe:
+
+* each subscription is seeded from one quote (or one *merged* quote for
+  the 2x/4x-attribute workloads);
+* equality predicates pin the symbol (first) and then rounded static
+  attributes, in the per-workload proportions of Table 1;
+* one to three range predicates bracket the quote's numeric values with
+  randomly sized windows.
+
+The value-selection distribution drives the containment structure the
+evaluation measures:
+
+* **uniform** — quotes and window widths drawn uniformly: few duplicate
+  or nested subscriptions;
+* **zipf_symbol** — symbols drawn by Zipf rank: popular symbols
+  accumulate many subscriptions, raising containment density;
+* **zipf_all** — quotes *and* window shapes drawn by Zipf from a
+  discrete ladder of widths, all centred on the quote's values: nested
+  windows on popular quotes form deep containment chains (the paper's
+  fastest workloads, e100a1zz100 in particular).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.matching.events import Event
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+from repro.workloads.quotes import (BASE_ATTRIBUTES, OPTIONAL_ATTRIBUTES,
+                                    QuoteCollection)
+from repro.workloads.spec import Distribution, WorkloadSpec
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["merged_events", "SubscriptionGenerator"]
+
+#: numeric attributes eligible for range predicates.
+_RANGE_ATTRIBUTES = ("open", "high", "low", "close", "volume",
+                     "change_pct", "avg_volume")
+#: rounded/static attributes eligible for extra equality predicates.
+_EXTRA_EQ_ATTRIBUTES = ("avg_volume", "market_cap", "pe_ratio",
+                        "dividend_yield")
+#: discrete window half-width ladder for the ``zipf_all`` variants;
+#: geometric so distinct rungs nest strictly.
+_WIDTH_LADDER = (0.02, 0.05, 0.12, 0.30, 0.75)
+
+
+def merged_events(collection: QuoteCollection, multiplier: int,
+                  count: int, rng: np.random.Generator,
+                  start_id: int = 0) -> List[Event]:
+    """Publications with ``multiplier`` x the original attributes.
+
+    ``multiplier == 1`` samples plain quotes; otherwise each
+    publication merges ``multiplier`` random quotes under ``q<j>_``
+    prefixes, exactly the paper's construction ("synthesised with twice
+    and four times the number of attributes ... by merging data from
+    multiple quotes").
+    """
+    if multiplier not in (1, 2, 4):
+        raise WorkloadError("multiplier must be 1, 2 or 4")
+    n = len(collection)
+    events: List[Event] = []
+    picks = rng.integers(0, n, size=(count, multiplier))
+    for i in range(count):
+        if multiplier == 1:
+            header = dict(collection[int(picks[i, 0])].header)
+        else:
+            header = {}
+            for j in range(multiplier):
+                quote = collection[int(picks[i, j])]
+                for attribute, value in quote.header.items():
+                    header[f"q{j}_{attribute}"] = value
+        events.append(Event(header, event_id=start_id + i))
+    return events
+
+
+class SubscriptionGenerator:
+    """Generates a workload's subscription set from a quote collection."""
+
+    def __init__(self, collection: QuoteCollection, spec: WorkloadSpec,
+                 seed: int = 1) -> None:
+        self.collection = collection
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._quote_order: Optional[np.ndarray] = None
+        self._zipf_quotes: Optional[ZipfSampler] = None
+        self._zipf_symbols: Optional[ZipfSampler] = None
+        self._zipf_widths: Optional[ZipfSampler] = None
+        distribution = spec.distribution
+        if distribution in (Distribution.ZIPF_SYMBOL,
+                            Distribution.ZIPF_ALL):
+            self._zipf_symbols = ZipfSampler(
+                len(collection.symbols), spec.zipf_exponent, self._rng)
+        if distribution == Distribution.ZIPF_ALL:
+            # Zipf over quote ranks, the width ladder, the number of
+            # range predicates and the attribute choice: every degree
+            # of freedom is skewed, maximising duplicate and nested
+            # subscriptions (Table 1's "Zipf on all attributes").
+            self._zipf_quotes = ZipfSampler(
+                len(collection), spec.zipf_exponent, self._rng)
+            self._zipf_widths = ZipfSampler(
+                len(_WIDTH_LADDER), spec.zipf_exponent, self._rng)
+            self._zipf_nranges = ZipfSampler(3, spec.zipf_exponent,
+                                             self._rng)
+            self._zipf_attrs = ZipfSampler(len(_RANGE_ATTRIBUTES),
+                                           spec.zipf_exponent, self._rng)
+
+    # -- quote selection ---------------------------------------------------------
+
+    def _pick_quote_index(self) -> int:
+        if self.spec.distribution == Distribution.ZIPF_ALL:
+            return self._zipf_quotes.sample_index()
+        if self.spec.distribution == Distribution.ZIPF_SYMBOL:
+            symbol = self._zipf_symbols.sample(self.collection.symbols)
+            indices = self._symbol_index_table().get(symbol)
+            if indices:
+                return indices[int(self._rng.integers(0, len(indices)))]
+        return int(self._rng.integers(0, len(self.collection)))
+
+    def _symbol_index_table(self) -> dict:
+        table = getattr(self, "_symbol_indices", None)
+        if table is None:
+            table = {}
+            for index, quote in enumerate(self.collection.quotes):
+                table.setdefault(quote.symbol, []).append(index)
+            self._symbol_indices = table
+        return table
+
+    # -- predicate synthesis --------------------------------------------------------
+
+    def _equality_count(self) -> int:
+        r = float(self._rng.random())
+        cumulative = 0.0
+        for count, fraction in sorted(self.spec.equality_mix.items()):
+            cumulative += fraction
+            if r < cumulative:
+                return count
+        return max(self.spec.equality_mix)
+
+    def _half_width(self) -> float:
+        """Relative half-width of a range window."""
+        if self.spec.distribution == Distribution.ZIPF_ALL:
+            return _WIDTH_LADDER[self._zipf_widths.sample_index()]
+        return float(self._rng.uniform(0.01, 0.75))
+
+    def _range_predicate(self, attribute: str, center: float) -> Predicate:
+        half_width = self._half_width()
+        span = max(abs(center), 1.0) * half_width
+        if self.spec.distribution == Distribution.ZIPF_ALL:
+            # Snap to the quote value exactly: distinct ladder rungs on
+            # the same quote nest strictly (deep containment chains).
+            lo, hi = center - span, center + span
+        else:
+            # Uniform: jitter the window centre as well.
+            shift = float(self._rng.uniform(-0.25, 0.25)) * span
+            lo, hi = center - span + shift, center + span + shift
+        return Predicate(attribute, Op.RANGE,
+                         (round(lo, 4), round(hi, 4)))
+
+    def _prefix(self) -> str:
+        multiplier = self.spec.attribute_multiplier
+        if multiplier == 1:
+            return ""
+        return f"q{int(self._rng.integers(0, multiplier))}_"
+
+    def generate_one(self) -> Subscription:
+        """Synthesise one subscription per the workload recipe."""
+        quote = self.collection[self._pick_quote_index()]
+        header = quote.header
+        prefix = self._prefix()
+        predicates: List[Predicate] = []
+
+        n_equalities = self._equality_count()
+        if n_equalities >= 1:
+            predicates.append(
+                Predicate(prefix + "symbol", Op.EQ, quote.symbol))
+        if n_equalities > 1:
+            available = [a for a in _EXTRA_EQ_ATTRIBUTES if a in header]
+            self._rng.shuffle(available)
+            for attribute in available[:n_equalities - 1]:
+                predicates.append(Predicate(prefix + attribute, Op.EQ,
+                                            header[attribute]))
+
+        range_pool = [a for a in _RANGE_ATTRIBUTES if a in header]
+        if self.spec.distribution == Distribution.ZIPF_ALL:
+            n_ranges = 1 + self._zipf_nranges.sample_index()
+            chosen_set = set()
+            while len(chosen_set) < min(n_ranges, len(range_pool)):
+                chosen_set.add(self._zipf_attrs.sample_index()
+                               % len(range_pool))
+            chosen = sorted(chosen_set)
+        else:
+            n_ranges = int(self._rng.integers(1, 4))  # 1-3 ranges
+            picks = self._rng.choice(len(range_pool),
+                                     size=min(n_ranges, len(range_pool)),
+                                     replace=False)
+            chosen = sorted(int(c) for c in picks)
+        for index in chosen:
+            attribute = range_pool[index]
+            predicates.append(self._range_predicate(
+                prefix + attribute, float(header[attribute])))
+        return Subscription(predicates)
+
+    def generate(self, count: int) -> List[Subscription]:
+        """Synthesise ``count`` subscriptions."""
+        return [self.generate_one() for _ in range(count)]

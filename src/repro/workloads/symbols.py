@@ -1,0 +1,51 @@
+"""Ticker-symbol universe for the synthetic quote generator.
+
+The paper's datasets were built from ~250 000 Yahoo! finance quotes
+collected over five years. We have no network, so we synthesise a
+realistic symbol universe: a core of well-known tickers plus
+deterministically generated ones, giving workload generators a stable,
+seed-reproducible population.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.drbg import HmacDrbg
+
+__all__ = ["KNOWN_SYMBOLS", "symbol_universe"]
+
+#: A plausible core of real-world tickers (incl. the paper's "HAL").
+KNOWN_SYMBOLS = (
+    "AAPL", "MSFT", "GOOG", "AMZN", "IBM", "HAL", "XOM", "GE", "JPM",
+    "WFC", "T", "VZ", "PFE", "MRK", "KO", "PEP", "WMT", "PG", "JNJ",
+    "CVX", "INTC", "CSCO", "ORCL", "HPQ", "DELL", "TXN", "QCOM", "AMD",
+    "NVDA", "MU", "BA", "CAT", "MMM", "HON", "UTX", "GD", "LMT", "NOC",
+    "F", "GM", "TM", "DIS", "CMCSA", "FOX", "CBS", "NKE", "SBUX", "MCD",
+    "YUM", "GIS",
+)
+
+_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def symbol_universe(n_symbols: int, seed: bytes = b"symbols") -> List[str]:
+    """Deterministic universe of ``n_symbols`` unique tickers.
+
+    Starts with :data:`KNOWN_SYMBOLS` and extends with generated 3-4
+    letter tickers from a seeded DRBG.
+    """
+    if n_symbols <= 0:
+        raise ValueError("n_symbols must be positive")
+    symbols = list(KNOWN_SYMBOLS[:n_symbols])
+    if len(symbols) >= n_symbols:
+        return symbols
+    seen = set(symbols)
+    drbg = HmacDrbg(seed)
+    while len(symbols) < n_symbols:
+        length = drbg.randint(3, 4)
+        candidate = "".join(
+            _LETTERS[drbg.randint(0, 25)] for _ in range(length))
+        if candidate not in seen:
+            seen.add(candidate)
+            symbols.append(candidate)
+    return symbols

@@ -1,0 +1,117 @@
+"""Bloom filter and the equality pre-filter over ASPE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aspe.bloom import BloomFilter
+from repro.aspe.prefilter import (PrefilteredAspeMatcher, event_bloom,
+                                  subscription_bloom)
+from repro.aspe.matcher import AspeMatcher
+from repro.aspe.scheme import AspeScheme, AttributeSchema
+from repro.matching.events import Event
+from repro.matching.subscriptions import Subscription
+
+
+class TestBloomFilter:
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter()
+        for token in ("a", "b", "c"):
+            bloom.add(token)
+        assert all(bloom.might_contain(t) for t in ("a", "b", "c"))
+
+    def test_definitely_absent(self):
+        bloom = BloomFilter(bits=1024)  # large: negligible FP here
+        bloom.add("present")
+        assert not bloom.might_contain("absent")
+
+    def test_subset(self):
+        small = BloomFilter()
+        big = BloomFilter()
+        for token in ("a", "b"):
+            big.add(token)
+        small.add("a")
+        assert small.subset_of(big)
+        assert not big.subset_of(small)
+
+    def test_empty_is_subset_of_everything(self):
+        assert BloomFilter().subset_of(BloomFilter())
+
+    def test_incompatible_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=128).subset_of(BloomFilter(bits=256))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=100)  # not a power of two
+        with pytest.raises(ValueError):
+            BloomFilter(n_hashes=0)
+
+    @given(st.sets(st.text(min_size=1, max_size=8), max_size=20))
+    def test_popcount_bounded(self, tokens):
+        bloom = BloomFilter(bits=256, n_hashes=3)
+        for token in tokens:
+            bloom.add(token)
+        assert bloom.popcount <= min(256, 3 * len(tokens))
+        for token in tokens:
+            assert bloom.might_contain(token)
+
+
+class TestPrefilteredMatching:
+
+    def _setup(self):
+        schema = AttributeSchema(("symbol", "price"), {})
+        scheme = AspeScheme(schema, np.random.default_rng(3))
+        matcher = PrefilteredAspeMatcher(scheme.cipher_dimension)
+        return scheme, matcher
+
+    def test_agrees_with_plain_aspe(self):
+        scheme, prefiltered = self._setup()
+        plain = AspeMatcher(scheme.cipher_dimension)
+        subs = [Subscription.parse({"symbol": s, "price": (lo, lo + 10)})
+                for s in ("HAL", "IBM", "GE")
+                for lo in (0.0, 20.0, 40.0)]
+        for index, sub in enumerate(subs):
+            encrypted = scheme.encrypt_subscription(sub)
+            prefiltered.register(encrypted, index)
+            plain.register(encrypted, index)
+        for symbol in ("HAL", "IBM", "XOM"):
+            for price in (5.0, 25.0, 100.0):
+                event = Event({"symbol": symbol, "price": price})
+                point = scheme.encrypt_event(event)
+                got = prefiltered.match(point, event_bloom(scheme,
+                                                           event))
+                expected = plain.match(point)
+                assert got.subscribers == expected.subscribers
+
+    def test_prunes_non_candidates(self):
+        scheme, matcher = self._setup()
+        sub = Subscription.parse({"symbol": "HAL",
+                                  "price": (0.0, 10.0)})
+        matcher.register(scheme.encrypt_subscription(sub), "c")
+        event = Event({"symbol": "IBM", "price": 5.0})
+        result = matcher.match(scheme.encrypt_event(event),
+                               event_bloom(scheme, event))
+        assert result.subscriptions_tested == 0
+        assert result.halfspaces_tested == 0
+
+    def test_range_only_subscriptions_always_tested(self):
+        scheme, matcher = self._setup()
+        sub = Subscription.parse({"price": (0.0, 10.0)})
+        matcher.register(scheme.encrypt_subscription(sub), "c")
+        event = Event({"symbol": "ANY", "price": 5.0})
+        result = matcher.match(scheme.encrypt_event(event),
+                               event_bloom(scheme, event))
+        assert result.subscriptions_tested == 1
+        assert result.subscribers == {"c"}
+
+    def test_subscription_bloom_only_equalities(self):
+        scheme, _ = self._setup()
+        sub = Subscription.parse({"symbol": "HAL",
+                                  "price": (0.0, 10.0)})
+        bloom = subscription_bloom(scheme.encrypt_subscription(sub))
+        assert bloom.popcount > 0
+        range_only = Subscription.parse({"price": (0.0, 10.0)})
+        assert subscription_bloom(
+            scheme.encrypt_subscription(range_only)).popcount == 0

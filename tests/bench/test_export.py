@@ -1,0 +1,75 @@
+"""Result-export tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.experiments import FilterMeasurement
+from repro.bench.export import (measurements_to_csv,
+                                measurements_to_json,
+                                write_measurements)
+from repro.errors import ScbrError
+
+
+def _measurement(size=100, us=12.5):
+    return FilterMeasurement(
+        workload="e100a1", n_subscriptions=size,
+        configuration="out-plain", mean_us=us, wall_us=99.0,
+        llc_miss_rate=0.1, epc_faults=0, index_bytes=4096,
+        nodes_visited=42.0)
+
+
+class TestCsv:
+
+    def test_roundtrip_through_csv_reader(self):
+        text = measurements_to_csv([_measurement(100), _measurement(200)])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["workload"] == "e100a1"
+        assert float(rows[1]["mean_us"]) == 12.5
+        assert int(rows[1]["n_subscriptions"]) == 200
+
+    def test_empty(self):
+        assert measurements_to_csv([]) == ""
+
+    def test_dict_records(self):
+        text = measurements_to_csv([{"a": 1, "b": "x"}])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0] == {"a": "1", "b": "x"}
+
+    def test_bad_record_type(self):
+        with pytest.raises(ScbrError):
+            measurements_to_csv(["not a record"])
+
+
+class TestJson:
+
+    def test_roundtrip(self):
+        text = measurements_to_json([_measurement()])
+        data = json.loads(text)
+        assert data[0]["configuration"] == "out-plain"
+        assert data[0]["nodes_visited"] == 42.0
+
+    def test_sets_become_sorted_lists(self):
+        text = measurements_to_json([{"matched": {"b", "a"}}])
+        assert json.loads(text)[0]["matched"] == ["a", "b"]
+
+
+class TestWrite:
+
+    def test_csv_file(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_measurements([_measurement()], path)
+        assert "workload" in open(path).read()
+
+    def test_json_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_measurements([_measurement()], path)
+        assert json.load(open(path))[0]["workload"] == "e100a1"
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ScbrError):
+            write_measurements([_measurement()],
+                               str(tmp_path / "out.xml"))

@@ -1,0 +1,75 @@
+"""Queueing-simulation tests."""
+
+import pytest
+
+from repro.bench.queueing import (QueueingResult, simulate_queue,
+                                  sustainable_rate)
+from repro.errors import ScbrError
+
+
+class TestSimulateQueue:
+
+    def test_light_load_latency_near_service_time(self):
+        result = simulate_queue([10.0], arrival_rate_per_s=1000,
+                                n_arrivals=5000)
+        # Load = 1000/s * 10us = 1%: almost no queueing.
+        assert result.offered_load == pytest.approx(0.01)
+        assert result.mean_latency_us == pytest.approx(10.0, rel=0.05)
+        assert result.stable
+
+    def test_heavy_load_latency_explodes(self):
+        light = simulate_queue([10.0], arrival_rate_per_s=10_000,
+                               n_arrivals=5000)
+        heavy = simulate_queue([10.0], arrival_rate_per_s=99_000,
+                               n_arrivals=5000)
+        assert heavy.mean_latency_us > 5 * light.mean_latency_us
+        assert heavy.utilization > light.utilization
+
+    def test_overload_unstable(self):
+        result = simulate_queue([10.0], arrival_rate_per_s=150_000,
+                                n_arrivals=3000)
+        assert not result.stable
+        assert result.offered_load > 1.0
+        assert result.utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_percentiles_ordered(self):
+        result = simulate_queue([5.0, 10.0, 50.0],
+                                arrival_rate_per_s=30_000,
+                                n_arrivals=4000)
+        assert result.p50_latency_us <= result.p99_latency_us
+        assert result.p50_latency_us <= result.mean_latency_us * 3
+
+    def test_deterministic_per_seed(self):
+        a = simulate_queue([7.0, 9.0], 20_000, n_arrivals=2000, seed=3)
+        b = simulate_queue([7.0, 9.0], 20_000, n_arrivals=2000, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ScbrError):
+            simulate_queue([], 100)
+        with pytest.raises(ScbrError):
+            simulate_queue([1.0], 0)
+        with pytest.raises(ScbrError):
+            simulate_queue([1.0], 10, n_arrivals=0)
+
+
+class TestSustainableRate:
+
+    def test_faster_service_sustains_more(self):
+        fast = sustainable_rate([10.0], latency_bound_us=200,
+                                n_arrivals=3000)
+        slow = sustainable_rate([20.0], latency_bound_us=200,
+                                n_arrivals=3000)
+        assert fast > slow
+
+    def test_rate_below_capacity(self):
+        rate = sustainable_rate([10.0], latency_bound_us=100,
+                                n_arrivals=3000)
+        assert 0 < rate < 1e5  # capacity is 100k/s for 10us service
+
+    def test_impossible_bound(self):
+        assert sustainable_rate([50.0], latency_bound_us=10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ScbrError):
+            sustainable_rate([1.0], latency_bound_us=0)

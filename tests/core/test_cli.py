@@ -1,0 +1,62 @@
+"""CLI tests: every subcommand parses and the cheap ones run."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("demo", "table1", "fig5", "fig6", "fig7",
+                        "fig8", "ablations", "workloads"):
+            args = parser.parse_args(
+                [command] if command in ("demo", "table1", "workloads",
+                                         "fig8")
+                else [command, "--sizes", "100"])
+            assert callable(args.func)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["make-coffee"])
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(
+            ["fig5", "--sizes", "100", "200", "--publications", "5"])
+        assert args.sizes == [100, 200]
+        assert args.publications == 5
+
+
+class TestExecution:
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "e100a1" in out and "zipf_all" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "roots" in out and "extsub4" in out
+
+    def test_fig5_tiny(self, capsys):
+        assert main(["fig5", "--sizes", "100", "200",
+                     "--publications", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "in-aes" in out and "200" in out
+
+    def test_fig6_tiny(self, capsys):
+        assert main(["fig6", "--sizes", "100",
+                     "--publications", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "e80a1zz100" in out
+
+    def test_ablations_tiny(self, capsys):
+        assert main(["ablations", "--sizes", "100", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "poset" in out and "bloom" in out

@@ -1,0 +1,96 @@
+"""Matcher-cluster tests: slicing, correctness, parallel accounting."""
+
+import pytest
+
+from repro.core.cluster import MatcherCluster
+from repro.errors import RoutingError
+from repro.matching.events import Event
+from repro.matching.poset import ContainmentForest
+from repro.matching.subscriptions import Subscription
+from repro.sgx.cpu import scaled_spec
+from repro.workloads.datasets import build_dataset
+
+SPEC = scaled_spec(llc_bytes=256 * 1024)
+
+
+class TestConstruction:
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            MatcherCluster(0)
+        with pytest.raises(RoutingError):
+            MatcherCluster(2, assignment="random-teleport")
+
+    def test_round_robin_balances(self):
+        cluster = MatcherCluster(3, spec=SPEC)
+        for i in range(9):
+            cluster.register(Subscription.parse({"x": (i, i + 1)}), i)
+        assert cluster.slice_sizes() == [3, 3, 3]
+
+    def test_symbol_hash_groups_symbols(self):
+        cluster = MatcherCluster(4, spec=SPEC,
+                                 assignment="symbol-hash")
+        slice_of = {}
+        for i in range(20):
+            symbol = f"SYM{i % 5}"
+            sub = Subscription.parse({"symbol": symbol,
+                                      "x": (i, i + 10)})
+            slice_id = cluster.register(sub, i)
+            if symbol in slice_of:
+                assert slice_of[symbol] == slice_id
+            slice_of[symbol] = slice_id
+
+    def test_symbol_hash_fallback_for_rangeonly(self):
+        cluster = MatcherCluster(2, spec=SPEC,
+                                 assignment="symbol-hash")
+        for i in range(4):
+            cluster.register(Subscription.parse({"x": (0, i + 1)}), i)
+        assert cluster.slice_sizes() == [2, 2]  # round-robin fallback
+
+
+class TestMatching:
+
+    def test_union_of_slices(self):
+        cluster = MatcherCluster(3, spec=SPEC)
+        cluster.register(Subscription.parse({"x": (0, 10)}), "a")
+        cluster.register(Subscription.parse({"x": (5, 15)}), "b")
+        cluster.register(Subscription.parse({"y": (0, 10)}), "c")
+        result = cluster.match(Event({"x": 7, "y": 5}))
+        assert result.subscribers == {"a", "b", "c"}
+        assert len(result.slice_latencies_us) == 3
+        assert result.latency_us == max(result.slice_latencies_us)
+
+    def test_equivalent_to_single_forest(self):
+        dataset = build_dataset("e80a1", 600, 10)
+        reference = ContainmentForest()
+        for policy in MatcherCluster.ASSIGNMENTS:
+            cluster = MatcherCluster(4, spec=SPEC, assignment=policy)
+            for index, subscription in enumerate(dataset.subscriptions):
+                cluster.register(subscription, index)
+            if not reference.n_subscriptions:
+                for index, subscription in enumerate(
+                        dataset.subscriptions):
+                    reference.insert(subscription, index)
+            for event in dataset.publications:
+                assert cluster.match(event).subscribers == \
+                    reference.match(event)
+
+    def test_scaleout_reduces_latency(self):
+        dataset = build_dataset("e80a1", 3000, 6)
+
+        def latency(n_slices):
+            cluster = MatcherCluster(n_slices, spec=SPEC)
+            for index, subscription in enumerate(dataset.subscriptions):
+                cluster.register(subscription, index)
+            cluster.warm()
+            for event in dataset.publications:  # warm-up
+                cluster.match(event)
+            return sum(cluster.match(e).latency_us
+                       for e in dataset.publications)
+
+        assert latency(4) < latency(1)
+
+    def test_empty_cluster_match(self):
+        cluster = MatcherCluster(2, spec=SPEC)
+        result = cluster.match(Event({"x": 1}))
+        assert result.subscribers == set()

@@ -1,0 +1,98 @@
+"""Key-chain and group-key manager tests (revocation semantics)."""
+
+import pytest
+
+from repro.core.keys import GroupKeyManager, ProviderKeyChain
+from repro.errors import AdmissionError, CryptoError
+
+
+class TestProviderKeyChain:
+
+    def test_keys_present(self):
+        keys = ProviderKeyChain(rsa_bits=768)
+        assert len(keys.sk) == 16
+        assert keys.public_key.n == keys.rsa.n
+
+    def test_channel_shares_sk(self):
+        keys = ProviderKeyChain(rsa_bits=768)
+        blob = keys.channel().protect(b"header")
+        assert keys.channel().open(blob)[0] == b"header"
+
+    def test_distinct_instances_distinct_secrets(self):
+        a = ProviderKeyChain(rsa_bits=768)
+        b = ProviderKeyChain(rsa_bits=768)
+        assert a.sk != b.sk
+
+
+class TestGroupKeyManager:
+
+    def test_epoch_keys_stable_and_distinct(self):
+        group = GroupKeyManager(master=b"m" * 32)
+        k1 = group.current_key()
+        group.rotate()
+        k2 = group.current_key()
+        assert k1 != k2
+        assert group.key_for_epoch(1) == k1  # old epochs re-derivable
+
+    def test_epoch_bounds(self):
+        group = GroupKeyManager()
+        with pytest.raises(CryptoError):
+            group.key_for_epoch(0)
+        with pytest.raises(CryptoError):
+            group.key_for_epoch(group.epoch + 1)
+
+    def test_membership(self):
+        group = GroupKeyManager()
+        secret = group.add_member("alice")
+        assert group.is_member("alice")
+        assert group.add_member("alice") == secret  # idempotent
+        group.remove_member("alice")
+        assert not group.is_member("alice")
+        with pytest.raises(AdmissionError):
+            group.remove_member("alice")
+
+    def test_removal_rotates(self):
+        group = GroupKeyManager()
+        group.add_member("alice")
+        group.add_member("bob")
+        epoch_before = group.epoch
+        group.remove_member("bob")
+        assert group.epoch == epoch_before + 1
+
+    def test_wrap_unwrap(self):
+        group = GroupKeyManager()
+        secret = group.add_member("alice")
+        wrapped = group.wrap_current_key_for("alice")
+        epoch, key = GroupKeyManager.unwrap_key(secret, wrapped,
+                                                "alice")
+        assert epoch == group.epoch
+        assert key == group.current_key()
+
+    def test_wrap_for_non_member_rejected(self):
+        group = GroupKeyManager()
+        with pytest.raises(AdmissionError):
+            group.wrap_current_key_for("stranger")
+
+    def test_unwrap_wrong_client_rejected(self):
+        group = GroupKeyManager()
+        secret = group.add_member("alice")
+        wrapped = group.wrap_current_key_for("alice")
+        with pytest.raises(CryptoError):
+            GroupKeyManager.unwrap_key(secret, wrapped, "bob")
+
+    def test_unwrap_wrong_secret_rejected(self):
+        group = GroupKeyManager()
+        group.add_member("alice")
+        wrapped = group.wrap_current_key_for("alice")
+        with pytest.raises(Exception):
+            GroupKeyManager.unwrap_key(b"z" * 16, wrapped, "alice")
+
+    def test_revoked_member_cannot_derive_new_epoch(self):
+        """The actual security property behind §3.4's key rotation."""
+        group = GroupKeyManager()
+        group.add_member("alice")
+        group.add_member("eve")
+        eve_keys = {group.epoch: group.current_key()}
+        group.remove_member("eve")  # rotates
+        new_key = group.current_key()
+        assert new_key not in eve_keys.values()

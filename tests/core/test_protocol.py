@@ -1,0 +1,119 @@
+"""Protocol frame builders/parsers: roundtrips and malformed input."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocol import (MSG_ADMIT, MSG_DELIVER, MSG_GROUP_KEY,
+                                 MSG_PUBLISH, MSG_REGISTER,
+                                 MSG_SUBSCRIPTION_REQUEST,
+                                 MSG_UNREGISTER, build_admit,
+                                 build_deliver, build_group_key,
+                                 build_publish, build_register,
+                                 build_subscription_request,
+                                 build_unregister, message_type,
+                                 parse_admit, parse_deliver,
+                                 parse_group_key, parse_publish,
+                                 parse_register,
+                                 parse_subscription_request,
+                                 parse_unregister)
+from repro.errors import RoutingError
+
+binary = st.binary(max_size=60)
+
+
+class TestRoundtrips:
+
+    @given(st.text(alphabet="abcdef0123456789-", min_size=1,
+                   max_size=20), binary)
+    def test_subscription_request(self, client_id, blob):
+        frame = build_subscription_request(client_id, blob)
+        assert message_type(frame) == MSG_SUBSCRIPTION_REQUEST
+        assert parse_subscription_request(frame) == (client_id, blob)
+
+    @given(binary, binary)
+    def test_register(self, envelope, signature):
+        frame = build_register(envelope, signature)
+        assert message_type(frame) == MSG_REGISTER
+        assert parse_register(frame) == (envelope, signature)
+
+    @given(binary, binary)
+    def test_unregister(self, envelope, signature):
+        frame = build_unregister(envelope, signature)
+        assert message_type(frame) == MSG_UNREGISTER
+        assert parse_unregister(frame) == (envelope, signature)
+
+    @given(binary, binary)
+    def test_publish(self, header, payload):
+        frame = build_publish(header, payload)
+        assert message_type(frame) == MSG_PUBLISH
+        assert parse_publish(frame) == (header, payload)
+
+    @given(binary)
+    def test_deliver(self, payload):
+        frame = build_deliver(payload)
+        assert message_type(frame) == MSG_DELIVER
+        assert parse_deliver(frame) == payload
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=8), binary,
+           binary)
+    def test_admit(self, client_id, secret, wrapped):
+        frame = build_admit(client_id, secret, wrapped)
+        assert message_type(frame) == MSG_ADMIT
+        assert parse_admit(frame) == (client_id, secret, wrapped)
+
+    @given(binary)
+    def test_group_key(self, wrapped):
+        frame = build_group_key(wrapped)
+        assert message_type(frame) == MSG_GROUP_KEY
+        assert parse_group_key(frame) == wrapped
+
+
+class TestTypeConfusion:
+
+    def test_wrong_type_rejected_by_every_parser(self):
+        frame = build_deliver(b"payload")
+        for parser in (parse_register, parse_unregister, parse_publish,
+                       parse_admit, parse_group_key,
+                       parse_subscription_request):
+            with pytest.raises(RoutingError):
+                parser(frame)
+
+    def test_malformed_body(self):
+        from repro.core.messages import to_wire
+        for kind, parser in ((MSG_REGISTER, parse_register),
+                             (MSG_PUBLISH, parse_publish),
+                             (MSG_ADMIT, parse_admit)):
+            with pytest.raises(Exception):
+                parser(to_wire(kind, b"\x00\x01junk"))
+
+    def test_message_type_peek_does_not_consume(self):
+        frame = build_register(b"a", b"b")
+        assert message_type(frame) == MSG_REGISTER
+        assert parse_register(frame) == (b"a", b"b")
+
+
+class TestRouterAndClientRejectUnknownFrames:
+
+    def test_router_unknown_frame(self):
+        from repro.core.router import Router
+        from repro.crypto.rsa import _generate_keypair_unchecked
+        from repro.network.bus import MessageBus
+        from repro.sgx.platform import SgxPlatform
+        bus = MessageBus()
+        router = Router(bus, SgxPlatform(attestation_key_bits=768),
+                        _generate_keypair_unchecked(768, 65537),
+                        rsa_bits=768)
+        bus.endpoint("peer").send("router", [build_deliver(b"x")])
+        with pytest.raises(RoutingError):
+            router.pump()
+
+    def test_client_unknown_frame(self):
+        from repro.core.subscriber import Client
+        from repro.crypto.rsa import _generate_keypair_unchecked
+        from repro.network.bus import MessageBus
+        bus = MessageBus()
+        key = _generate_keypair_unchecked(768, 65537)
+        client = Client(bus, "alice", key.public_key)
+        bus.endpoint("peer").send("alice", [build_register(b"a", b"b")])
+        with pytest.raises(RoutingError):
+            client.pump()

@@ -1,0 +1,189 @@
+"""Role tests: provider admission/revocation, publisher, client."""
+
+import pytest
+
+from repro.core.protocol import (MSG_ADMIT, MSG_REGISTER, build_admit,
+                                 message_type, parse_publish,
+                                 parse_register)
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.subscriber import Client
+from repro.errors import AdmissionError, RoutingError
+from repro.network.bus import MessageBus
+
+
+@pytest.fixture()
+def world():
+    bus = MessageBus()
+    provider = ServiceProvider(bus, rsa_bits=768)
+    bus.endpoint("router")  # placeholder sink for REG frames
+    return bus, provider
+
+
+class TestAdmission:
+
+    def test_admit_and_process(self, world):
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        frame = provider.admit_client("alice")
+        assert message_type(frame) == MSG_ADMIT
+        client.process_admission(frame)
+        assert provider.client_status("alice") == "active"
+
+    def test_admission_for_other_client_rejected(self, world):
+        bus, provider = world
+        client = Client(bus, "bob", provider.keys.public_key)
+        frame = provider.admit_client("alice")
+        with pytest.raises(RoutingError):
+            client.process_admission(frame)
+
+    def test_revoked_client_cannot_readmit(self, world):
+        _bus, provider = world
+        provider.admit_client("alice")
+        provider.revoke_client("alice")
+        assert provider.client_status("alice") == "revoked"
+        with pytest.raises(AdmissionError):
+            provider.admit_client("alice")
+
+    def test_revoke_unknown_client(self, world):
+        _bus, provider = world
+        with pytest.raises(AdmissionError):
+            provider.revoke_client("ghost")
+
+
+class TestSubscriptionRequests:
+
+    def test_request_produces_register_frame(self, world):
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        client.process_admission(provider.admit_client("alice"))
+        frame = client.make_subscription_request({"symbol": "HAL"})
+        register_frame = provider.handle_subscription_request(frame)
+        assert message_type(register_frame) == MSG_REGISTER
+        envelope, signature = parse_register(register_frame)
+        provider.keys.public_key.verify(envelope, signature)
+
+    def test_router_cannot_read_subscription(self, world):
+        """The REG envelope leaks the client id (by design) but not
+        the constraints."""
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        client.process_admission(provider.admit_client("alice"))
+        frame = client.make_subscription_request(
+            {"symbol": "SECRETCO", "price": ("<", 1234.5)})
+        register_frame = provider.handle_subscription_request(frame)
+        assert b"SECRETCO" not in register_frame
+        envelope, _sig = parse_register(register_frame)
+        assert b"alice" in envelope  # aad, visible for routing
+
+    def test_unadmitted_client_rejected(self, world):
+        bus, provider = world
+        client = Client(bus, "stranger", provider.keys.public_key)
+        frame = client.make_subscription_request({"symbol": "HAL"})
+        with pytest.raises(AdmissionError):
+            provider.handle_subscription_request(frame)
+
+    def test_request_bound_to_client_identity(self, world):
+        """Mallory cannot replay Alice's blob under her own name."""
+        bus, provider = world
+        alice = Client(bus, "alice", provider.keys.public_key)
+        alice.process_admission(provider.admit_client("alice"))
+        provider.admit_client("mallory")
+        frame = alice.make_subscription_request({"symbol": "HAL"})
+        from repro.core.protocol import (build_subscription_request,
+                                         parse_subscription_request)
+        _client, encrypted = parse_subscription_request(frame)
+        stolen = build_subscription_request("mallory", encrypted)
+        with pytest.raises(RoutingError):
+            provider.handle_subscription_request(stolen)
+
+    def test_pump_forwards_to_router(self, world):
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        client.process_admission(provider.admit_client("alice"))
+        client.subscribe("provider", {"symbol": "HAL"})
+        assert provider.pump("router") == 1
+        sender, frames = bus.endpoint("router").recv()
+        assert sender == "provider"
+        assert message_type(frames[0]) == MSG_REGISTER
+
+
+class TestPublisher:
+
+    def test_publication_frame_structure(self, world):
+        bus, provider = world
+        publisher = Publisher(bus, provider.keys, provider.group)
+        frame = publisher.make_publication(
+            {"symbol": "HAL", "price": 48.0}, b"payload!")
+        header_env, payload_env = parse_publish(frame)
+        # The enclave (sharing SK) can open the header.
+        plaintext, _aad = provider.keys.channel().open(header_env)
+        assert b"HAL" in plaintext
+        # Nobody without the group key reads the payload.
+        assert b"payload!" not in payload_env
+
+    def test_publish_counts(self, world):
+        bus, provider = world
+        bus.endpoint("router")
+        publisher = Publisher(bus, provider.keys, provider.group)
+        publisher.publish("router", {"x": 1}, b"p")
+        assert publisher.published == 1
+        assert bus.pending("router") == 1
+
+
+class TestClientDeliveries:
+
+    def test_decrypts_current_epoch(self, world):
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        client.process_admission(provider.admit_client("alice"))
+        publisher = Publisher(bus, provider.keys, provider.group)
+        frame = publisher.make_publication({"x": 1}, b"data")
+        from repro.core.protocol import build_deliver
+        _header, payload_env = parse_publish(frame)
+        client.endpoint.send("alice", [build_deliver(payload_env)])
+        client.pump()
+        assert client.received == [b"data"]
+
+    def test_old_epoch_after_rotation_still_readable(self, world):
+        """Clients keep old epoch keys for in-flight messages."""
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        client.process_admission(provider.admit_client("alice"))
+        publisher = Publisher(bus, provider.keys, provider.group)
+        old_frame = publisher.make_publication({"x": 1}, b"old")
+        provider.group.rotate()
+        from repro.core.protocol import build_deliver, build_group_key
+        client.endpoint.send("alice", [build_group_key(
+            provider.group.wrap_current_key_for("alice"))])
+        new_frame = publisher.make_publication({"x": 1}, b"new")
+        _h, old_payload = parse_publish(old_frame)
+        _h, new_payload = parse_publish(new_frame)
+        client.endpoint.send("alice", [build_deliver(old_payload)])
+        client.endpoint.send("alice", [build_deliver(new_payload)])
+        client.pump()
+        assert client.received == [b"old", b"new"]
+
+    def test_revoked_client_cannot_decrypt_new(self, world):
+        bus, provider = world
+        eve = Client(bus, "eve", provider.keys.public_key)
+        eve.process_admission(provider.admit_client("eve"))
+        publisher = Publisher(bus, provider.keys, provider.group)
+        provider.revoke_client("eve")
+        frame = publisher.make_publication({"x": 1}, b"post-revocation")
+        from repro.core.protocol import build_deliver
+        _h, payload_env = parse_publish(frame)
+        eve.endpoint.send("eve", [build_deliver(payload_env)])
+        eve.pump()
+        assert eve.received == []
+        assert eve.undecryptable == 1
+
+    def test_group_key_before_admission_rejected(self, world):
+        bus, provider = world
+        client = Client(bus, "alice", provider.keys.public_key)
+        provider.admit_client("alice")
+        from repro.core.protocol import build_group_key
+        frame = build_group_key(
+            provider.group.wrap_current_key_for("alice"))
+        with pytest.raises(RoutingError):
+            client.process_group_key(frame)

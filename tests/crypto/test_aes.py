@@ -1,0 +1,99 @@
+"""AES block cipher tests against FIPS-197 / NIST vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, xor_bytes
+from repro.errors import CryptoError
+
+
+class TestFips197Vectors:
+    """Appendix C known-answer tests (all three key sizes)."""
+
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128_encrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert AES(key).encrypt_block(self.PLAINTEXT).hex() == expected
+
+    def test_aes192_encrypt(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = "dda97ca4864cdfe06eaf70a0ec0d7191"
+        assert AES(key).encrypt_block(self.PLAINTEXT).hex() == expected
+
+    def test_aes256_encrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        expected = "8ea2b7ca516745bfeafc49904b496089"
+        assert AES(key).encrypt_block(self.PLAINTEXT).hex() == expected
+
+    def test_aes128_decrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).decrypt_block(ciphertext) == self.PLAINTEXT
+
+    def test_sp800_38a_vector(self):
+        """First ECB block of the SP 800-38A AES-128 test."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = "3ad77bb40d7a3660a89ecaf32466ef97"
+        assert AES(key).encrypt_block(plaintext).hex() == expected
+
+
+class TestRoundTrip:
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.sampled_from([16, 24, 32]))
+    def test_decrypt_inverts_encrypt(self, block, key_len):
+        key = bytes(range(key_len))
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_encryption_changes_block(self, block):
+        cipher = AES(bytes(16))
+        assert cipher.encrypt_block(block) != block
+
+    def test_distinct_keys_distinct_ciphertexts(self):
+        block = bytes(16)
+        a = AES(b"A" * 16).encrypt_block(block)
+        b = AES(b"B" * 16).encrypt_block(block)
+        assert a != b
+
+    def test_rounds_by_key_size(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14
+
+
+class TestErrors:
+
+    @pytest.mark.parametrize("key_len", [0, 8, 15, 17, 33, 64])
+    def test_bad_key_length(self, key_len):
+        with pytest.raises(CryptoError):
+            AES(bytes(key_len))
+
+    @pytest.mark.parametrize("block_len", [0, 15, 17, 32])
+    def test_bad_block_length(self, block_len):
+        cipher = AES(bytes(16))
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(bytes(block_len))
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(bytes(block_len))
+
+
+class TestXorBytes:
+
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_length_mismatch(self):
+        with pytest.raises(CryptoError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_self_inverse(self, data):
+        mask = bytes(len(data))
+        assert xor_bytes(data, mask) == data

@@ -1,0 +1,127 @@
+"""Tests for HKDF (RFC 5869 vectors), DRBG, primes and encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.encoding import (b64decode, b64encode, pack_fields,
+                                   unpack_fields)
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.primes import SMALL_PRIMES, generate_prime, \
+    is_probable_prime
+from repro.errors import CryptoError, NetworkError
+
+
+class TestHkdfRfc5869:
+    """RFC 5869 Appendix A, test case 1 (SHA-256)."""
+
+    IKM = bytes.fromhex("0b" * 22)
+    SALT = bytes.fromhex("000102030405060708090a0b0c")
+    INFO = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+
+    def test_extract(self):
+        prk = hkdf_extract(self.SALT, self.IKM)
+        assert prk.hex() == ("077709362c2e32df0ddc3f0dc47bba63"
+                             "90b6c73bb50f9c3122ec844ad7c2b3e5")
+
+    def test_expand(self):
+        prk = hkdf_extract(self.SALT, self.IKM)
+        okm = hkdf_expand(prk, self.INFO, 42)
+        assert okm.hex() == ("3cb25f25faacd57a90434f64d0362f2a"
+                             "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+                             "34007208d5b887185865")
+
+    def test_one_shot(self):
+        okm = hkdf(self.IKM, salt=self.SALT, info=self.INFO, length=42)
+        prk = hkdf_extract(self.SALT, self.IKM)
+        assert okm == hkdf_expand(prk, self.INFO, 42)
+
+    def test_length_limit(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_distinct_info_distinct_keys(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+
+class TestHmacDrbg:
+
+    def test_deterministic(self):
+        assert HmacDrbg(b"seed").generate(64) == \
+            HmacDrbg(b"seed").generate(64)
+
+    def test_seed_sensitivity(self):
+        assert HmacDrbg(b"a").generate(16) != HmacDrbg(b"b").generate(16)
+
+    def test_stream_continuity(self):
+        drbg = HmacDrbg(b"seed")
+        first, second = drbg.generate(16), drbg.generate(16)
+        assert first != second
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_randint_bounds(self, a, b):
+        lower, upper = min(a, b), max(a, b)
+        drbg = HmacDrbg(b"bounds")
+        for _ in range(10):
+            value = drbg.randint(lower, upper)
+            assert lower <= value <= upper
+
+
+class TestPrimes:
+
+    def test_small_primes_list(self):
+        assert SMALL_PRIMES[:5] == [2, 3, 5, 7, 11]
+        assert 1999 in SMALL_PRIMES
+
+    @pytest.mark.parametrize("n,expected", [
+        (0, False), (1, False), (2, True), (3, True), (4, False),
+        (17, True), (561, False),  # Carmichael number
+        (7919, True), (7917, False),
+        (2 ** 61 - 1, True),  # Mersenne prime
+        (2 ** 67 - 1, False),  # famous Mersenne composite
+    ])
+    def test_known_values(self, n, expected):
+        assert is_probable_prime(n) is expected
+
+    def test_generate_prime_bits(self):
+        p = generate_prime(96)
+        assert p.bit_length() == 96
+        assert is_probable_prime(p)
+
+    def test_generate_prime_condition(self):
+        p = generate_prime(64, condition=lambda q: q % 4 == 3)
+        assert p % 4 == 3
+
+    def test_refuses_tiny(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4)
+
+
+class TestEncoding:
+
+    @given(st.binary(max_size=200))
+    def test_b64_roundtrip(self, data):
+        assert b64decode(b64encode(data)) == data
+
+    def test_b64_rejects_garbage(self):
+        with pytest.raises(NetworkError):
+            b64decode("not base64 !!!")
+
+    @given(st.lists(st.binary(max_size=50), max_size=8))
+    def test_pack_roundtrip(self, fields):
+        assert unpack_fields(pack_fields(fields)) == fields
+
+    def test_unpack_rejects_truncation(self):
+        blob = pack_fields([b"hello", b"world"])
+        with pytest.raises(NetworkError):
+            unpack_fields(blob[:-1])
+
+    def test_unpack_rejects_trailing_bytes(self):
+        blob = pack_fields([b"hello"]) + b"x"
+        with pytest.raises(NetworkError):
+            unpack_fields(blob)
+
+    def test_unpack_rejects_short_blob(self):
+        with pytest.raises(NetworkError):
+            unpack_fields(b"\x00")

@@ -1,0 +1,40 @@
+"""Example scripts must stay runnable (deliverable b)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "alice received 2 payloads" in out
+        assert "HAL bargain" in out
+
+    def test_secure_cloud_routing(self):
+        out = _run("secure_cloud_routing.py")
+        assert "all five properties hold." in out
+        for marker in ("rejected:", "memory controller locked",
+                       "stale state rejected"):
+            assert marker in out
+
+    @pytest.mark.slow
+    def test_stock_ticker(self):
+        out = _run("stock_ticker.py")
+        assert "revoking day-trader" in out
+        assert "enclave index shape" in out

@@ -1,0 +1,243 @@
+"""End-to-end system tests: the full Fig. 4 protocol over the bus."""
+
+import pytest
+
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import Router
+from repro.core.subscriber import Client
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import AttestationError, RollbackError
+from repro.network.bus import MessageBus
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuilder
+from repro.sgx.platform import SgxPlatform
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+@pytest.fixture()
+def world(vendor_key):
+    bus = MessageBus()
+    platform = SgxPlatform(attestation_key_bits=768)
+    ias = AttestationService(signing_key_bits=768)
+    ias.register_platform(platform)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor_key, rsa_bits=768)
+    provider = ServiceProvider(bus, rsa_bits=768,
+                               attestation_service=ias,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+    return bus, platform, ias, router, provider, publisher
+
+
+def admit(bus, provider, client_id):
+    client = Client(bus, client_id, provider.keys.public_key)
+    client.process_admission(provider.admit_client(client_id))
+    return client
+
+
+class TestEndToEnd:
+
+    def test_pub_sub_roundtrip(self, world):
+        bus, _p, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        bob = admit(bus, provider, "bob")
+        alice.subscribe("provider", {"symbol": "HAL",
+                                     "price": ("<", 50.0)})
+        bob.subscribe("provider", {"symbol": "IBM"})
+        provider.pump("router")
+        router.pump()
+
+        publisher.publish("router", {"symbol": "HAL", "price": 48.0},
+                          b"hal cheap")
+        publisher.publish("router", {"symbol": "HAL", "price": 52.0},
+                          b"hal pricey")
+        publisher.publish("router", {"symbol": "IBM", "price": 9.0},
+                          b"ibm news")
+        router.pump()
+        alice.pump()
+        bob.pump()
+        assert alice.received == [b"hal cheap"]
+        assert bob.received == [b"ibm news"]
+        assert router.deliveries == 2
+
+    def test_overlapping_subscriptions(self, world):
+        bus, _p, _ias, router, provider, publisher = world
+        broad = admit(bus, provider, "broad")
+        narrow = admit(bus, provider, "narrow")
+        broad.subscribe("provider", {"price": (">", 0.0)})
+        narrow.subscribe("provider", {"price": (">", 0.0),
+                                      "symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL", "price": 1.0},
+                          b"both")
+        publisher.publish("router", {"symbol": "IBM", "price": 1.0},
+                          b"broad only")
+        router.pump()
+        broad.pump()
+        narrow.pump()
+        assert broad.received == [b"both", b"broad only"]
+        assert narrow.received == [b"both"]
+
+    def test_router_sees_only_ciphertext(self, world):
+        """Privacy: header plaintext never appears in router traffic."""
+        bus, _p, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "SECRETSYM"})
+        provider.pump("router")
+        # Capture the REG frame content before the router consumes it.
+        sender, frames = bus.endpoint("router").recv()
+        assert all(b"SECRETSYM" not in frame for frame in frames)
+        router.handle_register(frames[0])
+        publisher.publish("router", {"symbol": "SECRETSYM"},
+                          b"payload")
+        sender, frames = bus.endpoint("router").recv()
+        assert all(b"SECRETSYM" not in frame for frame in frames)
+
+    def test_revocation_end_to_end(self, world):
+        bus, _p, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        eve = admit(bus, provider, "eve")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        eve.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+
+        for frame in provider.revoke_client("eve"):
+            provider.endpoint.send("router", [frame])
+        router.pump()   # processes UNREG
+        alice.pump()    # receives rotated group key
+
+        publisher.publish("router", {"symbol": "HAL"}, b"for alice")
+        router.pump()
+        alice.pump()
+        eve.pump()
+        assert alice.received == [b"for alice"]
+        assert eve.received == []
+        # Eve's subscription is gone from the engine too.
+        assert router.stats()[0] == 1
+
+    def test_seal_restore_migration(self, world, vendor_key):
+        bus, platform, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+
+        sealed, counter_id = router.seal()
+        replacement = Router(bus, platform, vendor_key,
+                             name="router-2", rsa_bits=768)
+        assert replacement.restore(sealed, counter_id) == 1
+        publisher.publish("router-2", {"symbol": "HAL"}, b"migrated")
+        replacement.pump()
+        alice.pump()
+        assert alice.received == [b"migrated"]
+
+    def test_stale_seal_rejected(self, world, vendor_key):
+        bus, platform, _ias, router, provider, _pub = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        stale, counter = router.seal()
+        router.seal()  # newer version bumps the counter
+        replacement = Router(bus, platform, vendor_key,
+                             name="router-3", rsa_bits=768)
+        with pytest.raises(RollbackError):
+            replacement.restore(stale, counter)
+
+
+class TestAttestationGates:
+
+    def test_wrong_measurement_blocks_provisioning(self, vendor_key):
+        bus = MessageBus()
+        platform = SgxPlatform(attestation_key_bits=768)
+        ias = AttestationService(signing_key_bits=768)
+        ias.register_platform(platform)
+        router = Router(bus, platform, vendor_key, rsa_bits=768)
+        provider = ServiceProvider(bus, rsa_bits=768,
+                                   attestation_service=ias,
+                                   expected_mr_enclave=b"\x00" * 32)
+        with pytest.raises(AttestationError):
+            provider.provision_router(router)
+
+    def test_unregistered_platform_blocks_provisioning(self, vendor_key):
+        bus = MessageBus()
+        platform = SgxPlatform(attestation_key_bits=768)
+        ias = AttestationService(signing_key_bits=768)  # not registered
+        router = Router(bus, platform, vendor_key, rsa_bits=768)
+        provider = ServiceProvider(bus, rsa_bits=768,
+                                   attestation_service=ias,
+                                   expected_mr_enclave=router.mr_enclave)
+        with pytest.raises(AttestationError):
+            provider.provision_router(router)
+
+    def test_no_attestation_service_configured(self, vendor_key):
+        bus = MessageBus()
+        platform = SgxPlatform(attestation_key_bits=768)
+        router = Router(bus, platform, vendor_key, rsa_bits=768)
+        provider = ServiceProvider(bus, rsa_bits=768)
+        with pytest.raises(AttestationError):
+            provider.provision_router(router)
+
+
+class TestOfflineClients:
+
+    def test_delivery_to_disconnected_client_is_dropped(self, world):
+        """A registered subscriber whose endpoint vanished must not
+        wedge the router; other subscribers still get the message."""
+        bus, _p, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        # ghost registers but never creates a bus endpoint.
+        ghost = Client.__new__(Client)
+        ghost.client_id = "ghost"
+        provider.admit_client("ghost")
+        from repro.core.messages import (encode_subscription,
+                                         hybrid_encrypt)
+        from repro.core.protocol import build_subscription_request
+        from repro.matching.subscriptions import Subscription
+        blob = encode_subscription(Subscription.parse({"symbol": "HAL"}))
+        encrypted = hybrid_encrypt(provider.keys.public_key, blob,
+                                   aad=b"ghost")
+        provider.endpoint.send(
+            "provider", [build_subscription_request("ghost", encrypted)])
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL"}, b"hello")
+        router.pump()
+        alice.pump()
+        assert alice.received == [b"hello"]
+        assert router.dropped == 1
+        assert router.deliveries == 1
+
+
+class TestMultiplePublishers:
+
+    def test_sources_within_one_domain_share_sk(self, world):
+        """Paper §3.2: data may come from multiple sources operating in
+        the same administrative domain — all share SK and group keys."""
+        bus, _p, _ias, router, provider, _publisher = world
+        from repro.core.publisher import Publisher
+        feed_a = Publisher(bus, provider.keys, provider.group,
+                           name="feed-a")
+        feed_b = Publisher(bus, provider.keys, provider.group,
+                           name="feed-b")
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        feed_a.publish("router", {"symbol": "HAL", "price": 1.0},
+                       b"from A")
+        feed_b.publish("router", {"symbol": "HAL", "price": 2.0},
+                       b"from B")
+        router.pump()
+        alice.pump()
+        assert alice.received == [b"from A", b"from B"]

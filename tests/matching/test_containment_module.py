@@ -1,0 +1,49 @@
+"""Containment-module helper tests (covers/equivalent/maximal)."""
+
+from repro.matching.containment import (covers, equivalent,
+                                        maximal_elements,
+                                        strictly_covers)
+from repro.matching.subscriptions import Subscription
+
+
+def sub(spec):
+    return Subscription.parse(spec)
+
+
+class TestRelationHelpers:
+
+    def test_covers_nonstrict(self):
+        a = sub({"x": (0, 10)})
+        b = sub({"x": (0, 10)})
+        assert covers(a, b) and covers(b, a)
+        assert equivalent(a, b)
+        assert not strictly_covers(a, b)
+
+    def test_strict(self):
+        outer = sub({"x": (0, 10)})
+        inner = sub({"x": (2, 8)})
+        assert strictly_covers(outer, inner)
+        assert not strictly_covers(inner, outer)
+        assert not equivalent(outer, inner)
+
+
+class TestMaximalElements:
+
+    def test_chain_keeps_top(self):
+        chain = [sub({"x": (0, 100)}), sub({"x": (10, 90)}),
+                 sub({"x": (20, 80)})]
+        maximal = maximal_elements(chain)
+        assert [s.key() for s in maximal] == [chain[0].key()]
+
+    def test_antichain_keeps_all(self):
+        antichain = [sub({"x": (0, 10)}), sub({"y": (0, 10)}),
+                     sub({"z": (0, 10)})]
+        assert len(maximal_elements(antichain)) == 3
+
+    def test_duplicates_both_kept(self):
+        """Equivalent subscriptions do not strictly cover each other."""
+        twins = [sub({"x": (0, 10)}), sub({"x": (0, 10)})]
+        assert len(maximal_elements(twins)) == 2
+
+    def test_empty(self):
+        assert maximal_elements([]) == []

@@ -1,0 +1,154 @@
+"""Hybrid (enclave/external) containment forest tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.events import Event
+from repro.matching.hybrid import HybridContainmentForest
+from repro.matching.poset import ContainmentForest
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+from repro.sgx.cpu import scaled_spec
+from repro.sgx.platform import SgxPlatform
+
+
+def make_hybrid(split_depth=1, epc_pages=64):
+    spec = scaled_spec(llc_bytes=256 * 1024,
+                       epc_bytes=(epc_pages + 4) * 4096,
+                       epc_reserved_bytes=4 * 4096)
+    platform = SgxPlatform(spec=spec)
+    forest = HybridContainmentForest(
+        platform.memory.new_arena(enclave=True),
+        platform.memory.new_arena(enclave=False),
+        spec.costs, split_depth=split_depth)
+    return platform, forest
+
+
+def sub(spec_dict):
+    return Subscription.parse(spec_dict)
+
+
+class TestConstruction:
+
+    def test_arena_roles_enforced(self):
+        platform, _ = make_hybrid()
+        trusted = platform.memory.new_arena(enclave=True)
+        untrusted = platform.memory.new_arena(enclave=False)
+        with pytest.raises(MatchingError):
+            HybridContainmentForest(untrusted, untrusted,
+                                    platform.spec.costs)
+        with pytest.raises(MatchingError):
+            HybridContainmentForest(trusted, trusted,
+                                    platform.spec.costs)
+        with pytest.raises(MatchingError):
+            HybridContainmentForest(trusted, untrusted,
+                                    platform.spec.costs,
+                                    split_depth=-1)
+
+    def test_unsatisfiable_rejected(self):
+        _p, forest = make_hybrid()
+        bottom = Subscription.of(Predicate("x", Op.EQ, 1),
+                                 Predicate("x", Op.EQ, 2))
+        with pytest.raises(MatchingError):
+            forest.insert(bottom, "n")
+
+
+class TestPlacement:
+
+    def test_roots_inside_children_outside(self):
+        _p, forest = make_hybrid(split_depth=1)
+        forest.insert(sub({"x": (0, 100)}), "root")
+        forest.insert(sub({"x": (10, 90)}), "child")
+        forest.insert(sub({"x": (20, 80)}), "grandchild")
+        internal, external = forest.placement_summary()
+        assert internal == 1 and external == 2
+        assert forest.protected_bytes < \
+            forest.enclave_bytes + forest.external_bytes
+
+    def test_split_depth_zero_everything_outside(self):
+        _p, forest = make_hybrid(split_depth=0)
+        forest.insert(sub({"x": (0, 100)}), "r")
+        internal, external = forest.placement_summary()
+        assert internal == 0 and external == 1
+
+    def test_deep_split_everything_inside(self):
+        _p, forest = make_hybrid(split_depth=10)
+        for i in range(5):
+            forest.insert(sub({"x": (i, 100 - i)}), i)
+        internal, external = forest.placement_summary()
+        assert external == 0 and internal == 5
+
+    def test_identical_subscriptions_share_node(self):
+        _p, forest = make_hybrid()
+        forest.insert(sub({"x": (0, 10)}), "a")
+        forest.insert(sub({"x": (0, 10)}), "b")
+        assert forest.n_nodes == 1
+        assert forest.match(Event({"x": 5})) == {"a", "b"}
+
+
+class TestAccounting:
+
+    def test_external_visits_charge_crypto(self):
+        platform, forest = make_hybrid(split_depth=0)
+        forest.insert(sub({"x": (0, 100)}), "r")
+        memory = platform.memory
+        before = memory.cycles
+        forest.match_traced(Event({"x": 5}))
+        external_cost = memory.cycles - before
+
+        platform2, forest2 = make_hybrid(split_depth=10)
+        forest2.insert(sub({"x": (0, 100)}), "r")
+        platform2.memory.prefault(forest2.enclave_arena.base,
+                                  forest2.enclave_arena.allocated_bytes,
+                                  enclave=True)
+        before = platform2.memory.cycles
+        forest2.match_traced(Event({"x": 5}))
+        internal_cost = platform2.memory.cycles - before
+        # The sealed external node costs the AES work extra.
+        assert external_cost > internal_cost
+
+    def test_protected_bytes_bounded_by_split(self):
+        _p, forest = make_hybrid(split_depth=1)
+        for i in range(50):
+            forest.insert(sub({"x": (i, 200 - i)}), i)  # one deep chain
+        assert forest.protected_bytes < \
+            (forest.enclave_bytes + forest.external_bytes) / 2
+
+
+# -- equivalence with the reference forest -----------------------------------
+
+values = st.integers(min_value=0, max_value=10)
+
+
+@st.composite
+def rand_sub(draw):
+    predicates = []
+    for attr in draw(st.sets(st.sampled_from("ab"), min_size=1,
+                             max_size=2)):
+        lo = draw(values)
+        hi = draw(values)
+        if lo > hi:
+            lo, hi = hi, lo
+        predicates.append(Predicate(attr, Op.RANGE, (lo, hi)))
+    return Subscription(predicates)
+
+
+class TestEquivalence:
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rand_sub(), min_size=1, max_size=20),
+           st.lists(st.builds(
+               lambda a, b: Event({"a": a, "b": b}), values, values),
+               min_size=1, max_size=5),
+           st.integers(min_value=0, max_value=3))
+    def test_same_matches_as_reference(self, subs, events, split):
+        _p, hybrid = make_hybrid(split_depth=split)
+        reference = ContainmentForest()
+        for index, subscription in enumerate(subs):
+            hybrid.insert(subscription, index)
+            reference.insert(subscription, index)
+        for event in events:
+            assert hybrid.match(event) == reference.match(event)
+            traced, _v, _e = hybrid.match_traced(event)
+            assert traced == reference.match(event)

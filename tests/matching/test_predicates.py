@@ -1,0 +1,232 @@
+"""Predicate and constraint algebra tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.predicates import (Constraint, Op, Predicate,
+                                       constraint_from_predicates)
+
+
+class TestPredicateValidation:
+
+    def test_valid_operators(self):
+        Predicate("x", Op.EQ, 1)
+        Predicate("x", Op.NE, "a")
+        Predicate("x", Op.LT, 1.5)
+        Predicate("x", Op.RANGE, (0, 10))
+        Predicate("x", Op.EXISTS)
+
+    def test_unknown_operator(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", "~=", 1)
+
+    def test_bad_attribute_name(self):
+        with pytest.raises(MatchingError):
+            Predicate("", Op.EQ, 1)
+        with pytest.raises(MatchingError):
+            Predicate("a|b", Op.EQ, 1)
+
+    def test_ordered_operator_needs_numeric(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.LT, "string")
+
+    def test_range_validation(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.RANGE, (10, 0))  # empty
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.RANGE, 5)  # not a pair
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.RANGE, ("a", "b"))  # not numeric
+
+    def test_exists_takes_no_value(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.EXISTS, 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.EQ, float("nan"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(MatchingError):
+            Predicate("x", Op.EQ, True)
+
+    def test_str_rendering(self):
+        assert "price < 50" in str(Predicate("price", Op.LT, 50))
+        assert "exists" in str(Predicate("x", Op.EXISTS))
+        assert "in [0, 10]" in str(Predicate("x", Op.RANGE, (0, 10)))
+
+
+class TestConstraintFolding:
+
+    def _fold(self, *predicates):
+        return constraint_from_predicates(predicates)
+
+    def test_equality(self):
+        c = self._fold(Predicate("x", Op.EQ, 5))
+        assert c.admits(5) and not c.admits(4)
+        assert c.is_equality()
+
+    def test_range_and_bounds(self):
+        c = self._fold(Predicate("x", Op.GE, 1), Predicate("x", Op.LT, 5))
+        assert c.admits(1) and c.admits(4.99)
+        assert not c.admits(5) and not c.admits(0.5)
+
+    def test_tightening(self):
+        c = self._fold(Predicate("x", Op.GT, 0),
+                       Predicate("x", Op.GE, 2),
+                       Predicate("x", Op.RANGE, (1, 10)),
+                       Predicate("x", Op.LE, 7))
+        assert c.lo == 2 and not c.lo_open
+        assert c.hi == 7 and not c.hi_open
+
+    def test_open_beats_closed_at_same_bound(self):
+        c = self._fold(Predicate("x", Op.GE, 3), Predicate("x", Op.GT, 3))
+        assert c.lo == 3 and c.lo_open
+
+    def test_contradictory_numeric_equalities_unsatisfiable(self):
+        c = self._fold(Predicate("x", Op.EQ, 1), Predicate("x", Op.EQ, 2))
+        assert not c.is_satisfiable()
+
+    def test_contradictory_string_equalities_unsatisfiable(self):
+        c = self._fold(Predicate("x", Op.EQ, "a"),
+                       Predicate("x", Op.EQ, "b"))
+        assert not c.is_satisfiable()
+
+    def test_string_equality(self):
+        c = self._fold(Predicate("x", Op.EQ, "HAL"))
+        assert c.admits("HAL") and not c.admits("IBM")
+        assert not c.admits(42)
+        assert c.is_equality()
+
+    def test_exclusions(self):
+        c = self._fold(Predicate("x", Op.NE, 3))
+        assert c.admits(2) and not c.admits(3)
+        assert c.admits("string")  # universal interval admits any type
+
+    def test_eq_excluded_unsatisfiable(self):
+        c = self._fold(Predicate("x", Op.EQ, 3), Predicate("x", Op.NE, 3))
+        assert not c.is_satisfiable()
+
+    def test_exists_is_universal(self):
+        c = self._fold(Predicate("x", Op.EXISTS))
+        assert c.admits(1) and c.admits("anything") and c.admits(-1e9)
+
+    def test_string_and_numeric_mix_rejected(self):
+        with pytest.raises(MatchingError):
+            self._fold(Predicate("x", Op.EQ, "a"),
+                       Predicate("x", Op.LT, 5))
+
+    def test_string_ordered_rejected_in_fold(self):
+        # (cannot be built via Predicate, so exercise the folding check
+        # with the NE-then-EQ path)
+        c = self._fold(Predicate("x", Op.NE, "a"),
+                       Predicate("x", Op.EQ, "b"))
+        assert c.is_string
+        assert c.admits("b") and not c.admits("a")
+
+
+class TestCovers:
+
+    def _c(self, *predicates):
+        return constraint_from_predicates(predicates)
+
+    def test_paper_example(self):
+        """'x > 0' covers 'x = 1'."""
+        general = self._c(Predicate("x", Op.GT, 0))
+        specific = self._c(Predicate("x", Op.EQ, 1))
+        assert general.covers(specific)
+        assert not specific.covers(general)
+
+    def test_interval_nesting(self):
+        outer = self._c(Predicate("x", Op.RANGE, (0, 10)))
+        inner = self._c(Predicate("x", Op.RANGE, (2, 8)))
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+    def test_open_closed_boundary(self):
+        open_lo = self._c(Predicate("x", Op.GT, 0))
+        closed_lo = self._c(Predicate("x", Op.GE, 0))
+        assert closed_lo.covers(open_lo)
+        assert not open_lo.covers(closed_lo)
+
+    def test_reflexive(self):
+        c = self._c(Predicate("x", Op.RANGE, (1, 2)))
+        assert c.covers(c)
+
+    def test_string_cover(self):
+        pin = self._c(Predicate("x", Op.EQ, "a"))
+        assert pin.covers(pin)
+        other = self._c(Predicate("x", Op.EQ, "b"))
+        assert not pin.covers(other)
+
+    def test_universal_covers_strings(self):
+        universal = self._c(Predicate("x", Op.EXISTS))
+        pin = self._c(Predicate("x", Op.EQ, "a"))
+        assert universal.covers(pin)
+        assert not pin.covers(universal)
+
+    def test_exclusion_blocks_cover(self):
+        excl = self._c(Predicate("x", Op.NE, 5))
+        inner = self._c(Predicate("x", Op.RANGE, (0, 10)))
+        # inner admits 5, excl doesn't -> excl cannot cover inner
+        assert not excl.covers(inner)
+        # but it covers an interval avoiding 5
+        clean = self._c(Predicate("x", Op.RANGE, (6, 10)))
+        assert excl.covers(clean)
+
+    def test_anything_covers_unsatisfiable(self):
+        bottom = self._c(Predicate("x", Op.EQ, 1),
+                         Predicate("x", Op.EQ, 2))
+        narrow = self._c(Predicate("x", Op.EQ, 7))
+        assert narrow.covers(bottom)
+
+
+# -- property-based: covers is consistent with admits ------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-100, max_value=100)
+
+
+@st.composite
+def numeric_constraints(draw):
+    lo = draw(finite_floats)
+    hi = draw(finite_floats)
+    if lo > hi:
+        lo, hi = hi, lo
+    predicates = [Predicate("x", Op.RANGE, (lo, hi))]
+    if draw(st.booleans()):
+        predicates.append(Predicate("x", Op.NE,
+                                    draw(st.integers(-100, 100))))
+    return constraint_from_predicates(predicates)
+
+
+class TestCoverProperties:
+
+    @given(numeric_constraints(), numeric_constraints(),
+           st.lists(finite_floats, min_size=1, max_size=20))
+    def test_covers_implies_admits_subset(self, general, specific,
+                                          samples):
+        """If A covers B, every sampled value B admits, A admits."""
+        if not general.covers(specific):
+            return
+        for value in samples:
+            if specific.admits(value):
+                assert general.admits(value)
+
+    @given(numeric_constraints())
+    def test_covers_reflexive(self, constraint):
+        assert constraint.covers(constraint)
+
+    @given(numeric_constraints(), numeric_constraints(),
+           numeric_constraints())
+    def test_covers_transitive(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(numeric_constraints(), finite_floats)
+    def test_unsatisfiable_admits_nothing(self, constraint, value):
+        if not constraint.is_satisfiable():
+            assert not constraint.admits(value)

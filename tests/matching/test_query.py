@@ -1,0 +1,119 @@
+"""Query-language parser tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.events import Event
+from repro.matching.predicates import Op
+from repro.matching.query import parse_predicate, parse_query
+from repro.matching.subscriptions import Subscription
+
+
+class TestPredicates:
+
+    def test_paper_example(self):
+        sub = parse_query('symbol = "HAL" and price < 50')
+        assert sub.matches(Event({"symbol": "HAL", "price": 48.0}))
+        assert not sub.matches(Event({"symbol": "HAL", "price": 50.0}))
+        assert not sub.matches(Event({"symbol": "IBM", "price": 48.0}))
+
+    @pytest.mark.parametrize("text,op", [
+        ("x = 5", Op.EQ), ("x == 5", Op.EQ), ("x != 5", Op.NE),
+        ("x < 5", Op.LT), ("x <= 5", Op.LE),
+        ("x > 5", Op.GT), ("x >= 5", Op.GE),
+    ])
+    def test_operators(self, text, op):
+        predicate = parse_predicate(text)
+        assert predicate.op == op
+        assert predicate.value == 5
+
+    def test_range(self):
+        predicate = parse_predicate("price in [10, 20]")
+        assert predicate.op == Op.RANGE
+        assert predicate.value == (10, 20)
+
+    def test_exists(self):
+        predicate = parse_predicate("exists dividend_yield")
+        assert predicate.op == Op.EXISTS
+        assert predicate.attribute == "dividend_yield"
+
+    def test_number_types(self):
+        assert isinstance(parse_predicate("x = 5").value, int)
+        assert isinstance(parse_predicate("x = 5.5").value, float)
+        assert parse_predicate("x = -3").value == -3
+        assert parse_predicate("x = 1e3").value == 1000.0
+
+    def test_string_quoting(self):
+        assert parse_predicate('s = "two words"').value == "two words"
+        assert parse_predicate("s = 'single'").value == "single"
+        assert parse_predicate("s = HAL").value == "HAL"  # bare word
+
+
+class TestQueries:
+
+    def test_conjunction_forms(self):
+        for glue in ("and", "&&"):
+            sub = parse_query(f'a > 1 {glue} b < 2 {glue} c = "x"')
+            assert sub.n_constraints == 3
+
+    def test_equivalent_to_parse_dict(self):
+        text = parse_query('symbol = "HAL" and price in [10, 20]')
+        built = Subscription.parse({"symbol": "HAL",
+                                    "price": (10, 20)})
+        assert text.key() == built.key()
+
+    def test_whitespace_insensitive(self):
+        a = parse_query("x>=1 and y<2")
+        b = parse_query("  x >= 1   and   y < 2 ")
+        assert a.key() == b.key()
+
+    def test_repeated_attribute_folds(self):
+        sub = parse_query("x > 0 and x <= 10")
+        constraint = dict(sub.items)["x"]
+        assert constraint.lo == 0 and constraint.lo_open
+        assert constraint.hi == 10 and not constraint.hi_open
+
+    def test_dotted_names(self):
+        sub = parse_query("q0.close < 5")
+        assert "q0.close" in dict(sub.items)
+
+
+class TestErrors:
+
+    @pytest.mark.parametrize("text", [
+        "", "   ", "and", "x", "x =", "= 5", "x ~ 5",
+        "x in [1 2]", "x in 1, 2]", "x = 5 and", "x = 5 or y = 2",
+        'x = "unterminated', "x = 5 y = 2",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(MatchingError):
+            parse_query(text)
+
+    def test_predicate_trailing_input(self):
+        with pytest.raises(MatchingError):
+            parse_predicate("x = 5 and y = 2")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(MatchingError):
+            parse_query("x in [10, 1]")
+
+
+class TestFuzz:
+
+    names = st.text(alphabet="abcxyz_", min_size=1, max_size=6).filter(
+        lambda s: s not in ("and", "in", "exists"))
+    numbers = st.integers(min_value=-1000, max_value=1000)
+
+    @given(names, st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+           numbers)
+    def test_single_predicate_roundtrip(self, name, op, value):
+        sub = parse_query(f"{name} {op} {value}")
+        assert sub.n_constraints == 1
+
+    @given(st.lists(st.tuples(names, numbers), min_size=1, max_size=4))
+    def test_conjunctions_parse(self, parts):
+        text = " and ".join(f"{name} >= {value}"
+                            for name, value in parts)
+        sub = parse_query(text)
+        assert 1 <= sub.n_constraints <= len(parts)

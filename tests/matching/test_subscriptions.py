@@ -1,0 +1,160 @@
+"""Subscription normalisation, matching and covering tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.events import Event
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+
+
+class TestConstruction:
+
+    def test_requires_predicates(self):
+        with pytest.raises(MatchingError):
+            Subscription([])
+
+    def test_normalisation_merges_attributes(self):
+        sub = Subscription.of(Predicate("x", Op.GE, 1),
+                              Predicate("x", Op.LE, 5),
+                              Predicate("y", Op.EQ, "a"))
+        assert sub.n_constraints == 2
+
+    def test_items_sorted_by_attribute(self):
+        sub = Subscription.of(Predicate("z", Op.EQ, 1),
+                              Predicate("a", Op.EQ, 2))
+        assert [attr for attr, _ in sub.items] == ["a", "z"]
+
+    def test_parse_shortcuts(self):
+        sub = Subscription.parse({
+            "symbol": "HAL",            # equality
+            "price": ("<", 50),         # operator pair
+            "volume": (1000, 2000),     # closed range
+        })
+        assert sub.matches(Event({"symbol": "HAL", "price": 48,
+                                  "volume": 1500}))
+        assert not sub.matches(Event({"symbol": "HAL", "price": 48,
+                                      "volume": 2001}))
+
+    def test_equality_counting(self):
+        sub = Subscription.parse({"symbol": "HAL", "price": (0, 10)})
+        assert sub.n_equality_constraints == 1
+
+    def test_size_model_grows_with_constraints(self):
+        small = Subscription.parse({"a": 1})
+        big = Subscription.parse({"a": 1, "b": 2, "c": 3})
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_unique_ids(self):
+        a = Subscription.parse({"x": 1})
+        b = Subscription.parse({"x": 1})
+        assert a.sub_id != b.sub_id
+
+    def test_equality_by_constraints_not_id(self):
+        a = Subscription.parse({"x": 1, "y": ("<", 5)})
+        b = Subscription.parse({"y": ("<", 5), "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+
+class TestMatching:
+
+    def test_paper_example(self):
+        sub = Subscription.of(Predicate("symbol", Op.EQ, "HAL"),
+                              Predicate("price", Op.LT, 50))
+        assert sub.matches(Event({"symbol": "HAL", "price": 49.9}))
+        assert not sub.matches(Event({"symbol": "HAL", "price": 50.0}))
+        assert not sub.matches(Event({"symbol": "IBM", "price": 10.0}))
+
+    def test_missing_attribute_fails(self):
+        sub = Subscription.parse({"x": 1, "y": 2})
+        assert not sub.matches(Event({"x": 1}))
+
+    def test_extra_attributes_ignored(self):
+        sub = Subscription.parse({"x": 1})
+        assert sub.matches(Event({"x": 1, "y": 999, "z": "noise"}))
+
+    def test_type_mismatch(self):
+        sub = Subscription.parse({"x": "1"})
+        assert not sub.matches(Event({"x": 1}))
+
+    def test_matches_counting_short_circuits(self):
+        sub = Subscription.parse({"a": 1, "b": 2, "c": 3})
+        ok, evaluated = sub.matches_counting(Event({"a": 0, "b": 2,
+                                                    "c": 3}))
+        assert not ok and evaluated == 1
+        ok, evaluated = sub.matches_counting(Event({"a": 1, "b": 2,
+                                                    "c": 3}))
+        assert ok and evaluated == 3
+
+
+class TestCovers:
+
+    def test_paper_examples(self):
+        general = Subscription.of(Predicate("x", Op.GT, 0))
+        assert general.covers(Subscription.of(Predicate("x", Op.EQ, 1)))
+        assert general.covers(Subscription.of(
+            Predicate("x", Op.GT, 0), Predicate("y", Op.EQ, 1)))
+
+    def test_more_attributes_is_more_specific(self):
+        broad = Subscription.parse({"x": (0, 10)})
+        narrow = Subscription.parse({"x": (0, 10), "y": "a"})
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_incomparable(self):
+        a = Subscription.parse({"x": (0, 10)})
+        b = Subscription.parse({"y": (0, 10)})
+        assert not a.covers(b) and not b.covers(a)
+
+    def test_partial_order_antisymmetry(self):
+        a = Subscription.parse({"x": (0, 10)})
+        b = Subscription.parse({"x": (0, 10)})
+        assert a.covers(b) and b.covers(a)
+        assert a.key() == b.key()
+
+
+# -- property-based: covering is sound w.r.t. matching -------------------------
+
+values = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def random_subscription(draw):
+    predicates = []
+    for attr in draw(st.sets(st.sampled_from("abcd"), min_size=1,
+                             max_size=3)):
+        lo = draw(values)
+        hi = draw(values)
+        if lo > hi:
+            lo, hi = hi, lo
+        predicates.append(Predicate(attr, Op.RANGE, (lo, hi)))
+    return Subscription(predicates)
+
+
+@st.composite
+def random_event(draw):
+    header = {attr: draw(values) for attr in "abcd"}
+    return Event(header)
+
+
+class TestCoverSoundness:
+
+    @given(random_subscription(), random_subscription(), random_event())
+    def test_cover_implies_match_implication(self, general, specific,
+                                             event):
+        """s ⊒ s' and e matches s'  =>  e matches s (the definition)."""
+        if general.covers(specific) and specific.matches(event):
+            assert general.matches(event)
+
+    @given(random_subscription(), random_subscription(),
+           random_subscription())
+    def test_transitivity(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(random_subscription())
+    def test_reflexivity(self, sub):
+        assert sub.covers(sub)

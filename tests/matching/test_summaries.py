@@ -1,0 +1,160 @@
+"""Summary-node (merging) layer tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.events import Event
+from repro.matching.poset import ContainmentForest
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+from repro.matching.summaries import SummarizedForest, hull_subscription
+
+
+def sub(spec):
+    return Subscription.parse(spec)
+
+
+class TestHull:
+
+    def test_interval_hull(self):
+        hull = hull_subscription([sub({"x": (0, 10)}),
+                                  sub({"x": (5, 20)})])
+        constraint = dict(hull.items)["x"]
+        assert constraint.lo == 0 and constraint.hi == 20
+
+    def test_hull_covers_members(self):
+        members = [sub({"x": (0, 10), "y": (1, 2)}),
+                   sub({"x": (5, 20), "y": (0, 9)}),
+                   sub({"x": (-3, 4), "y": (2, 3)})]
+        hull = hull_subscription(members)
+        for member in members:
+            assert hull.covers(member)
+
+    def test_common_symbol_retained(self):
+        hull = hull_subscription([
+            sub({"symbol": "HAL", "price": (0, 10)}),
+            sub({"symbol": "HAL", "price": (50, 60)})])
+        assert dict(hull.items)["symbol"].equals == "HAL"
+
+    def test_conflicting_symbols_drop_attribute(self):
+        hull = hull_subscription([
+            sub({"symbol": "HAL", "price": (0, 10)}),
+            sub({"symbol": "IBM", "price": (5, 20)})])
+        assert "symbol" not in dict(hull.items)
+        assert "price" in dict(hull.items)
+
+    def test_disjoint_attributes_no_hull(self):
+        assert hull_subscription([sub({"x": (0, 1)}),
+                                  sub({"y": (0, 1)})]) is None
+
+    def test_open_bounds_kept_safe(self):
+        a = Subscription.of(Predicate("x", Op.GT, 0),
+                            Predicate("x", Op.LT, 10))
+        b = Subscription.of(Predicate("x", Op.GE, 0),
+                            Predicate("x", Op.LE, 5))
+        hull = hull_subscription([a, b])
+        constraint = dict(hull.items)["x"]
+        assert not constraint.lo_open  # closed 0 covers open 0
+        assert constraint.hi == 10 and constraint.hi_open
+        assert hull.covers(a) and hull.covers(b)
+
+    def test_empty_input(self):
+        assert hull_subscription([]) is None
+
+    values = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(values, values), min_size=1, max_size=6))
+    def test_hull_always_covers_property(self, bounds):
+        members = []
+        for lo, hi in bounds:
+            if lo > hi:
+                lo, hi = hi, lo
+            members.append(sub({"x": (lo, hi)}))
+        hull = hull_subscription(members)
+        assert hull is not None
+        for member in members:
+            assert hull.covers(member)
+
+
+class TestSummarizedForest:
+
+    def test_min_cluster_validation(self):
+        with pytest.raises(MatchingError):
+            SummarizedForest(min_cluster=1)
+
+    def test_builds_summaries_per_symbol(self):
+        forest = SummarizedForest(min_cluster=2)
+        for symbol in ("HAL", "IBM"):
+            for lo in (0, 100, 200):
+                forest.insert(sub({"symbol": symbol,
+                                   "close": (lo, lo + 10)}), symbol + str(lo))
+        assert forest.rebuild_summaries() == 2
+        forest.check_invariants()
+
+    def test_matching_exact(self):
+        forest = SummarizedForest(min_cluster=2)
+        reference = ContainmentForest()
+        specs = [
+            {"symbol": "HAL", "close": (0, 10)},
+            {"symbol": "HAL", "close": (20, 30)},
+            {"symbol": "IBM", "close": (0, 10)},
+            {"volume": (0, 1000)},
+        ]
+        for index, spec in enumerate(specs):
+            forest.insert(sub(spec), index)
+            reference.insert(sub(spec), index)
+        for header in ({"symbol": "HAL", "close": 5, "volume": 5},
+                       {"symbol": "HAL", "close": 15, "volume": 5000},
+                       {"symbol": "IBM", "close": 25, "volume": 1}):
+            event = Event(header)
+            assert forest.match(event) == reference.match(event)
+
+    def test_summary_prunes_whole_cluster(self):
+        """One failed gate skips all members: fewer visited nodes."""
+        from repro.sgx.cpu import scaled_spec
+        from repro.sgx.platform import SgxPlatform
+        platform = SgxPlatform(spec=scaled_spec(llc_bytes=256 * 1024))
+        arena = platform.memory.new_arena(enclave=False)
+        forest = SummarizedForest(arena=arena, min_cluster=2)
+        for lo in range(20):
+            forest.insert(sub({"symbol": "HAL",
+                               "close": (lo, lo + 1)}), lo)
+        forest.rebuild_summaries()
+        # Event for a different symbol: gate fails, members skipped.
+        _m, visited, _e = forest.match_traced(
+            Event({"symbol": "IBM", "close": 5}))
+        assert visited == 1  # only the summary gate
+
+    def test_rebuild_after_more_inserts(self):
+        forest = SummarizedForest(min_cluster=2)
+        forest.insert(sub({"symbol": "HAL", "close": (0, 1)}), 1)
+        forest.insert(sub({"symbol": "HAL", "close": (2, 3)}), 2)
+        forest.rebuild_summaries()
+        forest.insert(sub({"symbol": "HAL", "close": (4, 5)}), 3)
+        # lazily rebuilt at next match
+        assert forest.match(Event({"symbol": "HAL", "close": 4.5})) \
+            == {3}
+
+    values = st.integers(min_value=0, max_value=8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["HAL", "IBM", "GE"]), values,
+                  values),
+        min_size=1, max_size=25),
+        st.lists(st.tuples(st.sampled_from(["HAL", "IBM", "GE", "XOM"]),
+                           values), min_size=1, max_size=6))
+    def test_exactness_property(self, sub_specs, event_specs):
+        forest = SummarizedForest(min_cluster=2)
+        reference = ContainmentForest()
+        for index, (symbol, a, b) in enumerate(sub_specs):
+            lo, hi = min(a, b), max(a, b)
+            subscription = sub({"symbol": symbol, "close": (lo, hi)})
+            forest.insert(subscription, index)
+            reference.insert(subscription, index)
+        forest.check_invariants()
+        for symbol, value in event_specs:
+            event = Event({"symbol": symbol, "close": value})
+            assert forest.match(event) == reference.match(event)

@@ -1,0 +1,100 @@
+"""Message bus tests: delivery, ordering, counters, errors."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.bus import MessageBus
+
+
+class TestDelivery:
+
+    def test_send_recv(self):
+        bus = MessageBus()
+        alice = bus.endpoint("alice")
+        bob = bus.endpoint("bob")
+        alice.send("bob", [b"hello", b"world"])
+        sender, frames = bob.recv()
+        assert sender == "alice"
+        assert frames == [b"hello", b"world"]
+
+    def test_fifo_order(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        b = bus.endpoint("b")
+        for i in range(5):
+            a.send("b", [bytes([i])])
+        received = [frames[0][0] for _s, frames in b.recv_all()]
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_recv_empty_returns_none(self):
+        bus = MessageBus()
+        endpoint = bus.endpoint("solo")
+        assert endpoint.recv() is None
+        assert endpoint.recv_all() == []
+
+    def test_self_send(self):
+        bus = MessageBus()
+        loop = bus.endpoint("loop")
+        loop.send("loop", [b"me"])
+        assert loop.recv() == ("loop", [b"me"])
+
+    def test_endpoint_identity_reused(self):
+        bus = MessageBus()
+        assert bus.endpoint("same") is bus.endpoint("same")
+
+    def test_frames_are_copied(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        b = bus.endpoint("b")
+        frame = bytearray(b"mutable")
+        a.send("b", [frame])
+        frame[0] = 0
+        _sender, frames = b.recv()
+        assert frames == [b"mutable"]
+
+
+class TestErrors:
+
+    def test_unknown_destination(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        with pytest.raises(NetworkError):
+            a.send("ghost", [b"x"])
+
+    def test_bad_frames(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        bus.endpoint("b")
+        with pytest.raises(NetworkError):
+            a.send("b", "not a list")
+        with pytest.raises(NetworkError):
+            a.send("b", ["not bytes"])
+
+    def test_empty_name(self):
+        with pytest.raises(NetworkError):
+            MessageBus().endpoint("")
+
+    def test_unknown_mailbox_queries(self):
+        bus = MessageBus()
+        with pytest.raises(NetworkError):
+            bus.pop("ghost")
+        with pytest.raises(NetworkError):
+            bus.pending("ghost")
+        with pytest.raises(NetworkError):
+            bus.stats("ghost")
+
+
+class TestCounters:
+
+    def test_traffic_accounting(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        bus.endpoint("b")
+        a.send("b", [b"12345"])
+        a.send("b", [b"1", b"2"])
+        assert a.sent_messages == 2
+        assert a.sent_bytes == 7
+        assert bus.total_messages == 2
+        assert bus.total_bytes == 7
+        assert bus.stats("b") == (2, 7)
+        assert bus.pending("b") == 2

@@ -1,0 +1,126 @@
+"""Remote attestation: reports, quotes, the simulated IAS."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import AttestationError, AuthenticationError
+from repro.sgx.attestation import (AttestationService, Quote,
+                                   QuotingEnclave, verify_avr)
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sdk import EnclaveLibrary, ecall, load_enclave
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+class Attester(EnclaveLibrary):
+
+    @ecall
+    def report(self, target: bytes, data: bytes):
+        return self.runtime.ereport(target, data)
+
+
+def _setup(vendor_key):
+    platform = SgxPlatform(attestation_key_bits=768)
+    service = AttestationService(signing_key_bits=768)
+    service.register_platform(platform)
+    enclave = load_enclave(platform, Attester, vendor_key)
+    qe = QuotingEnclave(platform)
+    return platform, service, enclave, qe
+
+
+class TestLocalAttestation:
+
+    def test_report_carries_identity(self, vendor_key):
+        _platform, _service, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"hello")
+        assert report.mr_enclave == enclave.mr_enclave
+        assert report.mr_signer == enclave.mr_signer
+        assert report.report_data == b"hello"
+
+    def test_report_data_size_limit(self, vendor_key):
+        _p, _s, enclave, _qe = _setup(vendor_key)
+        with pytest.raises(Exception):
+            enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                          b"x" * 65)
+
+    def test_quote_requires_valid_report(self, vendor_key):
+        _p, _s, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"data")
+        forged = type(report)(report.mr_enclave, report.mr_signer,
+                              b"other-data", report.mac)
+        with pytest.raises(AttestationError):
+            qe.quote(forged)
+
+    def test_report_for_other_target_rejected_by_qe(self, vendor_key):
+        _p, _s, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report",
+                               hashlib.sha256(b"not-qe").digest(),
+                               b"data")
+        with pytest.raises(AttestationError):
+            qe.quote(report)
+
+
+class TestRemoteAttestation:
+
+    def test_happy_path(self, vendor_key):
+        _p, service, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"key-hash")
+        avr = service.verify_quote(qe.quote(report))
+        verify_avr(avr, service.report_signing_public_key,
+                   expected_mr_enclave=enclave.mr_enclave)
+
+    def test_wrong_expected_measurement(self, vendor_key):
+        _p, service, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"key-hash")
+        avr = service.verify_quote(qe.quote(report))
+        with pytest.raises(AttestationError):
+            verify_avr(avr, service.report_signing_public_key,
+                       expected_mr_enclave=b"\x00" * 32)
+
+    def test_unregistered_platform(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        service = AttestationService(signing_key_bits=768)
+        enclave = load_enclave(platform, Attester, vendor_key)
+        qe = QuotingEnclave(platform)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"d")
+        with pytest.raises(AttestationError):
+            service.verify_quote(qe.quote(report))
+
+    def test_revoked_platform(self, vendor_key):
+        platform, service, enclave, qe = _setup(vendor_key)
+        service.revoke_platform(qe.platform_id)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"d")
+        avr = service.verify_quote(qe.quote(report))
+        assert avr.verdict == "GROUP_REVOKED"
+        with pytest.raises(AttestationError):
+            verify_avr(avr, service.report_signing_public_key)
+
+    def test_forged_quote_signature(self, vendor_key):
+        _p, service, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"d")
+        quote = qe.quote(report)
+        forged = Quote(quote.mr_enclave, quote.mr_signer,
+                       b"tampered", quote.platform_id, quote.signature)
+        with pytest.raises(AttestationError):
+            service.verify_quote(forged)
+
+    def test_forged_avr_signature(self, vendor_key):
+        _p, service, enclave, qe = _setup(vendor_key)
+        report = enclave.ecall("report", QuotingEnclave.MR_ENCLAVE,
+                               b"d")
+        avr = service.verify_quote(qe.quote(report))
+        rogue_service = AttestationService(signing_key_bits=768)
+        with pytest.raises(AttestationError):
+            verify_avr(avr, rogue_service.report_signing_public_key)

@@ -1,0 +1,95 @@
+"""Cache model tests: LRU semantics, geometry, counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sgx.cache import CacheModel
+
+
+class TestGeometry:
+
+    def test_set_count(self):
+        cache = CacheModel(size_bytes=8 * 1024 * 1024, line_bytes=64,
+                           associativity=16)
+        assert cache.n_sets == 8192
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            CacheModel(1024, line_bytes=48, associativity=2)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheModel(3 * 64 * 2, line_bytes=64, associativity=2)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheModel(1000, line_bytes=64, associativity=2)
+
+
+class TestLru:
+
+    def _tiny(self):
+        # 2 sets x 2 ways of 64-byte lines.
+        return CacheModel(size_bytes=256, line_bytes=64, associativity=2)
+
+    def test_cold_miss_then_hit(self):
+        cache = self._tiny()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+
+    def test_set_conflict_evicts_lru(self):
+        cache = self._tiny()
+        # Lines 0, 2, 4 all map to set 0 (line addr even).
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(4)   # evicts line 0
+        assert cache.access_line(0) is False
+        # Inserting 0 evicted line 2 (LRU); 4 should still hit.
+        assert cache.access_line(4) is True
+
+    def test_lru_refresh_on_hit(self):
+        cache = self._tiny()
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(0)   # refresh 0 -> 2 is now LRU
+        cache.access_line(4)   # evicts 2
+        assert cache.access_line(0) is True
+        assert cache.access_line(2) is False
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = self._tiny()
+        cache.access_line(0)  # set 0
+        cache.access_line(1)  # set 1
+        cache.access_line(3)  # set 1
+        assert cache.access_line(0) is True
+
+    def test_counters(self):
+        cache = self._tiny()
+        cache.access_line(0)
+        cache.access_line(0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.miss_rate == 0.5
+        cache.reset_counters()
+        assert cache.accesses == 0
+        assert cache.miss_rate == 0.0
+
+    def test_flush(self):
+        cache = self._tiny()
+        cache.access_line(0)
+        cache.flush()
+        assert cache.access_line(0) is False
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=200))
+    def test_working_set_within_capacity_always_hits_after_warmup(
+            self, trace):
+        """8 distinct lines fit a 2x4 cache regardless of order... only
+        if they spread across sets; use a fully associative layout."""
+        cache = CacheModel(size_bytes=8 * 64, line_bytes=64,
+                           associativity=8)  # 1 set, 8 ways
+        for line in range(8):
+            cache.access_line(line)
+        cache.reset_counters()
+        for line in trace:
+            assert cache.access_line(line) is True

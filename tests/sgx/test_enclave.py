@@ -1,0 +1,195 @@
+"""Enclave lifecycle, measurement, ecall/ocall and key derivation."""
+
+import pytest
+
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import AuthenticationError, EnclaveError
+from repro.sgx.enclave import EnclaveBuilder, Sigstruct
+from repro.sgx.platform import KeyPolicy, SgxPlatform
+from repro.sgx.sdk import EnclaveLibrary, ecall, load_enclave, make_proxy
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(attestation_key_bits=768)
+
+
+class EchoLibrary(EnclaveLibrary):
+    """Minimal trusted library used across the tests."""
+
+    @ecall
+    def echo(self, data: bytes) -> bytes:
+        return b"echo:" + data
+
+    @ecall
+    def derive(self, policy: str) -> bytes:
+        return self.runtime.egetkey(policy)
+
+    @ecall
+    def run_ocall(self, fn) -> object:
+        return self.runtime.ocall(fn, 21)
+
+    def not_an_ecall(self):
+        return "hidden"
+
+
+class OtherLibrary(EnclaveLibrary):
+
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+class ReentrantLibrary(EnclaveLibrary):
+    """Illegally re-enters its own enclave from inside."""
+
+    @ecall
+    def reenter(self):
+        return self.runtime._enclave.ecall("reenter")
+
+
+class TestMeasurement:
+
+    def test_same_code_same_measurement(self, platform, vendor_key):
+        a = EnclaveBuilder(platform, EchoLibrary).measure()
+        b = EnclaveBuilder(platform, EchoLibrary).measure()
+        assert a == b
+
+    def test_different_code_different_measurement(self, platform):
+        a = EnclaveBuilder(platform, EchoLibrary).measure()
+        b = EnclaveBuilder(platform, OtherLibrary).measure()
+        assert a != b
+
+    def test_measure_twice_rejected(self, platform):
+        builder = EnclaveBuilder(platform, EchoLibrary)
+        builder.measure()
+        with pytest.raises(EnclaveError):
+            builder.measure()
+
+
+class TestEinit:
+
+    def test_load_and_call(self, platform, vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        assert enclave.ecall("echo", b"hi") == b"echo:hi"
+
+    def test_forged_sigstruct_rejected(self, platform, vendor_key):
+        builder = EnclaveBuilder(platform, EchoLibrary)
+        sigstruct = builder.sign(vendor_key)
+        forged = Sigstruct(b"\x00" * 32, sigstruct.signer_public,
+                           sigstruct.signature)
+        with pytest.raises(AuthenticationError):
+            forged.verify()
+
+    def test_measurement_mismatch_rejected(self, platform, vendor_key):
+        # Sign the OTHER library's measurement, load it for Echo.
+        other = EnclaveBuilder(platform, OtherLibrary).sign(vendor_key)
+        builder = EnclaveBuilder(platform, EchoLibrary)
+        builder.measure()
+        with pytest.raises(AuthenticationError):
+            builder.initialize(other)
+
+    def test_launch_control(self, platform, vendor_key):
+        rogue = _generate_keypair_unchecked(768, 65537)
+        platform.allowed_signers = {
+            # only the legitimate vendor is whitelisted
+            __import__("repro.sgx.enclave", fromlist=["mr_signer_of"])
+            .mr_signer_of(vendor_key.public_key)
+        }
+        load_enclave(platform, EchoLibrary, vendor_key)  # allowed
+        with pytest.raises(EnclaveError):
+            load_enclave(platform, EchoLibrary, rogue)
+
+
+class TestEcalls:
+
+    def test_undeclared_ecall_rejected(self, platform, vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        with pytest.raises(EnclaveError):
+            enclave.ecall("not_an_ecall")
+
+    def test_ecall_counting_and_cost(self, platform, vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        cycles_before = platform.memory.cycles
+        enclave.ecall("echo", b"x")
+        costs = platform.spec.costs
+        assert enclave.ecalls == 1
+        assert platform.memory.cycles - cycles_before >= \
+            costs.eenter_cycles + costs.eexit_cycles
+
+    def test_nested_ecall_rejected(self, platform, vendor_key):
+        enclave = load_enclave(platform, ReentrantLibrary, vendor_key)
+        with pytest.raises(EnclaveError):
+            enclave.ecall("reenter")
+
+    def test_ecall_during_ocall_allowed(self, platform, vendor_key):
+        """Real SGX allows re-entry while the thread is in an ocall."""
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+
+        def nested(value):
+            return enclave.ecall("echo", b"again")
+
+        assert enclave.ecall("run_ocall", nested) == b"echo:again"
+
+    def test_ocall_leaves_and_reenters(self, platform, vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        observed = {}
+
+        def untrusted(value):
+            observed["inside"] = platform.current_enclave
+            return value * 2
+
+        assert enclave.ecall("run_ocall", untrusted) == 42
+        assert observed["inside"] is None
+        assert enclave.ocalls == 1
+
+    def test_destroyed_enclave_rejects_entry(self, platform, vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.ecall("echo", b"x")
+
+    def test_proxy(self, platform, vendor_key):
+        proxy = make_proxy(load_enclave(platform, EchoLibrary,
+                                        vendor_key))
+        assert proxy.echo(b"p") == b"echo:p"
+
+
+class TestKeys:
+
+    def test_egetkey_outside_enclave_rejected(self, platform,
+                                              vendor_key):
+        enclave = load_enclave(platform, EchoLibrary, vendor_key)
+        with pytest.raises(EnclaveError):
+            enclave.runtime.egetkey(KeyPolicy.MRENCLAVE)
+
+    def test_mrenclave_policy_differs_across_code(self, platform,
+                                                  vendor_key):
+        a = load_enclave(platform, EchoLibrary, vendor_key)
+        b = load_enclave(platform, OtherLibrary, vendor_key)
+        key_a = a.ecall("derive", KeyPolicy.MRENCLAVE)
+        # OtherLibrary has no derive ecall; use direct derivation.
+        key_b = platform.derive_seal_key(b.mr_enclave, b.mr_signer,
+                                         KeyPolicy.MRENCLAVE)
+        assert key_a != key_b
+
+    def test_mrsigner_policy_shared_across_code(self, platform,
+                                                vendor_key):
+        a = load_enclave(platform, EchoLibrary, vendor_key)
+        b = load_enclave(platform, OtherLibrary, vendor_key)
+        key_a = platform.derive_seal_key(a.mr_enclave, a.mr_signer,
+                                         KeyPolicy.MRSIGNER)
+        key_b = platform.derive_seal_key(b.mr_enclave, b.mr_signer,
+                                         KeyPolicy.MRSIGNER)
+        assert key_a == key_b
+
+    def test_seal_key_platform_bound(self, vendor_key):
+        p1 = SgxPlatform(attestation_key_bits=768, seed=b"\x01" * 32)
+        p2 = SgxPlatform(attestation_key_bits=768, seed=b"\x02" * 32)
+        args = (b"m" * 32, b"s" * 32, KeyPolicy.MRENCLAVE)
+        assert p1.derive_seal_key(*args) != p2.derive_seal_key(*args)

@@ -1,0 +1,157 @@
+"""EPC residency, paging and the traced memory subsystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EpcError
+from repro.sgx.cpu import scaled_spec, SKYLAKE_I7_6700
+from repro.sgx.epc import EpcManager
+from repro.sgx.memory import MemoryArena, MemorySubsystem
+
+
+def tiny_spec(epc_pages: int = 4, llc_bytes: int = 64 * 1024):
+    """A spec with an EPC of a handful of pages."""
+    return scaled_spec(llc_bytes=llc_bytes,
+                       epc_bytes=(epc_pages + 1) * 4096,
+                       epc_reserved_bytes=4096)
+
+
+class TestEpcManager:
+
+    def test_faults_on_first_touch(self):
+        epc = EpcManager(tiny_spec())
+        assert epc.access(1) is True
+        assert epc.access(1) is False
+        assert epc.faults == 1
+
+    def test_eviction_at_capacity(self):
+        epc = EpcManager(tiny_spec(epc_pages=2))
+        epc.access(1)
+        epc.access(2)
+        epc.access(3)  # evicts page 1 (LRU)
+        assert epc.evictions == 1
+        assert not epc.is_resident(1)
+        assert epc.is_resident(2) and epc.is_resident(3)
+
+    def test_lru_refresh(self):
+        epc = EpcManager(tiny_spec(epc_pages=2))
+        epc.access(1)
+        epc.access(2)
+        epc.access(1)  # refresh
+        epc.access(3)  # evicts 2, not 1
+        assert epc.is_resident(1)
+        assert not epc.is_resident(2)
+
+    def test_version_bumps_on_eviction(self):
+        epc = EpcManager(tiny_spec(epc_pages=1))
+        epc.access(1)
+        assert epc.version_of(1) == 0
+        epc.access(2)  # evict 1
+        assert epc.version_of(1) == 1
+        epc.access(1)  # evict 2, reload 1
+        epc.access(2)  # evict 1 again
+        assert epc.version_of(1) == 2
+
+    def test_thrashing_fault_rate(self):
+        """Working set larger than the EPC faults on every access."""
+        epc = EpcManager(tiny_spec(epc_pages=3))
+        for _ in range(5):
+            for page in range(4):  # 4 pages > 3 capacity, LRU worst case
+                epc.access(page)
+        assert epc.faults == 20
+
+    def test_remove(self):
+        epc = EpcManager(tiny_spec())
+        epc.access(1)
+        epc.remove(1)
+        assert not epc.is_resident(1)
+
+    def test_zero_capacity_rejected(self):
+        from dataclasses import replace
+        bad_spec = replace(SKYLAKE_I7_6700, epc_bytes=4096,
+                           epc_reserved_bytes=4096)
+        with pytest.raises(EpcError):
+            EpcManager(bad_spec)
+
+    def test_scaled_spec_guards_reservation(self):
+        with pytest.raises(ValueError):
+            scaled_spec(epc_bytes=4096, epc_reserved_bytes=4096)
+
+
+class TestMemorySubsystem:
+
+    def test_untrusted_minor_fault_once(self):
+        memory = MemorySubsystem(tiny_spec())
+        memory.touch(0, 8, enclave=False)
+        memory.touch(8, 8, enclave=False)  # same page
+        assert memory.minor_faults == 1
+
+    def test_enclave_miss_costs_more(self):
+        spec = tiny_spec()
+        native = MemorySubsystem(spec)
+        protected = MemorySubsystem(spec)
+        native.touch(0, 64, enclave=False)
+        protected.touch(0, 64, enclave=True)
+        # Subtract the page-fault components to compare line costs.
+        native_line = native.cycles - spec.costs.minor_fault_cycles
+        protected_line = protected.cycles - spec.costs.epc_fault_cycles
+        assert protected_line > native_line
+
+    def test_multi_line_access(self):
+        memory = MemorySubsystem(tiny_spec())
+        memory.touch(0, 200, enclave=False)  # 4 cache lines
+        assert memory.cache.accesses == 4
+
+    def test_snapshot_delta(self):
+        memory = MemorySubsystem(tiny_spec())
+        before = memory.snapshot()
+        memory.touch(0, 64, enclave=True)
+        delta = memory.snapshot().delta(before)
+        assert delta.epc_faults == 1
+        assert delta.cycles > 0
+
+    def test_prefault_suppresses_faults_and_charges(self):
+        memory = MemorySubsystem(tiny_spec())
+        memory.prefault(0, 4096 * 2, enclave=True)
+        assert memory.epc.faults == 0
+        assert memory.cycles == 0
+        cycles_before = memory.cycles
+        memory.touch(0, 8, enclave=True)
+        assert memory.epc.faults == 0  # page already resident
+        assert memory.cycles > cycles_before  # line cost still charged
+
+    def test_elapsed_us_uses_clock(self):
+        memory = MemorySubsystem(SKYLAKE_I7_6700)
+        memory.charge(3.4e9)  # one second of cycles
+        assert memory.elapsed_us() == pytest.approx(1e6)
+
+
+class TestMemoryArena:
+
+    def test_alloc_alignment(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=False)
+        a = arena.alloc(10)
+        b = arena.alloc(10)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 10
+
+    def test_enclave_and_untrusted_spaces_disjoint(self):
+        memory = MemorySubsystem(tiny_spec())
+        trusted = memory.new_arena(enclave=True)
+        untrusted = memory.new_arena(enclave=False)
+        assert trusted.alloc(8) != untrusted.alloc(8)
+        assert trusted.base > untrusted.base
+
+    def test_rejects_non_positive_alloc(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=False)
+        with pytest.raises(Exception):
+            arena.alloc(0)
+
+    def test_touch_routes_to_owner(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        address = arena.alloc(64)
+        arena.touch(address, 64)
+        assert memory.epc.faults == 1

@@ -1,0 +1,114 @@
+"""Performance-counter facade and SDK helper tests."""
+
+import pytest
+
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import EnclaveError
+from repro.sgx.cpu import scaled_spec
+from repro.sgx.perfcounters import (PerfCounterSession, RusageSnapshot,
+                                    read_counters)
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sdk import EnclaveLibrary, ecall, load_enclave
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+def tiny_platform():
+    return SgxPlatform(spec=scaled_spec(llc_bytes=64 * 1024),
+                       attestation_key_bits=768)
+
+
+class TestPerfCounters:
+
+    def test_read_counters_shape(self):
+        platform = tiny_platform()
+        snapshot = read_counters(platform)
+        assert snapshot.llc_references == 0
+        assert snapshot.minflt == 0
+        assert snapshot.llc_miss_rate == 0.0
+
+    def test_session_delta(self):
+        platform = tiny_platform()
+        with PerfCounterSession(platform) as session:
+            platform.memory.touch(0, 64, enclave=False)
+            platform.memory.touch(0, 64, enclave=False)
+        assert session.delta.llc_references == 2
+        assert session.delta.llc_misses == 1
+        assert session.delta.minflt == 1
+        assert session.delta.simulated_us > 0
+
+    def test_session_excludes_prior_traffic(self):
+        platform = tiny_platform()
+        platform.memory.touch(0, 64, enclave=False)
+        with PerfCounterSession(platform) as session:
+            pass
+        assert session.delta.llc_references == 0
+
+    def test_epc_fault_counter(self):
+        platform = tiny_platform()
+        with PerfCounterSession(platform) as session:
+            platform.memory.touch(1 << 40, 64, enclave=True)
+        assert session.delta.epc_faults == 1
+
+    def test_subtraction(self):
+        a = RusageSnapshot(10.0, 100, 10, 1, 0)
+        b = RusageSnapshot(4.0, 60, 4, 0, 0)
+        delta = a - b
+        assert delta.simulated_us == 6.0
+        assert delta.llc_references == 40
+        assert delta.llc_miss_rate == pytest.approx(6 / 40)
+
+
+class TestSdkMetaclass:
+
+    def test_ecalls_collected(self):
+        class Lib(EnclaveLibrary):
+            @ecall
+            def a(self):
+                return 1
+
+            @ecall
+            def b(self):
+                return 2
+
+            def hidden(self):
+                return 3
+
+        assert set(Lib.ECALLS) == {"a", "b"}
+
+    def test_ecalls_inherited(self):
+        class Base(EnclaveLibrary):
+            @ecall
+            def base_call(self):
+                return 0
+
+        class Derived(Base):
+            @ecall
+            def derived_call(self):
+                return 1
+
+        assert "base_call" in Derived.ECALLS
+        assert "derived_call" in Derived.ECALLS
+
+    def test_empty_library_rejected_at_load(self, vendor_key):
+        class Empty(EnclaveLibrary):
+            pass
+
+        with pytest.raises(EnclaveError):
+            load_enclave(tiny_platform(), Empty, vendor_key)
+
+    def test_proxy_hides_private(self, vendor_key):
+        class Lib(EnclaveLibrary):
+            @ecall
+            def visible(self):
+                return "ok"
+
+        from repro.sgx.sdk import make_proxy
+        proxy = make_proxy(load_enclave(tiny_platform(), Lib,
+                                        vendor_key))
+        assert proxy.visible() == "ok"
+        with pytest.raises(AttributeError):
+            proxy._secret

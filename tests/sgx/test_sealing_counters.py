@@ -1,0 +1,141 @@
+"""Sealed storage, monotonic counters and rollback protection."""
+
+import pytest
+
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import (AuthenticationError, RollbackError, SgxError)
+from repro.sgx.platform import KeyPolicy, SgxPlatform
+from repro.sgx.sdk import EnclaveLibrary, ecall, load_enclave
+from repro.sgx.sealing import SealedBlob, seal, unseal
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+class Vault(EnclaveLibrary):
+    """Trusted library that seals/unseals on request."""
+
+    @ecall
+    def seal_it(self, data: bytes, policy: str,
+                counter_id: bytes = None) -> bytes:
+        return seal(self.runtime, data, policy=policy,
+                    counter_id=counter_id).to_bytes()
+
+    @ecall
+    def unseal_it(self, blob: bytes, counter_id: bytes = None) -> bytes:
+        return unseal(self.runtime, SealedBlob.from_bytes(blob),
+                      counter_id=counter_id)
+
+    @ecall
+    def new_counter(self) -> bytes:
+        return self.runtime.create_monotonic_counter()
+
+    @ecall
+    def counter_value(self, counter_id: bytes) -> int:
+        return self.runtime.read_monotonic_counter(counter_id)
+
+
+class TestSealing:
+
+    def test_roundtrip_same_enclave(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        blob = vault.ecall("seal_it", b"secret", KeyPolicy.MRENCLAVE)
+        assert vault.ecall("unseal_it", blob) == b"secret"
+
+    def test_roundtrip_across_instances_same_code(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        first = load_enclave(platform, Vault, vendor_key)
+        blob = first.ecall("seal_it", b"secret", KeyPolicy.MRENCLAVE)
+        first.destroy()
+        second = load_enclave(platform, Vault, vendor_key)
+        assert second.ecall("unseal_it", blob) == b"secret"
+
+    def test_other_platform_cannot_unseal(self, vendor_key):
+        p1 = SgxPlatform(attestation_key_bits=768, seed=b"\x01" * 32)
+        p2 = SgxPlatform(attestation_key_bits=768, seed=b"\x02" * 32)
+        blob = load_enclave(p1, Vault, vendor_key).ecall(
+            "seal_it", b"secret", KeyPolicy.MRENCLAVE)
+        other = load_enclave(p2, Vault, vendor_key)
+        with pytest.raises(AuthenticationError):
+            other.ecall("unseal_it", blob)
+
+    def test_tampered_blob_rejected(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        blob = bytearray(vault.ecall("seal_it", b"secret",
+                                     KeyPolicy.MRENCLAVE))
+        blob[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            vault.ecall("unseal_it", bytes(blob))
+
+    def test_truncated_blob_rejected(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        with pytest.raises(AuthenticationError):
+            vault.ecall("unseal_it", b"tiny")
+
+    def test_mrsigner_policy_survives_code_change(self, vendor_key):
+        """MRSIGNER-sealed data is readable by a sibling enclave."""
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        blob = SealedBlob.from_bytes(
+            vault.ecall("seal_it", b"shared", KeyPolicy.MRSIGNER))
+        key = platform.derive_seal_key(b"other-code" * 3 + b"xx",
+                                       vault.mr_signer,
+                                       KeyPolicy.MRSIGNER,
+                                       key_id=b"sealing")
+        from repro.crypto.ctr import AesCtr
+        assert AesCtr(key).process(blob.nonce, blob.ciphertext) \
+            == b"shared"
+
+
+class TestRollbackProtection:
+
+    def test_stale_blob_detected(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        counter = vault.ecall("new_counter")
+        stale = vault.ecall("seal_it", b"v1", KeyPolicy.MRENCLAVE,
+                            counter)
+        fresh = vault.ecall("seal_it", b"v2", KeyPolicy.MRENCLAVE,
+                            counter)
+        assert vault.ecall("unseal_it", fresh, counter) == b"v2"
+        with pytest.raises(RollbackError):
+            vault.ecall("unseal_it", stale, counter)
+
+    def test_counter_monotonicity(self, vendor_key):
+        platform = SgxPlatform(attestation_key_bits=768)
+        vault = load_enclave(platform, Vault, vendor_key)
+        counter = vault.ecall("new_counter")
+        assert vault.ecall("counter_value", counter) == 0
+        vault.ecall("seal_it", b"x", KeyPolicy.MRENCLAVE, counter)
+        assert vault.ecall("counter_value", counter) == 1
+
+
+class TestMonotonicCounterService:
+
+    def test_ownership(self):
+        platform = SgxPlatform(attestation_key_bits=768)
+        counter = platform.counters.create(b"owner-a")
+        assert platform.counters.read(counter, b"owner-a") == 0
+        with pytest.raises(SgxError):
+            platform.counters.read(counter, b"owner-b")
+        with pytest.raises(SgxError):
+            platform.counters.increment(counter, b"owner-b")
+
+    def test_unknown_counter(self):
+        platform = SgxPlatform(attestation_key_bits=768)
+        with pytest.raises(SgxError):
+            platform.counters.read(b"nonexistent", b"owner")
+
+    def test_increment_and_destroy(self):
+        platform = SgxPlatform(attestation_key_bits=768)
+        counter = platform.counters.create(b"owner")
+        assert platform.counters.increment(counter, b"owner") == 1
+        assert platform.counters.increment(counter, b"owner") == 2
+        platform.counters.destroy(counter, b"owner")
+        with pytest.raises(SgxError):
+            platform.counters.read(counter, b"owner")

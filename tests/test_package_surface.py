@@ -1,0 +1,77 @@
+"""Package-surface tests: exports, error hierarchy, version."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.matching", "repro.sgx", "repro.aspe",
+        "repro.crypto", "repro.network", "repro.workloads",
+        "repro.bench",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        package = importlib.import_module(module)
+        for name in package.__all__:
+            assert getattr(package, name, None) is not None, \
+                f"{module}.{name}"
+
+
+class TestErrorHierarchy:
+
+    def test_all_errors_are_scbr_errors(self):
+        error_classes = [
+            value for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        assert len(error_classes) >= 12
+        for cls in error_classes:
+            assert issubclass(cls, errors.ScbrError)
+
+    def test_security_errors_grouped(self):
+        assert issubclass(errors.AuthenticationError, errors.CryptoError)
+        assert issubclass(errors.MemoryLockError, errors.SgxError)
+        assert issubclass(errors.AttestationError, errors.SgxError)
+        assert issubclass(errors.RollbackError, errors.SgxError)
+        assert issubclass(errors.EnclaveError, errors.SgxError)
+        assert issubclass(errors.EpcError, errors.SgxError)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.ScbrError):
+            raise errors.WorkloadError("x")
+        with pytest.raises(errors.ScbrError):
+            raise errors.MemoryLockError("y")
+
+
+class TestDocstrings:
+
+    @pytest.mark.parametrize("module", [
+        "repro", "repro.core.engine", "repro.matching.poset",
+        "repro.sgx.enclave", "repro.aspe.scheme",
+        "repro.workloads.datasets", "repro.bench.experiments",
+    ])
+    def test_key_modules_documented(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__ and len(imported.__doc__) > 80
+
+    def test_public_classes_documented(self):
+        from repro.core.engine import ScbrEnclaveLibrary
+        from repro.matching.poset import ContainmentForest
+        from repro.sgx.platform import SgxPlatform
+        for cls in (ScbrEnclaveLibrary, ContainmentForest, SgxPlatform):
+            assert cls.__doc__
+            for name, member in vars(cls).items():
+                if callable(member) and not name.startswith("_"):
+                    assert member.__doc__, f"{cls.__name__}.{name}"

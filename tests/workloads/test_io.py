@@ -1,0 +1,106 @@
+"""Dataset persistence tests: save/load fidelity and corruption."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.datasets import build_dataset
+from repro.workloads.io import (load_dataset, save_dataset,
+                                subscription_from_record,
+                                subscription_to_record)
+from repro.matching.subscriptions import Subscription
+from repro.matching.predicates import Op, Predicate
+
+
+class TestSubscriptionRecords:
+
+    @pytest.mark.parametrize("spec", [
+        {"symbol": "HAL"},
+        {"price": (10.0, 20.0)},
+        {"symbol": "HAL", "price": ("<", 50.0), "volume": (">", 100.0)},
+    ])
+    def test_roundtrip(self, spec):
+        subscription = Subscription.parse(spec)
+        rebuilt = subscription_from_record(
+            subscription_to_record(subscription))
+        assert rebuilt.key() == subscription.key()
+
+    def test_exclusions_and_exists(self):
+        subscription = Subscription.of(
+            Predicate("a", Op.NE, 5),
+            Predicate("b", Op.EXISTS),
+            Predicate("c", Op.NE, "bad"))
+        rebuilt = subscription_from_record(
+            subscription_to_record(subscription))
+        assert rebuilt.key() == subscription.key()
+
+    def test_open_bounds(self):
+        subscription = Subscription.of(Predicate("x", Op.GT, 1.0),
+                                       Predicate("x", Op.LT, 2.0))
+        rebuilt = subscription_from_record(
+            subscription_to_record(subscription))
+        assert rebuilt.key() == subscription.key()
+
+
+class TestDatasetFiles:
+
+    def test_roundtrip(self, tmp_path):
+        dataset = build_dataset("e80a1", 150, 8, n_quotes=500)
+        path = str(tmp_path / "e80a1.jsonl")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == dataset.name
+        assert loaded.attribute_names == dataset.attribute_names
+        assert [s.key() for s in loaded.subscriptions] == \
+            [s.key() for s in dataset.subscriptions]
+        assert [e.header for e in loaded.publications] == \
+            [e.header for e in dataset.publications]
+        assert len(loaded.collection) == len(dataset.collection)
+
+    def test_loaded_dataset_matches_identically(self, tmp_path):
+        from repro.matching.poset import ContainmentForest
+        dataset = build_dataset("e100a1", 200, 10, n_quotes=500)
+        path = str(tmp_path / "ds.jsonl")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        original = ContainmentForest()
+        restored = ContainmentForest()
+        for index, (a, b) in enumerate(zip(dataset.subscriptions,
+                                           loaded.subscriptions)):
+            original.insert(a, index)
+            restored.insert(b, index)
+        for event_a, event_b in zip(dataset.publications,
+                                    loaded.publications):
+            assert original.match(event_a) == restored.match(event_b)
+
+    def test_not_a_dataset(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text(json.dumps({"kind": "quote"}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_dataset(str(path))
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 99})
+                        + "\n")
+        with pytest.raises(WorkloadError):
+            load_dataset(str(path))
+
+    def test_truncation_detected(self, tmp_path):
+        dataset = build_dataset("e80a1", 50, 4, n_quotes=200)
+        path = tmp_path / "trunc.jsonl"
+        save_dataset(dataset, str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(WorkloadError):
+            load_dataset(str(path))
+
+    def test_unknown_record_kind(self, tmp_path):
+        dataset = build_dataset("e80a1", 10, 2, n_quotes=100)
+        path = tmp_path / "weird.jsonl"
+        save_dataset(dataset, str(path))
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "surprise"}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_dataset(str(path))

@@ -1,0 +1,233 @@
+"""Workload generation tests: Table 1 recipes, quotes, Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.matching.poset import ContainmentForest
+from repro.matching.stats import forest_stats
+from repro.workloads.datasets import (build_dataset, dataset_statistics)
+from repro.workloads.quotes import (BASE_ATTRIBUTES, OPTIONAL_ATTRIBUTES,
+                                    generate_quotes)
+from repro.workloads.spec import (Distribution, WORKLOADS, WorkloadSpec,
+                                  get_workload, workload_names)
+from repro.workloads.subscriptions_gen import (SubscriptionGenerator,
+                                               merged_events)
+from repro.workloads.symbols import KNOWN_SYMBOLS, symbol_universe
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestSymbols:
+
+    def test_known_prefix(self):
+        assert symbol_universe(5) == list(KNOWN_SYMBOLS[:5])
+
+    def test_generated_unique(self):
+        universe = symbol_universe(500)
+        assert len(universe) == len(set(universe)) == 500
+
+    def test_deterministic(self):
+        assert symbol_universe(200) == symbol_universe(200)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            symbol_universe(0)
+
+
+class TestZipf:
+
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(100, 1.0, np.random.default_rng(0))
+        counts = np.bincount(sampler.sample_indices(5000),
+                             minlength=100)
+        assert counts[0] == max(counts)
+        assert counts[0] > 5 * counts[50]
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, np.random.default_rng(0))
+        counts = np.bincount(sampler.sample_indices(10000), minlength=10)
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_sample_population(self):
+        sampler = ZipfSampler(3, 1.0, np.random.default_rng(0))
+        assert sampler.sample(["a", "b", "c"]) in ("a", "b", "c")
+        with pytest.raises(ValueError):
+            sampler.sample(["wrong", "size"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, exponent=-1)
+
+
+class TestQuotes:
+
+    def test_collection_shape(self):
+        collection = generate_quotes(500, n_symbols=20, seed=1)
+        assert len(collection) == 500
+        assert len(collection.symbols) == 20
+
+    def test_attribute_count_range(self):
+        collection = generate_quotes(500, seed=1)
+        for quote in collection.quotes:
+            assert 8 <= len(quote.header) <= 11
+            for attribute in BASE_ATTRIBUTES:
+                assert attribute in quote.header
+
+    def test_ohlc_consistency(self):
+        collection = generate_quotes(300, seed=2)
+        for quote in collection.quotes:
+            header = quote.header
+            assert header["low"] <= min(header["open"],
+                                        header["close"]) + 0.01
+            assert header["high"] >= max(header["open"],
+                                         header["close"]) - 0.01
+            assert header["volume"] > 0
+
+    def test_deterministic(self):
+        a = generate_quotes(100, seed=7)
+        b = generate_quotes(100, seed=7)
+        assert [q.header for q in a.quotes] == \
+            [q.header for q in b.quotes]
+
+    def test_quotes_for_symbol(self):
+        collection = generate_quotes(500, n_symbols=10, seed=1)
+        for symbol in collection.symbols:
+            for quote in collection.quotes_for(symbol):
+                assert quote.symbol == symbol
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            generate_quotes(0)
+
+
+class TestSpecs:
+
+    def test_nine_workloads(self):
+        assert len(workload_names()) == 9
+        assert workload_names()[0] == "e100a1"
+
+    def test_table1_equality_mixes(self):
+        assert WORKLOADS["e100a1"].equality_mix == {1: 1.0}
+        assert WORKLOADS["e80a1"].equality_mix == {0: 0.20, 1: 0.80}
+        assert WORKLOADS["extsub2"].equality_mix == \
+            {0: 0.15, 1: 0.60, 2: 0.15, 3: 0.10}
+
+    def test_table1_multipliers(self):
+        assert WORKLOADS["e80a2"].attribute_multiplier == 2
+        assert WORKLOADS["e80a4"].attribute_multiplier == 4
+        assert WORKLOADS["extsub4"].attribute_multiplier == 4
+
+    def test_table1_distributions(self):
+        assert WORKLOADS["e80a1z100"].distribution == \
+            Distribution.ZIPF_SYMBOL
+        assert WORKLOADS["e100a1zz100"].distribution == \
+            Distribution.ZIPF_ALL
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", {0: 0.5}, 1, Distribution.UNIFORM)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", {0: 1.0}, 3, Distribution.UNIFORM)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", {0: 1.0}, 1, "weird")
+
+
+class TestMergedEvents:
+
+    def test_multiplier_one_plain(self):
+        collection = generate_quotes(100, seed=1)
+        events = merged_events(collection, 1, 10,
+                               np.random.default_rng(0))
+        assert all("symbol" in event for event in events)
+
+    def test_multiplier_two_prefixes(self):
+        collection = generate_quotes(100, seed=1)
+        events = merged_events(collection, 2, 10,
+                               np.random.default_rng(0))
+        for event in events:
+            assert "q0_symbol" in event and "q1_symbol" in event
+            assert 16 <= len(event) <= 22
+
+    def test_bad_multiplier(self):
+        collection = generate_quotes(10, seed=1)
+        with pytest.raises(WorkloadError):
+            merged_events(collection, 3, 5, np.random.default_rng(0))
+
+
+class TestDatasets:
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_equality_mix_approximates_table1(self, name):
+        dataset = build_dataset(name, 1500, 10)
+        stats = dataset_statistics(dataset)
+        for n_eq, expected in dataset.spec.equality_mix.items():
+            observed = stats[f"eq_fraction_{n_eq}"]
+            assert abs(observed - expected) < 0.06, \
+                (name, n_eq, observed, expected)
+
+    def test_attribute_multiplication(self):
+        for name, low, high in (("e80a1", 8, 11), ("e80a2", 16, 22),
+                                ("e80a4", 32, 44)):
+            dataset = build_dataset(name, 50, 30)
+            stats = dataset_statistics(dataset)
+            assert low <= stats["min_pub_attributes"]
+            assert stats["max_pub_attributes"] <= high
+
+    def test_zipf_all_produces_duplicates(self):
+        uniform = dataset_statistics(build_dataset("e80a1", 2000, 5))
+        zipf = dataset_statistics(build_dataset("e80a1zz100", 2000, 5))
+        assert zipf["distinct_subscriptions"] < \
+            uniform["distinct_subscriptions"]
+
+    def test_zipf_all_builds_deeper_trees(self):
+        def depth(name):
+            dataset = build_dataset(name, 2000, 5)
+            forest = ContainmentForest()
+            for index, sub in enumerate(dataset.subscriptions):
+                forest.insert(sub, index)
+            return forest_stats(forest).mean_depth
+
+        assert depth("e80a1zz100") > depth("e80a1")
+
+    def test_multiplied_attrs_build_more_roots(self):
+        def roots(name):
+            dataset = build_dataset(name, 2000, 5)
+            forest = ContainmentForest()
+            for index, sub in enumerate(dataset.subscriptions):
+                forest.insert(sub, index)
+            return forest_stats(forest).n_roots
+
+        assert roots("e80a4") > roots("e80a1")
+
+    def test_subscriptions_match_some_publications(self):
+        """Workloads must produce non-trivial match rates."""
+        dataset = build_dataset("e80a1", 2000, 40)
+        forest = ContainmentForest()
+        for index, sub in enumerate(dataset.subscriptions):
+            forest.insert(sub, index)
+        total = sum(len(forest.match(event))
+                    for event in dataset.publications)
+        assert total > 0
+
+    def test_prefix_guard(self):
+        dataset = build_dataset("e100a1", 100, 5)
+        assert len(dataset.subscription_prefix(50)) == 50
+        with pytest.raises(WorkloadError):
+            dataset.subscription_prefix(101)
+
+    def test_deterministic_across_builds(self):
+        a = build_dataset("e100a1", 200, 5, seed=42)
+        b = build_dataset("e100a1", 200, 5, seed=42)
+        assert [s.key() for s in a.subscriptions] == \
+            [s.key() for s in b.subscriptions]
+
+    def test_aspe_schema_covers_attributes(self):
+        dataset = build_dataset("e80a2", 50, 10)
+        schema = dataset.aspe_schema()
+        assert set(schema.attributes) == set(dataset.attribute_names)
