@@ -71,9 +71,12 @@ def main() -> None:
         print(f"   {payload.decode()}")
     assert alice.received == [b"HAL dipped below 50!", b"HAL bargain"]
 
-    subs, nodes, size = router.stats()
-    print(f"enclave index: {subs} subscription(s), {nodes} node(s), "
-          f"{size} modelled bytes")
+    stats = router.stats()
+    print(f"enclave index: {stats['subscriptions']} subscription(s), "
+          f"{stats['index_nodes']} node(s), "
+          f"{stats['index_bytes']} modelled bytes")
+    print(f"router delivered {stats['metrics']['router.deliveries_total']}"
+          f" payloads, dead-lettered {stats['dead_letters']}")
     print(f"simulated platform time: "
           f"{platform.simulated_us():.1f} us")
 

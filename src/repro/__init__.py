@@ -17,12 +17,13 @@ Quickstart::
 See ``examples/quickstart.py`` for the full walk-through.
 """
 
-from repro.core import (Client, GroupKeyManager, ProviderKeyChain,
-                        Publisher, Router, ScbrEnclaveLibrary,
-                        ServiceProvider)
+from repro.core import (Client, DeadLetterQueue, GroupKeyManager,
+                        ProviderKeyChain, Publisher, RetryPolicy,
+                        Router, ScbrEnclaveLibrary, ServiceProvider)
 from repro.matching import (ContainmentForest, Event, MatchingEngine, Op,
                             Predicate, Subscription)
-from repro.network import MessageBus
+from repro.network import FaultPlan, LinkFaults, MessageBus
+from repro.obs import MetricsRegistry
 from repro.sgx import (AttestationService, SgxPlatform, SKYLAKE_I7_6700,
                        scaled_spec)
 from repro.workloads import build_dataset, workload_names
@@ -34,7 +35,8 @@ __all__ = [
     "ScbrEnclaveLibrary", "ProviderKeyChain", "GroupKeyManager",
     "Event", "Op", "Predicate", "Subscription", "ContainmentForest",
     "MatchingEngine",
-    "MessageBus",
+    "MessageBus", "FaultPlan", "LinkFaults",
+    "MetricsRegistry", "RetryPolicy", "DeadLetterQueue",
     "SgxPlatform", "AttestationService", "SKYLAKE_I7_6700", "scaled_spec",
     "build_dataset", "workload_names",
     "__version__",

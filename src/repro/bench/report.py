@@ -8,9 +8,9 @@ plotting dependencies.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series_chart"]
+__all__ = ["format_table", "format_series_chart", "format_metrics"]
 
 
 def format_table(headers: Sequence[str],
@@ -40,6 +40,32 @@ def format_table(headers: Sequence[str],
     for row in cells:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_metrics(snapshot: Mapping[str, object],
+                   title: str = "", prefix: str = "") -> str:
+    """Render a flat metrics snapshot as a two-column table.
+
+    ``snapshot`` is what :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    (or ``Router.stats()["metrics"]``) returns; ``prefix`` filters to
+    one component (e.g. ``"router."``). Nested mappings (the full
+    ``Router.stats()`` dict) are flattened with dotted names.
+    """
+    flat: Dict[str, object] = {}
+
+    def _flatten(mapping: Mapping[str, object], path: str) -> None:
+        for key in sorted(mapping):
+            value = mapping[key]
+            name = f"{path}{key}" if path else str(key)
+            if isinstance(value, Mapping):
+                _flatten(value, f"{name}.")
+            else:
+                flat[name] = value
+
+    _flatten(snapshot, "")
+    rows = [[name, value] for name, value in flat.items()
+            if name.startswith(prefix)]
+    return format_table(["metric", "value"], rows, title=title)
 
 
 def format_series_chart(series: Dict[str, Dict[float, float]],

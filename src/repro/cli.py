@@ -14,6 +14,7 @@ Commands::
     fig8 [--subs N]          the EPC paging cliff
     ablations                containment + Bloom pre-filter ablations
     workloads                shape statistics of the nine datasets
+    metrics                  fault-injected run + router metrics dump
 """
 
 from __future__ import annotations
@@ -88,6 +89,78 @@ def _run_demo(_args: argparse.Namespace) -> int:
     alice.pump()
     print(f"alice received: {alice.received}")
     print(f"simulated platform time: {platform.simulated_us():.1f} us")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Robustness demo: seeded faults, retries, DLQ, metrics dump."""
+    from repro import (FaultPlan, LinkFaults, MessageBus,
+                       MetricsRegistry, SgxPlatform)
+    from repro.bench.report import format_metrics
+    from repro.core import (Client, Publisher, RetryPolicy, Router,
+                            ScbrEnclaveLibrary, ServiceProvider)
+    from repro.core.protocol import build_deliver
+    from repro.crypto.rsa import generate_keypair
+    from repro.sgx import AttestationService, EnclaveBuilder
+
+    registry = MetricsRegistry()
+    plan = FaultPlan(seed=args.seed).on_link(
+        "publisher", "router", LinkFaults(drop=args.drop))
+    bus = MessageBus(fault_plan=plan, metrics=registry)
+    platform = SgxPlatform()
+    service = AttestationService()
+    service.register_platform(platform)
+    vendor = generate_keypair(bits=1024)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor, metrics=registry,
+                    retry_policy=RetryPolicy(max_attempts=3))
+    provider = ServiceProvider(bus, rsa_bits=1024,
+                               attestation_service=service,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+
+    alice = Client(bus, "alice", provider.keys.public_key)
+    alice.process_admission(provider.admit_client("alice"))
+    alice.subscribe("provider", {"symbol": "HAL"})
+    # "ghost" subscribes but never opens a bus endpoint: deliveries to
+    # it exhaust the retry schedule and land in the dead-letter queue.
+    provider.admit_client("ghost")
+    from repro.core.messages import encode_subscription, hybrid_encrypt
+    from repro.core.protocol import build_subscription_request
+    from repro.matching.subscriptions import Subscription
+    ghost_blob = encode_subscription(Subscription.parse(
+        {"symbol": "HAL"}))
+    provider.endpoint.send("provider", [build_subscription_request(
+        "ghost", hybrid_encrypt(provider.keys.public_key, ghost_blob,
+                                aad=b"ghost"))])
+    provider.pump("router")
+    router.pump()
+
+    # Hostile traffic: a frame the router cannot parse, and one of a
+    # type it never expects — both must be quarantined, not fatal.
+    mallory = bus.endpoint("mallory")
+    mallory.send("router", [b"PUB:!!this is not base64!!"])
+    mallory.send("router", [build_deliver(b"misdirected")])
+
+    for index in range(args.publications):
+        publisher.publish("router", {"symbol": "HAL", "price": 40.0
+                                     + index}, b"tick %d" % index)
+        router.pump()
+        alice.pump()
+    router.pump()  # drain mallory's frames even with 0 publications
+    router.drain_retries()
+
+    stats = router.stats()
+    print(f"publications sent: {args.publications}  "
+          f"(link drop rate {args.drop:.0%}, seed {args.seed})")
+    print(f"arrived at router: {router.publications}   "
+          f"dropped on the wire: {bus.dropped_messages}")
+    print(f"delivered to alice: {len(alice.received)}   "
+          f"dead-lettered: {stats['dead_letters_by_reason']}")
+    print()
+    print(format_metrics(stats["metrics"],
+                         title="fabric metrics (seeded run)"))
     return 0
 
 
@@ -256,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="index shapes per workload") \
         .set_defaults(func=_run_workloads)
+
+    pm = sub.add_parser(
+        "metrics", help="fault-injected run + router metrics dump")
+    _publications_argument(pm, 20)
+    pm.add_argument("--seed", type=int, default=7,
+                    help="fault-plan RNG seed")
+    pm.add_argument("--drop", type=float, default=0.25,
+                    help="publisher->router drop probability")
+    pm.set_defaults(func=_run_metrics)
     return parser
 
 

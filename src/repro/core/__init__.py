@@ -6,6 +6,7 @@ formats, key management, and the enclave-resident routing engine.
 
 from repro.core.cluster import (ClusterMatchResult, MatcherCluster,
                                 MatcherSlice)
+from repro.core.deadletter import DeadLetter, DeadLetterQueue
 from repro.core.engine import PROVISION_AAD, ScbrEnclaveLibrary
 from repro.core.keys import GroupKeyManager, ProviderKeyChain
 from repro.core.messages import (SecureChannel, decode_header,
@@ -15,12 +16,13 @@ from repro.core.messages import (SecureChannel, decode_header,
                                  hybrid_decrypt, hybrid_encrypt, to_wire)
 from repro.core.provider import ServiceProvider
 from repro.core.publisher import Publisher
-from repro.core.router import Router
+from repro.core.router import RetryPolicy, Router
 from repro.core.subscriber import Client
 
 __all__ = [
     "MatcherCluster", "MatcherSlice", "ClusterMatchResult",
     "ScbrEnclaveLibrary", "PROVISION_AAD",
+    "RetryPolicy", "DeadLetter", "DeadLetterQueue",
     "GroupKeyManager", "ProviderKeyChain",
     "SecureChannel", "encode_header", "decode_header",
     "encode_subscription", "decode_subscription",

@@ -1,0 +1,89 @@
+"""Dead-letter queue: quarantine for frames the router cannot serve.
+
+Two failure classes end here instead of being silently discarded:
+
+* **poison frames** — inbound traffic the router cannot parse,
+  authenticate or dispatch (malformed envelopes, unexpected message
+  types, enclave-rejected payloads);
+* **undeliverable payloads** — matched deliveries whose subscriber
+  endpoint stayed unreachable through the full retry/backoff schedule.
+
+Each entry records the frame, who sent it, a stable ``reason`` slug,
+the stringified cause, and the router tick it died on — enough for an
+operator (or a soak test) to account for every message that did not
+reach a subscriber. The queue is bounded: beyond ``capacity`` the
+oldest entries are evicted (and counted), because an unbounded poison
+buffer is itself a denial-of-service vector on the untrusted host.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined frame and why it ended up here."""
+
+    frame: bytes
+    sender: str
+    reason: str
+    detail: str
+    tick: int
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of dead letters with per-reason accounting."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("dead-letter capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[DeadLetter] = deque()
+        #: reason slug -> letters ever recorded with it (survives
+        #: capacity eviction, so accounting never loses a message).
+        self.counts_by_reason: Dict[str, int] = {}
+        self.total = 0
+        self.evicted = 0
+
+    def add(self, frame: bytes, sender: str, reason: str,
+            detail: str = "", tick: int = 0) -> DeadLetter:
+        """Quarantine one frame; returns the recorded entry."""
+        letter = DeadLetter(frame=bytes(frame), sender=sender,
+                            reason=reason, detail=detail, tick=tick)
+        self._entries.append(letter)
+        self.total += 1
+        self.counts_by_reason[reason] = \
+            self.counts_by_reason.get(reason, 0) + 1
+        if len(self._entries) > self.capacity:
+            self._entries.popleft()
+            self.evicted += 1
+        return letter
+
+    def drain(self, reason: Optional[str] = None) -> List[DeadLetter]:
+        """Remove and return held entries (optionally one reason only).
+
+        Draining clears the *buffer*, not the accounting: ``total`` and
+        ``counts_by_reason`` keep their history so conservation checks
+        still balance after an operator empties the queue.
+        """
+        if reason is None:
+            drained = list(self._entries)
+            self._entries.clear()
+            return drained
+        kept: Deque[DeadLetter] = deque()
+        drained = []
+        for letter in self._entries:
+            (drained if letter.reason == reason else kept).append(letter)
+        self._entries = kept
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._entries)

@@ -37,6 +37,7 @@ from repro.crypto.encoding import pack_fields, unpack_fields
 from repro.crypto.rsa import RsaPublicKey, _generate_keypair_unchecked
 from repro.errors import EnclaveError, RoutingError
 from repro.matching.poset import ContainmentForest
+from repro.obs.metrics import MetricsRegistry
 from repro.sgx.platform import KeyPolicy
 from repro.sgx.sdk import EnclaveLibrary, ecall
 from repro.sgx.sealing import SealedBlob, seal, unseal
@@ -63,6 +64,25 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         # counter id stored (in plaintext) beside the sealed blob, as
         # real SGX applications do.
         self._counter_id: Optional[bytes] = None
+        # The engine keeps its own registry (trusted code must not
+        # hold references to untrusted mutable state); the untrusted
+        # host reads it through the engine_metrics ecall.
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_registers = m.counter(
+            "engine.register_total", "subscriptions registered")
+        self._m_unregisters = m.counter(
+            "engine.unregister_total", "withdrawals processed")
+        self._m_matches = m.counter(
+            "engine.match_total", "publication headers matched")
+        self._m_visited = m.histogram(
+            "engine.match_visited", "index nodes visited per match")
+        m.gauge("engine.subscriptions", "stored subscriptions",
+                fn=lambda: self._forest.n_subscriptions)
+        m.gauge("engine.index_nodes", "containment index nodes",
+                fn=lambda: self._forest.n_nodes)
+        m.gauge("engine.index_bytes", "modelled index bytes",
+                fn=lambda: self._forest.index_bytes)
 
     # -- internal helpers -------------------------------------------------------
 
@@ -140,6 +160,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             costs.node_visit_cycles
             + costs.predicate_eval_cycles * subscription.n_constraints)
         self._forest.insert(subscription, client_id)
+        self._m_registers.inc()
         return client_id
 
     @ecall
@@ -150,6 +171,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self._provider_pk.verify(envelope, signature)
         plaintext, aad = channel.open(envelope)
         subscription = decode_subscription(plaintext)
+        self._m_unregisters.inc()
         return self._forest.remove_subscriber(subscription,
                                               aad.decode("utf-8"))
 
@@ -167,6 +189,8 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self.runtime.memory.charge(
             visited * costs.node_visit_cycles
             + evaluated * costs.predicate_eval_cycles)
+        self._m_matches.inc()
+        self._m_visited.observe(visited)
         return sorted(str(client) for client in matched)
 
     @ecall
@@ -191,6 +215,8 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             self.runtime.memory.charge(
                 visited * costs.node_visit_cycles
                 + evaluated * costs.predicate_eval_cycles)
+            self._m_matches.inc()
+            self._m_visited.observe(visited)
             results.append(sorted(str(c) for c in matched))
         return results
 
@@ -260,3 +286,12 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         """(subscriptions, index nodes, modelled index bytes)."""
         return (self._forest.n_subscriptions, self._forest.n_nodes,
                 self._forest.index_bytes)
+
+    @ecall
+    def engine_metrics(self):
+        """Flat snapshot of the engine's in-enclave metric registry.
+
+        Returned by value (a plain dict), so the untrusted host never
+        holds a live reference into trusted state.
+        """
+        return self.metrics.snapshot()

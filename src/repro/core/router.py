@@ -4,44 +4,164 @@ Runs in the infrastructure provider's cloud (Fig. 3) and is trusted by
 nobody. It hosts the enclave, relays provider traffic into ecalls, and
 forwards matched payloads to clients — seeing only ciphertext and the
 client identities the protocol deliberately exposes for routing.
+
+Because everyone depends on it, the router is built to *degrade*
+rather than fail:
+
+* :meth:`Router.pump` processes each inbound frame under an error
+  boundary — a poison frame is quarantined in the dead-letter queue
+  with its cause, and the drain continues;
+* failed deliveries are retried with capped exponential backoff,
+  driven by the router's own tick (one tick per :meth:`pump`), so the
+  schedule is deterministic and simulator-reproducible; only after the
+  :class:`RetryPolicy` is exhausted is the subscriber declared dead
+  and the payload dead-lettered;
+* every outcome is counted in a :class:`~repro.obs.metrics.MetricsRegistry`
+  (shared with the bus by default), so the conservation property
+  *accepted = served + quarantined* is checkable at any moment via
+  :meth:`Router.stats`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.deadletter import DeadLetterQueue
 from repro.core.engine import ScbrEnclaveLibrary
 from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
                                  MSG_UNREGISTER, build_deliver,
                                  message_type, parse_publish,
                                  parse_register, parse_unregister)
 from repro.crypto.rsa import RsaPrivateKey
-from repro.errors import NetworkError, RoutingError
+from repro.errors import (CryptoError, EnclaveError, MatchingError,
+                          NetworkError, RoutingError)
 from repro.network.bus import Endpoint, MessageBus
+from repro.obs.metrics import MetricsRegistry
 from repro.sgx.platform import SgxPlatform
 from repro.sgx.sdk import load_enclave
 
-__all__ = ["Router"]
+__all__ = ["Router", "RetryPolicy"]
+
+#: Message-scoped failures the pump boundary absorbs. Platform-scoped
+#: SGX errors (memory lock, rollback, attestation) still propagate:
+#: they poison the *enclave*, not one frame.
+_FRAME_FAULTS = (RoutingError, CryptoError, MatchingError,
+                 EnclaveError, NetworkError)
+
+#: Dead-letter reason slugs.
+REASON_POISON = "poison-frame"
+REASON_UNEXPECTED = "unexpected-type"
+REASON_EXHAUSTED = "retries-exhausted"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped-exponential delivery retry schedule.
+
+    A delivery is attempted up to ``max_attempts`` times in total; the
+    wait before retry ``n`` (counting the first retry as ``n = 1``) is
+    ``min(base_delay_ticks * 2**(n-1), max_delay_ticks)`` router ticks.
+    Ticks advance once per :meth:`Router.pump`, keeping the schedule
+    reproducible under simulation.
+    """
+
+    max_attempts: int = 4
+    base_delay_ticks: int = 1
+    max_delay_ticks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_ticks < 1 or self.max_delay_ticks < 1:
+            raise ValueError("retry delays must be positive")
+
+    def delay_for(self, retry_number: int) -> int:
+        """Ticks to wait before retry ``retry_number`` (1-based)."""
+        return min(self.base_delay_ticks << (retry_number - 1),
+                   self.max_delay_ticks)
+
+
+@dataclass
+class _PendingDelivery:
+    """One delivery waiting for its backoff to elapse."""
+
+    client_id: str
+    frame: bytes
+    attempts: int       # attempts made so far
+    due_tick: int
 
 
 class Router:
-    """Enclave-hosting CBR router."""
+    """Enclave-hosting CBR router with per-frame fault isolation."""
 
     def __init__(self, bus: MessageBus, platform: SgxPlatform,
                  enclave_signing_key: RsaPrivateKey,
-                 name: str = "router", rsa_bits: int = 768) -> None:
+                 name: str = "router", rsa_bits: int = 768,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 dead_letter_capacity: int = 1024) -> None:
         self.name = name
         self.platform = platform
         self.endpoint: Endpoint = bus.endpoint(name)
         self.enclave = load_enclave(platform, ScbrEnclaveLibrary,
                                     enclave_signing_key,
                                     rsa_bits=rsa_bits)
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self.dead_letters = DeadLetterQueue(
+            capacity=dead_letter_capacity)
+        #: Router tick count; advanced once per :meth:`pump`.
+        self.tick = 0
+        self._retries: List[_PendingDelivery] = []
+
+        # Legacy scalar counters, kept in lockstep with the registry.
         self.registrations = 0
         self.publications = 0
         self.deliveries = 0
-        #: deliveries dropped because the subscriber endpoint is gone
+        #: deliveries abandoned after the retry schedule was exhausted
         #: (clients may disconnect while their subscription is live).
         self.dropped = 0
+
+        # By default the router shares the bus registry, so one
+        # snapshot shows the whole fabric.
+        self.metrics = metrics if metrics is not None else bus.metrics
+        m = self.metrics
+        self._m_frames = m.counter(
+            "router.frames_total", "inbound frames drained, by kind")
+        self._m_poisoned = m.counter(
+            "router.frames_poisoned_total",
+            "frames dead-lettered at the pump boundary, by reason")
+        self._m_publications = m.counter(
+            "router.publications_total",
+            "publications matched by the enclave")
+        self._m_registrations = m.counter(
+            "router.registrations_total", "subscriptions registered")
+        self._m_unregistrations = m.counter(
+            "router.unregistrations_total",
+            "subscriptions withdrawn")
+        self._m_attempts = m.counter(
+            "router.delivery_attempts_total",
+            "delivery attempts, including retries")
+        self._m_deliveries = m.counter(
+            "router.deliveries_total", "payloads delivered to clients")
+        self._m_retries = m.counter(
+            "router.delivery_retries_total",
+            "deliveries re-queued with backoff")
+        self._m_exhausted = m.counter(
+            "router.deliveries_dead_lettered_total",
+            "deliveries abandoned after the retry schedule")
+        self._m_fanout = m.histogram(
+            "router.match_fanout", "subscribers matched per publication")
+        m.gauge("router.pending_retries",
+                "deliveries currently awaiting a retry tick",
+                fn=lambda: len(self._retries))
+        m.gauge("router.dead_letters_held",
+                "entries currently held in the dead-letter queue",
+                fn=lambda: len(self.dead_letters))
+        m.gauge("router.tick", "router pump tick",
+                fn=lambda: self.tick)
+        platform.memory.epc.attach_metrics(m)
 
     # -- enclave pass-throughs used by the provider's provisioning -----------------
 
@@ -64,12 +184,15 @@ class Router:
         client_id = self.enclave.ecall("register_subscription",
                                        envelope, signature)
         self.registrations += 1
+        self._m_registrations.inc()
         return client_id
 
     def handle_unregister(self, frame: bytes) -> bool:
         envelope, signature = parse_unregister(frame)
-        return self.enclave.ecall("unregister_subscription",
-                                  envelope, signature)
+        removed = self.enclave.ecall("unregister_subscription",
+                                     envelope, signature)
+        self._m_unregistrations.inc()
+        return removed
 
     def handle_publish(self, frame: bytes) -> List[str]:
         """PUB frame -> match ecall -> forward payload to subscribers.
@@ -81,33 +204,129 @@ class Router:
         matched = self.enclave.ecall("match_publication",
                                      header_envelope)
         self.publications += 1
+        self._m_publications.inc()
+        self._m_fanout.observe(len(matched))
         deliver_frame = build_deliver(payload_envelope)
         for client_id in matched:
-            try:
-                self.endpoint.send(client_id, [deliver_frame])
-            except NetworkError:
-                self.dropped += 1
-                continue
-            self.deliveries += 1
+            self._attempt_delivery(client_id, deliver_frame,
+                                   attempts_made=0)
         return matched
 
+    # -- delivery with retry/backoff ---------------------------------------------------
+
+    def _attempt_delivery(self, client_id: str, frame: bytes,
+                          attempts_made: int) -> bool:
+        """Try one delivery; on failure schedule a retry or give up."""
+        self._m_attempts.inc()
+        attempts_made += 1
+        try:
+            self.endpoint.send(client_id, [frame])
+        except NetworkError as exc:
+            self._delivery_failed(client_id, frame, attempts_made, exc)
+            return False
+        self.deliveries += 1
+        self._m_deliveries.inc()
+        return True
+
+    def _delivery_failed(self, client_id: str, frame: bytes,
+                         attempts_made: int,
+                         error: NetworkError) -> None:
+        policy = self.retry_policy
+        if attempts_made >= policy.max_attempts:
+            self.dropped += 1
+            self._m_exhausted.inc()
+            self.dead_letters.add(
+                frame, sender=self.name, reason=REASON_EXHAUSTED,
+                detail=f"to {client_id} after {attempts_made} "
+                       f"attempts: {error}",
+                tick=self.tick)
+            return
+        delay = policy.delay_for(attempts_made)
+        self._m_retries.inc()
+        self._retries.append(_PendingDelivery(
+            client_id=client_id, frame=frame,
+            attempts=attempts_made, due_tick=self.tick + delay))
+
+    def _run_due_retries(self) -> int:
+        """Re-attempt every delivery whose backoff has elapsed."""
+        if not self._retries:
+            return 0
+        due = [p for p in self._retries if p.due_tick <= self.tick]
+        if not due:
+            return 0
+        self._retries = [p for p in self._retries
+                         if p.due_tick > self.tick]
+        for pending in due:
+            self._attempt_delivery(pending.client_id, pending.frame,
+                                   attempts_made=pending.attempts)
+        return len(due)
+
+    # -- the drain loop ------------------------------------------------------------------
+
+    def _process_frame(self, sender: str, frame: bytes) -> None:
+        """Dispatch one frame under the per-frame error boundary."""
+        try:
+            kind = message_type(frame)
+        except _FRAME_FAULTS as exc:
+            self._m_frames.inc(kind="unparseable")
+            self._quarantine(frame, sender, REASON_POISON, exc)
+            return
+        self._m_frames.inc(kind=kind)
+        try:
+            if kind == MSG_REGISTER:
+                self.handle_register(frame)
+            elif kind == MSG_UNREGISTER:
+                self.handle_unregister(frame)
+            elif kind == MSG_PUBLISH:
+                self.handle_publish(frame)
+            else:
+                self._quarantine(
+                    frame, sender, REASON_UNEXPECTED,
+                    RoutingError(f"router got unexpected {kind} frame"))
+        except _FRAME_FAULTS as exc:
+            self._quarantine(frame, sender, REASON_POISON, exc)
+
+    def _quarantine(self, frame: bytes, sender: str, reason: str,
+                    error: Exception) -> None:
+        self._m_poisoned.inc(reason=reason)
+        self.dead_letters.add(frame, sender=sender, reason=reason,
+                              detail=f"{type(error).__name__}: {error}",
+                              tick=self.tick)
+
     def pump(self) -> int:
-        """Drain the router inbox; returns frames processed."""
+        """Advance one tick and drain the inbox; returns frames seen.
+
+        Each frame is processed under an error boundary: a poison frame
+        is dead-lettered with its cause and the drain continues, so one
+        malformed message can no longer discard the rest of the queue.
+        Due delivery retries run before new traffic, preserving
+        best-effort ordering for recovered subscribers.
+        """
+        self.tick += 1
+        self._run_due_retries()
         processed = 0
-        for _sender, frames in self.endpoint.recv_all():
+        for sender, frames in self.endpoint.recv_all():
             for frame in frames:
-                kind = message_type(frame)
-                if kind == MSG_REGISTER:
-                    self.handle_register(frame)
-                elif kind == MSG_UNREGISTER:
-                    self.handle_unregister(frame)
-                elif kind == MSG_PUBLISH:
-                    self.handle_publish(frame)
-                else:
-                    raise RoutingError(
-                        f"router got unexpected {kind} frame")
+                self._process_frame(sender, frame)
                 processed += 1
         return processed
+
+    @property
+    def pending_retries(self) -> int:
+        """Deliveries currently waiting for a retry tick."""
+        return len(self._retries)
+
+    def drain_retries(self, max_ticks: int = 64) -> int:
+        """Pump until no retries are pending (bounded); returns ticks.
+
+        Convenience for tests and shutdown paths that need the retry
+        schedule to reach a terminal state (delivered or dead-lettered).
+        """
+        ticks = 0
+        while self._retries and ticks < max_ticks:
+            self.pump()
+            ticks += 1
+        return ticks
 
     # -- persistence --------------------------------------------------------------------
 
@@ -124,6 +343,31 @@ class Router:
         return self.enclave.ecall("restore_state", sealed_bytes,
                                   counter_id)
 
-    def stats(self) -> Tuple[int, int, int]:
+    # -- observability -------------------------------------------------------------------
+
+    def engine_stats(self) -> Tuple[int, int, int]:
         """(subscriptions, index nodes, modelled index bytes)."""
         return self.enclave.ecall("engine_stats")
+
+    def stats(self) -> Dict[str, object]:
+        """Structured snapshot of the router and its enclave.
+
+        Returns a dict with the engine's index shape, the fabric's
+        health (tick, pending retries, dead letters by reason) and a
+        ``metrics`` sub-dict merging this router's registry with the
+        enclave's own counters (``engine.*``).
+        """
+        subscriptions, nodes, index_bytes = self.engine_stats()
+        metrics = self.metrics.snapshot()
+        metrics.update(self.enclave.ecall("engine_metrics"))
+        return {
+            "subscriptions": subscriptions,
+            "index_nodes": nodes,
+            "index_bytes": index_bytes,
+            "tick": self.tick,
+            "pending_retries": len(self._retries),
+            "dead_letters": len(self.dead_letters),
+            "dead_letters_by_reason": dict(
+                self.dead_letters.counts_by_reason),
+            "metrics": metrics,
+        }

@@ -70,5 +70,13 @@ class NetworkError(ScbrError):
     """Transport-level failure in the in-process message bus."""
 
 
+class FaultPlanError(NetworkError):
+    """A fault-injection plan is malformed (bad probability, bad link)."""
+
+
+class MetricsError(ScbrError):
+    """Misuse of the metrics registry (type clash, bad histogram bounds)."""
+
+
 class WorkloadError(ScbrError):
     """A workload specification or dataset could not be generated."""

@@ -86,6 +86,15 @@ class ContainmentForest:
         """Modelled memory footprint of the stored index."""
         return self._bytes
 
+    def _add_subscriber(self, node: PosetNode,
+                        subscriber: object) -> None:
+        # Re-registering an identical (subscription, subscriber) pair is
+        # idempotent: the subscriber set deduplicates, and the count
+        # must agree with the sets or check_invariants flags it.
+        if subscriber not in node.subscribers:
+            node.subscribers.add(subscriber)
+            self.n_subscriptions += 1
+
     # -- insertion ---------------------------------------------------------------
 
     def insert(self, subscription: Subscription,
@@ -110,8 +119,7 @@ class ContainmentForest:
                 node_sub = node.subscription
                 if node_sub.covers(subscription):
                     if subscription.key() == node_sub.key():
-                        node.subscribers.add(subscriber)
-                        self.n_subscriptions += 1
+                        self._add_subscriber(node, subscriber)
                         return node
                     container = node
                     break
@@ -121,12 +129,12 @@ class ContainmentForest:
 
         existing = self._by_key.get(subscription.key())
         if existing is not None:
-            existing.subscribers.add(subscriber)
-            self.n_subscriptions += 1
+            self._add_subscriber(existing, subscriber)
             return existing
 
         new_node = self._new_node(subscription)
         new_node.subscribers.add(subscriber)
+        self.n_subscriptions += 1
         # Adopt siblings that the new subscription covers.
         kept = []
         for node in siblings:
@@ -139,7 +147,6 @@ class ContainmentForest:
         self._by_key[subscription.key()] = new_node
         if arena is not None:
             arena.touch(new_node.address, new_node.size)
-        self.n_subscriptions += 1
         return new_node
 
     def remove_subscriber(self, subscription: Subscription,
@@ -178,9 +185,14 @@ class ContainmentForest:
             # Splice the node out, hoisting its children.
             siblings.remove(node)
             siblings.extend(node.children)
+            node.children = []
             del self._by_key[node.subscription.key()]
             self.n_nodes -= 1
             self._bytes -= node.size
+            # Release the arena allocation so subscribe/unsubscribe
+            # churn does not grow the modelled EPC working set forever.
+            if self.arena is not None:
+                self.arena.free(node.address, node.size)
         return True
 
     # -- matching -----------------------------------------------------------------
@@ -247,11 +259,18 @@ class ContainmentForest:
     def check_invariants(self) -> None:
         """Verify structural invariants (used by property tests).
 
-        Every child must be strictly covered by its parent, and no node
-        may appear twice in the forest.
+        Every child must be strictly covered by its parent, no node may
+        appear twice in the forest, and the bookkeeping the removal
+        path maintains (key map, node/subscription counts, modelled
+        bytes) must agree with the structure — removals hoist children
+        and splice nodes, so churn is exactly where stale counters and
+        dangling key-map entries would creep in.
         """
         seen = set()
         seen_keys = set()
+        walked_nodes = 0
+        walked_subscriptions = 0
+        walked_bytes = 0
         stack = [(None, root) for root in self.roots]
         while stack:
             parent, node = stack.pop()
@@ -265,6 +284,11 @@ class ContainmentForest:
             seen_keys.add(key)
             if self._by_key.get(key) is not node:
                 raise MatchingError("key map out of sync with forest")
+            walked_nodes += 1
+            walked_subscriptions += len(node.subscribers)
+            walked_bytes += node.size
+            if len(node.children) != len(set(map(id, node.children))):
+                raise MatchingError("duplicate child link")
             if parent is not None:
                 if not parent.subscription.covers(node.subscription):
                     raise MatchingError(
@@ -272,3 +296,18 @@ class ContainmentForest:
                 if parent.subscription.key() == node.subscription.key():
                     raise MatchingError("duplicate subscription nodes")
             stack.extend((node, child) for child in node.children)
+        if walked_nodes != self.n_nodes:
+            raise MatchingError(
+                f"n_nodes={self.n_nodes} but forest holds "
+                f"{walked_nodes}")
+        if walked_subscriptions != self.n_subscriptions:
+            raise MatchingError(
+                f"n_subscriptions={self.n_subscriptions} but forest "
+                f"holds {walked_subscriptions}")
+        if walked_bytes != self._bytes:
+            raise MatchingError(
+                f"index_bytes={self._bytes} out of sync with stored "
+                f"nodes ({walked_bytes})")
+        if len(self._by_key) != walked_nodes:
+            raise MatchingError(
+                "key map holds entries for nodes not in the forest")

@@ -1,5 +1,8 @@
 """In-process messaging substrate (the ZeroMQ stand-in)."""
 
 from repro.network.bus import Endpoint, Frame, MessageBus
+from repro.network.faults import (FaultDecision, FaultPlan,
+                                  LinkFaults)
 
-__all__ = ["MessageBus", "Endpoint", "Frame"]
+__all__ = ["MessageBus", "Endpoint", "Frame",
+           "FaultPlan", "LinkFaults", "FaultDecision"]

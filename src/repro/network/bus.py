@@ -6,6 +6,15 @@ model the same shape: named endpoints exchanging multipart frames
 through a broker object, with per-endpoint FIFO inboxes and traffic
 counters. Matching-time measurements are taken at the filtering engine
 (as in the paper), so the bus needs determinism, not real sockets.
+
+Two observability hooks ride on the broker:
+
+* an optional :class:`~repro.network.faults.FaultPlan` injects seeded
+  drop/duplicate/reorder/corrupt faults per link, so the fabric's
+  degradation is testable without giving up reproducibility;
+* an optional :class:`~repro.obs.metrics.MetricsRegistry` receives
+  traffic and fault counters, so nothing the bus does to a message is
+  invisible.
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
+from repro.network.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Frame", "MessageBus", "Endpoint"]
 
@@ -62,13 +73,36 @@ class Endpoint:
 
 
 class MessageBus:
-    """Broker connecting named endpoints with FIFO delivery."""
+    """Broker connecting named endpoints with FIFO delivery.
 
-    def __init__(self) -> None:
+    ``fault_plan`` (also settable later via :meth:`install_fault_plan`)
+    subjects traffic to seeded per-link faults; ``metrics`` shares a
+    registry with the rest of the fabric so bus counters land in the
+    same snapshot the router reports.
+    """
+
+    def __init__(self, fault_plan: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._mailboxes: Dict[str, _Mailbox] = {}
         self._endpoints: Dict[str, Endpoint] = {}
         self.total_messages = 0
         self.total_bytes = 0
+        self.fault_plan = fault_plan
+        #: messages lost to an injected drop fault, per link.
+        self.dropped_messages = 0
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self._m_messages = self.metrics.counter(
+            "bus.messages_total", "messages accepted by the broker")
+        self._m_bytes = self.metrics.counter(
+            "bus.bytes_total", "payload bytes accepted by the broker")
+        self._m_faults = self.metrics.counter(
+            "bus.faults_injected_total",
+            "faults injected by the active plan, by kind")
+
+    def install_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Attach (or clear) the fault-injection plan."""
+        self.fault_plan = plan
 
     def endpoint(self, name: str) -> Endpoint:
         """Create (or fetch) the endpoint with this identity."""
@@ -80,6 +114,7 @@ class MessageBus:
         return self._endpoints[name]
 
     def deliver(self, sender: str, to: str, frames: Frame) -> None:
+        """Validate, apply link faults, and enqueue one message."""
         mailbox = self._mailboxes.get(to)
         if mailbox is None:
             raise NetworkError(f"no endpoint named {to!r}")
@@ -87,12 +122,49 @@ class MessageBus:
                 isinstance(f, (bytes, bytearray)) for f in frames):
             raise NetworkError("frames must be a list of bytes")
         payload = [bytes(f) for f in frames]
-        mailbox.inbox.append((sender, payload))
+
+        copies = 1
+        reorder = False
+        plan = self.fault_plan
+        if plan is not None:
+            decision = plan.decide(sender, to,
+                                   [len(f) for f in payload])
+            if decision.drop:
+                # Lost on the wire: the sender believes it succeeded
+                # (as with a real network), but the loss is accounted.
+                self.dropped_messages += 1
+                self._m_faults.inc(kind="drop")
+                return
+            if decision.corrupt_at is not None:
+                frame_index, byte_index = decision.corrupt_at
+                damaged = bytearray(payload[frame_index])
+                damaged[byte_index] ^= 0xFF
+                payload[frame_index] = bytes(damaged)
+                self._m_faults.inc(kind="corrupt")
+            if decision.duplicate:
+                copies = 2
+                self._m_faults.inc(kind="duplicate")
+            # A reorder can only happen when a message is pending to
+            # overtake; an ineffective roll is not an injected fault.
+            reorder = decision.reorder and bool(mailbox.inbox)
+            if reorder:
+                plan.injected["reorder"] += 1
+                self._m_faults.inc(kind="reorder")
+
         size = sum(len(f) for f in payload)
-        mailbox.received_messages += 1
-        mailbox.received_bytes += size
-        self.total_messages += 1
-        self.total_bytes += size
+        for _ in range(copies):
+            if reorder and mailbox.inbox:
+                # Overtake the most recent pending message.
+                mailbox.inbox.insert(len(mailbox.inbox) - 1,
+                                     (sender, payload))
+            else:
+                mailbox.inbox.append((sender, payload))
+            mailbox.received_messages += 1
+            mailbox.received_bytes += size
+            self.total_messages += 1
+            self.total_bytes += size
+            self._m_messages.inc()
+            self._m_bytes.inc(size)
 
     def pop(self, name: str) -> Optional[Tuple[str, Frame]]:
         mailbox = self._mailboxes.get(name)

@@ -1,0 +1,134 @@
+"""Seeded fault injection for the message bus.
+
+The untrusted fabric between publishers, router and clients is exactly
+where a deployed SCBR system degrades: links drop, duplicate, reorder
+and corrupt traffic. Robustness claims are untestable without a way to
+*produce* those faults on demand, so the bus accepts a
+:class:`FaultPlan` — a per-link schedule of fault probabilities driven
+by one seeded RNG, keeping every run bit-for-bit reproducible (the
+bus's existing deterministic design).
+
+A plan maps ``(sender, receiver)`` link patterns (either side may be
+the wildcard ``"*"``) to :class:`LinkFaults` rates. On each delivery
+the bus asks the plan for a decision; every injected fault is counted
+by the bus so no loss is ever silent — the conservation property the
+soak tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+__all__ = ["LinkFaults", "FaultDecision", "FaultPlan"]
+
+_RATES = ("drop", "duplicate", "reorder", "corrupt")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault probabilities, each in ``[0, 1]``.
+
+    ``drop`` loses the message, ``duplicate`` enqueues it twice,
+    ``reorder`` lets it overtake the most recent pending message, and
+    ``corrupt`` flips one byte of one frame (modelling in-flight
+    damage the envelope MACs must catch).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        for rate_name in _RATES:
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"{rate_name} rate {rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan chose to do to one delivery."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    #: ``(frame_index, byte_index)`` to corrupt, or None.
+    corrupt_at: Optional[Tuple[int, int]] = None
+
+
+_NO_FAULTS = LinkFaults()
+_PASS = FaultDecision()
+
+
+class FaultPlan:
+    """Deterministic, seeded fault schedule over bus links.
+
+    Rules are matched most-specific-first: exact ``(sender, to)``, then
+    ``(sender, "*")``, then ``("*", to)``, then ``("*", "*")``. All
+    randomness comes from one private :class:`random.Random`, so a
+    given seed and traffic sequence reproduce the same faults.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._links: Dict[Tuple[str, str], LinkFaults] = {}
+        self.injected: Dict[str, int] = {name: 0 for name in _RATES}
+
+    def on_link(self, sender: str, to: str,
+                faults: LinkFaults) -> "FaultPlan":
+        """Install ``faults`` for a link pattern; returns self."""
+        if not sender or not to:
+            raise FaultPlanError("link endpoints must be non-empty")
+        self._links[(sender, to)] = faults
+        return self
+
+    def faults_for(self, sender: str, to: str) -> LinkFaults:
+        """Effective fault rates for one concrete link."""
+        links = self._links
+        for pattern in ((sender, to), (sender, "*"), ("*", to),
+                        ("*", "*")):
+            found = links.get(pattern)
+            if found is not None:
+                return found
+        return _NO_FAULTS
+
+    def decide(self, sender: str, to: str,
+               frame_sizes: List[int]) -> FaultDecision:
+        """Roll the dice for one delivery of ``frame_sizes`` frames.
+
+        A dropped delivery rolls no further faults (the message no
+        longer exists). ``frame_sizes`` lets corruption pick a byte
+        without the plan touching payload data.
+        """
+        faults = self.faults_for(sender, to)
+        if faults is _NO_FAULTS:
+            return _PASS
+        rng = self._rng
+        if faults.drop and rng.random() < faults.drop:
+            self.injected["drop"] += 1
+            return FaultDecision(drop=True)
+        duplicate = bool(faults.duplicate
+                         and rng.random() < faults.duplicate)
+        reorder = bool(faults.reorder and rng.random() < faults.reorder)
+        corrupt_at: Optional[Tuple[int, int]] = None
+        if faults.corrupt and rng.random() < faults.corrupt:
+            candidates = [i for i, size in enumerate(frame_sizes)
+                          if size > 0]
+            if candidates:
+                frame_index = rng.choice(candidates)
+                corrupt_at = (frame_index,
+                              rng.randrange(frame_sizes[frame_index]))
+        if duplicate:
+            self.injected["duplicate"] += 1
+        # reorder is counted by the bus, which alone knows whether
+        # there was a pending message to overtake.
+        if corrupt_at is not None:
+            self.injected["corrupt"] += 1
+        return FaultDecision(duplicate=duplicate, reorder=reorder,
+                             corrupt_at=corrupt_at)

@@ -1,0 +1,6 @@
+"""Observability: structured metrics for the routing fabric."""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry)
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram"]

@@ -91,6 +91,24 @@ class EpcManager:
         self.evictions = 0
         self.loads = 0
 
+    def attach_metrics(self, registry) -> None:
+        """Expose residency state as callback gauges on ``registry``.
+
+        Callback-backed gauges read this manager's counters at snapshot
+        time, so the per-access hot path pays nothing for observability.
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
+        (duck-typed here to keep the SGX layer import-light).
+        """
+        registry.gauge("epc.faults", "cumulative EPC page faults",
+                       fn=lambda: self.faults)
+        registry.gauge("epc.evictions", "cumulative EWB evictions",
+                       fn=lambda: self.evictions)
+        registry.gauge("epc.loads", "cumulative ELD page loads",
+                       fn=lambda: self.loads)
+        registry.gauge("epc.resident_pages",
+                       "pages currently resident in the EPC",
+                       fn=lambda: self.resident_pages)
+
 
 def touched_pages(address: int, n_bytes: int, page_bytes: int) -> range:
     """Page numbers spanned by an access of ``n_bytes`` at ``address``."""

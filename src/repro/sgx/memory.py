@@ -19,7 +19,7 @@ Two address spaces are distinguished by the arena's ``enclave`` flag:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.errors import SgxError
 from repro.sgx.cache import CacheModel
@@ -173,11 +173,18 @@ class MemorySubsystem:
 
 
 class MemoryArena:
-    """Bump allocator handing out addresses inside one address space.
+    """Bump allocator with a size-bucketed freelist.
 
     Arenas within the same subsystem and space are laid out one after
     another; allocations are cache-line aligned so that distinct nodes
     do not share lines (conservative but simple).
+
+    :meth:`free` returns a block to a freelist keyed by its aligned
+    capacity; a later :meth:`alloc` of the same capacity reuses the
+    address instead of bumping the cursor. Long-lived structures under
+    insert/remove churn (the containment index) therefore keep a
+    bounded modelled working set instead of growing the EPC footprint
+    monotonically.
     """
 
     _next_enclave_base = ENCLAVE_BASE
@@ -185,7 +192,9 @@ class MemoryArena:
     #: Gap between arenas, large enough for any experiment in this repo.
     ARENA_SPAN = 1 << 36
 
-    __slots__ = ("memory", "enclave", "name", "base", "_cursor", "_align")
+    __slots__ = ("memory", "enclave", "name", "base", "_cursor", "_align",
+                 "_free", "_live", "_live_allocs", "freed_blocks",
+                 "reused_blocks")
 
     def __init__(self, memory: MemorySubsystem, enclave: bool,
                  name: str = "") -> None:
@@ -201,20 +210,67 @@ class MemoryArena:
             cls._next_untrusted_base += cls.ARENA_SPAN
         self._cursor = self.base
         self._align = memory.spec.cache_line_bytes
+        #: capacity (aligned size) -> reusable addresses, LIFO.
+        self._free: Dict[int, List[int]] = {}
+        self._live = 0
+        #: address -> requested size, to catch double/bad frees.
+        self._live_allocs: Dict[int, int] = {}
+        self.freed_blocks = 0
+        self.reused_blocks = 0
+
+    def _capacity(self, n_bytes: int) -> int:
+        align = self._align
+        return (n_bytes + align - 1) // align * align
 
     def alloc(self, n_bytes: int) -> int:
-        """Allocate ``n_bytes``; returns the simulated address."""
+        """Allocate ``n_bytes``; returns the simulated address.
+
+        Prefers a freed block of the same aligned capacity over fresh
+        cursor space (LIFO, so recently evicted addresses — likely
+        still cache/EPC resident — are reused first).
+        """
         if n_bytes <= 0:
             raise SgxError("allocation size must be positive")
-        align = self._align
-        address = (self._cursor + align - 1) // align * align
-        self._cursor = address + n_bytes
+        bucket = self._free.get(self._capacity(n_bytes))
+        if bucket:
+            address = bucket.pop()
+            self.reused_blocks += 1
+        else:
+            align = self._align
+            address = (self._cursor + align - 1) // align * align
+            self._cursor = address + n_bytes
+        self._live += n_bytes
+        self._live_allocs[address] = n_bytes
         return address
+
+    def free(self, address: int, n_bytes: int) -> None:
+        """Return a previously allocated block for reuse.
+
+        The simulated pages stay resident (real freed heap memory is
+        not unmapped either); what shrinks is the *live* footprint, so
+        churned structures stop growing the working set.
+        """
+        recorded = self._live_allocs.pop(address, None)
+        if recorded is None:
+            raise SgxError(f"free of unallocated address {address:#x}")
+        if recorded != n_bytes:
+            self._live_allocs[address] = recorded
+            raise SgxError(
+                f"free size {n_bytes} does not match allocation "
+                f"size {recorded} at {address:#x}")
+        self._free.setdefault(self._capacity(n_bytes), []).append(address)
+        self._live -= n_bytes
+        self.freed_blocks += 1
 
     @property
     def allocated_bytes(self) -> int:
-        """Bytes handed out so far (including alignment padding)."""
+        """High-water bytes handed out (including alignment padding)."""
         return self._cursor - self.base
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently allocated and not freed."""
+        return self._live
 
     def touch(self, address: int, n_bytes: int) -> None:
         """Record an access to a previously allocated region."""

@@ -94,7 +94,9 @@ class TestTypeConfusion:
 
 class TestRouterAndClientRejectUnknownFrames:
 
-    def test_router_unknown_frame(self):
+    def test_router_unknown_frame_dead_lettered(self):
+        """The pump no longer aborts on an unexpected frame type: the
+        frame is quarantined with its cause and the drain continues."""
         from repro.core.router import Router
         from repro.crypto.rsa import _generate_keypair_unchecked
         from repro.network.bus import MessageBus
@@ -104,8 +106,11 @@ class TestRouterAndClientRejectUnknownFrames:
                         _generate_keypair_unchecked(768, 65537),
                         rsa_bits=768)
         bus.endpoint("peer").send("router", [build_deliver(b"x")])
-        with pytest.raises(RoutingError):
-            router.pump()
+        assert router.pump() == 1
+        letters = list(router.dead_letters)
+        assert len(letters) == 1
+        assert letters[0].reason == "unexpected-type"
+        assert letters[0].sender == "peer"
 
     def test_client_unknown_frame(self):
         from repro.core.subscriber import Client

@@ -1,0 +1,212 @@
+"""Router fault isolation: error boundary, retry/backoff, DLQ."""
+
+import pytest
+
+from repro.core.deadletter import DeadLetterQueue
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.protocol import build_deliver, build_register
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import RetryPolicy, Router
+from repro.core.subscriber import Client
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.network.bus import MessageBus
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuilder
+from repro.sgx.platform import SgxPlatform
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+@pytest.fixture()
+def world(vendor_key):
+    bus = MessageBus()
+    platform = SgxPlatform(attestation_key_bits=768)
+    ias = AttestationService(signing_key_bits=768)
+    ias.register_platform(platform)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor_key, rsa_bits=768)
+    provider = ServiceProvider(bus, rsa_bits=768,
+                               attestation_service=ias,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+    return bus, router, provider, publisher
+
+
+def admit(bus, provider, client_id):
+    client = Client(bus, client_id, provider.keys.public_key)
+    client.process_admission(provider.admit_client(client_id))
+    return client
+
+
+class TestPerFrameIsolation:
+
+    def test_good_bad_good_only_quarantines_the_bad(self, world):
+        """Regression: one poison frame used to abort the drain and
+        silently discard every remaining queued frame."""
+        bus, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+
+        good_one = publisher.make_publication({"symbol": "HAL"},
+                                              b"before")
+        bad = b"PUB:this is not a valid envelope"
+        good_two = publisher.make_publication({"symbol": "HAL"},
+                                              b"after")
+        endpoint = bus.endpoint("chaos")
+        endpoint.send("router", [good_one])
+        endpoint.send("router", [bad])
+        endpoint.send("router", [good_two])
+
+        assert router.pump() == 3
+        alice.pump()
+        assert alice.received == [b"before", b"after"]
+        letters = list(router.dead_letters)
+        assert len(letters) == 1
+        assert letters[0].frame == bad
+        assert letters[0].reason == "poison-frame"
+        assert router.metrics.counter(
+            "router.frames_poisoned_total").value == 1
+
+    def test_unparseable_frame_quarantined(self, world):
+        bus, router, _provider, _publisher = world
+        bus.endpoint("chaos").send("router", [b"\xff\xfe garbage"])
+        router.pump()
+        (letter,) = list(router.dead_letters)
+        assert letter.reason == "poison-frame"
+        assert "Error" in letter.detail
+
+    def test_bad_signature_register_quarantined(self, world):
+        """A REG frame the enclave rejects is poison, not fatal."""
+        bus, router, _provider, _publisher = world
+        forged = build_register(b"envelope", b"bogus signature")
+        bus.endpoint("chaos").send("router", [forged])
+        assert router.pump() == 1
+        (letter,) = list(router.dead_letters)
+        assert letter.reason == "poison-frame"
+        # Direct calls (no pump boundary) still raise for programmatic
+        # callers.
+        from repro.errors import ScbrError
+        with pytest.raises(ScbrError):
+            router.handle_register(forged)
+
+    def test_unexpected_type_quarantined_and_drain_continues(
+            self, world):
+        bus, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        chaos = bus.endpoint("chaos")
+        chaos.send("router", [build_deliver(b"misdirected")])
+        chaos.send("router",
+                   [publisher.make_publication({"symbol": "HAL"},
+                                               b"still flows")])
+        assert router.pump() == 2
+        alice.pump()
+        assert alice.received == [b"still flows"]
+        assert router.dead_letters.counts_by_reason == {
+            "unexpected-type": 1}
+
+
+class TestRetryPolicy:
+
+    def test_capped_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_ticks=1,
+                             max_delay_ticks=8)
+        assert [policy.delay_for(n) for n in range(1, 6)] == \
+            [1, 2, 4, 8, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ticks=0)
+
+    def test_backoff_ticks_respected(self, world):
+        """Retries fire only when their backoff tick is reached."""
+        bus, router, provider, publisher = world
+        router.retry_policy = RetryPolicy(max_attempts=3,
+                                          base_delay_ticks=2,
+                                          max_delay_ticks=8)
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        from repro.core.messages import (encode_subscription,
+                                         hybrid_encrypt)
+        from repro.core.protocol import build_subscription_request
+        from repro.matching.subscriptions import Subscription
+        provider.admit_client("ghost")
+        blob = encode_subscription(Subscription.parse(
+            {"symbol": "HAL"}))
+        provider.endpoint.send("provider", [build_subscription_request(
+            "ghost", hybrid_encrypt(provider.keys.public_key, blob,
+                                    aad=b"ghost"))])
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL"}, b"x")
+        router.pump()  # attempt 1 fails, retry due in 2 ticks
+        assert router.pending_retries == 1
+        attempts = router.metrics.counter(
+            "router.delivery_attempts_total")
+        before = attempts.value
+        router.pump()  # tick too early: no retry yet
+        assert attempts.value == before
+        router.pump()  # backoff elapsed: attempt 2
+        assert attempts.value == before + 1
+        router.drain_retries()
+        assert router.dropped == 1
+        assert router.dead_letters.counts_by_reason[
+            "retries-exhausted"] == 1
+
+
+class TestStats:
+
+    def test_stats_merges_engine_metrics(self, world):
+        bus, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL"}, b"m")
+        router.pump()
+        stats = router.stats()
+        assert stats["subscriptions"] == 1
+        metrics = stats["metrics"]
+        assert metrics["router.publications_total"] == 1
+        assert metrics["router.deliveries_total"] == 1
+        assert metrics["engine.match_total"] == 1
+        assert metrics["engine.register_total"] == 1
+        assert metrics["bus.messages_total"] > 0
+        assert metrics["router.match_fanout.count"] == 1
+
+
+class TestDeadLetterQueue:
+
+    def test_capacity_evicts_oldest_but_keeps_counts(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for index in range(3):
+            dlq.add(bytes([index]), "s", "poison-frame", tick=index)
+        assert len(dlq) == 2
+        assert [letter.frame for letter in dlq] == [b"\x01", b"\x02"]
+        assert dlq.total == 3
+        assert dlq.evicted == 1
+        assert dlq.counts_by_reason["poison-frame"] == 3
+
+    def test_drain_by_reason_keeps_accounting(self):
+        dlq = DeadLetterQueue()
+        dlq.add(b"a", "s", "poison-frame")
+        dlq.add(b"b", "s", "retries-exhausted")
+        drained = dlq.drain(reason="poison-frame")
+        assert [letter.frame for letter in drained] == [b"a"]
+        assert len(dlq) == 1
+        assert dlq.counts_by_reason["poison-frame"] == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(capacity=0)

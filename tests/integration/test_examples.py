@@ -26,6 +26,12 @@ class TestExamples:
         assert "alice received 2 payloads" in out
         assert "HAL bargain" in out
 
+    def test_robust_routing(self):
+        out = _run("robust_routing.py")
+        assert "conservation holds" in out
+        assert "'poison-frame': 1" in out
+        assert "dropped on the wire (all counted)" in out
+
     def test_secure_cloud_routing(self):
         out = _run("secure_cloud_routing.py")
         assert "all five properties hold." in out

@@ -122,7 +122,7 @@ class TestEndToEnd:
         assert alice.received == [b"for alice"]
         assert eve.received == []
         # Eve's subscription is gone from the engine too.
-        assert router.stats()[0] == 1
+        assert router.stats()["subscriptions"] == 1
 
     def test_seal_restore_migration(self, world, vendor_key):
         bus, platform, _ias, router, provider, publisher = world
@@ -190,9 +190,10 @@ class TestAttestationGates:
 
 class TestOfflineClients:
 
-    def test_delivery_to_disconnected_client_is_dropped(self, world):
+    def test_disconnected_client_retried_then_dead_lettered(self, world):
         """A registered subscriber whose endpoint vanished must not
-        wedge the router; other subscribers still get the message."""
+        wedge the router; the delivery is retried with backoff, then
+        declared dead and quarantined — never silently lost."""
         bus, _p, _ias, router, provider, publisher = world
         alice = admit(bus, provider, "alice")
         alice.subscribe("provider", {"symbol": "HAL"})
@@ -215,8 +216,49 @@ class TestOfflineClients:
         router.pump()
         alice.pump()
         assert alice.received == [b"hello"]
-        assert router.dropped == 1
         assert router.deliveries == 1
+        # The ghost's delivery is still being retried, not yet dropped.
+        assert router.dropped == 0
+        assert router.pending_retries == 1
+        router.drain_retries()
+        assert router.dropped == 1
+        assert router.pending_retries == 0
+        letters = list(router.dead_letters)
+        assert len(letters) == 1
+        assert letters[0].reason == "retries-exhausted"
+        assert "ghost" in letters[0].detail
+
+    def test_reconnecting_client_recovers_via_retry(self, world):
+        """A subscriber that comes back before the schedule is
+        exhausted receives the payload on a retry tick."""
+        bus, _p, _ias, router, provider, publisher = world
+        alice = admit(bus, provider, "alice")
+        alice.subscribe("provider", {"symbol": "HAL"})
+        provider.pump("router")
+        router.pump()
+        # Simulate a vanished endpoint by registering under a name the
+        # bus does not know yet, then creating it mid-retry.
+        from repro.core.messages import (encode_subscription,
+                                         hybrid_encrypt)
+        from repro.core.protocol import build_subscription_request
+        from repro.matching.subscriptions import Subscription
+        blob = encode_subscription(Subscription.parse({"symbol": "HAL"}))
+        encrypted = hybrid_encrypt(provider.keys.public_key, blob,
+                                   aad=b"lazarus")
+        provider.admit_client("lazarus")
+        provider.endpoint.send(
+            "provider",
+            [build_subscription_request("lazarus", encrypted)])
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL"}, b"wake up")
+        router.pump()
+        assert router.pending_retries == 1
+        bus.endpoint("lazarus")  # the client reconnects
+        router.drain_retries()
+        assert router.dropped == 0
+        assert bus.pending("lazarus") == 1
+        assert router.deliveries == 2  # alice + lazarus
 
 
 class TestMultiplePublishers:

@@ -155,3 +155,77 @@ class TestMemoryArena:
         address = arena.alloc(64)
         arena.touch(address, 64)
         assert memory.epc.faults == 1
+
+
+class TestMemoryArenaFreelist:
+
+    def test_free_then_alloc_reuses_address(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        first = arena.alloc(40)
+        arena.free(first, 40)
+        again = arena.alloc(40)
+        assert again == first
+        assert arena.reused_blocks == 1
+        assert arena.freed_blocks == 1
+
+    def test_reuse_matches_by_aligned_capacity(self):
+        """40 and 50 both round up to one 64-byte line: same bucket."""
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        first = arena.alloc(40)
+        arena.free(first, 40)
+        assert arena.alloc(50) == first
+
+    def test_live_bytes_tracks_churn_but_high_water_does_not(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        addresses = [arena.alloc(100) for _ in range(8)]
+        assert arena.live_bytes == 800
+        high_water = arena.allocated_bytes
+        for address in addresses:
+            arena.free(address, 100)
+        assert arena.live_bytes == 0
+        assert arena.allocated_bytes == high_water
+        # Churn of the same size class stays inside the freed blocks.
+        for _ in range(20):
+            address = arena.alloc(100)
+            arena.free(address, 100)
+        assert arena.allocated_bytes == high_water
+
+    def test_double_free_rejected(self):
+        from repro.errors import SgxError
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        address = arena.alloc(16)
+        arena.free(address, 16)
+        with pytest.raises(SgxError):
+            arena.free(address, 16)
+
+    def test_free_of_unknown_address_rejected(self):
+        from repro.errors import SgxError
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        with pytest.raises(SgxError):
+            arena.free(12345, 16)
+
+    def test_free_with_wrong_size_rejected_and_block_stays_live(self):
+        from repro.errors import SgxError
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        address = arena.alloc(16)
+        with pytest.raises(SgxError):
+            arena.free(address, 32)
+        assert arena.live_bytes == 16
+        arena.free(address, 16)  # the correct free still works
+        assert arena.live_bytes == 0
+
+    def test_lifo_reuse_prefers_most_recent(self):
+        memory = MemorySubsystem(tiny_spec())
+        arena = memory.new_arena(enclave=True)
+        a = arena.alloc(64)
+        b = arena.alloc(64)
+        arena.free(a, 64)
+        arena.free(b, 64)
+        assert arena.alloc(64) == b
+        assert arena.alloc(64) == a
