@@ -24,6 +24,9 @@ from repro.matching import (ContainmentForest, Event, MatchingEngine, Op,
                             Predicate, Subscription)
 from repro.network import FaultPlan, LinkFaults, MessageBus
 from repro.obs import MetricsRegistry
+from repro.recovery import (CheckpointManager, CheckpointStore,
+                            CrashSchedule, RouterSupervisor,
+                            WriteAheadLog)
 from repro.sgx import (AttestationService, SgxPlatform, SKYLAKE_I7_6700,
                        scaled_spec)
 from repro.workloads import build_dataset, workload_names
@@ -37,6 +40,8 @@ __all__ = [
     "MatchingEngine",
     "MessageBus", "FaultPlan", "LinkFaults",
     "MetricsRegistry", "RetryPolicy", "DeadLetterQueue",
+    "WriteAheadLog", "CheckpointStore", "CheckpointManager",
+    "CrashSchedule", "RouterSupervisor",
     "SgxPlatform", "AttestationService", "SKYLAKE_I7_6700", "scaled_spec",
     "build_dataset", "workload_names",
     "__version__",

@@ -43,7 +43,7 @@ __all__ = [
     "FilterSweep", "AspeSweep", "bench_spec",
     "measure_filter", "measure_aspe", "run_fig5", "run_fig6", "run_fig7",
     "run_fig8", "run_containment_ablation", "run_prefilter_ablation",
-    "RegistrationPoint",
+    "RegistrationPoint", "RecoveryPoint", "run_recovery_latency",
 ]
 
 #: LLC used by the scaled-down sweeps. The paper's knee sits where the
@@ -466,3 +466,102 @@ def run_prefilter_ablation(sizes: Optional[Sequence[int]] = None,
         bloom = bloom_sweep.measure_at(size).mean_us
         rows.append((size, plain, bloom))
     return rows
+
+
+# -- Crash recovery -------------------------------------------------------------------------------
+
+@dataclass
+class RecoveryPoint:
+    """One point of the recovery-latency sweep."""
+
+    n_subscriptions: int
+    #: registrations sealed into the restored checkpoint
+    checkpointed: int
+    #: registrations replayed from the WAL suffix
+    wal_replayed: int
+    #: sealed checkpoint blob size (drives restore cost)
+    checkpoint_bytes: int
+    #: simulated µs for the whole protocol: restart + re-attestation +
+    #: re-provisioning + restore + replay
+    recovery_us: float
+
+
+def run_recovery_latency(sizes: Optional[Sequence[int]] = None,
+                         replay_fraction: float = 0.25,
+                         ) -> List[RecoveryPoint]:
+    """Crash-recovery latency vs registered-subscription count.
+
+    For each size, a supervised router is populated, a checkpoint is
+    sealed covering all but ``replay_fraction`` of the registrations
+    (the rest stay in the WAL, modelling a crash mid-cadence), the
+    enclave is killed and the full recovery protocol is timed in
+    simulated microseconds. The sweep shows the two recovery cost
+    components the operator can trade against each other: restore cost
+    grows with the sealed index, replay cost with the checkpoint
+    interval.
+    """
+    from repro.core.engine import ScbrEnclaveLibrary
+    from repro.core.messages import encode_subscription, hybrid_encrypt
+    from repro.core.protocol import build_subscription_request
+    from repro.core.provider import ServiceProvider
+    from repro.core.router import Router
+    from repro.crypto.rsa import _generate_keypair_unchecked
+    from repro.network.bus import MessageBus
+    from repro.recovery import RouterSupervisor
+    from repro.sgx.attestation import AttestationService
+    from repro.sgx.enclave import EnclaveBuilder
+
+    if sizes is None:
+        sizes = [100, 250, 500, 1000] if full_mode() \
+            else [25, 50, 100, 200]
+    vendor = _generate_keypair_unchecked(768, 65537)
+
+    points: List[RecoveryPoint] = []
+    for size in sorted(sizes):
+        bus = MessageBus()
+        platform = SgxPlatform(attestation_key_bits=768)
+        ias = AttestationService(signing_key_bits=768)
+        ias.register_platform(platform)
+        expected = EnclaveBuilder(platform,
+                                  ScbrEnclaveLibrary).measure()
+        router = Router(bus, platform, vendor, rsa_bits=768)
+        provider = ServiceProvider(bus, rsa_bits=768,
+                                   attestation_service=ias,
+                                   expected_mr_enclave=expected)
+        provider.provision_router(router)
+        supervisor = RouterSupervisor(router, provider.provision_router,
+                                      checkpoint_interval=max(size, 1))
+
+        def register(index: int) -> None:
+            client = f"sub-{index}"
+            provider.admit_client(client)
+            blob = encode_subscription(Subscription.parse(
+                {"symbol": f"S{index % 17}",
+                 "price": ("<", float(index + 1))}))
+            provider.endpoint.send("provider", [
+                build_subscription_request(
+                    client, hybrid_encrypt(provider.keys.public_key,
+                                           blob, aad=client.encode()))])
+
+        checkpointed = size - int(size * replay_fraction)
+        for index in range(checkpointed):
+            register(index)
+        provider.pump("router")
+        supervisor.pump()
+        checkpoint = supervisor.checkpoints.checkpoint()
+        for index in range(checkpointed, size):
+            register(index)
+        provider.pump("router")
+        supervisor.pump()
+
+        router.enclave.destroy()
+        before_us = platform.simulated_us()
+        replayed = supervisor.recover()
+        points.append(RecoveryPoint(
+            n_subscriptions=size,
+            checkpointed=checkpointed,
+            wal_replayed=replayed,
+            checkpoint_bytes=len(checkpoint.sealed_bytes),
+            recovery_us=platform.simulated_us() - before_us,
+        ))
+    return points

@@ -15,6 +15,8 @@ Commands::
     ablations                containment + Bloom pre-filter ablations
     workloads                shape statistics of the nine datasets
     metrics                  fault-injected run + router metrics dump
+    recover                  crash-recovery soak + latency sweep
+    dlq                      dead-letter quarantine + requeue demo
 """
 
 from __future__ import annotations
@@ -161,6 +163,143 @@ def _run_metrics(args: argparse.Namespace) -> int:
     print()
     print(format_metrics(stats["metrics"],
                          title="fabric metrics (seeded run)"))
+    return 0
+
+
+def _build_supervised_world(seed: int, mean_interval: int,
+                            checkpoint_interval: int):
+    """One provisioned router under a crash-injecting supervisor."""
+    from repro import (CrashSchedule, MessageBus, MetricsRegistry,
+                      RouterSupervisor, SgxPlatform)
+    from repro.core import (Client, Publisher, RetryPolicy, Router,
+                            ScbrEnclaveLibrary, ServiceProvider)
+    from repro.crypto.rsa import generate_keypair
+    from repro.sgx import AttestationService, EnclaveBuilder
+
+    registry = MetricsRegistry()
+    bus = MessageBus(metrics=registry)
+    platform = SgxPlatform()
+    service = AttestationService()
+    service.register_platform(platform)
+    vendor = generate_keypair(bits=1024)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor, metrics=registry,
+                    retry_policy=RetryPolicy(max_attempts=3))
+    provider = ServiceProvider(bus, rsa_bits=1024,
+                               attestation_service=service,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+    supervisor = RouterSupervisor(
+        router, provider.provision_router,
+        schedule=CrashSchedule(seed=seed,
+                               mean_interval=mean_interval),
+        checkpoint_interval=checkpoint_interval)
+    alice = Client(bus, "alice", provider.keys.public_key)
+    alice.process_admission(provider.admit_client("alice"))
+    alice.subscribe("provider", {"symbol": "HAL"})
+    provider.pump("router")
+    supervisor.pump()
+    return bus, router, provider, publisher, supervisor, alice
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    """Crash-recovery demo: seeded enclave deaths under live traffic,
+    then the recovery-latency sweep."""
+    from repro.bench.experiments import run_recovery_latency
+    from repro.bench.report import format_metrics
+
+    (_bus, router, _provider, publisher, supervisor,
+     alice) = _build_supervised_world(args.seed, args.mean_interval,
+                                      args.checkpoint_interval)
+    for index in range(args.publications):
+        publisher.publish("router", {"symbol": "HAL",
+                                     "price": 40.0 + index},
+                          b"tick %d" % index)
+        supervisor.pump()
+        alice.pump()
+    supervisor.run(8)
+    alice.pump()
+
+    metrics = router.metrics.snapshot()
+    crashes = metrics["recovery.crashes_total"]
+    print(f"publications sent: {args.publications}  (crash seed "
+          f"{args.seed}, mean interval {args.mean_interval} ecalls)")
+    print(f"enclave deaths: {crashes}   recoveries: "
+          f"{metrics['recovery.recoveries_total']}   delivered to "
+          f"alice: {len(alice.received)}")
+    print()
+    recovery = {name: value for name, value in metrics.items()
+                if name.startswith("recovery.")}
+    print(format_metrics(recovery, title="recovery metrics"))
+
+    if args.sizes != []:
+        print()
+        points = run_recovery_latency(sizes=args.sizes)
+        print(format_table(
+            ["subs", "sealed", "replayed", "blob KiB", "recovery us"],
+            [[p.n_subscriptions, p.checkpointed, p.wal_replayed,
+              round(p.checkpoint_bytes / 1024, 1),
+              round(p.recovery_us, 1)] for p in points],
+            title="recovery latency vs subscription count"))
+    return 0
+
+
+def _run_dlq(args: argparse.Namespace) -> int:
+    """Dead-letter demo: quarantine deliveries to an absent subscriber,
+    then requeue them once it connects."""
+    from repro import MessageBus, MetricsRegistry, SgxPlatform
+    from repro.core import (Client, Publisher, RetryPolicy, Router,
+                            ScbrEnclaveLibrary, ServiceProvider)
+    from repro.crypto.rsa import generate_keypair
+    from repro.sgx import AttestationService, EnclaveBuilder
+
+    registry = MetricsRegistry()
+    bus = MessageBus(metrics=registry)
+    platform = SgxPlatform()
+    service = AttestationService()
+    service.register_platform(platform)
+    vendor = generate_keypair(bits=1024)
+    expected = EnclaveBuilder(platform, ScbrEnclaveLibrary).measure()
+    router = Router(bus, platform, vendor, metrics=registry,
+                    retry_policy=RetryPolicy(max_attempts=2))
+    provider = ServiceProvider(bus, rsa_bits=1024,
+                               attestation_service=service,
+                               expected_mr_enclave=expected)
+    provider.provision_router(router)
+    publisher = Publisher(bus, provider.keys, provider.group)
+
+    # bob subscribes through the provider but never opens a bus
+    # endpoint: every delivery to him exhausts its retry schedule and
+    # is quarantined with its destination recorded.
+    from repro.core.messages import encode_subscription, hybrid_encrypt
+    from repro.core.protocol import build_subscription_request
+    from repro.matching.subscriptions import Subscription
+    admission = provider.admit_client("bob")
+    blob = encode_subscription(Subscription.parse({"symbol": "HAL"}))
+    provider.endpoint.send("provider", [build_subscription_request(
+        "bob", hybrid_encrypt(provider.keys.public_key, blob,
+                              aad=b"bob"))])
+    provider.pump("router")
+    router.pump()
+    for index in range(args.publications):
+        publisher.publish("router", {"symbol": "HAL",
+                                     "price": 40.0 + index},
+                          b"tick %d" % index)
+        router.pump()
+    router.drain_retries()
+    held = len(router.dead_letters)
+    print(f"bob offline: {held} deliveries quarantined "
+          f"({dict(router.dead_letters.counts_by_reason)})")
+
+    # Now bob connects (the endpoint exists) and the operator requeues.
+    bob = Client(bus, "bob", provider.keys.public_key)
+    bob.process_admission(admission)
+    requeued = router.requeue_dead_letters()
+    bob.pump()
+    print(f"bob connected: requeued {requeued}, bob received "
+          f"{len(bob.received)}, dead letters now "
+          f"{len(router.dead_letters)}")
     return 0
 
 
@@ -338,6 +477,26 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--drop", type=float, default=0.25,
                     help="publisher->router drop probability")
     pm.set_defaults(func=_run_metrics)
+
+    pr = sub.add_parser(
+        "recover", help="crash-recovery soak + latency sweep")
+    _publications_argument(pr, 30)
+    pr.add_argument("--seed", type=int, default=11,
+                    help="crash-schedule RNG seed")
+    pr.add_argument("--mean-interval", type=int, default=8,
+                    help="mean ecalls between enclave deaths")
+    pr.add_argument("--checkpoint-interval", type=int, default=4,
+                    help="WAL records between sealed checkpoints")
+    pr.add_argument("--sizes", type=int, nargs="*", default=None,
+                    metavar="N",
+                    help="recovery-latency sweep sizes (pass no "
+                         "values to skip the sweep)")
+    pr.set_defaults(func=_run_recover)
+
+    pd = sub.add_parser(
+        "dlq", help="dead-letter quarantine + requeue demo")
+    _publications_argument(pd, 8)
+    pd.set_defaults(func=_run_dlq)
     return parser
 
 

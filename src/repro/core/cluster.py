@@ -102,11 +102,16 @@ class MatcherCluster:
             raise RoutingError("cluster needs at least one slice")
         if assignment not in self.ASSIGNMENTS:
             raise RoutingError(f"unknown assignment {assignment!r}")
+        self.spec = spec
         self.slices = [MatcherSlice(i, spec) for i in range(n_slices)]
         self.assignment = assignment
         self.symbol_attribute = symbol_attribute
         self._next = 0
         self.n_subscriptions = 0
+        #: every registration ever accepted, with its owning slice —
+        #: the journal :meth:`recover_slice` replays when a member dies.
+        self._journal: List[Tuple[Subscription, object, int]] = []
+        self.slices_recovered = 0
 
     # -- registration ------------------------------------------------------
 
@@ -129,11 +134,39 @@ class MatcherCluster:
         chosen = self._slice_for(subscription)
         chosen.register(subscription, subscriber)
         self.n_subscriptions += 1
+        self._journal.append((subscription, subscriber,
+                              chosen.slice_id))
         return chosen.slice_id
 
     def warm(self) -> None:
         for matcher_slice in self.slices:
             matcher_slice.warm()
+
+    # -- member recovery ---------------------------------------------------
+
+    def recover_slice(self, slice_id: int) -> int:
+        """Rebuild one member after its enclave died; returns how many
+        subscriptions were re-registered.
+
+        The cluster's peers are unaffected (their platforms are
+        independent machines); the dead member is replaced by a fresh
+        slice — new platform, new arena, empty index — and its share of
+        the journal is replayed into it, exactly the peer
+        re-registration step a supervised restart performs for a
+        cluster member. Slice assignment is journalled, not re-derived,
+        so round-robin state cannot skew the rebuilt placement.
+        """
+        if not 0 <= slice_id < len(self.slices):
+            raise RoutingError(f"no slice {slice_id} in this cluster")
+        replacement = MatcherSlice(slice_id, self.spec)
+        replayed = 0
+        for subscription, subscriber, owner in self._journal:
+            if owner == slice_id:
+                replacement.register(subscription, subscriber)
+                replayed += 1
+        self.slices[slice_id] = replacement
+        self.slices_recovered += 1
+        return replayed
 
     # -- matching -------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["DeadLetter", "DeadLetterQueue"]
 
@@ -34,6 +34,10 @@ class DeadLetter:
     reason: str
     detail: str
     tick: int
+    #: destination of an undeliverable payload, when known — it is what
+    #: lets :meth:`DeadLetterQueue.requeue` re-attempt the delivery
+    #: (poison inbound frames have no destination and leave it None).
+    client_id: Optional[str] = None
 
 
 class DeadLetterQueue:
@@ -49,12 +53,15 @@ class DeadLetterQueue:
         self.counts_by_reason: Dict[str, int] = {}
         self.total = 0
         self.evicted = 0
+        self.requeued = 0
 
     def add(self, frame: bytes, sender: str, reason: str,
-            detail: str = "", tick: int = 0) -> DeadLetter:
+            detail: str = "", tick: int = 0,
+            client_id: Optional[str] = None) -> DeadLetter:
         """Quarantine one frame; returns the recorded entry."""
         letter = DeadLetter(frame=bytes(frame), sender=sender,
-                            reason=reason, detail=detail, tick=tick)
+                            reason=reason, detail=detail, tick=tick,
+                            client_id=client_id)
         self._entries.append(letter)
         self.total += 1
         self.counts_by_reason[reason] = \
@@ -81,6 +88,39 @@ class DeadLetterQueue:
             (drained if letter.reason == reason else kept).append(letter)
         self._entries = kept
         return drained
+
+    def requeue(self, handler: Callable[[DeadLetter], None],
+                reason: Optional[str] = None,
+                limit: Optional[int] = None) -> int:
+        """Re-inject held letters through ``handler``; returns how many.
+
+        The operator's second chance: after the failure cause is gone
+        (a crashed enclave recovered, a subscriber reconnected), pass
+        each matching letter back to a handler that re-attempts it —
+        typically :meth:`repro.core.router.Router.requeue_dead_letters`
+        supplies one that re-dispatches through the router's own error
+        boundary, so a letter that fails *again* is simply quarantined
+        again rather than lost.
+
+        Letters are removed before the handler runs (a handler that
+        re-adds via the boundary must not see its own entry), oldest
+        first, optionally filtered by ``reason`` and capped by
+        ``limit``. Like :meth:`drain`, requeueing clears the buffer but
+        never the historical accounting.
+        """
+        taken: List[DeadLetter] = []
+        kept: Deque[DeadLetter] = deque()
+        for letter in self._entries:
+            if (reason is None or letter.reason == reason) \
+                    and (limit is None or len(taken) < limit):
+                taken.append(letter)
+            else:
+                kept.append(letter)
+        self._entries = kept
+        for letter in taken:
+            self.requeued += 1
+            handler(letter)
+        return len(taken)
 
     def __len__(self) -> int:
         return len(self._entries)

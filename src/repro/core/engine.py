@@ -64,6 +64,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         # counter id stored (in plaintext) beside the sealed blob, as
         # real SGX applications do.
         self._counter_id: Optional[bytes] = None
+        self._restored_app_data = b""
         # The engine keeps its own registry (trusted code must not
         # hold references to untrusted mutable state); the untrusted
         # host reads it through the engine_metrics ecall.
@@ -224,8 +225,8 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
 
     @ecall
     def seal_state(self,
-                   policy: str = KeyPolicy.MRENCLAVE
-                   ) -> Tuple[bytes, bytes]:
+                   policy: str = KeyPolicy.MRENCLAVE,
+                   app_data: bytes = b"") -> Tuple[bytes, bytes]:
         """Seal SK + the registered subscriptions for restart.
 
         Returns ``(sealed_bytes, counter_id)``; the counter id is not
@@ -236,6 +237,12 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         ``MRENCLAVE`` restricts restore to byte-identical code, while
         ``MRSIGNER`` lets a *newer version from the same vendor* pick
         the state up — the standard SGX enclave-upgrade path.
+
+        ``app_data`` is an opaque blob sealed (and therefore
+        authenticated and rollback-protected) together with the state.
+        The recovery subsystem stores the write-ahead-log position the
+        snapshot covers there, so an untrusted store cannot shift the
+        replay window of a recovering enclave.
         """
         self._require_provisioned()
         if self._counter_id is None:
@@ -249,6 +256,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             self._sk,
             encode_public_key(self._provider_pk),
             pack_fields(entries),
+            app_data,
         ])
         sealed = seal(self.runtime, payload, policy=policy,
                       counter_id=self._counter_id)
@@ -260,15 +268,17 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         """Rebuild the engine from sealed state; returns #subscriptions.
 
         Raises :class:`repro.errors.RollbackError` when handed a stale
-        blob (monotonic counter mismatch).
+        blob (monotonic counter mismatch). The ``app_data`` sealed with
+        the snapshot is kept and readable through
+        :meth:`restored_app_data` once this call has succeeded.
         """
         blob = SealedBlob.from_bytes(sealed_bytes)
         payload = unseal(self.runtime, blob, counter_id=counter_id)
         self._counter_id = counter_id
         fields = unpack_fields(payload)
-        if len(fields) != 3:
+        if len(fields) != 4:
             raise RoutingError("malformed sealed state")
-        sk, provider_pk_blob, entries_blob = fields
+        sk, provider_pk_blob, entries_blob, app_data = fields
         self._sk = sk
         self._sk_channel = SecureChannel(sk)
         self._provider_pk = decode_public_key(provider_pk_blob)
@@ -277,7 +287,18 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             sub_blob, client = unpack_fields(entry)
             self._forest.insert(decode_subscription(sub_blob),
                                 client.decode("utf-8"))
+        self._restored_app_data = app_data
         return self._forest.n_subscriptions
+
+    @ecall
+    def restored_app_data(self) -> bytes:
+        """App data carried by the last successfully restored snapshot.
+
+        Empty until a :meth:`restore_state` succeeds; authenticated by
+        the seal, so a recovering supervisor can trust what it reads
+        here (unlike anything the untrusted checkpoint store says).
+        """
+        return self._restored_app_data
 
     # -- introspection ------------------------------------------------------------------
 
@@ -286,6 +307,38 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         """(subscriptions, index nodes, modelled index bytes)."""
         return (self._forest.n_subscriptions, self._forest.n_nodes,
                 self._forest.index_bytes)
+
+    @ecall
+    def registration_digest(self) -> bytes:
+        """Canonical SHA-256 over every (subscription, client) pair.
+
+        Order-independent with respect to insertion history: the pairs
+        are serialised sorted, so two engines that went through
+        different crash/replay schedules but hold the same logical
+        state produce byte-identical digests — the check the
+        determinism tests pin recovery on.
+        """
+        entries: List[bytes] = []
+        for node in self._forest.iter_nodes():
+            blob = encode_subscription(node.subscription)
+            for client in sorted(str(c) for c in node.subscribers):
+                entries.append(pack_fields([blob, client.encode()]))
+        digest = hashlib.sha256()
+        for entry in sorted(entries):
+            digest.update(entry)
+        return digest.digest()
+
+    @ecall
+    def verify_invariants(self) -> bool:
+        """Run the containment index's structural self-check in place.
+
+        Raises :class:`repro.errors.MatchingError` on any violation;
+        recovery tests call this after every crash/replay cycle to
+        prove the restored poset is not merely the right size but
+        structurally sound.
+        """
+        self._forest.check_invariants()
+        return True
 
     @ecall
     def engine_metrics(self):

@@ -100,13 +100,19 @@ class Router:
                  name: str = "router", rsa_bits: int = 768,
                  retry_policy: Optional[RetryPolicy] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 dead_letter_capacity: int = 1024) -> None:
+                 dead_letter_capacity: int = 1024,
+                 wal=None) -> None:
         self.name = name
         self.platform = platform
         self.endpoint: Endpoint = bus.endpoint(name)
+        self._signing_key = enclave_signing_key
+        self._rsa_bits = rsa_bits
         self.enclave = load_enclave(platform, ScbrEnclaveLibrary,
                                     enclave_signing_key,
                                     rsa_bits=rsa_bits)
+        #: optional :class:`repro.recovery.WriteAheadLog`; when present,
+        #: every REG/UNREG frame is journalled *before* its ecall.
+        self.wal = wal
         self.retry_policy = retry_policy if retry_policy is not None \
             else RetryPolicy()
         self.dead_letters = DeadLetterQueue(
@@ -114,6 +120,9 @@ class Router:
         #: Router tick count; advanced once per :meth:`pump`.
         self.tick = 0
         self._retries: List[_PendingDelivery] = []
+        #: (sender, kind, frame) being processed right now — survives a
+        #: mid-ecall enclave loss so the supervisor can resume it.
+        self._in_flight: Optional[Tuple[str, str, bytes]] = None
 
         # Legacy scalar counters, kept in lockstep with the registry.
         self.registrations = 0
@@ -153,6 +162,9 @@ class Router:
             "deliveries abandoned after the retry schedule")
         self._m_fanout = m.histogram(
             "router.match_fanout", "subscribers matched per publication")
+        self._m_requeued = m.counter(
+            "router.dead_letters_requeued_total",
+            "dead letters re-injected by an operator or supervisor")
         m.gauge("router.pending_retries",
                 "deliveries currently awaiting a retry tick",
                 fn=lambda: len(self._retries))
@@ -162,6 +174,34 @@ class Router:
         m.gauge("router.tick", "router pump tick",
                 fn=lambda: self.tick)
         platform.memory.epc.attach_metrics(m)
+
+    # -- enclave lifecycle ---------------------------------------------------------
+
+    def reload_enclave(self) -> None:
+        """Load a fresh enclave instance after the previous one died.
+
+        The replacement runs the same measured code on the same
+        platform (so its monotonic counters are reachable) but has a
+        brand-new ephemeral key pair and an empty index: the caller —
+        normally :class:`repro.recovery.RouterSupervisor` — must
+        re-attest, re-provision SK and restore state before traffic
+        resumes.
+        """
+        self.enclave = load_enclave(self.platform, ScbrEnclaveLibrary,
+                                    self._signing_key,
+                                    rsa_bits=self._rsa_bits)
+
+    def take_in_flight(self) -> Optional[Tuple[str, str, bytes]]:
+        """Pop the frame that was mid-processing when the enclave died.
+
+        Returns ``(sender, kind, frame)`` or None. A frame is in flight
+        from dispatch until it either completes or is quarantined, so
+        after a crash this is exactly the one message whose effects are
+        uncertain.
+        """
+        in_flight = self._in_flight
+        self._in_flight = None
+        return in_flight
 
     # -- enclave pass-throughs used by the provider's provisioning -----------------
 
@@ -239,7 +279,7 @@ class Router:
                 frame, sender=self.name, reason=REASON_EXHAUSTED,
                 detail=f"to {client_id} after {attempts_made} "
                        f"attempts: {error}",
-                tick=self.tick)
+                tick=self.tick, client_id=client_id)
             return
         delay = policy.delay_for(attempts_made)
         self._m_retries.inc()
@@ -272,6 +312,13 @@ class Router:
             self._quarantine(frame, sender, REASON_POISON, exc)
             return
         self._m_frames.inc(kind=kind)
+        # Write-ahead: a registration is journalled before the ecall
+        # that applies it, so an enclave death at *any* later point
+        # leaves the frame recoverable from checkpoint + WAL replay.
+        if self.wal is not None and kind in (MSG_REGISTER,
+                                             MSG_UNREGISTER):
+            self.wal.append(kind, frame)
+        self._in_flight = (sender, kind, frame)
         try:
             if kind == MSG_REGISTER:
                 self.handle_register(frame)
@@ -285,6 +332,9 @@ class Router:
                     RoutingError(f"router got unexpected {kind} frame"))
         except _FRAME_FAULTS as exc:
             self._quarantine(frame, sender, REASON_POISON, exc)
+        # Completed or quarantined either way; only an escaping
+        # platform-scoped error (a lost enclave) leaves this set.
+        self._in_flight = None
 
     def _quarantine(self, frame: bytes, sender: str, reason: str,
                     error: Exception) -> None:
@@ -305,11 +355,48 @@ class Router:
         self.tick += 1
         self._run_due_retries()
         processed = 0
-        for sender, frames in self.endpoint.recv_all():
-            for frame in frames:
-                self._process_frame(sender, frame)
+        while True:
+            message = self.endpoint.recv()
+            if message is None:
+                return processed
+            sender, frames = message
+            for index, frame in enumerate(frames):
+                try:
+                    self._process_frame(sender, frame)
+                except BaseException:
+                    # A platform-scoped failure (lost enclave) escaped
+                    # the frame boundary: give the unprocessed tail of
+                    # this message back to the inbox so only the
+                    # in-flight frame is in doubt.
+                    if index + 1 < len(frames):
+                        self.endpoint.requeue(sender, frames[index + 1:])
+                    raise
                 processed += 1
-        return processed
+
+    def requeue_dead_letters(self, reason: Optional[str] = None,
+                             limit: Optional[int] = None) -> int:
+        """Re-inject quarantined messages; returns how many were tried.
+
+        Undeliverable payloads (which recorded their destination) get a
+        fresh delivery attempt with a full retry schedule; inbound
+        frames go back through the normal dispatch boundary. Either
+        path may legitimately dead-letter the message *again* — the
+        point is that after the failure cause is fixed (the enclave
+        recovered, the subscriber reconnected) nothing is stranded in
+        quarantine.
+        """
+        def _reinject(letter) -> None:
+            if letter.client_id is not None:
+                self._attempt_delivery(letter.client_id, letter.frame,
+                                       attempts_made=0)
+            else:
+                self._process_frame(letter.sender, letter.frame)
+
+        requeued = self.dead_letters.requeue(_reinject, reason=reason,
+                                             limit=limit)
+        if requeued:
+            self._m_requeued.inc(requeued)
+        return requeued
 
     @property
     def pending_retries(self) -> int:
@@ -330,18 +417,25 @@ class Router:
 
     # -- persistence --------------------------------------------------------------------
 
-    def seal(self, policy: str = "mrenclave") -> Tuple[bytes, bytes]:
+    def seal(self, policy: str = "mrenclave",
+             app_data: bytes = b"") -> Tuple[bytes, bytes]:
         """Seal engine state; returns (sealed_bytes, counter_id).
 
         ``policy="mrsigner"`` produces a blob a newer enclave version
-        from the same vendor can restore (upgrade path).
+        from the same vendor can restore (upgrade path). ``app_data``
+        rides inside the seal (the recovery subsystem stores the WAL
+        position there).
         """
-        return self.enclave.ecall("seal_state", policy)
+        return self.enclave.ecall("seal_state", policy, app_data)
 
     def restore(self, sealed_bytes: bytes, counter_id: bytes) -> int:
         """Restore engine state into this router's enclave."""
         return self.enclave.ecall("restore_state", sealed_bytes,
                                   counter_id)
+
+    def restored_app_data(self) -> bytes:
+        """App data sealed into the last restored snapshot."""
+        return self.enclave.ecall("restored_app_data")
 
     # -- observability -------------------------------------------------------------------
 

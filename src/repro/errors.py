@@ -54,6 +54,24 @@ class RollbackError(SgxError):
     """A sealed state was older than the platform monotonic counter."""
 
 
+class EnclaveLost(SgxError):
+    """The enclave died (EPC wiped, process killed) with calls pending.
+
+    Deliberately *not* an :class:`EnclaveError`: the router's per-frame
+    error boundary absorbs frame-scoped failures, but a lost enclave
+    poisons every future ecall and must propagate to the supervisor
+    that owns the recovery protocol.
+    """
+
+
+class RecoveryError(ScbrError):
+    """The crash-recovery protocol could not restore the engine."""
+
+
+class WalError(RecoveryError):
+    """A write-ahead log is malformed beyond its (tolerated) torn tail."""
+
+
 class MatchingError(ScbrError):
     """Malformed predicate, subscription or publication."""
 

@@ -58,6 +58,10 @@ class Endpoint:
         """Pop the oldest pending ``(sender, frames)``, or None."""
         return self._bus.pop(self.name)
 
+    def requeue(self, sender: str, frames: Frame) -> None:
+        """Give back a message this endpoint popped but never handled."""
+        self._bus.requeue(self.name, sender, frames)
+
     def recv_all(self) -> List[Tuple[str, Frame]]:
         """Drain the inbox."""
         messages = []
@@ -165,6 +169,20 @@ class MessageBus:
             self.total_bytes += size
             self._m_messages.inc()
             self._m_bytes.inc(size)
+
+    def requeue(self, name: str, sender: str, frames: Frame) -> None:
+        """Put a popped-but-unprocessed message back on ``name``'s inbox.
+
+        Host-local restoration, not a network event: no fault plan, no
+        traffic counters — the message was already accepted (and
+        counted) when it was first delivered. Used by the router when a
+        crash interrupts a drain mid-message, so the untouched tail of
+        the inbox survives the enclave's death.
+        """
+        mailbox = self._mailboxes.get(name)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {name!r}")
+        mailbox.inbox.append((sender, [bytes(f) for f in frames]))
 
     def pop(self, name: str) -> Optional[Tuple[str, Frame]]:
         mailbox = self._mailboxes.get(name)

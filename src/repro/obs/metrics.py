@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import MetricsError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
 
 Number = Union[int, float]
 
@@ -40,6 +40,13 @@ Number = Union[int, float]
 #: observe whatever quantity they measure: fan-outs, attempts, bytes).
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250,
                                       1000)
+
+#: Bucket bounds for simulated-microsecond latencies (recovery time,
+#: end-to-end match latency): roughly log-spaced from sub-µs ecalls to
+#: the multi-second restores of a large sealed index.
+TIME_BUCKETS_US: Tuple[float, ...] = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+    10_000_000.0)
 
 
 def _label_key(labels: Dict[str, object]) -> str:

@@ -1,0 +1,29 @@
+"""Crash recovery: WAL, sealed checkpoints, supervised restart.
+
+The paper's §2 survival story — sealed storage plus monotonic counters
+— only covers state that *made it into a seal*. Everything registered
+after the last ``seal_state`` would be silently lost by an enclave
+crash. This package closes that window:
+
+* :mod:`repro.recovery.wal` — an append-only, CMAC-chained write-ahead
+  log of every registration frame, kept on untrusted storage and
+  written *before* the ecall that applies it;
+* :mod:`repro.recovery.checkpoint` — periodic sealed snapshots bound
+  to a monotonic-counter value, with retention and atomic-swap
+  publication on an untrusted store;
+* :mod:`repro.recovery.supervisor` — the restart driver: it injects
+  deterministic enclave crashes, then re-attests, re-provisions SK,
+  unseals the newest non-rolled-back checkpoint and replays the WAL
+  suffix idempotently before resuming traffic.
+"""
+
+from repro.recovery.checkpoint import (Checkpoint, CheckpointManager,
+                                       CheckpointStore)
+from repro.recovery.supervisor import CrashSchedule, RouterSupervisor
+from repro.recovery.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "WriteAheadLog", "WalRecord",
+    "Checkpoint", "CheckpointStore", "CheckpointManager",
+    "CrashSchedule", "RouterSupervisor",
+]

@@ -1,0 +1,173 @@
+"""Sealed checkpoints on an untrusted store, with rollback defense.
+
+A checkpoint is one ``seal_state`` snapshot: the sealed blob, the
+(public) monotonic-counter id beside it, and the WAL position the
+snapshot covers — the position travels *inside* the seal as
+``app_data``, so the untrusted store cannot shift a recovering
+enclave's replay window.
+
+The store models an untrusted storage server. Publication is
+atomic-swap: a new checkpoint is written in full before the ``latest``
+pointer moves, so a crash mid-checkpoint leaves the previous one
+intact and restorable. Retention keeps the most recent ``retain``
+blobs for operators; only the newest is *restorable*, because the
+enclave's monotonic counter advances on every seal and ``unseal``
+rejects any older counter value with
+:class:`~repro.errors.RollbackError` — exactly the stale-state replay
+the paper's §2 monotonic-counter discussion defeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+__all__ = ["Checkpoint", "CheckpointStore", "CheckpointManager"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One published snapshot as the untrusted store holds it.
+
+    ``wal_seq`` is the store's *claim* of the WAL position; the
+    authoritative copy is sealed inside ``sealed_bytes`` and read back
+    through the enclave after a successful restore.
+    """
+
+    index: int
+    sealed_bytes: bytes
+    counter_id: bytes
+    wal_seq: int
+
+
+class CheckpointStore:
+    """Untrusted checkpoint storage with retention and atomic swap."""
+
+    def __init__(self, retain: int = 3) -> None:
+        if retain < 1:
+            raise RecoveryError("checkpoint retention must be >= 1")
+        self.retain = retain
+        self._checkpoints: List[Checkpoint] = []
+        self._latest: Optional[Checkpoint] = None
+        self._next_index = 1
+        self.published = 0
+        self.evicted = 0
+
+    def publish(self, sealed_bytes: bytes, counter_id: bytes,
+                wal_seq: int) -> Checkpoint:
+        """Write a checkpoint, then atomically advance ``latest``."""
+        checkpoint = Checkpoint(self._next_index, bytes(sealed_bytes),
+                                bytes(counter_id), wal_seq)
+        self._next_index += 1
+        # Write fully, then swap the pointer: a reader (or a crash)
+        # between these two lines still sees the previous checkpoint.
+        self._checkpoints.append(checkpoint)
+        self._latest = checkpoint
+        self.published += 1
+        while len(self._checkpoints) > self.retain:
+            self._checkpoints.pop(0)
+            self.evicted += 1
+        return checkpoint
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The checkpoint the ``latest`` pointer names (None if none)."""
+        return self._latest
+
+    def held(self) -> List[Checkpoint]:
+        """Checkpoints currently retained, oldest first."""
+        return list(self._checkpoints)
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def serve_stale(self, back: int = 1) -> Checkpoint:
+        """Point ``latest`` at an older retained checkpoint.
+
+        This is the *attack*, not an API a well-behaved store exposes:
+        tests use it to prove that a maliciously rolled-back pointer is
+        rejected by the enclave's monotonic counter at restore time.
+        """
+        if len(self._checkpoints) <= back:
+            raise RecoveryError("no checkpoint that far back to serve")
+        stale = self._checkpoints[-1 - back]
+        self._latest = stale
+        return stale
+
+
+class CheckpointManager:
+    """Drives the checkpoint cadence for one supervised router.
+
+    ``interval`` is the maximum number of journalled registrations a
+    crash may force recovery to replay: after that many new WAL
+    appends, the next :meth:`maybe_checkpoint` seals. Sealing also
+    prunes the WAL through the sealed position — the snapshot now
+    covers those records.
+    """
+
+    def __init__(self, router, wal, store: Optional[CheckpointStore]
+                 = None, interval: int = 32,
+                 policy: str = "mrenclave") -> None:
+        if interval < 1:
+            raise RecoveryError("checkpoint interval must be >= 1")
+        self.router = router
+        self.wal = wal
+        self.store = store if store is not None else CheckpointStore()
+        self.interval = interval
+        self.policy = policy
+        self._sealed_through = 0
+        self.checkpoints_taken = 0
+
+    @staticmethod
+    def encode_wal_seq(seq: int) -> bytes:
+        return seq.to_bytes(8, "big")
+
+    @staticmethod
+    def decode_wal_seq(app_data: bytes) -> int:
+        if len(app_data) != 8:
+            raise RecoveryError(
+                "sealed checkpoint carries no WAL position")
+        return int.from_bytes(app_data, "big")
+
+    @property
+    def lag(self) -> int:
+        """Journalled registrations not yet covered by a seal."""
+        return self.wal.last_seq - self._sealed_through
+
+    def maybe_checkpoint(self) -> Optional[Checkpoint]:
+        """Seal if the WAL has outrun the cadence; returns the new
+        checkpoint or None."""
+        if self.lag < self.interval:
+            return None
+        return self.checkpoint()
+
+    def checkpoint(self) -> Checkpoint:
+        """Seal now, publish, and prune the covered WAL prefix."""
+        wal_seq = self.wal.last_seq
+        sealed, counter_id = self.router.seal(
+            policy=self.policy, app_data=self.encode_wal_seq(wal_seq))
+        checkpoint = self.store.publish(sealed, counter_id, wal_seq)
+        self._sealed_through = wal_seq
+        self.wal.prune_through(wal_seq)
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    def restore_latest(self) -> Tuple[int, int]:
+        """Restore the newest checkpoint; returns (#subs, wal_seq).
+
+        Raises :class:`~repro.errors.RecoveryError` when the store
+        holds nothing, :class:`~repro.errors.RollbackError` (from the
+        enclave) when the store serves a stale blob, and
+        :class:`~repro.errors.AuthenticationError` on a tampered one.
+        The returned ``wal_seq`` is the *sealed* position, not the
+        store's claim.
+        """
+        checkpoint = self.store.latest()
+        if checkpoint is None:
+            raise RecoveryError("no checkpoint published yet")
+        count = self.router.restore(checkpoint.sealed_bytes,
+                                    checkpoint.counter_id)
+        wal_seq = self.decode_wal_seq(self.router.restored_app_data())
+        self._sealed_through = wal_seq
+        return count, wal_seq

@@ -1,0 +1,348 @@
+"""Supervised restart: deterministic crashes and the recovery protocol.
+
+The supervisor owns one router's availability story. It arms a seeded
+:class:`CrashSchedule` that kills the enclave out from under live
+traffic, and when any ecall surfaces :class:`~repro.errors.EnclaveLost`
+it drives the recovery protocol the paper's §2 sketches and this repo
+makes concrete:
+
+1. **restart** — load a fresh enclave (same measured code, same
+   platform, cold EPC);
+2. **re-attest + re-provision** — run the provider's quote-based
+   provisioning again, because the replacement enclave has a new
+   ephemeral key and no SK;
+3. **restore** — unseal the newest checkpoint; its monotonic-counter
+   binding makes a maliciously served stale snapshot raise
+   :class:`~repro.errors.RollbackError` instead of silently rolling
+   the subscription database back;
+4. **replay** — re-execute the WAL suffix past the sealed position
+   (authenticated ``app_data``, not the store's word). Replay is
+   idempotent: the containment index deduplicates identical
+   (subscription, client) pairs and every frame re-passes the
+   provider-signature check inside the enclave;
+5. **resume** — the single in-flight frame, whose effects died with
+   the enclave, is re-dispatched; journalled kinds are suppressed
+   instead (the replay already covered them) so nothing is applied
+   twice.
+
+Crash model: the enclave dies, the host process survives. A death
+lands either *at entry* to an ecall (the call never executes — its
+in-enclave effects are lost) or *after exit* (the caller keeps the
+result; the next entry finds the enclave gone). Host-side code between
+ecalls is not a crash point, which is exactly why ``seal_state``'s
+counter increment can never outrun a published checkpoint here;
+DESIGN.md §7 discusses the residual hardware window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
+                                 MSG_UNREGISTER, parse_register,
+                                 parse_unregister)
+from repro.errors import (CryptoError, EnclaveError, EnclaveLost,
+                          MatchingError, NetworkError, RecoveryError,
+                          RollbackError, RoutingError)
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS_US
+from repro.recovery.checkpoint import CheckpointManager
+from repro.recovery.wal import WriteAheadLog
+
+__all__ = ["CrashSchedule", "RouterSupervisor"]
+
+#: frame-scoped failures a WAL replay tolerates (same set as the
+#: router's pump boundary: a frame that was poison before the crash is
+#: still poison after it).
+_REPLAY_FAULTS = (RoutingError, CryptoError, MatchingError,
+                  EnclaveError, NetworkError)
+
+MODE_ENTER = "enter"
+MODE_EXIT = "exit"
+
+
+class CrashSchedule:
+    """Seeded schedule of enclave deaths, measured in survived ecalls.
+
+    Each drawn fuse is the number of ecalls the next enclave instance
+    survives; the paired mode says whether the fatal call dies at
+    entry (``enter`` — the call is swallowed) or the enclave dies
+    after the call returns (``exit`` — the *next* entry fails). One
+    ``random.Random(seed)`` drives every draw, so a seed fully
+    determines when and how every crash lands.
+    """
+
+    def __init__(self, seed: int = 0, mean_interval: int = 50,
+                 max_crashes: Optional[int] = None) -> None:
+        if mean_interval < 1:
+            raise RecoveryError("mean crash interval must be >= 1")
+        self._rng = random.Random(seed)
+        self.mean_interval = mean_interval
+        self.max_crashes = max_crashes
+        self.crashes_drawn = 0
+
+    def draw(self) -> Optional[Tuple[int, str]]:
+        """Next ``(fuse, mode)``, or None when the schedule is spent."""
+        if self.max_crashes is not None \
+                and self.crashes_drawn >= self.max_crashes:
+            return None
+        self.crashes_drawn += 1
+        fuse = self._rng.randint(1, 2 * self.mean_interval - 1)
+        mode = MODE_ENTER if self._rng.random() < 0.5 else MODE_EXIT
+        return fuse, mode
+
+
+class _CrashingEnclave:
+    """Ecall proxy that burns the armed fuse and kills the enclave."""
+
+    def __init__(self, enclave, supervisor: "RouterSupervisor") -> None:
+        self._enclave = enclave
+        self._supervisor = supervisor
+
+    def ecall(self, name, *args, **kwargs):
+        if self._enclave._destroyed:
+            # An exit-mode death left the corpse in place: report the
+            # loss (as SGX_ERROR_ENCLAVE_LOST would) instead of the
+            # lifecycle misuse a deliberate destroy() raises.
+            raise EnclaveLost(
+                f"ecall {name!r} entered a dead enclave")
+        mode = self._supervisor._burn_fuse()
+        if mode == MODE_ENTER:
+            self._enclave.destroy()
+            self._supervisor._note_crash(name, mode)
+            raise EnclaveLost(f"enclave killed entering {name!r}")
+        result = self._enclave.ecall(name, *args, **kwargs)
+        if mode == MODE_EXIT:
+            # The caller keeps this result; the enclave is gone the
+            # next time anyone tries to enter it.
+            self._enclave.destroy()
+            self._supervisor._note_crash(name, mode)
+        return result
+
+    def __getattr__(self, attr):
+        return getattr(self._enclave, attr)
+
+
+class RouterSupervisor:
+    """Wraps a router with crash injection and crash recovery.
+
+    ``provisioner`` is called with the router after every restart and
+    must re-run the attested SK provisioning — normally
+    ``provider.provision_router``. ``schedule`` may be None for a
+    supervisor that only *recovers* (production posture) and never
+    injects.
+    """
+
+    def __init__(self, router, provisioner,
+                 wal: Optional[WriteAheadLog] = None,
+                 checkpoints: Optional[CheckpointManager] = None,
+                 schedule: Optional[CrashSchedule] = None,
+                 checkpoint_interval: int = 32,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.router = router
+        self.provisioner = provisioner
+        self.wal = wal if wal is not None else WriteAheadLog()
+        router.wal = self.wal
+        self.checkpoints = checkpoints if checkpoints is not None \
+            else CheckpointManager(router, self.wal,
+                                  interval=checkpoint_interval)
+        self.schedule = schedule
+        self._fuse: Optional[int] = None
+        self._mode: Optional[str] = None
+
+        m = metrics if metrics is not None else router.metrics
+        self.metrics = m
+        self._m_crashes = m.counter(
+            "recovery.crashes_total", "enclave deaths, by mode")
+        self._m_recoveries = m.counter(
+            "recovery.recoveries_total",
+            "successful recovery protocol runs")
+        self._m_replayed = m.counter(
+            "recovery.wal_replayed_total",
+            "WAL records re-executed during recovery, by kind")
+        self._m_replay_failures = m.counter(
+            "recovery.replay_failures_total",
+            "WAL records the enclave rejected on replay")
+        self._m_rollback = m.counter(
+            "recovery.rollback_rejected_total",
+            "stale checkpoints rejected by the monotonic counter")
+        self._m_resumed = m.counter(
+            "recovery.inflight_resumed_total",
+            "in-flight frames re-dispatched after recovery")
+        self._m_suppressed = m.counter(
+            "recovery.inflight_suppressed_total",
+            "in-flight frames already covered by WAL replay")
+        self._m_time = m.histogram(
+            "recovery.time_us",
+            "simulated microseconds per recovery "
+            "(restart + attest + restore + replay)",
+            bounds=TIME_BUCKETS_US)
+        m.gauge("recovery.wal_records",
+                "registration records currently held by the WAL",
+                fn=lambda: len(self.wal))
+        m.gauge("recovery.checkpoint_lag",
+                "journalled registrations not yet sealed",
+                fn=lambda: self.checkpoints.lag)
+        self._arm()
+
+    # -- crash injection -----------------------------------------------------
+
+    def _arm(self) -> None:
+        """Draw the next fuse and interpose on the (live) enclave."""
+        if self.schedule is None:
+            return
+        drawn = self.schedule.draw()
+        self._fuse, self._mode = drawn if drawn is not None \
+            else (None, None)
+        self.router.enclave = _CrashingEnclave(self.router.enclave,
+                                               self)
+
+    def disarm(self) -> None:
+        """Stop injecting crashes, permanently.
+
+        Extinguishes the armed fuse and drops the schedule, so no
+        future re-arm happens either — recovery still works for
+        out-of-band deaths. Used when a chaos run is over and the
+        remaining traffic (drains, final snapshots) must observe the
+        fabric rather than keep perturbing it.
+        """
+        self.schedule = None
+        self._fuse = None
+        self._mode = None
+
+    def _burn_fuse(self) -> Optional[str]:
+        """Advance the fuse one ecall; the fatal one returns its mode."""
+        if self._fuse is None:
+            return None
+        self._fuse -= 1
+        if self._fuse > 0:
+            return None
+        self._fuse = None
+        return self._mode
+
+    def _note_crash(self, ecall_name: str, mode: str) -> None:
+        self._m_crashes.inc(mode=mode)
+
+    # -- the drive loop -------------------------------------------------------
+
+    def pump(self) -> int:
+        """One supervised tick: drain traffic, checkpoint on cadence.
+
+        An enclave loss anywhere inside — mid-drain or mid-seal — is
+        recovered before this returns, so callers see the same
+        contract as :meth:`Router.pump` plus availability.
+        """
+        try:
+            processed = self.router.pump()
+        except EnclaveLost:
+            self.recover()
+            processed = 0
+        try:
+            self.checkpoints.maybe_checkpoint()
+        except EnclaveLost:
+            self.recover()
+        return processed
+
+    def run(self, ticks: int) -> int:
+        """Pump ``ticks`` times; returns total frames processed."""
+        return sum(self.pump() for _ in range(ticks))
+
+    def stats(self):
+        """:meth:`Router.stats`, recovering first if the enclave is a
+        corpse (an exit-mode death is only *noticed* at the next
+        entry, which may well be this snapshot's ecall)."""
+        try:
+            return self.router.stats()
+        except EnclaveLost:
+            self.recover()
+            return self.router.stats()
+
+    # -- the recovery protocol -------------------------------------------------
+
+    def recover(self) -> int:
+        """Run the full recovery protocol; returns replayed records.
+
+        Raises :class:`~repro.errors.RollbackError` (after counting
+        it) if the checkpoint store serves anything but the newest
+        snapshot — fail-stop beats silently matching against a
+        rolled-back subscription database.
+        """
+        platform = self.router.platform
+        started_us = platform.simulated_us()
+        in_flight = self.router.take_in_flight()
+
+        # 1. restart: fresh enclave, disarmed while we operate on it.
+        self.router.reload_enclave()
+        # 2. re-attest and re-provision SK through the provider.
+        self.provisioner(self.router)
+        # 3. restore the newest checkpoint (rollback-checked).
+        try:
+            _count, wal_seq = self.checkpoints.restore_latest()
+        except RecoveryError:
+            # No checkpoint yet: cold enclave, the WAL is everything.
+            wal_seq = self.wal.pruned_through
+        except RollbackError:
+            self._m_rollback.inc()
+            raise
+        # 4. replay the WAL suffix, idempotently.
+        replayed = self._replay(self.wal.records_after(wal_seq))
+        # 5. resume the frame the crash interrupted.
+        if in_flight is not None:
+            self._resume(in_flight)
+        self._m_recoveries.inc()
+        self._m_time.observe(platform.simulated_us() - started_us)
+        self._arm()
+        return replayed
+
+    def _replay(self, records: List) -> int:
+        """Re-execute journalled registrations against the enclave.
+
+        Goes straight to the ecalls rather than through the router's
+        handlers: a replay is a *re-execution*, not new traffic, so it
+        must not re-journal frames or inflate the router's
+        registration counters. Every frame re-passes the provider
+        signature check inside the enclave, which is what makes a
+        tampered WAL entry harmless.
+        """
+        enclave = self.router.enclave
+        replayed = 0
+        for record in records:
+            try:
+                if record.kind == MSG_REGISTER:
+                    envelope, signature = parse_register(record.frame)
+                    enclave.ecall("register_subscription", envelope,
+                                  signature)
+                elif record.kind == MSG_UNREGISTER:
+                    envelope, signature = parse_unregister(record.frame)
+                    enclave.ecall("unregister_subscription", envelope,
+                                  signature)
+                else:
+                    raise RoutingError(
+                        f"WAL holds unexpected {record.kind!r} record")
+            except _REPLAY_FAULTS:
+                # Poison before the crash, poison after it: the pump
+                # boundary already quarantined this frame once.
+                self._m_replay_failures.inc()
+                continue
+            replayed += 1
+            self._m_replayed.inc(kind=record.kind)
+        return replayed
+
+    def _resume(self, in_flight: Tuple[str, str, bytes]) -> None:
+        """Re-dispatch (or suppress) the crash-interrupted frame."""
+        sender, kind, frame = in_flight
+        if kind in (MSG_REGISTER, MSG_UNREGISTER):
+            # Already journalled before its ecall; the replay above
+            # applied it. Re-dispatching would journal it twice, so
+            # only the router's ledger is updated here — the frame
+            # *was* accepted and applied.
+            self._m_suppressed.inc()
+            if kind == MSG_REGISTER:
+                self.router.registrations += 1
+                self.router._m_registrations.inc()
+            else:
+                self.router._m_unregistrations.inc()
+            return
+        self._m_resumed.inc(kind=kind if kind == MSG_PUBLISH
+                            else "other")
+        self.router._process_frame(sender, frame)

@@ -322,7 +322,15 @@ class Enclave:
         return result
 
     def destroy(self) -> None:
-        """EREMOVE all pages and refuse further entry."""
+        """EREMOVE all pages and refuse further entry.
+
+        The enclave's EPC pages are genuinely dropped from the page
+        cache, modelling teardown (or a crash that wipes the EPC): a
+        successor enclave starts from a cold protected memory, and the
+        slots are free for it to fault in.
+        """
         self._require_alive()
         self._destroyed = True
         self._library = None
+        self.platform.memory.eremove_range(self.arena.base,
+                                           self.arena.allocated_bytes)

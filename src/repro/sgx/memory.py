@@ -126,6 +126,25 @@ class MemorySubsystem:
         """Charge raw compute cycles (predicate evals, crypto, ...)."""
         self.cycles += cycles
 
+    def eremove_range(self, address: int, n_bytes: int) -> int:
+        """EREMOVE every enclave page in a range; returns pages dropped.
+
+        Used at enclave teardown (orderly or crash): the EPC slots the
+        dead enclave occupied are reclaimable immediately, so a
+        restarted instance does not fault against its predecessor's
+        ghost residency.
+        """
+        if n_bytes <= 0:
+            return 0
+        first_page = address >> self._page_shift
+        last_page = (address + n_bytes - 1) >> self._page_shift
+        removed = 0
+        for page in range(first_page, last_page + 1):
+            if self.epc.is_resident(page):
+                self.epc.remove(page)
+                removed += 1
+        return removed
+
     def prefault(self, address: int, n_bytes: int, enclave: bool) -> None:
         """Make pages resident without charging cycles or counters.
 

@@ -16,13 +16,16 @@ from typing import Optional
 
 from repro.crypto.cmac import cmac, cmac_verify
 from repro.crypto.ctr import AesCtr
-from repro.errors import AuthenticationError, RollbackError
+from repro.errors import AuthenticationError, RollbackError, SgxError
 from repro.sgx.enclave import TrustedRuntime
 from repro.sgx.platform import KeyPolicy
 
 __all__ = ["SealedBlob", "seal", "unseal"]
 
 _NONCE = 16
+_POLICY_FIELD = 16
+_TAG = 16
+_HEADER = 8 + _POLICY_FIELD
 
 
 @dataclass(frozen=True)
@@ -36,19 +39,46 @@ class SealedBlob:
     key_policy: str
 
     def to_bytes(self) -> bytes:
+        policy = self.key_policy.encode()
+        if not policy or len(policy) > _POLICY_FIELD:
+            raise SgxError(
+                f"key policy must encode to 1..{_POLICY_FIELD} bytes, "
+                f"got {len(policy)}")
+        if b"\x00" in policy:
+            raise SgxError("key policy must not contain NUL bytes")
         header = (self.counter_value.to_bytes(8, "big")
-                  + self.key_policy.encode().ljust(16, b"\x00"))
+                  + policy.ljust(_POLICY_FIELD, b"\x00"))
         return header + self.nonce + self.tag + self.ciphertext
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "SealedBlob":
-        if len(blob) < 8 + 16 + _NONCE + 16:
+        """Parse the on-disk layout, strictly.
+
+        Any framing defect — truncation, an empty or non-UTF-8 policy,
+        non-zero policy padding — raises :class:`AuthenticationError`
+        *before* any key derivation, so a hostile storage server cannot
+        steer the unseal path with a malformed header. The parse is the
+        exact inverse of :meth:`to_bytes`:
+        ``from_bytes(b).to_bytes() == b`` for every accepted ``b``.
+        """
+        if len(blob) < _HEADER + _NONCE + _TAG:
             raise AuthenticationError("sealed blob truncated")
         counter_value = int.from_bytes(blob[:8], "big")
-        key_policy = blob[8:24].rstrip(b"\x00").decode()
-        nonce = blob[24:24 + _NONCE]
-        tag = blob[24 + _NONCE:40 + _NONCE]
-        ciphertext = blob[40 + _NONCE:]
+        policy_field = blob[8:_HEADER]
+        policy_bytes, _, padding = policy_field.partition(b"\x00")
+        if not policy_bytes:
+            raise AuthenticationError("sealed blob has an empty policy")
+        if padding.strip(b"\x00"):
+            raise AuthenticationError(
+                "sealed blob policy padding is not all-zero")
+        try:
+            key_policy = policy_bytes.decode()
+        except UnicodeDecodeError:
+            raise AuthenticationError(
+                "sealed blob policy is not valid UTF-8") from None
+        nonce = blob[_HEADER:_HEADER + _NONCE]
+        tag = blob[_HEADER + _NONCE:_HEADER + _NONCE + _TAG]
+        ciphertext = blob[_HEADER + _NONCE + _TAG:]
         return cls(nonce, ciphertext, tag, counter_value, key_policy)
 
 

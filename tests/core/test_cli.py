@@ -10,12 +10,19 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("demo", "table1", "fig5", "fig6", "fig7",
-                        "fig8", "ablations", "workloads"):
+                        "fig8", "ablations", "workloads", "recover",
+                        "dlq"):
             args = parser.parse_args(
                 [command] if command in ("demo", "table1", "workloads",
-                                         "fig8")
+                                         "fig8", "recover", "dlq")
                 else [command, "--sizes", "100"])
             assert callable(args.func)
+
+    def test_recover_empty_sizes_skips_sweep(self):
+        args = build_parser().parse_args(["recover", "--sizes"])
+        assert args.sizes == []
+        args = build_parser().parse_args(["recover"])
+        assert args.sizes is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -60,3 +67,18 @@ class TestExecution:
         assert main(["ablations", "--sizes", "100", "200"]) == 0
         out = capsys.readouterr().out
         assert "poset" in out and "bloom" in out
+
+    def test_recover_tiny(self, capsys):
+        assert main(["recover", "--publications", "12",
+                     "--mean-interval", "4", "--sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "enclave deaths" in out
+        assert "recovery metrics" in out
+        assert "recovery latency" not in out   # sweep skipped
+
+    def test_dlq_tiny(self, capsys):
+        assert main(["dlq", "--publications", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "requeued 3" in out
+        assert "dead letters now 0" in out

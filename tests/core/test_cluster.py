@@ -94,3 +94,38 @@ class TestMatching:
         cluster = MatcherCluster(2, spec=SPEC)
         result = cluster.match(Event({"x": 1}))
         assert result.subscribers == set()
+
+
+class TestSliceRecovery:
+
+    def test_recover_slice_rebuilds_from_journal(self):
+        dataset = build_dataset("e80a1", 300, 8)
+        cluster = MatcherCluster(3, spec=SPEC)
+        for index, subscription in enumerate(dataset.subscriptions):
+            cluster.register(subscription, index)
+        sizes_before = cluster.slice_sizes()
+        expected = [cluster.match(event).subscribers
+                    for event in dataset.publications]
+
+        replayed = cluster.recover_slice(1)
+        assert replayed == sizes_before[1]
+        assert cluster.slices_recovered == 1
+        assert cluster.slice_sizes() == sizes_before
+        assert [cluster.match(event).subscribers
+                for event in dataset.publications] == expected
+
+    def test_recover_each_slice_in_turn(self):
+        cluster = MatcherCluster(2, spec=SPEC)
+        cluster.register(Subscription.parse({"x": (0, 10)}), "a")
+        cluster.register(Subscription.parse({"x": (5, 15)}), "b")
+        assert cluster.recover_slice(0) == 1
+        assert cluster.recover_slice(1) == 1
+        assert cluster.match(
+            Event({"x": 7})).subscribers == {"a", "b"}
+
+    def test_recover_slice_validates_id(self):
+        cluster = MatcherCluster(2, spec=SPEC)
+        with pytest.raises(RoutingError):
+            cluster.recover_slice(2)
+        with pytest.raises(RoutingError):
+            cluster.recover_slice(-1)

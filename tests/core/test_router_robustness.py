@@ -210,3 +210,98 @@ class TestDeadLetterQueue:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
             DeadLetterQueue(capacity=0)
+
+    def test_requeue_filters_by_reason_and_limit(self):
+        dlq = DeadLetterQueue()
+        dlq.add(b"a", "s", "retries-exhausted", client_id="alice")
+        dlq.add(b"b", "s", "poison-frame")
+        dlq.add(b"c", "s", "retries-exhausted", client_id="bob")
+        seen = []
+        assert dlq.requeue(lambda letter: seen.append(letter.frame),
+                           reason="retries-exhausted", limit=1) == 1
+        assert seen == [b"a"]          # oldest first
+        assert [letter.frame for letter in dlq] == [b"b", b"c"]
+        assert dlq.requeued == 1
+        # accounting is history, not buffer state: untouched by requeue
+        assert dlq.counts_by_reason["retries-exhausted"] == 2
+
+    def test_requeue_handler_may_requarantine(self):
+        """A letter whose second chance fails again is re-added by the
+        handler — and must not be handed back to it in the same pass."""
+        dlq = DeadLetterQueue()
+        dlq.add(b"a", "s", "retries-exhausted")
+        calls = []
+
+        def still_failing(letter):
+            calls.append(letter.frame)
+            dlq.add(letter.frame, letter.sender, letter.reason)
+
+        assert dlq.requeue(still_failing) == 1
+        assert calls == [b"a"]
+        assert len(dlq) == 1
+        assert dlq.total == 2
+
+
+class TestRouterRequeue:
+
+    def test_quarantined_delivery_reaches_a_late_subscriber(self, world):
+        """The operator path behind ``repro dlq``: a subscriber whose
+        deliveries exhausted every retry connects later, and a requeue
+        hands it the quarantined payloads with a fresh schedule."""
+        bus, router, provider, publisher = world
+        router.retry_policy = RetryPolicy(max_attempts=2,
+                                          base_delay_ticks=1)
+        admission = provider.admit_client("bob")
+        from repro.core.messages import (encode_subscription,
+                                         hybrid_encrypt)
+        from repro.core.protocol import build_subscription_request
+        from repro.matching.subscriptions import Subscription
+        blob = encode_subscription(Subscription.parse({"symbol": "HAL"}))
+        provider.endpoint.send("provider", [build_subscription_request(
+            "bob", hybrid_encrypt(provider.keys.public_key, blob,
+                                  aad=b"bob"))])
+        provider.pump("router")
+        router.pump()
+
+        publisher.publish("router", {"symbol": "HAL"}, b"missed-tick")
+        router.pump()
+        router.drain_retries()
+        letters = list(router.dead_letters)
+        assert [letter.client_id for letter in letters] == ["bob"]
+        assert letters[0].reason == "retries-exhausted"
+
+        bob = Client(bus, "bob", provider.keys.public_key)
+        bob.process_admission(admission)
+        assert router.requeue_dead_letters() == 1
+        bob.pump()
+        assert bob.received == [b"missed-tick"]
+        assert len(router.dead_letters) == 0
+        assert router.metrics.counter(
+            "router.dead_letters_requeued_total").value == 1
+
+    def test_requeue_without_fix_just_requarantines(self, world):
+        bus, router, provider, publisher = world
+        router.retry_policy = RetryPolicy(max_attempts=2,
+                                          base_delay_ticks=1)
+        from repro.core.messages import (encode_subscription,
+                                         hybrid_encrypt)
+        from repro.core.protocol import build_subscription_request
+        from repro.matching.subscriptions import Subscription
+        provider.admit_client("ghost")
+        blob = encode_subscription(Subscription.parse({"symbol": "HAL"}))
+        provider.endpoint.send("provider", [build_subscription_request(
+            "ghost", hybrid_encrypt(provider.keys.public_key, blob,
+                                    aad=b"ghost"))])
+        provider.pump("router")
+        router.pump()
+        publisher.publish("router", {"symbol": "HAL"}, b"x")
+        router.pump()
+        router.drain_retries()
+        assert len(router.dead_letters) == 1
+
+        assert router.requeue_dead_letters() == 1
+        router.drain_retries()
+        # ghost is still offline: quarantined again, nothing lost
+        assert len(router.dead_letters) == 1
+        assert router.dead_letters.counts_by_reason[
+            "retries-exhausted"] == 2

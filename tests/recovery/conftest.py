@@ -1,0 +1,57 @@
+"""Shared world-building helpers for the recovery test suite."""
+
+import pytest
+
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import RetryPolicy, Router
+from repro.core.subscriber import Client
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.network.bus import MessageBus
+from repro.obs.metrics import MetricsRegistry
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuilder
+from repro.sgx.platform import SgxPlatform
+
+
+@pytest.fixture(scope="session")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+class World:
+    """One provisioned router fabric on one simulated platform."""
+
+    def __init__(self, vendor_key, platform_seed=None, fault_plan=None):
+        self.registry = MetricsRegistry()
+        self.bus = MessageBus(fault_plan=fault_plan,
+                              metrics=self.registry)
+        self.platform = SgxPlatform(attestation_key_bits=768,
+                                    seed=platform_seed)
+        self.ias = AttestationService(signing_key_bits=768)
+        self.ias.register_platform(self.platform)
+        expected = EnclaveBuilder(self.platform,
+                                  ScbrEnclaveLibrary).measure()
+        self.router = Router(self.bus, self.platform, vendor_key,
+                             rsa_bits=768, metrics=self.registry,
+                             retry_policy=RetryPolicy(max_attempts=3))
+        self.provider = ServiceProvider(
+            self.bus, rsa_bits=768, attestation_service=self.ias,
+            expected_mr_enclave=expected)
+        self.provider.provision_router(self.router)
+        self.publisher = Publisher(self.bus, self.provider.keys,
+                                   self.provider.group)
+
+    def client(self, client_id, subscription):
+        client = Client(self.bus, client_id,
+                        self.provider.keys.public_key)
+        client.process_admission(self.provider.admit_client(client_id))
+        client.subscribe("provider", subscription)
+        self.provider.pump("router")
+        return client
+
+
+@pytest.fixture
+def world(vendor_key):
+    return World(vendor_key)

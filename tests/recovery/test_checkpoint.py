@@ -1,0 +1,120 @@
+"""Sealed checkpoints: store semantics, cadence, rollback defense."""
+
+import pytest
+
+from repro.errors import RecoveryError, RollbackError
+from repro.recovery.checkpoint import (Checkpoint, CheckpointManager,
+                                       CheckpointStore)
+from repro.recovery.wal import WriteAheadLog
+
+
+class TestCheckpointStore:
+
+    def test_publish_advances_latest(self):
+        store = CheckpointStore()
+        first = store.publish(b"blob-1", b"cid", 3)
+        assert store.latest() is first
+        second = store.publish(b"blob-2", b"cid", 7)
+        assert store.latest() is second
+        assert [c.index for c in store.held()] == [1, 2]
+
+    def test_retention_evicts_oldest(self):
+        store = CheckpointStore(retain=2)
+        for seq in range(4):
+            store.publish(b"blob-%d" % seq, b"cid", seq)
+        assert len(store) == 2
+        assert store.evicted == 2
+        assert [c.wal_seq for c in store.held()] == [2, 3]
+        assert store.latest().wal_seq == 3
+
+    def test_retention_validated(self):
+        with pytest.raises(RecoveryError):
+            CheckpointStore(retain=0)
+
+    def test_serve_stale_requires_history(self):
+        store = CheckpointStore()
+        store.publish(b"only", b"cid", 1)
+        with pytest.raises(RecoveryError):
+            store.serve_stale(back=1)
+
+    def test_serve_stale_moves_the_pointer(self):
+        store = CheckpointStore()
+        store.publish(b"old", b"cid", 1)
+        fresh = store.publish(b"new", b"cid", 2)
+        stale = store.serve_stale(back=1)
+        assert store.latest() is stale
+        assert stale is not fresh
+        assert stale.sealed_bytes == b"old"
+
+
+def manager_for(world, interval=2):
+    wal = WriteAheadLog(chain_key=b"\x11" * 16)
+    world.router.wal = wal
+    return CheckpointManager(world.router, wal, interval=interval), wal
+
+
+class TestCheckpointManager:
+
+    def test_cadence_follows_wal_lag(self, world):
+        manager, wal = manager_for(world, interval=2)
+        world.client("c0", {"symbol": "S0"})
+        world.router.pump()
+        assert manager.lag == 1
+        assert manager.maybe_checkpoint() is None
+        world.client("c1", {"symbol": "S1"})
+        world.router.pump()
+        assert manager.lag == 2
+        checkpoint = manager.maybe_checkpoint()
+        assert checkpoint is not None
+        assert checkpoint.wal_seq == 2
+        assert manager.lag == 0
+        assert len(wal) == 0          # covered prefix pruned
+        assert wal.last_seq == 2      # numbering continues
+
+    def test_restore_uses_the_sealed_wal_position(self, world):
+        """The store's wal_seq claim is advisory; the sealed copy wins."""
+        manager, _wal = manager_for(world)
+        world.client("c0", {"symbol": "S0"})
+        world.client("c1", {"symbol": "S1"})
+        world.router.pump()
+        honest = manager.checkpoint()
+        assert honest.wal_seq == 2
+        # A lying store claims the snapshot covers more than it does
+        # (which would make recovery skip replaying real records).
+        manager.store._latest = Checkpoint(
+            honest.index, honest.sealed_bytes, honest.counter_id,
+            wal_seq=999)
+        world.router.reload_enclave()
+        world.provider.provision_router(world.router)
+        count, wal_seq = manager.restore_latest()
+        assert count == 2
+        assert wal_seq == 2           # sealed app_data, not the claim
+
+    def test_restore_without_checkpoints_raises(self, world):
+        manager, _wal = manager_for(world)
+        with pytest.raises(RecoveryError):
+            manager.restore_latest()
+
+    def test_stale_checkpoint_rejected(self, world):
+        manager, _wal = manager_for(world)
+        world.client("c0", {"symbol": "S0"})
+        world.router.pump()
+        manager.checkpoint()
+        world.client("c1", {"symbol": "S1"})
+        world.router.pump()
+        manager.checkpoint()
+        manager.store.serve_stale(back=1)
+        world.router.reload_enclave()
+        world.provider.provision_router(world.router)
+        with pytest.raises(RollbackError):
+            manager.restore_latest()
+
+    def test_wal_seq_encoding_roundtrip(self):
+        encoded = CheckpointManager.encode_wal_seq(12345)
+        assert CheckpointManager.decode_wal_seq(encoded) == 12345
+        with pytest.raises(RecoveryError):
+            CheckpointManager.decode_wal_seq(b"short")
+
+    def test_interval_validated(self, world):
+        with pytest.raises(RecoveryError):
+            CheckpointManager(world.router, WriteAheadLog(), interval=0)

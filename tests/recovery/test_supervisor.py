@@ -1,0 +1,218 @@
+"""Supervised restart: crash injection, recovery, determinism."""
+
+import pytest
+
+from repro.errors import RecoveryError, RollbackError
+from repro.recovery.supervisor import (CrashSchedule, MODE_ENTER,
+                                       MODE_EXIT, RouterSupervisor)
+from repro.recovery.wal import WriteAheadLog
+
+from .conftest import World
+
+
+class TestCrashSchedule:
+
+    def test_same_seed_same_draws(self):
+        a = CrashSchedule(seed=42, mean_interval=10)
+        b = CrashSchedule(seed=42, mean_interval=10)
+        assert [a.draw() for _ in range(20)] \
+            == [b.draw() for _ in range(20)]
+
+    def test_different_seeds_diverge(self):
+        a = [CrashSchedule(seed=1).draw() for _ in range(10)]
+        b = [CrashSchedule(seed=2).draw() for _ in range(10)]
+        assert a != b
+
+    def test_fuses_positive_and_modes_valid(self):
+        schedule = CrashSchedule(seed=3, mean_interval=5)
+        for _ in range(50):
+            fuse, mode = schedule.draw()
+            assert fuse >= 1
+            assert mode in (MODE_ENTER, MODE_EXIT)
+
+    def test_max_crashes_exhausts(self):
+        schedule = CrashSchedule(seed=0, max_crashes=2)
+        assert schedule.draw() is not None
+        assert schedule.draw() is not None
+        assert schedule.draw() is None
+
+    def test_interval_validated(self):
+        with pytest.raises(RecoveryError):
+            CrashSchedule(mean_interval=0)
+
+
+class ScriptedSchedule:
+    """Schedule whose crashes are written out explicitly by the test."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def draw(self):
+        return self._draws.pop(0) if self._draws else None
+
+
+def supervised(world, schedule=None, checkpoint_interval=4):
+    return RouterSupervisor(world.router, world.provider.provision_router,
+                            wal=WriteAheadLog(chain_key=b"\x07" * 16),
+                            schedule=schedule,
+                            checkpoint_interval=checkpoint_interval)
+
+
+class TestSupervisedRecovery:
+
+    def test_soak_recovers_every_crash_without_losing_state(
+            self, vendor_key):
+        world = World(vendor_key)
+        supervisor = supervised(
+            world, CrashSchedule(seed=23, mean_interval=6))
+        alice = world.client("alice", {"symbol": "HAL"})
+        supervisor.pump()
+
+        sent = 80
+        for index in range(sent):
+            world.publisher.publish(
+                "router", {"symbol": "HAL", "price": float(index)},
+                b"tick %d" % index)
+            supervisor.pump()
+            alice.pump()
+        supervisor.run(8)
+        alice.pump()
+
+        stats = supervisor.stats()
+        metrics = stats["metrics"]
+        crashes = metrics["recovery.crashes_total"]
+        assert crashes >= 5
+        assert metrics["recovery.recoveries_total"] == crashes
+        # zero lost registrations, zero lost or duplicated traffic
+        assert stats["subscriptions"] == 1
+        assert world.router.enclave.ecall("verify_invariants")
+        assert len(alice.received) == sent
+        assert metrics["router.publications_total"] == sent
+        # recovery surfaced through the standard stats() channel
+        assert metrics["recovery.time_us.count"] == crashes
+        assert metrics["recovery.time_us.sum"] > 0
+        assert metrics["recovery.rollback_rejected_total"] == 0
+
+    def test_registrations_survive_when_crashes_hit_them(
+            self, vendor_key):
+        """Registrations accepted between checkpoints are replayed,
+        not lost — including the one the crash interrupted."""
+        world = World(vendor_key)
+        # Die at entry of the very next ecall (the REG's ecall), then
+        # again right after the following ecall completes.
+        supervisor = supervised(
+            world, ScriptedSchedule([(1, MODE_ENTER), (2, MODE_EXIT)]))
+        world.client("alice", {"symbol": "HAL"})
+        supervisor.pump()     # REG's ecall is killed at entry
+        metrics = world.registry.snapshot()
+        assert metrics["recovery.crashes_total{mode=enter}"] == 1
+        # journalled before the ecall, replayed during recovery, and
+        # the in-flight copy suppressed rather than applied twice
+        assert metrics["recovery.wal_replayed_total{kind=REG}"] == 1
+        assert metrics["recovery.inflight_suppressed_total"] == 1
+        assert world.router.engine_stats()[0] == 1
+        assert world.router.registrations == 1
+
+        world.client("bob", {"symbol": "IBM"})
+        supervisor.pump()     # the REG succeeds, the enclave dies after
+        # the corpse is noticed at the next entry; stats() recovers it
+        assert supervisor.stats()["subscriptions"] == 2
+        metrics = world.registry.snapshot()
+        assert metrics["recovery.crashes_total{mode=exit}"] == 1
+        # an exit-mode death costs nothing to replay twice: bob's REG
+        # was applied before the death *and* journalled, and the replay
+        # is idempotent
+        assert world.router.enclave.ecall("verify_invariants")
+        assert world.router.registrations == 2
+
+    def test_rollback_attack_rejected_and_counted(self, vendor_key):
+        world = World(vendor_key)
+        supervisor = supervised(world, checkpoint_interval=1)
+        world.client("alice", {"symbol": "HAL"})
+        supervisor.pump()     # checkpoint 1
+        world.client("bob", {"symbol": "IBM"})
+        supervisor.pump()     # checkpoint 2
+        assert supervisor.checkpoints.checkpoints_taken == 2
+
+        supervisor.checkpoints.store.serve_stale(back=1)
+        world.router.enclave.destroy()
+        with pytest.raises(RollbackError):
+            supervisor.recover()
+        metrics = world.router.stats()["metrics"]
+        assert metrics["recovery.rollback_rejected_total"] == 1
+        assert metrics["recovery.recoveries_total"] == 0
+
+    def test_tampered_wal_record_fails_replay_loudly(self, vendor_key):
+        """A forged WAL entry cannot inject a registration: the replay
+        re-runs the provider-signature check inside the enclave."""
+        world = World(vendor_key)
+        supervisor = supervised(world)
+        world.client("alice", {"symbol": "HAL"})
+        world.router.pump()
+        supervisor.wal.append("REG", b"REG:forged-by-the-host")
+        world.router.enclave.destroy()
+        supervisor.recover()
+        metrics = world.registry.snapshot()
+        assert metrics["recovery.replay_failures_total"] == 1
+        assert metrics["recovery.wal_replayed_total"] == 1
+        assert world.router.engine_stats()[0] == 1
+
+    def test_pump_contract_matches_router(self, vendor_key):
+        """Without a schedule the supervisor is a transparent wrapper."""
+        world = World(vendor_key)
+        supervisor = supervised(world)
+        alice = world.client("alice", {"symbol": "HAL"})
+        assert supervisor.pump() == 1      # the REG frame
+        world.publisher.publish("router",
+                                {"symbol": "HAL", "price": 1.0},
+                                b"tick")
+        assert supervisor.pump() == 1      # the PUB frame
+        alice.pump()
+        assert alice.received == [b"tick"]
+        assert world.registry.snapshot()[
+            "recovery.crashes_total"] == 0
+
+
+class TestDeterminism:
+
+    @staticmethod
+    def run_once(vendor_key, seed):
+        world = World(vendor_key, platform_seed=b"\x05" * 32)
+        supervisor = RouterSupervisor(
+            world.router, world.provider.provision_router,
+            wal=WriteAheadLog(chain_key=b"\x03" * 16),
+            schedule=CrashSchedule(seed=seed, mean_interval=5),
+            checkpoint_interval=3)
+        clients = [world.client(f"c{i}",
+                                {"symbol": "HAL", "price": ("<", 10.0 + i)})
+                   for i in range(3)]
+        supervisor.pump()
+        for index in range(30):
+            world.publisher.publish(
+                "router", {"symbol": "HAL", "price": float(index % 20)},
+                b"tick %d" % index)
+            supervisor.pump()
+            for client in clients:
+                client.pump()
+        supervisor.run(6)
+        supervisor.disarm()
+        supervisor.stats()    # recovers a trailing exit-mode corpse
+        digest = world.router.enclave.ecall("registration_digest")
+        invariants = world.router.enclave.ecall("verify_invariants")
+        return world, supervisor, digest, invariants
+
+    def test_identical_seed_identical_recovered_state(self, vendor_key):
+        world_a, sup_a, digest_a, ok_a = self.run_once(vendor_key, 9)
+        world_b, sup_b, digest_b, ok_b = self.run_once(vendor_key, 9)
+        assert ok_a and ok_b
+        assert digest_a == digest_b                  # byte-identical poset
+        stats_a, stats_b = sup_a.stats(), sup_b.stats()
+        assert stats_a == stats_b                    # full snapshot equality
+        assert stats_a["metrics"]["recovery.crashes_total"] >= 1
+
+    def test_different_crash_seed_still_converges(self, vendor_key):
+        """Crash timing must not change the *state*, only the metrics."""
+        _wa, _sa, digest_a, ok_a = self.run_once(vendor_key, 9)
+        _wb, _sb, digest_b, ok_b = self.run_once(vendor_key, 10)
+        assert ok_a and ok_b
+        assert digest_a == digest_b

@@ -115,6 +115,63 @@ class TestRollbackProtection:
         assert vault.ecall("counter_value", counter) == 1
 
 
+class TestSealedBlobWire:
+    """Strict framing of the serialized blob (hostile-storage input)."""
+
+    @staticmethod
+    def blob(policy="MRENCLAVE"):
+        return SealedBlob(nonce=bytes(range(16)), ciphertext=b"payload",
+                          tag=b"\xAA" * 16, counter_value=7,
+                          key_policy=policy)
+
+    def test_roundtrip_both_directions(self):
+        wire = self.blob().to_bytes()
+        parsed = SealedBlob.from_bytes(wire)
+        assert parsed == self.blob()
+        assert parsed.to_bytes() == wire
+
+    def test_empty_ciphertext_roundtrips(self):
+        blob = SealedBlob(b"\x01" * 16, b"", b"\x02" * 16, 0, "MRSIGNER")
+        assert SealedBlob.from_bytes(blob.to_bytes()) == blob
+
+    def test_truncated_header_rejected(self):
+        wire = self.blob().to_bytes()
+        minimum = 8 + 16 + 16 + 16   # counter + policy + nonce + tag
+        for cut in (0, 7, 23, minimum - 1):
+            with pytest.raises(AuthenticationError):
+                SealedBlob.from_bytes(wire[:cut])
+
+    def test_empty_policy_field_rejected(self):
+        wire = bytearray(self.blob().to_bytes())
+        wire[8:24] = b"\x00" * 16
+        with pytest.raises(AuthenticationError):
+            SealedBlob.from_bytes(bytes(wire))
+
+    def test_nonzero_policy_padding_rejected(self):
+        """Bytes hidden after the NUL terminator must not parse: they
+        would make two distinct wires decode to the same blob and break
+        the round-trip symmetry."""
+        wire = bytearray(self.blob().to_bytes())
+        assert wire[23] == 0          # padding byte of "MRENCLAVE"
+        wire[23] = 0x41
+        with pytest.raises(AuthenticationError):
+            SealedBlob.from_bytes(bytes(wire))
+
+    def test_non_utf8_policy_rejected(self):
+        wire = bytearray(self.blob().to_bytes())
+        wire[8] = 0xFF
+        with pytest.raises(AuthenticationError):
+            SealedBlob.from_bytes(bytes(wire))
+
+    def test_to_bytes_validates_policy(self):
+        with pytest.raises(SgxError):
+            self.blob(policy="").to_bytes()
+        with pytest.raises(SgxError):
+            self.blob(policy="x" * 17).to_bytes()
+        with pytest.raises(SgxError):
+            self.blob(policy="bad\x00policy").to_bytes()
+
+
 class TestMonotonicCounterService:
 
     def test_ownership(self):
@@ -126,10 +183,20 @@ class TestMonotonicCounterService:
         with pytest.raises(SgxError):
             platform.counters.increment(counter, b"owner-b")
 
+    def test_wrong_owner_cannot_destroy(self):
+        platform = SgxPlatform(attestation_key_bits=768)
+        counter = platform.counters.create(b"owner-a")
+        with pytest.raises(SgxError):
+            platform.counters.destroy(counter, b"owner-b")
+        # the failed destroy must not have touched the counter
+        assert platform.counters.read(counter, b"owner-a") == 0
+
     def test_unknown_counter(self):
         platform = SgxPlatform(attestation_key_bits=768)
         with pytest.raises(SgxError):
             platform.counters.read(b"nonexistent", b"owner")
+        with pytest.raises(SgxError):
+            platform.counters.increment(b"nonexistent", b"owner")
 
     def test_increment_and_destroy(self):
         platform = SgxPlatform(attestation_key_bits=768)

@@ -20,7 +20,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.matching", "repro.sgx", "repro.aspe",
         "repro.crypto", "repro.network", "repro.workloads",
-        "repro.bench",
+        "repro.bench", "repro.recovery",
     ])
     def test_subpackage_all_resolves(self, module):
         package = importlib.import_module(module)
@@ -61,6 +61,8 @@ class TestDocstrings:
         "repro", "repro.core.engine", "repro.matching.poset",
         "repro.sgx.enclave", "repro.aspe.scheme",
         "repro.workloads.datasets", "repro.bench.experiments",
+        "repro.recovery.wal", "repro.recovery.checkpoint",
+        "repro.recovery.supervisor",
     ])
     def test_key_modules_documented(self, module):
         imported = importlib.import_module(module)
