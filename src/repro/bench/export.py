@@ -11,13 +11,14 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from dataclasses import asdict, is_dataclass
 from typing import Iterable, List, Sequence
 
 from repro.errors import ScbrError
 
 __all__ = ["measurements_to_csv", "measurements_to_json",
-           "write_measurements"]
+           "write_measurements", "record_bench"]
 
 
 def _as_record(measurement) -> dict:
@@ -53,6 +54,23 @@ def measurements_to_csv(measurements: Sequence) -> str:
 def measurements_to_json(measurements: Sequence) -> str:
     """Render measurements as a JSON array."""
     return json.dumps([_as_record(m) for m in measurements], indent=2)
+
+
+def record_bench(name: str, result, directory: str = ".") -> str:
+    """Persist one benchmark record as ``BENCH_<name>.json``.
+
+    ``result`` may be a dataclass (nested dataclasses included) or a
+    plain dict. The file is the perf-trajectory record the CI smoke job
+    uploads and the README quotes: committing it alongside the code
+    that produced it keeps the performance claim reviewable.
+    Returns the written path.
+    """
+    record = _as_record(result)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def write_measurements(measurements: Sequence, path: str) -> None:

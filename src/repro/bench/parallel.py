@@ -1,0 +1,220 @@
+"""Wall-clock perf trajectory: serial vs process cluster backends.
+
+Every other benchmark in this repository reports *simulated*
+microseconds from the platform cost model — deliberately, because a
+Python matcher's wall-clock says nothing about enclave behaviour
+(DESIGN.md §2). This module is the one exception: it measures the
+*wall-clock* throughput of the matcher cluster's two execution
+backends, because that is the quantity the process backend exists to
+improve. Simulated latencies are still collected and cross-checked —
+both backends must report byte-identical match sets and simulated
+latencies, or the run is flagged.
+
+Timing methodology: publications are matched in batches (one pipe
+round-trip per worker per batch on the process backend); each batch is
+timed with ``time.perf_counter`` and converted to per-event wall-clock
+microseconds, so p50/p99 summarise the per-batch distribution, not a
+single hot loop. Throughput is total events over total matching time.
+
+Results feed ``BENCH_<name>.json`` via :func:`repro.bench.export.
+record_bench` — the perf-trajectory record CI and the README quote.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as _platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import ClusterMatchResult, MatcherCluster
+from repro.matching.events import Event
+from repro.sgx.cpu import PlatformSpec, scaled_spec
+from repro.workloads.datasets import build_dataset
+
+__all__ = ["BackendRun", "ParallelBenchResult", "available_cores",
+           "run_parallel_bench"]
+
+#: LLC for the trajectory runs — same scaled geometry as the figure
+#: sweeps so simulated numbers stay comparable across benchmarks.
+PARALLEL_LLC_BYTES = 256 * 1024
+
+
+def available_cores() -> int:
+    """CPU cores actually available to this process.
+
+    Affinity-aware (cgroup/taskset limits count), falling back to
+    ``os.cpu_count``. The speedup acceptance gate is conditional on
+    this: with one core the process backend pays IPC for no
+    parallelism, and the recorded JSON must say so honestly.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@dataclass
+class BackendRun:
+    """Wall-clock measurements for one backend over one event stream."""
+
+    backend: str
+    n_events: int
+    batch_size: int
+    wall_seconds: float
+    throughput_eps: float
+    #: per-event wall-clock µs, summarised over the batch distribution.
+    p50_wall_us: float
+    p99_wall_us: float
+    #: mean *simulated* per-publication latency (max over slices) —
+    #: must be identical across backends.
+    simulated_mean_us: float
+
+
+@dataclass
+class ParallelBenchResult:
+    """One serial-vs-process trajectory point, ready for export."""
+
+    name: str
+    workload: str
+    n_slices: int
+    n_subscriptions: int
+    n_events: int
+    batch_size: int
+    assignment: str
+    cpu_cores: int
+    python: str
+    runs: List[BackendRun] = field(default_factory=list)
+    #: process throughput / serial throughput (0.0 if either missing).
+    speedup: float = 0.0
+    match_sets_identical: bool = True
+    simulated_latencies_identical: bool = True
+
+    def run_for(self, backend: str) -> Optional[BackendRun]:
+        for run in self.runs:
+            if run.backend == backend:
+                return run
+        return None
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _batches(events: Sequence[Event],
+             batch_size: int) -> List[List[Event]]:
+    return [list(events[i:i + batch_size])
+            for i in range(0, len(events), batch_size)]
+
+
+def _run_backend(backend: str, spec: PlatformSpec, n_slices: int,
+                 assignment: str, registrations, batches,
+                 warmup_batches: int
+                 ) -> Tuple[BackendRun, List[ClusterMatchResult]]:
+    cluster = MatcherCluster(n_slices, spec=spec, assignment=assignment,
+                             backend=backend)
+    try:
+        for subscription, subscriber in registrations:
+            cluster.register(subscription, subscriber)
+        cluster.warm()
+        # Warm-up batches pay one-time costs (worker page-in, pickle
+        # caches) outside the timed region; they DO advance simulated
+        # platform state, so both backends must warm identically.
+        for batch in batches[:warmup_batches]:
+            cluster.match_batch(batch)
+        timed = batches[warmup_batches:]
+        results: List[ClusterMatchResult] = []
+        per_event_us: List[float] = []
+        total_events = 0
+        total_seconds = 0.0
+        for batch in timed:
+            start = time.perf_counter()
+            batch_results = cluster.match_batch(batch)
+            elapsed = time.perf_counter() - start
+            results.extend(batch_results)
+            total_events += len(batch)
+            total_seconds += elapsed
+            per_event_us.append(elapsed / len(batch) * 1e6)
+        per_event_us.sort()
+        simulated = [r.latency_us for r in results]
+        run = BackendRun(
+            backend=backend,
+            n_events=total_events,
+            batch_size=len(batches[0]) if batches else 0,
+            wall_seconds=round(total_seconds, 6),
+            throughput_eps=round(total_events / total_seconds, 1)
+            if total_seconds > 0 else 0.0,
+            p50_wall_us=round(_percentile(per_event_us, 0.50), 2),
+            p99_wall_us=round(_percentile(per_event_us, 0.99), 2),
+            simulated_mean_us=round(sum(simulated) / len(simulated), 3)
+            if simulated else 0.0)
+        return run, results
+    finally:
+        cluster.close()
+
+
+def run_parallel_bench(name: str = "parallel_cluster",
+                       workload: str = "e80a1",
+                       n_subscriptions: int = 2000,
+                       n_events: int = 600,
+                       n_slices: int = 4,
+                       batch_size: int = 50,
+                       assignment: str = "round-robin",
+                       warmup_batches: int = 1,
+                       backends: Sequence[str] = ("serial", "process"),
+                       spec: Optional[PlatformSpec] = None
+                       ) -> ParallelBenchResult:
+    """Measure wall-clock throughput of the cluster backends.
+
+    Builds one workload dataset, registers the same subscriptions into
+    a fresh cluster per backend, streams the same publication batches
+    through each, and cross-checks that match sets and simulated
+    latencies agree event-for-event.
+    """
+    if spec is None:
+        spec = scaled_spec(llc_bytes=PARALLEL_LLC_BYTES)
+    dataset = build_dataset(workload, n_subscriptions, max(n_events, 1))
+    events = list(dataset.publications)
+    while len(events) < n_events:  # cycle if the dataset is shorter
+        events.extend(dataset.publications[:n_events - len(events)])
+    events = events[:n_events]
+    registrations = [(subscription, f"client-{index}")
+                     for index, subscription
+                     in enumerate(dataset.subscriptions)]
+    batches = _batches(events, batch_size)
+    warmup_batches = min(warmup_batches, max(0, len(batches) - 1))
+
+    result = ParallelBenchResult(
+        name=name, workload=workload, n_slices=n_slices,
+        n_subscriptions=len(registrations), n_events=n_events,
+        batch_size=batch_size, assignment=assignment,
+        cpu_cores=available_cores(),
+        python=_platform.python_version())
+
+    reference: Optional[List[ClusterMatchResult]] = None
+    for backend in backends:
+        run, results = _run_backend(backend, spec, n_slices, assignment,
+                                    registrations, batches,
+                                    warmup_batches)
+        result.runs.append(run)
+        if reference is None:
+            reference = results
+            continue
+        for a, b in zip(reference, results):
+            if a.subscribers != b.subscribers:
+                result.match_sets_identical = False
+            if a.slice_latencies_us != b.slice_latencies_us:
+                result.simulated_latencies_identical = False
+
+    serial = result.run_for("serial")
+    process = result.run_for("process")
+    if serial and process and serial.throughput_eps > 0:
+        result.speedup = round(
+            process.throughput_eps / serial.throughput_eps, 3)
+    return result

@@ -17,6 +17,7 @@ Commands::
     metrics                  fault-injected run + router metrics dump
     recover                  crash-recovery soak + latency sweep
     dlq                      dead-letter quarantine + requeue demo
+    bench [--record]         serial vs process cluster wall-clock run
 """
 
 from __future__ import annotations
@@ -303,6 +304,37 @@ def _run_dlq(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """Serial vs process cluster backends, wall-clock trajectory."""
+    from repro.bench.parallel import run_parallel_bench
+    result = run_parallel_bench(
+        name=args.name, workload=args.workload,
+        n_subscriptions=args.subs, n_events=args.events,
+        n_slices=args.slices, batch_size=args.batch,
+        assignment=args.assignment)
+    table = [[run.backend, run.n_events,
+              run.throughput_eps, run.p50_wall_us, run.p99_wall_us,
+              run.simulated_mean_us] for run in result.runs]
+    print(format_table(
+        ["backend", "events", "events/s", "p50 us", "p99 us",
+         "sim us"], table,
+        title=f"cluster backends — {args.workload}, "
+              f"{result.n_subscriptions} subs, {args.slices} slices"))
+    print(f"cpu cores available: {result.cpu_cores}   "
+          f"speedup (process/serial): {result.speedup}x")
+    print(f"match sets identical: {result.match_sets_identical}   "
+          f"simulated latencies identical: "
+          f"{result.simulated_latencies_identical}")
+    if args.record:
+        from repro.bench.export import record_bench
+        path = record_bench(result.name, result, directory=args.out)
+        print(f"wrote {path}")
+    if not (result.match_sets_identical
+            and result.simulated_latencies_identical):
+        return 1
+    return 0
+
+
 def _run_table1(_args: argparse.Namespace) -> int:
     from repro.workloads.datasets import (build_dataset,
                                           dataset_statistics)
@@ -497,6 +529,29 @@ def build_parser() -> argparse.ArgumentParser:
         "dlq", help="dead-letter quarantine + requeue demo")
     _publications_argument(pd, 8)
     pd.set_defaults(func=_run_dlq)
+
+    pb = sub.add_parser(
+        "bench", help="serial vs process cluster wall-clock run")
+    pb.add_argument("--name", default="parallel_cluster",
+                    help="record name (BENCH_<name>.json)")
+    pb.add_argument("--workload", default="e80a1",
+                    help="workload recipe (Table 1 name)")
+    pb.add_argument("--subs", type=int, default=2000,
+                    help="subscriptions to register")
+    pb.add_argument("--events", type=int, default=600,
+                    help="publications to match")
+    pb.add_argument("--slices", type=int, default=4,
+                    help="matcher slices in the cluster")
+    pb.add_argument("--batch", type=int, default=50,
+                    help="publications per fan-out batch")
+    pb.add_argument("--assignment", default="round-robin",
+                    choices=("round-robin", "symbol-hash"),
+                    help="slice assignment policy")
+    pb.add_argument("--record", action="store_true",
+                    help="write BENCH_<name>.json")
+    pb.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for the recorded JSON")
+    pb.set_defaults(func=_run_bench)
     return parser
 
 

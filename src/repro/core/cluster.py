@@ -14,10 +14,29 @@ one publication is the *maximum* of the slice latencies, and adding
 slices shrinks each slice's index — the scale-out escape hatch the
 paper's conclusion offers for both the EPC limit and matching latency.
 The ``ext_scaleout`` benchmark measures the resulting speedup curve.
+
+Two execution backends realise the same cluster semantics:
+
+* ``backend="serial"`` (default) — slices are matched one after the
+  other in the calling process. Simulated latency still reports the
+  parallel figure (max over slices), but wall-clock time is the sum.
+* ``backend="process"`` — each slice lives in a persistent
+  ``multiprocessing`` worker. Workers are spawned once; each builds
+  its index in-process (the compiled per-node matchers are closures
+  and deliberately never cross a pipe), registrations are buffered in
+  the parent and fanned out as batches, and ``match_batch`` ships the
+  whole publication batch to every worker before collecting replies,
+  so slices genuinely overlap. Per-slice operation order is identical
+  to the serial backend, and the simulated platforms are
+  deterministic, so both backends report byte-identical match sets
+  *and* byte-identical simulated latencies — only wall-clock
+  throughput changes.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import zlib
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError
@@ -80,6 +99,103 @@ class ClusterMatchResult:
             if slice_latencies_us else 0.0
 
 
+def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec) -> None:
+    """Entry point of one persistent slice worker process.
+
+    Hosts a real :class:`MatcherSlice` and serves a tiny request/reply
+    protocol over the pipe: ``(op, payload)`` in, ``(status, value)``
+    out. The slice's index is built *here* — subscriptions cross the
+    pipe (they are plain frozen dataclasses), compiled poset nodes
+    never do.
+    """
+    matcher_slice = MatcherSlice(slice_id, spec)
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; die quietly
+        if op == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if op == "register":
+                for subscription, subscriber in payload:
+                    matcher_slice.register(subscription, subscriber)
+                conn.send(("ok", len(payload)))
+            elif op == "warm":
+                matcher_slice.warm()
+                conn.send(("ok", None))
+            elif op == "match":
+                conn.send(("ok", [matcher_slice.match(event)
+                                  for event in payload]))
+            elif op == "stats":
+                forest = matcher_slice.forest
+                conn.send(("ok", (forest.n_subscriptions,
+                                  forest.index_bytes)))
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except Exception as exc:  # noqa: BLE001 — reply, don't die
+            conn.send(("error", repr(exc)))
+    conn.close()
+
+
+class _SliceWorker:
+    """Parent-side handle for one persistent slice worker process."""
+
+    def __init__(self, slice_id: int, spec: PlatformSpec, ctx) -> None:
+        self.slice_id = slice_id
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._process = ctx.Process(
+            target=_slice_worker_main, args=(child_conn, slice_id, spec),
+            daemon=True, name=f"matcher-slice-{slice_id}")
+        self._process.start()
+        child_conn.close()
+
+    def send(self, op: str, payload: object = None) -> None:
+        try:
+            self._conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise RoutingError(
+                f"slice {self.slice_id} worker is gone") from exc
+
+    def recv(self) -> object:
+        try:
+            status, value = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RoutingError(
+                f"slice {self.slice_id} worker died mid-request") from exc
+        if status != "ok":
+            raise RoutingError(
+                f"slice {self.slice_id} worker error: {value}")
+        return value
+
+    def call(self, op: str, payload: object = None) -> object:
+        self.send(op, payload)
+        return self.recv()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Orderly shutdown; escalates to terminate if unresponsive."""
+        if self._process.is_alive():
+            try:
+                self._conn.send(("stop", None))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+        self._conn.close()
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """Hard-kill (simulates a crashed cluster member)."""
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout)
+        self._conn.close()
+
+
 class MatcherCluster:
     """N matcher slices behind one logical router.
 
@@ -90,55 +206,113 @@ class MatcherCluster:
       are routed by its hash (keeps same-symbol subscriptions together,
       preserving containment density within a slice); subscriptions
       without one fall back to round-robin.
+
+    ``backend`` chooses how slices execute (see module docstring):
+    ``"serial"`` keeps everything in-process (``self.slices`` holds the
+    live :class:`MatcherSlice` objects); ``"process"`` hosts each slice
+    in a persistent worker process (``self.slices`` is empty — the
+    slices live in the workers) and should be closed via
+    :meth:`close` or by using the cluster as a context manager.
     """
 
     ASSIGNMENTS = ("round-robin", "symbol-hash")
+    BACKENDS = ("serial", "process")
 
     def __init__(self, n_slices: int,
                  spec: PlatformSpec = SKYLAKE_I7_6700,
                  assignment: str = "round-robin",
-                 symbol_attribute: str = "symbol") -> None:
+                 symbol_attribute: str = "symbol",
+                 backend: str = "serial",
+                 start_method: Optional[str] = None) -> None:
         if n_slices < 1:
             raise RoutingError("cluster needs at least one slice")
         if assignment not in self.ASSIGNMENTS:
             raise RoutingError(f"unknown assignment {assignment!r}")
+        if backend not in self.BACKENDS:
+            raise RoutingError(f"unknown backend {backend!r}")
         self.spec = spec
-        self.slices = [MatcherSlice(i, spec) for i in range(n_slices)]
+        self.n_slices = n_slices
         self.assignment = assignment
         self.symbol_attribute = symbol_attribute
+        self.backend = backend
         self._next = 0
         self.n_subscriptions = 0
         #: every registration ever accepted, with its owning slice —
         #: the journal :meth:`recover_slice` replays when a member dies.
         self._journal: List[Tuple[Subscription, object, int]] = []
         self.slices_recovered = 0
+        self._closed = False
+        if backend == "process":
+            if start_method is None:
+                methods = multiprocessing.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else "spawn"
+            self._ctx = multiprocessing.get_context(start_method)
+            self.slices: List[MatcherSlice] = []
+            self._workers = [_SliceWorker(i, spec, self._ctx)
+                             for i in range(n_slices)]
+            #: registrations not yet shipped to workers, per slice.
+            self._pending: List[List[Tuple[Subscription, object]]] = [
+                [] for _ in range(n_slices)]
+        else:
+            self._ctx = None
+            self.slices = [MatcherSlice(i, spec)
+                           for i in range(n_slices)]
+            self._workers = []
+            self._pending = []
 
     # -- registration ------------------------------------------------------
 
-    def _slice_for(self, subscription: Subscription) -> MatcherSlice:
+    def _slice_id_for(self, subscription: Subscription) -> int:
         if self.assignment == "symbol-hash":
             for attribute, constraint in subscription.items:
                 if attribute == self.symbol_attribute \
                         and constraint.is_string \
                         and constraint.equals is not None:
-                    import zlib
                     digest = zlib.crc32(constraint.equals.encode())
-                    return self.slices[digest % len(self.slices)]
-        chosen = self.slices[self._next % len(self.slices)]
+                    return digest % self.n_slices
+        chosen = self._next % self.n_slices
         self._next += 1
         return chosen
 
     def register(self, subscription: Subscription,
                  subscriber: object) -> int:
-        """Register into the owning slice; returns the slice id."""
-        chosen = self._slice_for(subscription)
-        chosen.register(subscription, subscriber)
+        """Register into the owning slice; returns the slice id.
+
+        The process backend buffers registrations and ships them as
+        one batch per slice right before the next match/warm/stat —
+        amortising pipe round-trips without changing each slice's
+        observed operation order (all registrations still precede the
+        match that follows them, exactly as in the serial backend).
+        """
+        slice_id = self._slice_id_for(subscription)
+        if self.backend == "process":
+            self._pending[slice_id].append((subscription, subscriber))
+        else:
+            self.slices[slice_id].register(subscription, subscriber)
         self.n_subscriptions += 1
-        self._journal.append((subscription, subscriber,
-                              chosen.slice_id))
-        return chosen.slice_id
+        self._journal.append((subscription, subscriber, slice_id))
+        return slice_id
+
+    def _flush_registrations(self) -> None:
+        """Ship buffered registrations to their workers (batched)."""
+        awaiting = []
+        for slice_id, batch in enumerate(self._pending):
+            if batch:
+                worker = self._workers[slice_id]
+                worker.send("register", batch)
+                awaiting.append(worker)
+                self._pending[slice_id] = []
+        for worker in awaiting:
+            worker.recv()
 
     def warm(self) -> None:
+        if self.backend == "process":
+            self._flush_registrations()
+            for worker in self._workers:
+                worker.send("warm")
+            for worker in self._workers:
+                worker.recv()
+            return
         for matcher_slice in self.slices:
             matcher_slice.warm()
 
@@ -155,23 +329,40 @@ class MatcherCluster:
         re-registration step a supervised restart performs for a
         cluster member. Slice assignment is journalled, not re-derived,
         so round-robin state cannot skew the rebuilt placement.
+
+        On the process backend the member's worker is hard-killed and
+        respawned; the journal replay (which already includes any
+        registrations still buffered for that slice) rebuilds its
+        index in the fresh worker.
         """
-        if not 0 <= slice_id < len(self.slices):
+        if not 0 <= slice_id < self.n_slices:
             raise RoutingError(f"no slice {slice_id} in this cluster")
+        replay = [(subscription, subscriber)
+                  for subscription, subscriber, owner in self._journal
+                  if owner == slice_id]
+        if self.backend == "process":
+            self._workers[slice_id].kill()
+            replacement_worker = _SliceWorker(slice_id, self.spec,
+                                              self._ctx)
+            self._workers[slice_id] = replacement_worker
+            self._pending[slice_id] = []  # journal supersedes buffer
+            if replay:
+                replacement_worker.call("register", replay)
+            self.slices_recovered += 1
+            return len(replay)
         replacement = MatcherSlice(slice_id, self.spec)
-        replayed = 0
-        for subscription, subscriber, owner in self._journal:
-            if owner == slice_id:
-                replacement.register(subscription, subscriber)
-                replayed += 1
+        for subscription, subscriber in replay:
+            replacement.register(subscription, subscriber)
         self.slices[slice_id] = replacement
         self.slices_recovered += 1
-        return replayed
+        return len(replay)
 
     # -- matching -------------------------------------------------------------
 
     def match(self, event: Event) -> ClusterMatchResult:
         """Fan the publication out to every slice; union the matches."""
+        if self.backend == "process":
+            return self.match_batch([event])[0]
         subscribers: Set[object] = set()
         latencies: List[float] = []
         for matcher_slice in self.slices:
@@ -180,10 +371,75 @@ class MatcherCluster:
             latencies.append(elapsed)
         return ClusterMatchResult(subscribers, latencies)
 
+    def match_batch(self,
+                    events: Sequence[Event]) -> List[ClusterMatchResult]:
+        """Match a batch of publications against every slice.
+
+        The process backend ships the whole batch to *all* workers
+        before collecting any reply, so the slices' wall-clock work
+        overlaps; results are unioned per event in the parent. The
+        serial backend is the plain loop. Both return identical match
+        sets and identical simulated latencies.
+        """
+        events = list(events)
+        if not events:
+            return []
+        if self.backend != "process":
+            return [self.match(event) for event in events]
+        self._flush_registrations()
+        for worker in self._workers:
+            worker.send("match", events)
+        per_worker = [worker.recv() for worker in self._workers]
+        results: List[ClusterMatchResult] = []
+        for index in range(len(events)):
+            subscribers: Set[object] = set()
+            latencies: List[float] = []
+            for worker_results in per_worker:
+                matched, elapsed = worker_results[index]
+                subscribers |= matched
+                latencies.append(elapsed)
+            results.append(ClusterMatchResult(subscribers, latencies))
+        return results
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop worker processes (no-op for the serial backend)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.stop()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+
+    def __enter__(self) -> "MatcherCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC timing varies
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
     # -- introspection -----------------------------------------------------------
 
+    def _worker_stats(self) -> List[Tuple[int, int]]:
+        self._flush_registrations()
+        for worker in self._workers:
+            worker.send("stats")
+        return [worker.recv() for worker in self._workers]
+
     def slice_sizes(self) -> List[int]:
+        if self.backend == "process":
+            return [n for n, _b in self._worker_stats()]
         return [s.forest.n_subscriptions for s in self.slices]
 
     def slice_index_bytes(self) -> List[int]:
+        if self.backend == "process":
+            return [b for _n, b in self._worker_stats()]
         return [s.forest.index_bytes for s in self.slices]

@@ -138,6 +138,13 @@ class Router:
         m = self.metrics
         self._m_frames = m.counter(
             "router.frames_total", "inbound frames drained, by kind")
+        # Hot-path children are bound once here: pump() increments them
+        # with plain integer adds, never re-deriving label keys.
+        self._m_frames_by_kind = {
+            kind: self._m_frames.child(kind=kind)
+            for kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_PUBLISH)}
+        self._m_frames_unparseable = self._m_frames.child(
+            kind="unparseable")
         self._m_poisoned = m.counter(
             "router.frames_poisoned_total",
             "frames dead-lettered at the pump boundary, by reason")
@@ -308,10 +315,14 @@ class Router:
         try:
             kind = message_type(frame)
         except _FRAME_FAULTS as exc:
-            self._m_frames.inc(kind="unparseable")
+            self._m_frames_unparseable.inc()
             self._quarantine(frame, sender, REASON_POISON, exc)
             return
-        self._m_frames.inc(kind=kind)
+        bound = self._m_frames_by_kind.get(kind)
+        if bound is not None:
+            bound.inc()
+        else:
+            self._m_frames.inc(kind=kind)
         # Write-ahead: a registration is journalled before the ecall
         # that applies it, so an enclave death at *any* later point
         # leaves the frame recoverable from checkpoint + WAL replay.

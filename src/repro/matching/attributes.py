@@ -9,6 +9,7 @@ events and predicates.
 
 from __future__ import annotations
 
+import sys
 from typing import Union
 
 from repro.errors import MatchingError
@@ -25,13 +26,18 @@ def is_numeric(value: AttributeValue) -> bool:
 
 
 def validate_attribute_name(name: str) -> str:
-    """Check an attribute name is a non-empty printable string."""
+    """Check an attribute name is a non-empty printable string.
+
+    Returns the *interned* name: events and subscriptions store the
+    result, so the dict lookups on the matching hot path compare
+    pointers before falling back to character comparison.
+    """
     if not isinstance(name, str) or not name:
         raise MatchingError(f"invalid attribute name: {name!r}")
     if any(ch in name for ch in "\x00\n|"):
         raise MatchingError(f"attribute name contains forbidden char: "
                             f"{name!r}")
-    return name
+    return sys.intern(name)
 
 
 def validate_value(value: AttributeValue) -> AttributeValue:

@@ -34,9 +34,14 @@ class Event:
     def __post_init__(self) -> None:
         if not self.header:
             raise MatchingError("publication header must not be empty")
+        interned = {}
         for name, value in self.header.items():
-            validate_attribute_name(name)
-            validate_value(value)
+            interned[validate_attribute_name(name)] = \
+                validate_value(value)
+        # Re-key the header with interned attribute names so hot-path
+        # dict probes hit the pointer-equality fast path against
+        # subscription attributes (interned at construction too).
+        object.__setattr__(self, "header", interned)
 
     def __getitem__(self, attribute: str) -> AttributeValue:
         return self.header[attribute]
@@ -54,5 +59,17 @@ class Event:
         return iter(self.header.items())
 
     def canonical(self) -> Tuple[Tuple[str, AttributeValue], ...]:
-        """Sorted item tuple, used for serialisation and hashing."""
-        return tuple(sorted(self.header.items()))
+        """Sorted item tuple, used for serialisation and hashing.
+
+        Computed once and cached: the match memo keys every lookup on
+        it, so repeated events must not pay the sort repeatedly.
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            cached = tuple(sorted(self.header.items()))
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    def key(self) -> Tuple[Tuple[str, AttributeValue], ...]:
+        """Hashable identity of the header (alias of :meth:`canonical`)."""
+        return self.canonical()

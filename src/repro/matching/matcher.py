@@ -15,15 +15,17 @@ benchmarks read simulated matching time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.matching.events import Event
 from repro.matching.poset import ContainmentForest
+from repro.matching.stats import MatchCounters
 from repro.matching.subscriptions import Subscription
+from repro.obs.metrics import MetricsRegistry
 from repro.sgx.memory import MemoryArena
 from repro.sgx.platform import SgxPlatform
 
-__all__ = ["MatchResult", "MatchingEngine"]
+__all__ = ["MatchResult", "MatchingEngine", "MatchMemo"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,62 @@ class MatchResult:
     simulated_us: float
 
 
+class MatchMemo:
+    """Generation-stamped ``event-key -> frozen subscriber set`` cache.
+
+    Zipf-skewed event streams repeat headers heavily; a hit answers the
+    event without touching the index at all. Correctness under churn is
+    by *generation stamping*: every stored entry records the generation
+    it was computed in, and any registration change bumps the counter
+    (an O(1) invalidation — no eager scan), so stale entries simply
+    stop matching on lookup and are dropped lazily. Capacity is
+    enforced FIFO: dict insertion order makes the oldest entry the
+    first key.
+    """
+
+    __slots__ = ("capacity", "generation", "_entries", "hits", "misses",
+                 "evictions", "invalidation_bumps")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("memo capacity must be positive")
+        self.capacity = capacity
+        self.generation = 0
+        self._entries: Dict[Tuple, Tuple[int, frozenset]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidation_bumps = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bump(self) -> None:
+        """Invalidate every cached entry (registration changed)."""
+        self.generation += 1
+        self.invalidation_bumps += 1
+
+    def lookup(self, key: Tuple) -> Optional[frozenset]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        generation, subscribers = entry
+        if generation != self.generation:
+            del self._entries[key]   # stale: drop lazily
+            self.misses += 1
+            return None
+        self.hits += 1
+        return subscribers
+
+    def store(self, key: Tuple, subscribers: frozenset) -> None:
+        entries = self._entries
+        if key not in entries and len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = (self.generation, subscribers)
+
+
 class MatchingEngine:
     """Containment-based filter bound to a simulated memory arena.
 
@@ -45,12 +103,46 @@ class MatchingEngine:
     """
 
     def __init__(self, platform: SgxPlatform, enclave: bool,
-                 name: str = "scbr-engine") -> None:
+                 name: str = "scbr-engine",
+                 memo_capacity: int = 0,
+                 root_gate: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.platform = platform
         self.enclave = enclave
         self.arena: MemoryArena = platform.memory.new_arena(
             enclave=enclave, name=name)
-        self.forest = ContainmentForest(arena=self.arena)
+        #: Hot-path work counters (see :class:`MatchCounters`); tests
+        #: and benchmarks read them to quantify gate/memo savings.
+        self.counters = MatchCounters()
+        self.forest = ContainmentForest(arena=self.arena,
+                                        root_gate=root_gate,
+                                        counters=self.counters)
+        #: ``memo_capacity > 0`` enables the match memo. Off by default:
+        #: a hit skips the traversal entirely (simulated time ~0), which
+        #: is the point, but would silently change the figure
+        #: benchmarks' latency semantics if always on.
+        self.memo = MatchMemo(memo_capacity) if memo_capacity else None
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        m = self.metrics
+        # Counters are pre-bound once here; the per-event path performs
+        # plain attribute calls, never registry lookups.
+        self._m_matches = m.counter(
+            "matching.match_total", "events matched by the engine")
+        self._m_memo_hits = m.counter(
+            "matching.memo_hits_total",
+            "events answered from the match memo")
+        self._m_memo_misses = m.counter(
+            "matching.memo_misses_total",
+            "memo lookups that fell through to the index")
+        m.gauge("matching.memo_entries", "entries held in the memo",
+                fn=lambda: len(self.memo) if self.memo else 0)
+        m.gauge("matching.memo_generation",
+                "registration generation stamp",
+                fn=lambda: self.memo.generation if self.memo else 0)
+        m.gauge("matching.memo_evictions",
+                "memo entries evicted by capacity",
+                fn=lambda: self.memo.evictions if self.memo else 0)
 
     # -- registration -----------------------------------------------------------
 
@@ -60,6 +152,8 @@ class MatchingEngine:
         memory = self.platform.memory
         start_cycles = memory.cycles
         self.forest.insert(subscription, subscriber)
+        if self.memo is not None:
+            self.memo.bump()
         # Rough compute charge: one covering check per node the descent
         # touched is already accounted via arena touches; charge the
         # constraint comparisons themselves.
@@ -72,12 +166,29 @@ class MatchingEngine:
     def unregister(self, subscription: Subscription,
                    subscriber: object) -> bool:
         """Withdraw a subscription registration."""
+        if self.memo is not None:
+            self.memo.bump()
         return self.forest.remove_subscriber(subscription, subscriber)
 
     # -- matching ----------------------------------------------------------------
 
     def match(self, event: Event) -> MatchResult:
-        """Match one event, with full cost accounting."""
+        """Match one event, with full cost accounting.
+
+        With the memo enabled, a repeated header is answered from the
+        cached frozen subscriber set: no traversal, no predicate
+        evaluations, no simulated memory traffic.
+        """
+        memo = self.memo
+        if memo is not None:
+            cached = memo.lookup(event.key())
+            if cached is not None:
+                self._m_matches.inc()
+                self._m_memo_hits.inc()
+                counters = self.counters
+                counters.matches += 1
+                counters.memo_hits += 1
+                return MatchResult(cached, 0, 0, 0.0)
         memory = self.platform.memory
         costs = self.platform.spec.costs
         start_cycles = memory.cycles
@@ -86,7 +197,17 @@ class MatchingEngine:
                       + evaluated * costs.predicate_eval_cycles)
         elapsed = self.platform.spec.cycles_to_us(
             memory.cycles - start_cycles)
+        self._m_matches.inc()
+        if memo is not None:
+            subscribers = frozenset(subscribers)
+            memo.store(event.key(), subscribers)
+            self._m_memo_misses.inc()
+            self.counters.memo_misses += 1
         return MatchResult(subscribers, visited, evaluated, elapsed)
+
+    def match_batch(self, events) -> list:
+        """Match a batch of events (memo and counters apply per event)."""
+        return [self.match(event) for event in events]
 
     # -- introspection -----------------------------------------------------------
 

@@ -35,7 +35,7 @@ class PosetNode:
     """One stored subscription plus the subscribers interested in it."""
 
     __slots__ = ("subscription", "children", "subscribers", "address",
-                 "size")
+                 "size", "matcher", "required_attributes")
 
     def __init__(self, subscription: Subscription, address: int,
                  size: int) -> None:
@@ -44,6 +44,14 @@ class PosetNode:
         self.subscribers: Set[object] = set()
         self.address = address
         self.size = size
+        #: Compiled ``header-dict -> bool`` closure; the per-predicate
+        #: interpretation is paid once here, at node creation, instead
+        #: of on every event the traversal tests against this node.
+        self.matcher = subscription.compiled()
+        #: Attributes an event must carry for this node (and, by
+        #: covering, its whole subtree) to possibly match — the
+        #: per-root gate consults this before descending.
+        self.required_attributes = subscription.required_attributes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PosetNode({self.subscription!r}, "
@@ -54,13 +62,24 @@ class ContainmentForest:
     """Covering-based subscription index with arena-traced traversals."""
 
     def __init__(self, arena: Optional[MemoryArena] = None,
-                 trace_inserts: bool = True) -> None:
+                 trace_inserts: bool = True,
+                 root_gate: bool = True,
+                 counters=None) -> None:
         self.roots: List[PosetNode] = []
         self.arena = arena
         #: When False, insertions allocate addresses but do not touch
         #: the memory model (used by sweeps that only measure matching;
         #: the Fig. 8 registration experiment keeps this True).
         self.trace_inserts = trace_inserts
+        #: When True (default), matching skips any root tree whose
+        #: required attribute set is not contained in the event header.
+        #: Exact: a missing attribute fails the root's conjunction, and
+        #: covering forces every descendant to require at least the
+        #: root's attributes, so the whole tree is a guaranteed miss.
+        self.root_gate = root_gate
+        #: Optional :class:`repro.matching.stats.MatchCounters` bumped
+        #: by every match call (one add per field per event).
+        self.counters = counters
         self.n_nodes = 0
         self.n_subscriptions = 0
         self._bytes = 0
@@ -197,18 +216,30 @@ class ContainmentForest:
 
     # -- matching -----------------------------------------------------------------
 
+    def _entry_roots(self, event: Event) -> Tuple[List[PosetNode], int]:
+        """Roots surviving the attribute-set gate + how many it cut."""
+        roots = self.roots
+        if not self.root_gate:
+            return list(roots), 0
+        present = event.header.keys()
+        stack = [root for root in roots
+                 if root.required_attributes <= present]
+        return stack, len(roots) - len(stack)
+
     def match(self, event: Event) -> Set[object]:
         """All subscribers whose subscription matches ``event``.
 
         Untraced fast path (no memory accounting) — used by wall-clock
-        benchmarks and by correctness tests.
+        benchmarks and by correctness tests. Evaluates the compiled
+        per-node matcher closures behind the per-root attribute gate.
         """
+        header = event.header
         matched: Set[object] = set()
-        stack = list(self.roots)
+        stack, _gated = self._entry_roots(event)
         pop = stack.pop
         while stack:
             node = pop()
-            if node.subscription.matches(event):
+            if node.matcher(header):
                 matched |= node.subscribers
                 stack.extend(node.children)
         return matched
@@ -228,7 +259,7 @@ class ContainmentForest:
         matched: Set[object] = set()
         visited = 0
         evaluated = 0
-        stack = list(self.roots)
+        stack, gated = self._entry_roots(event)
         pop = stack.pop
         while stack:
             node = pop()
@@ -244,6 +275,12 @@ class ContainmentForest:
             if ok:
                 matched |= node.subscribers
                 stack.extend(node.children)
+        counters = self.counters
+        if counters is not None:
+            counters.matches += 1
+            counters.nodes_visited += visited
+            counters.predicates_evaluated += evaluated
+            counters.roots_gated += gated
         return matched, visited, evaluated
 
     # -- introspection ---------------------------------------------------------------

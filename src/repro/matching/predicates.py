@@ -54,7 +54,8 @@ class Predicate:
     value: Optional[AttributeValue] = None
 
     def __post_init__(self) -> None:
-        validate_attribute_name(self.attribute)
+        object.__setattr__(self, "attribute",
+                           validate_attribute_name(self.attribute))
         if self.op not in Op.ALL:
             raise MatchingError(f"unknown operator: {self.op!r}")
         if self.op == Op.EXISTS:
@@ -189,6 +190,51 @@ class Constraint:
         return (self.is_string, self.equals, self.lo, self.hi,
                 self.lo_open, self.hi_open,
                 tuple(sorted(self.excluded, key=repr)))
+
+    def compile(self):
+        """Specialised ``value -> bool`` closure equivalent to
+        :meth:`admits` for validated header values.
+
+        Header values are restricted to int/float/str (bools and NaN
+        are rejected at :class:`~repro.matching.events.Event`
+        construction), so the closures can drop the general type
+        dispatch :meth:`admits` performs and test only what this
+        constraint's shape requires. The containment index caches one
+        composed closure per stored node
+        (:attr:`~repro.matching.poset.PosetNode.matcher`).
+        """
+        excluded = self.excluded
+        if self.is_string:
+            equals = self.equals
+            if equals is not None:
+                if equals in excluded:   # unsatisfiable pin
+                    return lambda value: False
+                return lambda value: value == equals
+            if excluded:
+                return lambda value: (isinstance(value, str)
+                                      and value not in excluded)
+            return lambda value: isinstance(value, str)
+        if self.is_universal_interval():
+            if excluded:
+                return lambda value: value not in excluded
+            return lambda value: True
+        lo, hi = self.lo, self.hi
+        if not self.lo_open and not self.hi_open:
+            base = lambda value: (not isinstance(value, str)
+                                  and lo <= value <= hi)
+        elif self.lo_open and not self.hi_open:
+            base = lambda value: (not isinstance(value, str)
+                                  and lo < value <= hi)
+        elif not self.lo_open and self.hi_open:
+            base = lambda value: (not isinstance(value, str)
+                                  and lo <= value < hi)
+        else:
+            base = lambda value: (not isinstance(value, str)
+                                  and lo < value < hi)
+        if excluded:
+            return lambda value, _base=base: (_base(value)
+                                              and value not in excluded)
+        return base
 
 
 def constraint_from_predicates(predicates) -> Constraint:

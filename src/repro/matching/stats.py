@@ -14,7 +14,40 @@ from typing import Dict, List
 
 from repro.matching.poset import ContainmentForest, PosetNode
 
-__all__ = ["ForestStats", "forest_stats"]
+__all__ = ["ForestStats", "forest_stats", "MatchCounters"]
+
+
+class MatchCounters:
+    """Cumulative work counters for the matching hot path.
+
+    A plain mutable record (no registry, no labels) that the forest and
+    engine bump with integer adds — cheap enough to stay enabled while
+    still letting tests quantify the hot-path reductions: how many
+    whole trees the per-root attribute gate skipped, how many events
+    the match memo answered without touching the index, and how many
+    predicate evaluations were actually paid.
+    """
+
+    __slots__ = ("matches", "nodes_visited", "predicates_evaluated",
+                 "roots_gated", "memo_hits", "memo_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.matches = 0
+        self.nodes_visited = 0
+        self.predicates_evaluated = 0
+        self.roots_gated = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MatchCounters({inner})"
 
 
 @dataclass(frozen=True)

@@ -116,6 +116,47 @@ class Subscription:
     def is_satisfiable(self) -> bool:
         return all(c.is_satisfiable() for _, c in self.items)
 
+    def required_attributes(self) -> frozenset:
+        """Attribute names an event must carry to possibly match.
+
+        Every constraint requires its attribute to be present, so this
+        set gates whole containment trees: descendants are covered and
+        therefore constrain *at least* these attributes
+        (:meth:`covers` demands a same-attribute constraint for each of
+        ours), making the root's set a necessary condition for the
+        entire subtree.
+        """
+        return frozenset(attribute for attribute, _c in self.items)
+
+    def compiled(self):
+        """One ``header-dict -> bool`` closure equivalent to
+        :meth:`matches`.
+
+        Folds the per-constraint closures from
+        :meth:`~repro.matching.predicates.Constraint.compile` into a
+        single callable with no per-event attribute re-dispatch; the
+        index caches it per node so the interpreted predicate walk is
+        paid once at registration, not on every event.
+        """
+        tests = tuple((attribute, constraint.compile())
+                      for attribute, constraint in self.items)
+        if len(tests) == 1:
+            attribute, test = tests[0]
+
+            def match_one(header, _attribute=attribute, _test=test):
+                value = header.get(_attribute)
+                return value is not None and _test(value)
+            return match_one
+
+        def match_all(header, _tests=tests):
+            get = header.get
+            for attribute, test in _tests:
+                value = get(attribute)
+                if value is None or not test(value):
+                    return False
+            return True
+        return match_all
+
     def matches(self, event: Event) -> bool:
         """Does the event header satisfy every constraint?"""
         header = event.header

@@ -175,12 +175,21 @@ class SummarizedForest:
             + self._loose_roots
 
     def match(self, event: Event) -> Set[object]:
-        """Exact matching through the summary gates."""
+        """Exact matching through the summary gates.
+
+        Entry nodes (summaries + loose roots) pass through the same
+        attribute-set gate the base forest applies to its roots: a
+        cluster whose common required attributes are absent from the
+        event is skipped without evaluating its hull.
+        """
+        header = event.header
+        present = header.keys()
         matched: Set[object] = set()
-        stack = self._entry_nodes()
+        stack = [node for node in self._entry_nodes()
+                 if node.required_attributes <= present]
         while stack:
             node = stack.pop()
-            if node.subscription.matches(event):
+            if node.matcher(header):
                 matched |= node.subscribers
                 stack.extend(node.children)
         return matched
@@ -190,10 +199,12 @@ class SummarizedForest:
         if self.arena is None:
             raise MatchingError("match_traced requires an arena")
         touch = self.arena.touch
+        present = event.header.keys()
         matched: Set[object] = set()
         visited = 0
         evaluated = 0
-        stack = list(self._entry_nodes())
+        stack = [node for node in self._entry_nodes()
+                 if node.required_attributes <= present]
         while stack:
             node = stack.pop()
             visited += 1

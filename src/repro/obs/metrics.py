@@ -31,8 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import MetricsError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
+__all__ = ["Counter", "BoundCounter", "Gauge", "Histogram",
+           "MetricsRegistry", "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
 
 Number = Union[int, float]
 
@@ -53,6 +53,34 @@ def _label_key(labels: Dict[str, object]) -> str:
     return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
 
 
+class BoundCounter:
+    """A counter pre-bound to one exact label combination.
+
+    ``counter.child(kind="PUB")`` resolves the label key *once*; the
+    returned object's :meth:`inc` is two integer adds with no string
+    formatting or dict construction — what hot paths (one increment
+    per routed frame) should pay, versus ``inc(kind=...)`` which
+    rebuilds the label key on every call.
+    """
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: "Counter", key: str) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: int = 1) -> None:
+        counter = self._counter
+        counter._value += amount
+        children = counter._children
+        children[self._key] = children.get(self._key, 0) + amount
+
+    @property
+    def value(self) -> int:
+        """Count attributed to this bound label combination."""
+        return self._counter._children.get(self._key, 0)
+
+
 class Counter:
     """Monotonically increasing count, optionally split by labels.
 
@@ -61,13 +89,15 @@ class Counter:
     frames failed" and "failed *why*".
     """
 
-    __slots__ = ("name", "description", "_value", "_children")
+    __slots__ = ("name", "description", "_value", "_children",
+                 "_bound")
 
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
         self._value = 0
         self._children: Dict[str, int] = {}
+        self._bound: Dict[str, BoundCounter] = {}
 
     def inc(self, amount: int = 1, **labels: object) -> None:
         """Add ``amount`` (default 1), attributing it to ``labels``."""
@@ -77,6 +107,17 @@ class Counter:
         if labels:
             key = _label_key(labels)
             self._children[key] = self._children.get(key, 0) + amount
+
+    def child(self, **labels: object) -> BoundCounter:
+        """Pre-bound child for ``labels`` (cached per combination)."""
+        if not labels:
+            raise MetricsError(
+                f"counter {self.name}: child() needs at least one label")
+        key = _label_key(labels)
+        bound = self._bound.get(key)
+        if bound is None:
+            bound = self._bound[key] = BoundCounter(self, key)
+        return bound
 
     @property
     def value(self) -> int:

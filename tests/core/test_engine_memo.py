@@ -1,0 +1,147 @@
+"""In-enclave match memo: churn safety, batching, recovery interplay.
+
+The enclave library accepts ``memo_capacity`` through ``load_enclave``
+kwargs. These tests drive it through real ecalls: a memoised answer
+must never outlive the registration state that produced it — not
+across register/unregister churn, and not across a seal/restore
+restart (the restored engine starts with a *cold* but consistent
+memo).
+"""
+
+import pytest
+
+from repro.core.engine import PROVISION_AAD, ScbrEnclaveLibrary
+from repro.core.keys import ProviderKeyChain
+from repro.core.messages import (decode_public_key, encode_header,
+                                 encode_public_key, encode_subscription,
+                                 hybrid_encrypt)
+from repro.crypto.encoding import pack_fields
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.matching.events import Event
+from repro.matching.subscriptions import Subscription
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sdk import load_enclave
+
+
+@pytest.fixture(scope="module")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+@pytest.fixture()
+def setup(vendor_key):
+    platform = SgxPlatform(attestation_key_bits=768)
+    enclave = load_enclave(platform, ScbrEnclaveLibrary, vendor_key,
+                           rsa_bits=768, memo_capacity=32)
+    keys = ProviderKeyChain(rsa_bits=768)
+    _report, pubkey_blob = enclave.ecall("attestation_report",
+                                         b"\x00" * 32)
+    enclave_pk = decode_public_key(pubkey_blob)
+    payload = pack_fields([keys.sk,
+                           encode_public_key(keys.public_key)])
+    blob = hybrid_encrypt(enclave_pk, payload, aad=PROVISION_AAD)
+    assert enclave.ecall("provision", blob)
+    return platform, enclave, keys
+
+
+def _sub_envelope(keys, spec, client):
+    sub = Subscription.parse(spec)
+    envelope = keys.channel().protect(encode_subscription(sub),
+                                      aad=client.encode())
+    return envelope, keys.rsa.sign(envelope)
+
+
+def register(enclave, keys, spec, client):
+    envelope, signature = _sub_envelope(keys, spec, client)
+    return enclave.ecall("register_subscription", envelope, signature)
+
+
+def unregister(enclave, keys, spec, client):
+    envelope, signature = _sub_envelope(keys, spec, client)
+    return enclave.ecall("unregister_subscription", envelope,
+                         signature)
+
+
+def publish(enclave, keys, header):
+    envelope = keys.channel().protect(encode_header(Event(header)))
+    return enclave.ecall("match_publication", envelope)
+
+
+class TestEnclaveMemoChurn:
+
+    def test_repeat_publication_hits_memo(self, setup):
+        _platform, enclave, keys = setup
+        register(enclave, keys, {"symbol": "HAL"}, "alice")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["alice"]
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["alice"]
+        snapshot = enclave.ecall("engine_metrics")
+        assert snapshot["engine.memo_hits_total"] == 1
+        assert snapshot["engine.memo_entries"] == 1
+
+    def test_unregister_never_serves_stale(self, setup):
+        _platform, enclave, keys = setup
+        register(enclave, keys, {"symbol": "HAL"}, "alice")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["alice"]
+        assert unregister(enclave, keys, {"symbol": "HAL"}, "alice")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == []
+        register(enclave, keys, {"symbol": "HAL"}, "bob")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["bob"]
+
+    def test_batched_equals_sequential_with_memo(self, setup):
+        """Two-phase batching (decrypt all, then match all) must agree
+        with one-at-a-time matching, memo on."""
+        _platform, enclave, keys = setup
+        register(enclave, keys, {"symbol": "HAL"}, "alice")
+        register(enclave, keys, {"symbol": "IBM",
+                                 "price": ("<", 50)}, "bob")
+        headers = [{"symbol": "HAL"}, {"symbol": "IBM", "price": 40.0},
+                   {"symbol": "HAL"},  # repeat: memoised by then
+                   {"symbol": "XOM"}]
+        envelopes = [keys.channel().protect(encode_header(Event(h)))
+                     for h in headers]
+        batched = enclave.ecall("match_publications", envelopes)
+        singles = [enclave.ecall("match_publication", e)
+                   for e in envelopes]
+        assert batched == singles == [["alice"], ["bob"], ["alice"], []]
+
+
+class TestEnclaveMemoRecovery:
+
+    def test_restore_starts_cold_and_consistent(self, setup,
+                                                vendor_key):
+        platform, enclave, keys = setup
+        register(enclave, keys, {"symbol": "HAL"}, "alice")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["alice"]
+        sealed, counter_id = enclave.ecall("seal_state")
+        enclave.destroy()
+
+        fresh = load_enclave(platform, ScbrEnclaveLibrary, vendor_key,
+                             rsa_bits=768, memo_capacity=32)
+        assert fresh.ecall("restore_state", sealed, counter_id) == 1
+        # Cold memo: the first publication after restore traverses the
+        # rebuilt index (no hit), and must agree with the pre-crash
+        # answer; subsequent repeats may hit again.
+        hits_before = fresh.ecall("engine_metrics")[
+            "engine.memo_hits_total"]
+        assert publish(fresh, keys, {"symbol": "HAL"}) == ["alice"]
+        snapshot = fresh.ecall("engine_metrics")
+        assert snapshot["engine.memo_hits_total"] == hits_before
+        assert publish(fresh, keys, {"symbol": "HAL"}) == ["alice"]
+        assert fresh.ecall("engine_metrics")[
+            "engine.memo_hits_total"] == hits_before + 1
+
+    def test_restore_invalidates_pre_restore_entries(self, setup):
+        """Entries memoised against the pre-restore index must not be
+        served once the replay rebuilds a different index."""
+        _platform, enclave, keys = setup
+        register(enclave, keys, {"symbol": "HAL"}, "alice")
+        sealed, counter_id = enclave.ecall("seal_state")
+        # Diverge from the sealed snapshot, then memoise the divergent
+        # answer: HAL now matches nobody.
+        assert unregister(enclave, keys, {"symbol": "HAL"}, "alice")
+        assert publish(enclave, keys, {"symbol": "HAL"}) == []
+        assert publish(enclave, keys, {"symbol": "HAL"}) == []  # hit
+        # Restoring the snapshot brings alice back; the memoised empty
+        # set is stale and must not be served.
+        assert enclave.ecall("restore_state", sealed, counter_id) == 1
+        assert publish(enclave, keys, {"symbol": "HAL"}) == ["alice"]
