@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Overlay routing: many SCBR brokers behaving as one router.
+
+The paper evaluates a single router; this example wires five of them —
+each a full SCBR node with its own enclave, WAL and supervised
+recovery — into a tree and walks the overlay story:
+
+1. subscriptions registered at a client's *home* broker propagate as
+   covering-compressed summary adverts, so remote brokers learn just
+   enough to route;
+2. a publication entering anywhere reaches exactly the subscribers a
+   flat router would have delivered to, and the links whose downstream
+   summary does not match are never paid;
+3. a *covered* subscription (narrower than what its broker already
+   advertised) is absorbed silently — no new advert crosses any link;
+4. a broker enclave dies and is recovered from its WAL, remote
+   interest included, without re-flooding the overlay.
+
+Run with:  python examples/overlay_routing.py
+"""
+
+from repro.bench.report import format_table
+from repro.crypto.rsa import generate_keypair
+from repro.overlay import OverlayNetwork, Topology
+
+
+def totals(node, name):
+    return int(node.metrics.counter(name).value)
+
+
+def main() -> None:
+    topology = Topology.tree(5, seed=7)
+    print(f"tree topology, brokers {', '.join(topology.brokers)}; "
+          f"links: " + ", ".join(f"{a}~{b}"
+                                 for a, b in topology.edges) + "\n")
+
+    network = OverlayNetwork(topology, generate_keypair(bits=1024))
+    entry = topology.brokers[0]
+    far = topology.brokers[-1]
+
+    # -- 1. interest propagates as summaries --------------------------
+    network.client("alice", home=far, subscription={"symbol": "HAL"})
+    network.client("bob", home=topology.brokers[1],
+                   subscription={"symbol": "IBM",
+                                 "price": ("<", 50.0)})
+    rounds = network.settle()
+    sent = sum(totals(n, "overlay.adverts_sent_total")
+               for n in network.nodes.values())
+    print(f"alice@{far} wants HAL, bob@{topology.brokers[1]} wants "
+          f"cheap IBM; {sent} summary adverts settled the overlay "
+          f"in {rounds} rounds.")
+
+    # -- 2. publications only cross matching links --------------------
+    network.publish({"symbol": "HAL", "price": 42.0},
+                    b"HAL at 42", at=entry)
+    network.publish({"symbol": "XRX", "price": 9.0},
+                    b"nobody wants XRX", at=entry)
+    network.settle()
+    forwarded = sum(totals(n, "overlay.publications_forwarded_total")
+                    for n in network.nodes.values())
+    suppressed = sum(totals(n, "overlay.publications_suppressed_total")
+                     for n in network.nodes.values())
+    print(f"\ntwo publications entered at {entry}: "
+          f"{network.deliveries()!r}")
+    print(f"link crossings paid: {forwarded}; crossings the covering "
+          f"gate suppressed: {suppressed} (the XRX event died at its "
+          f"entry broker).")
+
+    # -- 3. covered subscriptions are absorbed silently ---------------
+    before = sum(totals(n, "overlay.adverts_sent_total")
+                 for n in network.nodes.values())
+    network.client("carol", home=far,
+                   subscription={"symbol": "HAL",
+                                 "price": ("<", 30.0)})
+    network.settle()
+    after = sum(totals(n, "overlay.adverts_sent_total")
+                for n in network.nodes.values())
+    print(f"\ncarol@{far} wants HAL below 30 — covered by alice's "
+          f"advert: adverts sent {before} -> {after} (no new "
+          f"traffic).")
+
+    # -- 4. a broker dies; its WAL resurrects remote interest ---------
+    victim = network.node(far)
+    victim.router.enclave.destroy()
+    victim.supervisor.recover()
+    network.settle()
+    recoveries = totals(victim, "recovery.recoveries_total")
+    refreshed = sum(totals(n, "overlay.adverts_sent_total")
+                    for n in network.nodes.values())
+    network.publish({"symbol": "HAL", "price": 12.5},
+                    b"HAL crashed too", at=entry)
+    network.settle()
+    deliveries = network.deliveries()
+    print(f"\nkilled {far}'s enclave; recoveries={recoveries}, "
+          f"adverts sent still {refreshed} (digest suppression — "
+          f"recovery re-exports but re-sends nothing).")
+    print(f"post-recovery HAL event delivered to "
+          f"{sorted(c for c, p in deliveries.items() if p)}: "
+          f"alice={deliveries['alice']!r}")
+    assert deliveries["alice"][-1] == b"HAL crashed too"
+    assert deliveries["carol"] == [b"HAL crashed too"]
+
+    # -- the fleet, per broker ----------------------------------------
+    rows = []
+    for broker in topology.brokers:
+        node = network.nodes[broker]
+        rows.append([
+            broker,
+            totals(node, "overlay.adverts_sent_total"),
+            totals(node, "overlay.adverts_suppressed_total"),
+            totals(node, "overlay.publications_forwarded_total"),
+            totals(node, "overlay.publications_suppressed_total"),
+            totals(node, "recovery.recoveries_total"),
+        ])
+    print()
+    print(format_table(
+        ["broker", "adv sent", "adv saved", "pub fwd", "pub saved",
+         "recoveries"],
+        rows, title="per-broker overlay accounting"))
+    network.close()
+    print("\nevery delivery above is byte-identical to what one flat "
+          "router would have produced — the equivalence suite in "
+          "tests/overlay/ pins this across topologies and seeds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,6 +102,13 @@ class PrefilteredAspeMatcher:
     def match(self, point: EncryptedPoint,
               publication_bloom: BloomFilter) -> AspeMatchResult:
         """Pre-filter by Bloom subset, then run ASPE on candidates."""
+        if not self._subs:
+            # An empty table must answer (not crash in the row-matrix
+            # compile): nothing stored, nothing matched, nothing paid.
+            return AspeMatchResult(subscribers=set(),
+                                   subscriptions_tested=0,
+                                   halfspaces_tested=0,
+                                   simulated_us=0.0)
         if self._masks is None:
             self._compile()
         pub_words = np.zeros(_BLOOM_BITS // 64, dtype=np.uint64)

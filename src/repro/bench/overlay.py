@@ -1,0 +1,165 @@
+"""Overlay routing benchmark: topology transparency, and its price.
+
+One seeded pub/sub workload is replayed over several broker
+topologies — and over the single flat router that is the correctness
+oracle — recording what the covering-summary machinery saved:
+
+* ``publications_suppressed`` — link crossings the covering gate
+  avoided (traffic a summary-less overlay would have paid);
+* ``adverts_suppressed`` — re-advertisements the digest comparison
+  held back (control traffic covering absorption avoided);
+* per-topology settle rounds and wall time, plus the byte-exact
+  equivalence verdict against the flat oracle.
+
+Results feed ``BENCH_overlay.json`` via
+:func:`repro.bench.export.record_bench`. Wall-clock numbers are
+honest but modest by construction: the simulator runs pure-Python
+crypto with small test keys, so the interesting columns are the
+traffic counters, which are seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import platform as platform_module
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bench.parallel import available_cores
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.oracle import FlatOracle
+from repro.overlay.topology import Topology
+
+__all__ = ["TopologyRun", "OverlayBenchResult", "run_overlay_bench"]
+
+_SYMBOLS = ("HAL", "IBM", "GE", "XRX")
+
+
+def _make_script(topology: Topology, seed: int, n_clients: int,
+                 n_publications: int) -> List[Tuple[str, tuple]]:
+    """The seeded workload, as replayable ``(op, args)`` steps."""
+    rng = random.Random(seed)
+    steps: List[Tuple[str, tuple]] = []
+    for index in range(n_clients):
+        home = rng.choice(topology.brokers)
+        symbol = rng.choice(_SYMBOLS)
+        if rng.random() < 0.5:
+            subscription = {"symbol": symbol}
+        else:
+            subscription = {"symbol": symbol,
+                            "price": ("<", float(rng.randrange(10,
+                                                               90)))}
+        steps.append(("client", (f"c{index + 1}", home, subscription)))
+    steps.append(("settle", ()))
+    for index in range(n_publications):
+        header = {"symbol": rng.choice(_SYMBOLS),
+                  "price": float(rng.randrange(0, 100))}
+        steps.append(("publish", (header, b"event %d" % index,
+                                  rng.choice(topology.brokers))))
+        steps.append(("settle", ()))
+    return steps
+
+
+def _replay(world, steps) -> Tuple[Dict[str, List[bytes]], int]:
+    """Run one script; returns (deliveries, total settle rounds)."""
+    rounds = 0
+    for op, args in steps:
+        if op == "client":
+            client_id, home, subscription = args
+            world.client(client_id, home, subscription=subscription)
+        elif op == "publish":
+            header, payload, at = args
+            world.publish(header, payload, at=at)
+        else:
+            rounds += world.settle()
+    rounds += world.settle()
+    return world.deliveries(), rounds
+
+
+@dataclass
+class TopologyRun:
+    """Traffic accounting for one topology under the shared workload."""
+
+    shape: str
+    n_brokers: int
+    n_links: int
+    settle_rounds: int
+    publications_forwarded: int
+    publications_suppressed: int
+    adverts_sent: int
+    adverts_suppressed: int
+    duplicates_dropped: int
+    deliveries: int
+    wall_seconds: float
+    equivalent_to_flat: bool
+
+
+@dataclass
+class OverlayBenchResult:
+    """The recorded ``BENCH_overlay.json`` payload."""
+
+    name: str
+    seed: int
+    n_clients: int
+    n_publications: int
+    cpu_cores: int
+    python_version: str
+    runs: List[TopologyRun] = field(default_factory=list)
+    #: every topology delivered byte-identically to the flat router.
+    all_equivalent: bool = True
+    #: the covering gate provably withheld traffic somewhere.
+    suppression_observed: bool = False
+
+
+def run_overlay_bench(name: str = "overlay", seed: int = 2016,
+                      n_clients: int = 6, n_publications: int = 20,
+                      rsa_bits: int = 768) -> OverlayBenchResult:
+    """Replay one workload over flat/line/tree/random; account it."""
+    vendor_key = _generate_keypair_unchecked(768, 65537)
+    result = OverlayBenchResult(
+        name=name, seed=seed, n_clients=n_clients,
+        n_publications=n_publications, cpu_cores=available_cores(),
+        python_version=platform_module.python_version())
+
+    topologies = [Topology.line(4), Topology.tree(6, seed=seed),
+                  Topology.random(5, seed=seed)]
+    for topology in topologies:
+        script = _make_script(topology, seed, n_clients,
+                              n_publications)
+        oracle = FlatOracle(vendor_key, rsa_bits=rsa_bits)
+        expected, _rounds = _replay(oracle, script)
+        oracle.close()
+
+        started = time.perf_counter()
+        network = OverlayNetwork(topology, vendor_key,
+                                 rsa_bits=rsa_bits)
+        deliveries, rounds = _replay(network, script)
+        snapshot = network.snapshot()
+        network.close()
+        elapsed = time.perf_counter() - started
+
+        run = TopologyRun(
+            shape=topology.shape,
+            n_brokers=topology.n_brokers,
+            n_links=len(topology.edges),
+            settle_rounds=rounds,
+            publications_forwarded=int(
+                snapshot["overlay.publications_forwarded_total"]),
+            publications_suppressed=int(
+                snapshot["overlay.publications_suppressed_total"]),
+            adverts_sent=int(snapshot["overlay.adverts_sent_total"]),
+            adverts_suppressed=int(
+                snapshot["overlay.adverts_suppressed_total"]),
+            duplicates_dropped=int(
+                snapshot["overlay.duplicates_dropped_total"]),
+            deliveries=sum(len(payloads)
+                           for payloads in deliveries.values()),
+            wall_seconds=round(elapsed, 3),
+            equivalent_to_flat=deliveries == expected)
+        result.runs.append(run)
+        result.all_equivalent &= run.equivalent_to_flat
+        if run.publications_suppressed > 0:
+            result.suppression_observed = True
+    return result

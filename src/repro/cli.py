@@ -18,6 +18,7 @@ Commands::
     recover                  crash-recovery soak + latency sweep
     dlq                      dead-letter quarantine + requeue demo
     bench [--record]         serial vs process cluster wall-clock run
+    overlay [--record]       multi-broker overlay vs the flat router
 """
 
 from __future__ import annotations
@@ -335,6 +336,36 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_overlay(args: argparse.Namespace) -> int:
+    """Overlay routing: flat-oracle equivalence + traffic savings."""
+    from repro.bench.overlay import run_overlay_bench
+    result = run_overlay_bench(name=args.name, seed=args.seed,
+                               n_clients=args.clients,
+                               n_publications=args.publications)
+    table = [[run.shape, run.n_brokers, run.n_links,
+              run.publications_forwarded, run.publications_suppressed,
+              run.adverts_sent, run.adverts_suppressed,
+              run.deliveries,
+              "yes" if run.equivalent_to_flat else "NO"]
+             for run in result.runs]
+    print(format_table(
+        ["topology", "brokers", "links", "fwd", "fwd-saved",
+         "adverts", "adv-saved", "delivered", "=flat"], table,
+        title=f"overlay routing — seed {result.seed}, "
+              f"{result.n_clients} clients, "
+              f"{result.n_publications} publications"))
+    print(f"cpu cores available: {result.cpu_cores}   "
+          f"python: {result.python_version}")
+    print(f"all topologies byte-equal to the flat router: "
+          f"{result.all_equivalent}   "
+          f"covering gate saved traffic: {result.suppression_observed}")
+    if args.record:
+        from repro.bench.export import record_bench
+        path = record_bench(result.name, result, directory=args.out)
+        print(f"wrote {path}")
+    return 0 if result.all_equivalent else 1
+
+
 def _run_table1(_args: argparse.Namespace) -> int:
     from repro.workloads.datasets import (build_dataset,
                                           dataset_statistics)
@@ -552,6 +583,22 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--out", default=".", metavar="DIR",
                     help="directory for the recorded JSON")
     pb.set_defaults(func=_run_bench)
+
+    po = sub.add_parser(
+        "overlay", help="multi-broker overlay vs the flat router")
+    po.add_argument("--name", default="overlay",
+                    help="record name (BENCH_<name>.json)")
+    po.add_argument("--seed", type=int, default=2016,
+                    help="workload + topology seed")
+    po.add_argument("--clients", type=int, default=6,
+                    help="subscribing clients per topology")
+    po.add_argument("--publications", type=int, default=20,
+                    help="publications per topology")
+    po.add_argument("--record", action="store_true",
+                    help="write BENCH_<name>.json")
+    po.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for the recorded JSON")
+    po.set_defaults(func=_run_overlay)
     return parser
 
 

@@ -174,9 +174,20 @@ class _SliceWorker:
         self.send(op, payload)
         return self.recv()
 
+    def _close_conn(self) -> None:
+        # Connection.close() raises OSError on a second call; teardown
+        # paths (stop after kill, cluster.close after recover_slice,
+        # __del__ after an explicit close) must all be no-ops instead.
+        if not self._conn.closed:
+            self._conn.close()
+
     def stop(self, timeout: float = 5.0) -> None:
-        """Orderly shutdown; escalates to terminate if unresponsive."""
-        if self._process.is_alive():
+        """Orderly shutdown; escalates to terminate if unresponsive.
+
+        Idempotent, and safe on a worker that already died or was
+        already killed: every step degrades to a no-op.
+        """
+        if self._process.is_alive() and not self._conn.closed:
             try:
                 self._conn.send(("stop", None))
                 self._conn.recv()
@@ -186,14 +197,14 @@ class _SliceWorker:
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout)
-        self._conn.close()
+        self._close_conn()
 
     def kill(self, timeout: float = 5.0) -> None:
-        """Hard-kill (simulates a crashed cluster member)."""
+        """Hard-kill (simulates a crashed cluster member); idempotent."""
         if self._process.is_alive():
             self._process.terminate()
         self._process.join(timeout)
-        self._conn.close()
+        self._close_conn()
 
 
 class MatcherCluster:

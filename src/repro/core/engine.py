@@ -38,14 +38,47 @@ from repro.crypto.rsa import RsaPublicKey, _generate_keypair_unchecked
 from repro.errors import EnclaveError, RoutingError
 from repro.matching.matcher import MatchMemo
 from repro.matching.poset import ContainmentForest
+from repro.matching.summaries import covering_antichain
 from repro.obs.metrics import MetricsRegistry
 from repro.sgx.platform import KeyPolicy
 from repro.sgx.sdk import EnclaveLibrary, ecall
 from repro.sgx.sealing import SealedBlob, seal, unseal
 
-__all__ = ["ScbrEnclaveLibrary", "PROVISION_AAD"]
+__all__ = ["ScbrEnclaveLibrary", "PROVISION_AAD", "LINK_PREFIX",
+           "ADVERT_AAD_PREFIX", "advert_digest"]
 
 PROVISION_AAD = b"scbr-provision-v1"
+
+#: Reserved subscriber-id prefix for remote interest installed from a
+#: neighbour broker's summary advert. ``link:<broker>`` entries live in
+#: the containment forest beside real client ids, so one match ecall
+#: yields both local deliveries and outgoing overlay links; the
+#: untrusted router splits on this prefix. Client ids starting with it
+#: are rejected at registration.
+LINK_PREFIX = "link:"
+
+#: AAD context binding an advert blob to the broker that exported it.
+ADVERT_AAD_PREFIX = b"scbr-advert:"
+
+
+def advert_digest(exclude_link: str, entries: List[bytes]) -> bytes:
+    """Deterministic fingerprint of one neighbour-facing advert.
+
+    Hashes the *sorted* encoded covering set together with the
+    split-horizon exclusion it was computed against, so two engines
+    holding the same logical interest produce byte-identical digests
+    regardless of registration order. Exposed at module level (not an
+    ecall) because the digest is not secret — the untrusted host uses
+    it to suppress re-advertisements, and knows the empty-advert value
+    without an enclave round trip.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"scbr-advert-digest|")
+    digest.update(exclude_link.encode())
+    digest.update(b"|")
+    for entry in sorted(entries):
+        digest.update(entry)
+    return digest.digest()
 
 
 class ScbrEnclaveLibrary(EnclaveLibrary):
@@ -89,6 +122,15 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self._m_memo_hits = m.counter(
             "engine.memo_hits_total",
             "publications answered from the in-enclave match memo")
+        self._m_advert_exports = m.counter(
+            "engine.advert_exports_total",
+            "neighbour-facing summary adverts computed")
+        self._m_advert_installs = m.counter(
+            "engine.advert_installs_total",
+            "neighbour adverts installed (remote interest replaced)")
+        m.gauge("engine.link_subscriptions",
+                "remote-interest entries installed from neighbour "
+                "adverts", fn=self._count_link_subscriptions)
         m.gauge("engine.memo_entries", "entries held in the match memo",
                 fn=lambda: len(self._memo) if self._memo else 0)
         m.gauge("engine.subscriptions", "stored subscriptions",
@@ -111,6 +153,12 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         if self._sk_channel is None:
             raise EnclaveError("engine not provisioned with SK yet")
         return self._sk_channel
+
+    def _count_link_subscriptions(self) -> int:
+        return sum(
+            1 for node in self._forest.iter_nodes()
+            for subscriber in node.subscribers
+            if str(subscriber).startswith(LINK_PREFIX))
 
     # -- provisioning -------------------------------------------------------------
 
@@ -169,6 +217,10 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         client_id = aad.decode("utf-8")
         if not client_id:
             raise RoutingError("subscription without client identity")
+        if client_id.startswith(LINK_PREFIX):
+            raise RoutingError(
+                f"client id {client_id!r} uses the reserved overlay "
+                f"link prefix")
         costs = self.runtime.costs
         self.runtime.memory.charge(
             costs.node_visit_cycles
@@ -383,11 +435,74 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self._forest.check_invariants()
         return True
 
-    @ecall
-    def engine_metrics(self):
-        """Flat snapshot of the engine's in-enclave metric registry.
+    # -- overlay: neighbour summary adverts ---------------------------------------------
 
-        Returned by value (a plain dict), so the untrusted host never
-        holds a live reference into trusted state.
+    @ecall
+    def export_link_advert(self, origin: str,
+                           exclude_link: str) -> Tuple[bytes, bytes]:
+        """Compute the summary advert for one neighbour link.
+
+        Returns ``(digest, blob)``: ``digest`` is the deterministic
+        fingerprint of the advert's covering set (safe to expose — it
+        reveals only whether the set changed over time), ``blob`` is
+        the sorted encoded covering antichain sealed under SK with the
+        advert context bound to ``origin``, so only a provisioned peer
+        enclave can open it and it cannot be replayed as another
+        broker's advert.
+
+        ``exclude_link`` is the sentinel of the link being advertised
+        *to* (split horizon): interest learned from that neighbour is
+        left out, while interest learned from every other link is
+        included — which is what makes propagation transitive across
+        the overlay.
         """
-        return self.metrics.snapshot()
+        channel = self._require_provisioned()
+        antichain = covering_antichain(self._forest,
+                                       exclude=(exclude_link,))
+        entries = sorted(encode_subscription(subscription)
+                         for subscription in antichain)
+        canonical = pack_fields(entries)
+        self._charge_aes(len(canonical))
+        blob = channel.protect(canonical,
+                               aad=ADVERT_AAD_PREFIX + origin.encode())
+        self._m_advert_exports.inc()
+        return advert_digest(exclude_link, entries), blob
+
+    @ecall
+    def install_link_advert(self, from_broker: str,
+                            blob: bytes) -> int:
+        """Replace one neighbour's remote interest with a fresh advert.
+
+        Authenticates the blob against the claimed origin (the AAD the
+        exporting enclave bound), withdraws every subscription the
+        ``link:<from_broker>`` sentinel currently holds, and inserts
+        the advertised covering set under that sentinel. Last-wins
+        replacement makes WAL replay of ``SUM`` records idempotent:
+        re-installing any prefix of the advert history converges to
+        the newest advert. Returns the number of stored entries.
+        """
+        channel = self._require_provisioned()
+        plaintext, aad = channel.open(blob)
+        self._charge_aes(len(blob))
+        if aad != ADVERT_AAD_PREFIX + from_broker.encode():
+            raise RoutingError(
+                "summary advert bound to a different broker")
+        sentinel = LINK_PREFIX + from_broker
+        stale = [node.subscription
+                 for node in self._forest.iter_nodes()
+                 if sentinel in node.subscribers]
+        for subscription in stale:
+            self._forest.remove_subscriber(subscription, sentinel)
+        entries = unpack_fields(plaintext)
+        costs = self.runtime.costs
+        for entry in entries:
+            subscription = decode_subscription(entry)
+            self.runtime.memory.charge(
+                costs.node_visit_cycles
+                + costs.predicate_eval_cycles
+                * subscription.n_constraints)
+            self._forest.insert(subscription, sentinel)
+        if self._memo is not None:
+            self._memo.bump()
+        self._m_advert_installs.inc()
+        return len(entries)

@@ -16,6 +16,20 @@ Steps (paper §3.3-§3.4):
 
 Plus management traffic: admission responses (``ADMIT``), group-key
 distribution (``GK``) and subscription invalidation (``UNREG``).
+
+The broker overlay (see :mod:`repro.overlay`) adds two inter-broker
+message types on the same wire format:
+
+* ``SUM`` — a covering-compressed subscription summary one broker
+  advertises to a neighbour. The advert body is encrypted and MACed
+  under SK (enclave-to-enclave); only the advertising broker's name
+  and a deterministic content digest travel in the clear, mirroring
+  the protocol's existing stance that routing identities are visible
+  while predicates are not.
+* ``OPUB`` — a publication being forwarded broker-to-broker: the
+  original ``PUB`` frame rides inside byte-for-byte, wrapped with the
+  origin broker, an origin-scoped sequence number (for per-hop
+  duplicate suppression) and a remaining-hops TTL.
 """
 
 from __future__ import annotations
@@ -36,6 +50,8 @@ __all__ = [
     "build_deliver", "parse_deliver",
     "build_admit", "parse_admit",
     "build_group_key", "parse_group_key",
+    "build_summary", "parse_summary",
+    "build_overlay_publish", "parse_overlay_publish",
     "message_type",
 ]
 
@@ -46,6 +62,8 @@ MSG_PUBLISH = "PUB"
 MSG_DELIVER = "DLV"
 MSG_ADMIT = "ADMIT"
 MSG_GROUP_KEY = "GK"
+MSG_SUMMARY = "SUM"
+MSG_OVERLAY_PUBLISH = "OPUB"
 
 
 def message_type(frame: bytes) -> str:
@@ -153,3 +171,67 @@ def build_group_key(wrapped_group_key: bytes) -> bytes:
 
 def parse_group_key(frame: bytes) -> bytes:
     return _expect(frame, MSG_GROUP_KEY)
+
+
+# -- overlay: broker <-> broker ----------------------------------------------------
+
+def build_summary(origin: str, digest: bytes,
+                  advert_blob: bytes) -> bytes:
+    """A neighbour-facing subscription summary advert.
+
+    ``origin`` is the advertising broker (clear, like client ids);
+    ``digest`` is a deterministic fingerprint of the advert's covering
+    set, used by the *sender* to suppress re-advertisements and by
+    observers to correlate versions; ``advert_blob`` is the SK-sealed
+    covering set only the receiving enclave can open.
+    """
+    if not origin:
+        raise RoutingError("summary without an origin broker")
+    blob = pack_fields([origin.encode(), digest, advert_blob])
+    return to_wire(MSG_SUMMARY, blob)
+
+
+def parse_summary(frame: bytes) -> Tuple[str, bytes, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_SUMMARY))
+    if len(fields) != 3:
+        raise RoutingError("malformed summary message")
+    origin = fields[0].decode()
+    if not origin:
+        raise RoutingError("summary without an origin broker")
+    return origin, fields[1], fields[2]
+
+
+def build_overlay_publish(origin: str, sequence: int, ttl: int,
+                          publish_frame: bytes) -> bytes:
+    """Wrap a ``PUB`` frame for hop-by-hop broker forwarding.
+
+    The inner frame is carried byte-for-byte (its header stays sealed
+    under SK, its payload under the group key); ``(origin, sequence)``
+    is the publication's overlay-wide identity for duplicate
+    suppression, and ``ttl`` is the number of further hops a receiver
+    may forward it.
+    """
+    if not origin:
+        raise RoutingError("overlay publication without an origin")
+    if sequence < 0 or ttl < 0:
+        raise RoutingError("overlay sequence/ttl must be non-negative")
+    blob = pack_fields([origin.encode(), str(sequence).encode(),
+                        str(ttl).encode(), publish_frame])
+    return to_wire(MSG_OVERLAY_PUBLISH, blob)
+
+
+def parse_overlay_publish(frame: bytes) -> Tuple[str, int, int, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_OVERLAY_PUBLISH))
+    if len(fields) != 4:
+        raise RoutingError("malformed overlay publication")
+    origin = fields[0].decode()
+    if not origin:
+        raise RoutingError("overlay publication without an origin")
+    try:
+        sequence = int(fields[1].decode())
+        ttl = int(fields[2].decode())
+    except ValueError as exc:
+        raise RoutingError("malformed overlay sequence/ttl") from exc
+    if sequence < 0 or ttl < 0:
+        raise RoutingError("overlay sequence/ttl must be non-negative")
+    return origin, sequence, ttl, fields[3]

@@ -28,11 +28,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.deadletter import DeadLetterQueue
-from repro.core.engine import ScbrEnclaveLibrary
-from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
+from repro.core.engine import LINK_PREFIX, ScbrEnclaveLibrary
+from repro.core.protocol import (MSG_OVERLAY_PUBLISH, MSG_PUBLISH,
+                                 MSG_REGISTER, MSG_SUMMARY,
                                  MSG_UNREGISTER, build_deliver,
-                                 message_type, parse_publish,
-                                 parse_register, parse_unregister)
+                                 message_type, parse_overlay_publish,
+                                 parse_publish, parse_register,
+                                 parse_summary, parse_unregister)
 from repro.crypto.rsa import RsaPrivateKey
 from repro.errors import (CryptoError, EnclaveError, MatchingError,
                           NetworkError, RoutingError)
@@ -123,6 +125,13 @@ class Router:
         #: (sender, kind, frame) being processed right now — survives a
         #: mid-ecall enclave loss so the supervisor can resume it.
         self._in_flight: Optional[Tuple[str, str, bytes]] = None
+        #: Optional overlay forwarding state
+        #: (:class:`repro.overlay.forwarding.OverlayLinks`); when set,
+        #: matched ``link:<broker>`` sentinels become hop-by-hop
+        #: forwards instead of client deliveries.
+        self.overlay = None
+        #: True once :meth:`close` has torn the router down.
+        self.closed = False
 
         # Legacy scalar counters, kept in lockstep with the registry.
         self.registrations = 0
@@ -142,7 +151,8 @@ class Router:
         # with plain integer adds, never re-deriving label keys.
         self._m_frames_by_kind = {
             kind: self._m_frames.child(kind=kind)
-            for kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_PUBLISH)}
+            for kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_PUBLISH,
+                         MSG_SUMMARY, MSG_OVERLAY_PUBLISH)}
         self._m_frames_unparseable = self._m_frames.child(
             kind="unparseable")
         self._m_poisoned = m.counter(
@@ -156,6 +166,12 @@ class Router:
         self._m_unregistrations = m.counter(
             "router.unregistrations_total",
             "subscriptions withdrawn")
+        self._m_summaries = m.counter(
+            "router.summaries_installed_total",
+            "neighbour summary adverts installed into the enclave")
+        self._m_overlay_publications = m.counter(
+            "router.overlay_publications_total",
+            "publications received over broker links and matched")
         self._m_attempts = m.counter(
             "router.delivery_attempts_total",
             "delivery attempts, including retries")
@@ -197,6 +213,30 @@ class Router:
         self.enclave = load_enclave(self.platform, ScbrEnclaveLibrary,
                                     self._signing_key,
                                     rsa_bits=self._rsa_bits)
+
+    def close(self) -> None:
+        """Tear the router down; safe to call twice or on a corpse.
+
+        Destroys the hosted enclave (EREMOVE of its pages) unless a
+        crash already did, and marks the router closed. Overlay
+        topology teardown closes every node unconditionally, so this
+        must never raise for lifecycle reasons — a second close, or a
+        close after an injected enclave death, is a no-op.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        enclave = self.enclave
+        if enclave is not None \
+                and not getattr(enclave, "_destroyed", True):
+            try:
+                enclave.destroy()
+            except EnclaveError:
+                pass  # died between the liveness check and the destroy
+
+    def attach_overlay(self, links) -> None:
+        """Install the overlay forwarding state for this router."""
+        self.overlay = links
 
     def take_in_flight(self) -> Optional[Tuple[str, str, bytes]]:
         """Pop the frame that was mid-processing when the enclave died.
@@ -241,11 +281,35 @@ class Router:
         self._m_unregistrations.inc()
         return removed
 
+    def _split_matched(self,
+                       matched: List[str]) -> Tuple[List[str],
+                                                    List[str]]:
+        """Partition matched ids into (local clients, overlay links).
+
+        Without an attached overlay every id is a client — the reserved
+        ``link:`` prefix can only enter the enclave through
+        ``install_link_advert``, which only overlay nodes issue — so a
+        plain router's behaviour is unchanged byte-for-byte.
+        """
+        if self.overlay is None:
+            return list(matched), []
+        local_clients: List[str] = []
+        links: List[str] = []
+        for client_id in matched:
+            if client_id.startswith(LINK_PREFIX):
+                links.append(client_id)
+            else:
+                local_clients.append(client_id)
+        return local_clients, links
+
     def handle_publish(self, frame: bytes) -> List[str]:
         """PUB frame -> match ecall -> forward payload to subscribers.
 
         The payload envelope is forwarded byte-for-byte: the router
-        cannot read it (group key) nor the header (SK).
+        cannot read it (group key) nor the header (SK). With an overlay
+        attached, matched ``link:`` sentinels additionally fan the
+        publication out to the neighbour brokers whose advertised
+        covering set it satisfies.
         """
         header_envelope, payload_envelope = parse_publish(frame)
         matched = self.enclave.ecall("match_publication",
@@ -253,10 +317,74 @@ class Router:
         self.publications += 1
         self._m_publications.inc()
         self._m_fanout.observe(len(matched))
+        local_clients, links = self._split_matched(matched)
         deliver_frame = build_deliver(payload_envelope)
-        for client_id in matched:
+        for client_id in local_clients:
             self._attempt_delivery(client_id, deliver_frame,
                                    attempts_made=0)
+        if self.overlay is not None:
+            self.overlay.forward_publication(frame, links,
+                                             incoming_link=None)
+        return matched
+
+    def handle_summary(self, frame: bytes) -> int:
+        """SUM frame -> install the neighbour's advert in the enclave.
+
+        Journalled like a registration (the WAL write happens in
+        :meth:`_process_frame` before this runs), because remote
+        interest is part of the routing state a recovered enclave must
+        rebuild. Returns the number of advert entries installed.
+        """
+        origin, _digest, blob = parse_summary(frame)
+        if self.overlay is not None \
+                and not self.overlay.is_neighbour(origin):
+            raise RoutingError(
+                f"summary advert from non-neighbour {origin!r}")
+        installed = self.enclave.ecall("install_link_advert", origin,
+                                       blob)
+        self._m_summaries.inc()
+        if self.overlay is not None:
+            # Our own adverts to *other* links may now cover more (or
+            # less); the owning node re-exports on its next pump.
+            self.overlay.note_interest_change()
+        return installed
+
+    def handle_overlay_publish(self, sender: str,
+                               frame: bytes) -> List[str]:
+        """OPUB frame -> dedup -> match -> deliver locally + forward.
+
+        The ``(origin, sequence)`` pair is marked seen only *after*
+        processing completes, so a crash mid-match resumes by
+        reprocessing rather than silently dropping the publication;
+        duplicate-marking an unprocessed frame would turn the resume
+        path into a message loss.
+        """
+        if self.overlay is None:
+            raise RoutingError(
+                "overlay publication at a router with no overlay "
+                "attached")
+        overlay = self.overlay
+        origin, sequence, ttl, publish_frame = \
+            parse_overlay_publish(frame)
+        if overlay.already_seen(origin, sequence):
+            overlay.note_duplicate()
+            return []
+        header_envelope, payload_envelope = \
+            parse_publish(publish_frame)
+        matched = self.enclave.ecall("match_publication",
+                                     header_envelope)
+        self._m_overlay_publications.inc()
+        self._m_fanout.observe(len(matched))
+        local_clients, links = self._split_matched(matched)
+        deliver_frame = build_deliver(payload_envelope)
+        for client_id in local_clients:
+            self._attempt_delivery(client_id, deliver_frame,
+                                   attempts_made=0)
+        overlay.forward_publication(publish_frame, links,
+                                    incoming_link=sender,
+                                    origin=origin, sequence=sequence,
+                                    ttl=ttl)
+        overlay.mark_seen(origin, sequence)
         return matched
 
     # -- delivery with retry/backoff ---------------------------------------------------
@@ -327,7 +455,8 @@ class Router:
         # that applies it, so an enclave death at *any* later point
         # leaves the frame recoverable from checkpoint + WAL replay.
         if self.wal is not None and kind in (MSG_REGISTER,
-                                             MSG_UNREGISTER):
+                                             MSG_UNREGISTER,
+                                             MSG_SUMMARY):
             self.wal.append(kind, frame)
         self._in_flight = (sender, kind, frame)
         try:
@@ -337,6 +466,10 @@ class Router:
                 self.handle_unregister(frame)
             elif kind == MSG_PUBLISH:
                 self.handle_publish(frame)
+            elif kind == MSG_SUMMARY:
+                self.handle_summary(frame)
+            elif kind == MSG_OVERLAY_PUBLISH:
+                self.handle_overlay_publish(sender, frame)
             else:
                 self._quarantine(
                     frame, sender, REASON_UNEXPECTED,

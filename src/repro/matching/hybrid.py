@@ -120,6 +120,14 @@ class HybridContainmentForest:
         else:
             self.enclave_arena.touch(node.address, span)
 
+    def _add_subscriber(self, node: HybridNode,
+                        subscriber: object) -> None:
+        # Identical (subscription, subscriber) pairs are idempotent —
+        # the count must track the sets exactly, as in the base forest.
+        if subscriber not in node.subscribers:
+            node.subscribers.add(subscriber)
+            self.n_subscriptions += 1
+
     # -- insertion ----------------------------------------------------------
 
     def insert(self, subscription: Subscription,
@@ -136,8 +144,7 @@ class HybridContainmentForest:
                 self._touch(node)
                 if node.subscription.covers(subscription):
                     if node.subscription.key() == subscription.key():
-                        node.subscribers.add(subscriber)
-                        self.n_subscriptions += 1
+                        self._add_subscriber(node, subscriber)
                         return node
                     container = node
                     break
@@ -148,8 +155,7 @@ class HybridContainmentForest:
 
         existing = self._by_key.get(subscription.key())
         if existing is not None:
-            existing.subscribers.add(subscriber)
-            self.n_subscriptions += 1
+            self._add_subscriber(existing, subscriber)
             return existing
 
         new_node = self._new_node(subscription, depth)
@@ -166,6 +172,50 @@ class HybridContainmentForest:
         self._touch(new_node)
         self.n_subscriptions += 1
         return new_node
+
+    # -- removal ------------------------------------------------------------
+
+    def remove_subscriber(self, subscription: Subscription,
+                          subscriber: object) -> bool:
+        """Withdraw one subscriber; same semantics as the base forest.
+
+        Searches every covering branch (re-parenting may have moved the
+        node off the first-cover path), splices out emptied nodes
+        hoisting their children, and releases the node's bytes from
+        whichever side of the enclave boundary held it.
+        """
+        target_key = subscription.key()
+        node = None
+        siblings: List[HybridNode] = self.roots
+        stack: List[Tuple[List[HybridNode], HybridNode]] = [
+            (self.roots, root) for root in self.roots]
+        while stack:
+            sibling_list, candidate = stack.pop()
+            if not candidate.subscription.covers(subscription):
+                continue
+            if candidate.subscription.key() == target_key:
+                node = candidate
+                siblings = sibling_list
+                break
+            stack.extend((candidate.children, child)
+                         for child in candidate.children)
+        if node is None or subscriber not in node.subscribers:
+            return False
+        node.subscribers.discard(subscriber)
+        self.n_subscriptions -= 1
+        if not node.subscribers:
+            siblings.remove(node)
+            siblings.extend(node.children)
+            node.children = []
+            del self._by_key[node.subscription.key()]
+            self.n_nodes -= 1
+            if node.external:
+                self.external_bytes -= node.size
+                self.external_arena.free(node.address, node.size)
+            else:
+                self.enclave_bytes -= node.size
+                self.enclave_arena.free(node.address, node.size)
+        return True
 
     # -- matching -------------------------------------------------------------
 

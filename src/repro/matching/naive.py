@@ -40,9 +40,45 @@ class NaiveMatcher:
         self._entries.append((subscription, {subscriber}, address, size))
         self._bytes += size
 
+    def remove_subscriber(self, subscription: Subscription,
+                          subscriber: object) -> bool:
+        """Withdraw one subscriber; drops the entry when it empties.
+
+        Returns True if the (subscription, subscriber) pair was stored.
+        Same contract as the containment forest's removal, so the
+        differential property tests can churn all matchers through an
+        identical register/unregister script.
+        """
+        index = self._by_key.get(subscription.key())
+        if index is None:
+            return False
+        _stored, subscribers, address, size = self._entries[index]
+        if subscriber not in subscribers:
+            return False
+        subscribers.discard(subscriber)
+        if subscribers:
+            return True
+        # Swap-remove keeps the scan table dense; the moved entry's
+        # key-map slot is rewritten to its new position.
+        last = self._entries.pop()
+        if index < len(self._entries):
+            self._entries[index] = last
+            self._by_key[last[0].key()] = index
+        del self._by_key[subscription.key()]
+        self._bytes -= size
+        if self.arena is not None:
+            self.arena.free(address, size)
+        return True
+
     @property
     def n_entries(self) -> int:
         return len(self._entries)
+
+    @property
+    def n_subscriptions(self) -> int:
+        """Stored (subscription, subscriber) pairs."""
+        return sum(len(subscribers)
+                   for _s, subscribers, _a, _z in self._entries)
 
     @property
     def index_bytes(self) -> int:

@@ -34,7 +34,38 @@ from repro.matching.predicates import Constraint, Op, Predicate
 from repro.matching.subscriptions import Subscription
 from repro.sgx.memory import MemoryArena
 
-__all__ = ["hull_subscription", "SummarizedForest"]
+__all__ = ["hull_subscription", "covering_antichain",
+           "SummarizedForest"]
+
+
+def covering_antichain(forest: ContainmentForest,
+                       exclude: Iterable[object] = ()
+                       ) -> List[Subscription]:
+    """Minimal covering set of the forest's *relevant* subscriptions.
+
+    A node is relevant when it has at least one subscriber outside
+    ``exclude``. The walk emits the topmost relevant node of every
+    branch and stops descending there: by the containment invariant the
+    emitted subscription covers its whole subtree, and siblings (and
+    roots) are mutually non-covering, so the result is an antichain —
+    exactly the compressed summary one broker advertises to a
+    neighbour. ``exclude`` is how split-horizon works: the interest a
+    neighbour itself advertised is left out of the advert sent back to
+    it. Irrelevant nodes (structure-only, or carrying only excluded
+    subscribers) are descended *through*, since a deeper node may still
+    be relevant.
+    """
+    excluded = set(exclude)
+    antichain: List[Subscription] = []
+    stack = list(forest.roots)
+    while stack:
+        node = stack.pop()
+        if any(subscriber not in excluded
+               for subscriber in node.subscribers):
+            antichain.append(node.subscription)
+        else:
+            stack.extend(node.children)
+    return antichain
 
 
 def _hull_pair(a: Constraint, b: Constraint) -> Optional[Constraint]:
@@ -132,6 +163,20 @@ class SummarizedForest:
                subscriber: object) -> None:
         self.base.insert(subscription, subscriber)
         self._built = False
+
+    def remove_subscriber(self, subscription: Subscription,
+                          subscriber: object) -> bool:
+        """Withdraw one subscriber; stale summaries are invalidated.
+
+        Removal can splice roots out of the base forest, so any hull
+        built over them no longer describes the clusters — the summary
+        layer is marked dirty and rebuilt on the next match, keeping
+        the covering gates exact under unregister churn.
+        """
+        removed = self.base.remove_subscriber(subscription, subscriber)
+        if removed:
+            self._built = False
+        return removed
 
     @property
     def n_subscriptions(self) -> int:

@@ -86,7 +86,8 @@ class MessageBus:
     """
 
     def __init__(self, fault_plan: Optional[FaultPlan] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "") -> None:
         self._mailboxes: Dict[str, _Mailbox] = {}
         self._endpoints: Dict[str, Endpoint] = {}
         self.total_messages = 0
@@ -94,6 +95,11 @@ class MessageBus:
         self.fault_plan = fault_plan
         #: messages lost to an injected drop fault, per link.
         self.dropped_messages = 0
+        #: optional bus identity. Overlays run one bus per broker link
+        #: off a *shared* registry; naming each bus attributes traffic
+        #: and fault counters per link (``bus.messages_total{bus=...}``)
+        #: while the unlabelled totals still aggregate fabric-wide.
+        self.name = name
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
         self._m_messages = self.metrics.counter(
@@ -103,6 +109,16 @@ class MessageBus:
         self._m_faults = self.metrics.counter(
             "bus.faults_injected_total",
             "faults injected by the active plan, by kind")
+        if name:
+            self._m_messages = self._m_messages.child(bus=name)
+            self._m_bytes = self._m_bytes.child(bus=name)
+            self._m_faults_by_kind = {
+                kind: self._m_faults.child(kind=kind, bus=name)
+                for kind in ("drop", "duplicate", "reorder", "corrupt")}
+        else:
+            self._m_faults_by_kind = {
+                kind: self._m_faults.child(kind=kind)
+                for kind in ("drop", "duplicate", "reorder", "corrupt")}
 
     def install_fault_plan(self, plan: Optional[FaultPlan]) -> None:
         """Attach (or clear) the fault-injection plan."""
@@ -137,23 +153,23 @@ class MessageBus:
                 # Lost on the wire: the sender believes it succeeded
                 # (as with a real network), but the loss is accounted.
                 self.dropped_messages += 1
-                self._m_faults.inc(kind="drop")
+                self._m_faults_by_kind["drop"].inc()
                 return
             if decision.corrupt_at is not None:
                 frame_index, byte_index = decision.corrupt_at
                 damaged = bytearray(payload[frame_index])
                 damaged[byte_index] ^= 0xFF
                 payload[frame_index] = bytes(damaged)
-                self._m_faults.inc(kind="corrupt")
+                self._m_faults_by_kind["corrupt"].inc()
             if decision.duplicate:
                 copies = 2
-                self._m_faults.inc(kind="duplicate")
+                self._m_faults_by_kind["duplicate"].inc()
             # A reorder can only happen when a message is pending to
             # overtake; an ineffective roll is not an injected fault.
             reorder = decision.reorder and bool(mailbox.inbox)
             if reorder:
                 plan.injected["reorder"] += 1
-                self._m_faults.inc(kind="reorder")
+                self._m_faults_by_kind["reorder"].inc()
 
         size = sum(len(f) for f in payload)
         for _ in range(copies):

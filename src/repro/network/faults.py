@@ -88,6 +88,20 @@ class FaultPlan:
         self._links[(sender, to)] = faults
         return self
 
+    def on_bidirectional_link(self, a: str, b: str,
+                              faults: LinkFaults) -> "FaultPlan":
+        """Install the same ``faults`` in both directions of a link.
+
+        Overlay links are physical: a lossy cable damages traffic both
+        ways, so topology fault plans describe the *edge* once instead
+        of writing two asymmetric rules. Wildcards are rejected — an
+        edge connects two concrete brokers.
+        """
+        if "*" in (a, b):
+            raise FaultPlanError(
+                "bidirectional links need concrete endpoints")
+        return self.on_link(a, b, faults).on_link(b, a, faults)
+
     def faults_for(self, sender: str, to: str) -> LinkFaults:
         """Effective fault rates for one concrete link."""
         links = self._links

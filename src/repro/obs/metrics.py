@@ -32,7 +32,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import MetricsError
 
 __all__ = ["Counter", "BoundCounter", "Gauge", "Histogram",
-           "MetricsRegistry", "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
+           "MetricsRegistry", "aggregate_snapshots",
+           "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
 
 Number = Union[int, float]
 
@@ -288,3 +289,39 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             self._metrics[name].collect(samples)
         return samples
+
+
+def aggregate_snapshots(snapshots) -> Dict[str, Number]:
+    """Sum flat snapshots sample-wise into one overlay-wide view.
+
+    Each broker node keeps its own registry (and its enclave another);
+    fleet-level questions — total deliveries, total suppressed
+    forwards, crashes survived — are answered by summing the per-node
+    snapshots. Summing is only correct for counters, histogram
+    ``count``/``sum`` samples and additive gauges; ``min``/``max`` and
+    ``mean`` samples are recomputed where possible (min of mins, max of
+    maxes, sum/count for means) rather than added.
+    """
+    total: Dict[str, Number] = {}
+    mins: Dict[str, Number] = {}
+    maxes: Dict[str, Number] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if name.endswith(".min"):
+                if name not in mins or value < mins[name]:
+                    mins[name] = value
+            elif name.endswith(".max"):
+                if name not in maxes or value > maxes[name]:
+                    maxes[name] = value
+            elif not name.endswith(".mean"):
+                total[name] = total.get(name, 0) + value
+    total.update(mins)
+    total.update(maxes)
+    for name in list(total):
+        if name.endswith(".count"):
+            base = name[:-len(".count")]
+            count = total[name]
+            if count and f"{base}.sum" in total:
+                total[f"{base}.mean"] = round(
+                    total[f"{base}.sum"] / count, 6)
+    return total

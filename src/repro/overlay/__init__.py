@@ -1,0 +1,34 @@
+"""Multi-broker overlay routing (see DESIGN.md §9).
+
+The paper evaluates one SCBR router; serving the ROADMAP's
+"millions of users" takes many. This package connects full SCBR
+routers — each with its own enclave, WAL and supervised recovery —
+into an overlay where brokers exchange covering-compressed
+subscription summaries, so a publication only traverses links whose
+downstream summary matches it.
+
+Modules:
+
+* :mod:`~repro.overlay.topology` — seeded line/tree/random broker
+  graphs with per-edge fault descriptions;
+* :mod:`~repro.overlay.forwarding` — per-node hop-by-hop forwarding:
+  link registry, (origin, sequence) dedup, TTL, suppression metrics;
+* :mod:`~repro.overlay.propagation` — advert refresh scheduling with
+  digest-based re-advertisement suppression;
+* :mod:`~repro.overlay.node` — one broker: router + supervisor +
+  links + advert state, with idempotent teardown;
+* :mod:`~repro.overlay.network` — the assembled overlay: provider
+  routing, clients, publishers, quiescence pumping;
+* :mod:`~repro.overlay.oracle` — the flat single-router oracle the
+  equivalence tests compare deliveries against.
+"""
+
+from repro.overlay.forwarding import OverlayLinks
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+from repro.overlay.oracle import FlatOracle
+from repro.overlay.propagation import AdvertScheduler
+from repro.overlay.topology import Topology
+
+__all__ = ["Topology", "OverlayLinks", "AdvertScheduler",
+           "OverlayNode", "OverlayNetwork", "FlatOracle"]

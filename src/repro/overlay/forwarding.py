@@ -1,0 +1,169 @@
+"""Hop-by-hop publication forwarding state for one broker node.
+
+The enclave decides *where* a publication goes — matched ``link:``
+sentinels name the outgoing links whose advertised covering set the
+publication satisfies — and this untrusted module does the moving:
+wrap the original ``PUB`` frame in an ``OPUB`` envelope, decrement the
+TTL, skip the link it arrived on, and drop duplicates a cyclic
+topology or a duplicating link fault sends back.
+
+Everything here is host state on purpose. The dedup table survives an
+enclave death (the supervisor rebuilds the enclave, not the host
+process), which is what keeps crash recovery from re-delivering a
+publication the node already processed; and none of it is
+confidential — link names and sequence numbers are exactly the
+metadata the protocol already exposes to the infrastructure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import LINK_PREFIX
+from repro.core.protocol import build_overlay_publish
+from repro.errors import RoutingError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["OverlayLinks"]
+
+
+class OverlayLinks:
+    """Per-node link registry, dedup window and forwarding policy."""
+
+    def __init__(self, node_name: str, metrics: MetricsRegistry,
+                 ttl: int = 8, dedup_capacity: int = 4096) -> None:
+        if ttl < 1:
+            raise RoutingError("overlay ttl must be at least 1")
+        if dedup_capacity < 1:
+            raise RoutingError("dedup capacity must be positive")
+        self.node_name = node_name
+        self.ttl = ttl
+        self.dedup_capacity = dedup_capacity
+        #: neighbour -> callable(frame) placing one frame on the link.
+        self._sends: Dict[str, Callable[[bytes], None]] = {}
+        #: (origin, sequence) pairs already processed, FIFO-bounded.
+        self._seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self._next_sequence = 0
+        #: set when our forest changed (a neighbour advert installed,
+        #: or replayed); the owning node re-exports its adverts.
+        self.interest_dirty = False
+
+        self._m_forwarded = metrics.counter(
+            "overlay.publications_forwarded_total",
+            "publications sent over a broker link, by link")
+        self._m_suppressed = metrics.counter(
+            "overlay.publications_suppressed_total",
+            "candidate links skipped because the downstream summary "
+            "did not match, by link")
+        self._m_duplicates = metrics.counter(
+            "overlay.duplicates_dropped_total",
+            "overlay publications dropped by (origin, sequence) dedup")
+        self._m_ttl_expired = metrics.counter(
+            "overlay.ttl_expired_total",
+            "forwards abandoned because the hop budget ran out")
+        metrics.gauge("overlay.dedup_entries",
+                      "entries held in the dedup window",
+                      fn=lambda: len(self._seen))
+
+    # -- link registry ----------------------------------------------------------
+
+    def connect(self, neighbour: str,
+                send: Callable[[bytes], None]) -> None:
+        """Register the send side of one link to ``neighbour``."""
+        if not neighbour or neighbour == self.node_name:
+            raise RoutingError(f"bad link neighbour {neighbour!r}")
+        if neighbour in self._sends:
+            raise RoutingError(f"duplicate link to {neighbour!r}")
+        self._sends[neighbour] = send
+
+    def neighbours(self) -> List[str]:
+        return sorted(self._sends)
+
+    def is_neighbour(self, broker: str) -> bool:
+        return broker in self._sends
+
+    @staticmethod
+    def sentinel_for(neighbour: str) -> str:
+        """The in-forest subscriber id representing one link."""
+        return LINK_PREFIX + neighbour
+
+    def send_to(self, neighbour: str, frame: bytes) -> None:
+        """Place one raw frame (e.g. a SUM advert) on a link."""
+        try:
+            send = self._sends[neighbour]
+        except KeyError:
+            raise RoutingError(
+                f"no link to broker {neighbour!r}") from None
+        send(frame)
+
+    # -- dedup window -----------------------------------------------------------
+
+    def already_seen(self, origin: str, sequence: int) -> bool:
+        return (origin, sequence) in self._seen
+
+    def mark_seen(self, origin: str, sequence: int) -> None:
+        """Record a fully processed publication (FIFO eviction)."""
+        seen = self._seen
+        key = (origin, sequence)
+        if key in seen:
+            return
+        seen[key] = None
+        while len(seen) > self.dedup_capacity:
+            seen.popitem(last=False)
+
+    def note_duplicate(self) -> None:
+        self._m_duplicates.inc()
+
+    def note_interest_change(self) -> None:
+        self.interest_dirty = True
+
+    # -- forwarding -------------------------------------------------------------
+
+    def forward_publication(self, publish_frame: bytes,
+                            matched_links: List[str],
+                            incoming_link: Optional[str],
+                            origin: Optional[str] = None,
+                            sequence: Optional[int] = None,
+                            ttl: Optional[int] = None) -> int:
+        """Send one publication onward; returns links actually used.
+
+        ``matched_links`` are the ``link:`` sentinels the enclave
+        matched. Called with ``origin=None`` for a locally ingested
+        ``PUB`` (this node originates: fresh sequence, full TTL, the
+        pair is marked seen immediately so a cycle echoing it back is
+        dropped); or with the parsed OPUB identity for a transit
+        publication (TTL already holds the remaining hop budget).
+
+        Every neighbour except the incoming link is a *candidate*;
+        candidates not matched by the covering gate are counted as
+        suppressed — the traffic the summary propagation saved.
+        """
+        if origin is None:
+            self._next_sequence += 1
+            sequence = self._next_sequence
+            origin = self.node_name
+            ttl = self.ttl
+            self.mark_seen(origin, sequence)
+        incoming = None
+        if incoming_link is not None \
+                and incoming_link.startswith(LINK_PREFIX):
+            incoming = incoming_link[len(LINK_PREFIX):]
+        wanted = {sentinel[len(LINK_PREFIX):]
+                  for sentinel in matched_links}
+        forwarded = 0
+        for neighbour in self.neighbours():
+            if neighbour == incoming:
+                continue
+            if neighbour not in wanted:
+                self._m_suppressed.inc(link=neighbour)
+                continue
+            if ttl < 1:
+                self._m_ttl_expired.inc()
+                continue
+            frame = build_overlay_publish(origin, sequence, ttl - 1,
+                                          publish_frame)
+            self._sends[neighbour](frame)
+            self._m_forwarded.inc(link=neighbour)
+            forwarded += 1
+        return forwarded

@@ -1,0 +1,257 @@
+"""The assembled overlay: brokers, links, provider, clients, pumping.
+
+One :class:`OverlayNetwork` is a whole deployment on one machine:
+
+* an **access bus** carrying everything the single-router fabric
+  already had — clients' subscription requests to the provider,
+  provider-signed registrations to routers, publications, deliveries;
+* one **link bus per topology edge**, named after the edge so its
+  traffic and fault counters stay attributable, each with its own
+  optional :class:`~repro.network.faults.FaultPlan`;
+* one full :class:`~repro.overlay.node.OverlayNode` per broker — own
+  platform, own enclave, own WAL and supervisor, own metrics registry;
+* one **provider** (the keys are the provider's, not the overlay's)
+  that attests and provisions every broker enclave with the same SK,
+  and routes each client's registrations to that client's *home*
+  broker only — remote brokers learn of the interest exclusively
+  through summary adverts.
+
+Determinism: construction order, pump order and every seed are fixed,
+so a network built from the same ``(topology, seeds)`` replays the
+same way tick for tick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.protocol import parse_subscription_request
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import RetryPolicy, Router
+from repro.core.subscriber import Client
+from repro.errors import RoutingError
+from repro.network.bus import MessageBus
+from repro.network.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry, aggregate_snapshots
+from repro.overlay.forwarding import OverlayLinks
+from repro.overlay.node import OverlayNode
+from repro.overlay.propagation import AdvertScheduler
+from repro.overlay.topology import Topology
+from repro.recovery.supervisor import CrashSchedule, RouterSupervisor
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuilder
+from repro.sgx.platform import SgxPlatform
+
+__all__ = ["OverlayNetwork"]
+
+
+class OverlayNetwork:
+    """A topology of supervised SCBR brokers sharing one provider."""
+
+    def __init__(self, topology: Topology, vendor_key,
+                 rsa_bits: int = 768, ttl: Optional[int] = None,
+                 link_fault_plans: Optional[
+                     Dict[Tuple[str, str], FaultPlan]] = None,
+                 crash_schedules: Optional[
+                     Dict[str, CrashSchedule]] = None,
+                 checkpoint_interval: int = 32,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.topology = topology
+        self.access_registry = MetricsRegistry()
+        self.access_bus = MessageBus(metrics=self.access_registry,
+                                     name="access")
+        self.link_registry = MetricsRegistry()
+        self.ias = AttestationService(signing_key_bits=768)
+        link_fault_plans = link_fault_plans or {}
+        crash_schedules = crash_schedules or {}
+        if ttl is None:
+            ttl = topology.default_ttl()
+
+        # Every broker is its own machine: own platform, registered
+        # with the one attestation service the provider trusts. The
+        # enclave measurement is code-only, so one expected MRENCLAVE
+        # covers the whole fleet.
+        self._platforms: Dict[str, SgxPlatform] = {}
+        for broker in topology.brokers:
+            platform = SgxPlatform(attestation_key_bits=768)
+            self.ias.register_platform(platform)
+            self._platforms[broker] = platform
+        expected = EnclaveBuilder(
+            self._platforms[topology.brokers[0]],
+            ScbrEnclaveLibrary).measure()
+        self.provider = ServiceProvider(
+            self.access_bus, rsa_bits=rsa_bits,
+            attestation_service=self.ias,
+            expected_mr_enclave=expected)
+
+        self.nodes: Dict[str, OverlayNode] = {}
+        for broker in topology.brokers:
+            registry = MetricsRegistry()
+            router = Router(self.access_bus, self._platforms[broker],
+                            vendor_key, name=broker,
+                            rsa_bits=rsa_bits, metrics=registry,
+                            retry_policy=retry_policy)
+            self.provider.provision_router(router)
+            supervisor = RouterSupervisor(
+                router, self.provider.provision_router,
+                schedule=crash_schedules.get(broker),
+                checkpoint_interval=checkpoint_interval)
+            links = OverlayLinks(broker, registry, ttl=ttl)
+            scheduler = AdvertScheduler(router, links, registry,
+                                        supervisor=supervisor)
+            self.nodes[broker] = OverlayNode(
+                broker, router, supervisor, links, scheduler, registry)
+
+        self.link_buses: Dict[Tuple[str, str], MessageBus] = {}
+        for a, b in topology.edges:
+            bus = MessageBus(fault_plan=link_fault_plans.get((a, b)),
+                             metrics=self.link_registry,
+                             name=f"{a}~{b}")
+            self.nodes[a].connect_link(b, bus)
+            self.nodes[b].connect_link(a, bus)
+            self.link_buses[(a, b)] = bus
+
+        self._clients: Dict[str, Client] = {}
+        self._homes: Dict[str, str] = {}
+        self._publisher: Optional[Publisher] = None
+        self._closed = False
+
+    # -- population -------------------------------------------------------------
+
+    def node(self, broker: str) -> OverlayNode:
+        try:
+            return self.nodes[broker]
+        except KeyError:
+            raise RoutingError(f"no broker named {broker!r}") from None
+
+    def client(self, client_id: str, home: str,
+               subscription=None) -> Client:
+        """Admit a client whose home broker is ``home``; optionally
+        register an initial subscription (settled by the caller)."""
+        if client_id in self._clients:
+            raise RoutingError(f"client {client_id!r} already exists")
+        if client_id in self.nodes:
+            raise RoutingError(
+                f"client id {client_id!r} collides with a broker")
+        self.node(home)  # validates the home broker exists
+        client = Client(self.access_bus, client_id,
+                        self.provider.keys.public_key)
+        client.process_admission(
+            self.provider.admit_client(client_id))
+        self._clients[client_id] = client
+        self._homes[client_id] = home
+        if subscription is not None:
+            self.subscribe(client_id, subscription)
+        return client
+
+    def subscribe(self, client_id: str, subscription) -> None:
+        """Send one subscription to the provider (not yet settled)."""
+        self._clients[client_id].subscribe("provider", subscription)
+
+    def revoke(self, client_id: str) -> None:
+        """Revoke a client: rotate the group key and unregister its
+        subscriptions at its home broker."""
+        frames = self.provider.revoke_client(client_id)
+        if frames:
+            self.provider.endpoint.send(self._homes[client_id], frames)
+
+    def publisher(self, name: str = "publisher") -> Publisher:
+        """The network's publisher (one shared data source)."""
+        if self._publisher is None:
+            self._publisher = Publisher(self.access_bus,
+                                        self.provider.keys,
+                                        self.provider.group,
+                                        name=name)
+        return self._publisher
+
+    def publish(self, header, payload: bytes,
+                at: Optional[str] = None) -> None:
+        """Publish one event, entering the overlay at broker ``at``
+        (default: the first broker)."""
+        broker = at if at is not None else self.topology.brokers[0]
+        self.node(broker)  # validates
+        self.publisher().publish(broker, header, payload)
+
+    # -- pumping ----------------------------------------------------------------
+
+    def pump_provider(self) -> int:
+        """Handle pending subscription requests, routing each signed
+        registration to the requesting client's home broker (the
+        stock :meth:`ServiceProvider.pump` assumes a single router)."""
+        handled = 0
+        for _sender, frames in self.provider.endpoint.recv_all():
+            for frame in frames:
+                client_id, _blob = parse_subscription_request(frame)
+                register_frame = \
+                    self.provider.handle_subscription_request(frame)
+                self.provider.endpoint.send(self._homes[client_id],
+                                            [register_frame])
+                handled += 1
+        return handled
+
+    def pump_all(self) -> int:
+        """One network tick: provider, then every broker in name
+        order; returns summed observable activity."""
+        activity = self.pump_provider()
+        for broker in self.topology.brokers:
+            activity += self.nodes[broker].pump()
+        return activity
+
+    @property
+    def backlog(self) -> int:
+        """Frames and retries still owed anywhere in the fabric."""
+        pending = self.provider.endpoint.pending
+        return pending + sum(node.backlog
+                             for node in self.nodes.values())
+
+    def settle(self, max_rounds: int = 256) -> int:
+        """Pump until quiescent (no activity, no backlog); returns
+        rounds used. Raises if ``max_rounds`` was not enough — a
+        bounded settle that silently stops early would make the
+        equivalence tests vacuous."""
+        for round_number in range(1, max_rounds + 1):
+            activity = self.pump_all()
+            if activity == 0 and self.backlog == 0:
+                return round_number
+        raise RoutingError(
+            f"overlay did not settle within {max_rounds} rounds "
+            f"(backlog {self.backlog})")
+
+    # -- results / observability -------------------------------------------------
+
+    def drain_clients(self) -> None:
+        for client_id in sorted(self._clients):
+            self._clients[client_id].pump()
+
+    def deliveries(self) -> Dict[str, List[bytes]]:
+        """Decrypted payloads per client, in delivery order."""
+        self.drain_clients()
+        return {client_id: list(client.received)
+                for client_id, client in sorted(self._clients.items())}
+
+    def snapshot(self):
+        """Fleet-wide metrics: per-node registries (host + enclave)
+        plus the access- and link-bus registries, summed."""
+        parts = [self.nodes[b].snapshot()
+                 for b in self.topology.brokers]
+        parts.append(self.access_registry.snapshot())
+        parts.append(self.link_registry.snapshot())
+        return aggregate_snapshots(parts)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def disarm(self) -> None:
+        """Stop every broker's crash injection (recovery stays on)."""
+        for node in self.nodes.values():
+            node.supervisor.disarm()
+
+    def close(self) -> None:
+        """Tear down every node; idempotent, closes all even if some
+        enclaves are already corpses."""
+        if self._closed:
+            return
+        self._closed = True
+        for broker in self.topology.brokers:
+            self.nodes[broker].close()

@@ -1,0 +1,126 @@
+"""One overlay broker: a full SCBR router plus its overlay plumbing.
+
+A node owns everything PR 2 and PR 3 built for a single router —
+enclave, WAL, sealed checkpoints, supervised crash recovery — and adds
+the overlay parts: per-link endpoints on dedicated link buses, the
+hop-by-hop forwarding state, and the advert scheduler. Each node keeps
+its *own* metrics registry (the network aggregates them with
+:func:`repro.obs.metrics.aggregate_snapshots`), mirroring the fact
+that in a deployment each broker is a separate host.
+
+The pump order matters: link traffic is injected into the router's
+inbox *before* the supervised drain, so an OPUB and the local PUBs
+behind it share one fault boundary; adverts are refreshed *after* the
+drain, so a registration processed this tick is advertised this tick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.engine import LINK_PREFIX
+from repro.errors import EnclaveError, EnclaveLost, RoutingError
+from repro.network.bus import Endpoint, MessageBus
+from repro.obs.metrics import MetricsRegistry
+from repro.overlay.forwarding import OverlayLinks
+from repro.overlay.propagation import AdvertScheduler
+
+__all__ = ["OverlayNode"]
+
+
+class OverlayNode:
+    """Router + supervisor + links + advert scheduling, as one unit."""
+
+    def __init__(self, name: str, router, supervisor,
+                 links: OverlayLinks, scheduler: AdvertScheduler,
+                 metrics: MetricsRegistry) -> None:
+        self.name = name
+        self.router = router
+        self.supervisor = supervisor
+        self.links = links
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self._link_endpoints: Dict[str, Endpoint] = {}
+        router.attach_overlay(links)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def connect_link(self, neighbour: str, bus: MessageBus) -> None:
+        """Attach this node's end of the link bus shared with
+        ``neighbour``; both nodes call this on the same bus."""
+        if neighbour in self._link_endpoints:
+            raise RoutingError(
+                f"{self.name} already linked to {neighbour!r}")
+        endpoint = bus.endpoint(self.name)
+        self._link_endpoints[neighbour] = endpoint
+        self.links.connect(
+            neighbour,
+            lambda frame, _to=neighbour, _ep=endpoint:
+                _ep.send(_to, [frame]))
+
+    # -- the drive loop ---------------------------------------------------------
+
+    def _drain_links(self) -> int:
+        """Move pending link traffic into the router's own inbox.
+
+        Injection uses the inbox's host-local requeue (the frame was
+        already counted when the link bus accepted it) with the sender
+        rewritten to ``link:<neighbour>`` — the incoming-link identity
+        the forwarding split-horizon needs.
+        """
+        moved = 0
+        for neighbour in sorted(self._link_endpoints):
+            endpoint = self._link_endpoints[neighbour]
+            for _sender, frames in endpoint.recv_all():
+                self.router.endpoint.requeue(LINK_PREFIX + neighbour,
+                                             frames)
+                moved += len(frames)
+        return moved
+
+    def pump(self) -> int:
+        """One node tick; returns a count of observable activity.
+
+        Activity (moved link frames + drained frames + adverts sent)
+        is what the network's settle loop sums to detect quiescence, so
+        anything that can cause further work must count.
+        """
+        activity = self._drain_links()
+        activity += self.supervisor.pump()
+        try:
+            activity += self.scheduler.refresh()
+        except EnclaveLost:
+            # The refresh already re-marked itself dirty; recover the
+            # enclave so the next tick's attempt finds it live.
+            self.supervisor.recover()
+            activity += 1
+        return activity
+
+    @property
+    def backlog(self) -> int:
+        """Work still owed: queued frames and scheduled retries."""
+        pending = self.router.endpoint.pending
+        pending += sum(endpoint.pending
+                       for endpoint in self._link_endpoints.values())
+        pending += self.router.pending_retries
+        if self.links.interest_dirty:
+            pending += 1
+        return pending
+
+    # -- lifecycle / observability ----------------------------------------------
+
+    def close(self) -> None:
+        """Tear the node down; delegates to the router's idempotent
+        close so a double teardown (network close + test cleanup) or a
+        close over a crash-killed enclave stays a no-op."""
+        self.router.close()
+
+    def snapshot(self):
+        """This node's flat metrics, merged with its enclave's."""
+        samples = self.metrics.snapshot()
+        try:
+            samples.update(self.router.enclave.ecall("engine_metrics"))
+        except (EnclaveError, EnclaveLost):
+            # A corpse between pumps (lost) or a node already torn
+            # down (destroyed): host-side samples still stand.
+            pass
+        return samples

@@ -1,0 +1,111 @@
+"""The flat oracle: one router serving every client, no overlay.
+
+The overlay's correctness bar is *routing-topology transparency*: for
+any topology, any home-broker assignment and any entry broker, each
+client must decrypt exactly the payloads it would have received from a
+single flat SCBR router holding all subscriptions. This module is
+that reference world, exposing the same driving surface as
+:class:`~repro.overlay.network.OverlayNetwork` (``client`` /
+``subscribe`` / ``revoke`` / ``publish`` / ``settle`` /
+``deliveries``) with the placement arguments accepted and ignored, so
+an equivalence test runs one scripted workload against both verbatim.
+
+The two worlds have independent keys, so ciphertexts differ; the
+comparison is over *decrypted payloads per client*, which is the
+quantity the paper's clients actually observe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import ScbrEnclaveLibrary
+from repro.core.provider import ServiceProvider
+from repro.core.publisher import Publisher
+from repro.core.router import RetryPolicy, Router
+from repro.core.subscriber import Client
+from repro.errors import RoutingError
+from repro.network.bus import MessageBus
+from repro.obs.metrics import MetricsRegistry
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuilder
+from repro.sgx.platform import SgxPlatform
+
+__all__ = ["FlatOracle"]
+
+
+class FlatOracle:
+    """Single-router reference world with the overlay driver surface."""
+
+    def __init__(self, vendor_key, rsa_bits: int = 768,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.registry = MetricsRegistry()
+        self.bus = MessageBus(metrics=self.registry)
+        self.platform = SgxPlatform(attestation_key_bits=768)
+        self.ias = AttestationService(signing_key_bits=768)
+        self.ias.register_platform(self.platform)
+        expected = EnclaveBuilder(self.platform,
+                                  ScbrEnclaveLibrary).measure()
+        self.router = Router(self.bus, self.platform, vendor_key,
+                             rsa_bits=rsa_bits, metrics=self.registry,
+                             retry_policy=retry_policy)
+        self.provider = ServiceProvider(
+            self.bus, rsa_bits=rsa_bits, attestation_service=self.ias,
+            expected_mr_enclave=expected)
+        self.provider.provision_router(self.router)
+        self._publisher = Publisher(self.bus, self.provider.keys,
+                                    self.provider.group)
+        self._clients: Dict[str, Client] = {}
+
+    # -- the shared driving surface ---------------------------------------------
+
+    def client(self, client_id: str, home: Optional[str] = None,
+               subscription=None) -> Client:
+        """Admit a client (``home`` accepted for drop-in parity and
+        ignored — there is only one router here)."""
+        if client_id in self._clients:
+            raise RoutingError(f"client {client_id!r} already exists")
+        client = Client(self.bus, client_id,
+                        self.provider.keys.public_key)
+        client.process_admission(
+            self.provider.admit_client(client_id))
+        self._clients[client_id] = client
+        if subscription is not None:
+            self.subscribe(client_id, subscription)
+        return client
+
+    def subscribe(self, client_id: str, subscription) -> None:
+        self._clients[client_id].subscribe("provider", subscription)
+
+    def revoke(self, client_id: str) -> None:
+        frames = self.provider.revoke_client(client_id)
+        if frames:
+            self.provider.endpoint.send(self.router.name, frames)
+
+    def publish(self, header, payload: bytes,
+                at: Optional[str] = None) -> None:
+        """Publish one event (``at`` accepted and ignored)."""
+        self._publisher.publish(self.router.name, header, payload)
+
+    def settle(self, max_rounds: int = 256) -> int:
+        """Pump provider and router to quiescence; returns rounds."""
+        for round_number in range(1, max_rounds + 1):
+            activity = self.provider.pump(self.router.name)
+            activity += self.router.pump()
+            if activity == 0 and self.router.endpoint.pending == 0 \
+                    and self.router.pending_retries == 0:
+                return round_number
+        raise RoutingError(
+            f"oracle did not settle within {max_rounds} rounds")
+
+    def drain_clients(self) -> None:
+        for client_id in sorted(self._clients):
+            self._clients[client_id].pump()
+
+    def deliveries(self) -> Dict[str, List[bytes]]:
+        self.drain_clients()
+        return {client_id: list(client.received)
+                for client_id, client in sorted(self._clients.items())}
+
+    def close(self) -> None:
+        self.router.close()

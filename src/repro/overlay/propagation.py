@@ -1,0 +1,138 @@
+"""Subscription-summary propagation with re-advertisement suppression.
+
+Each broker advertises, per link, the covering antichain of every
+interest it holds *except* what it learned from that link (split
+horizon). The scheduler here decides *when* those adverts go out:
+
+* a **change signature** over the router's interest counters
+  (registrations, withdrawals, installed neighbour adverts, completed
+  recoveries) gates the whole refresh — a quiescent broker never
+  enters the enclave at all;
+* per link, the exported advert's deterministic digest is compared
+  against the digest last sent on that link — byte-identical covering
+  sets are **suppressed**, not re-sent, which is what keeps churn that
+  is absorbed by covering (a new subscription under an already
+  advertised one) and crash recovery (same state, rebuilt enclave)
+  from flooding the overlay;
+* the digest of the *empty* advert is computable host-side, so a
+  broker with nothing to say sends nothing even on its first refresh.
+
+An enclave death during an export is recovered through the node's
+supervisor and the export retried; a refresh that still cannot finish
+leaves the dirty flag set so the next pump tries again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.engine import advert_digest
+from repro.core.protocol import build_summary
+from repro.errors import EnclaveLost
+from repro.obs.metrics import MetricsRegistry
+from repro.overlay.forwarding import OverlayLinks
+
+__all__ = ["AdvertScheduler"]
+
+
+class AdvertScheduler:
+    """Digest-gated advert refresh for one broker's links."""
+
+    def __init__(self, router, links: OverlayLinks,
+                 metrics: MetricsRegistry, supervisor=None) -> None:
+        self._router = router
+        self._links = links
+        #: optional :class:`repro.recovery.RouterSupervisor`; lets a
+        #: refresh survive an injected enclave death mid-export.
+        self._supervisor = supervisor
+        #: link -> digest of the advert last actually sent on it.
+        #: Seeded lazily with the empty-advert digest, so "nothing to
+        #: advertise" needs no initial frame.
+        self._sent_digests: Dict[str, bytes] = {}
+        self._last_signature: Optional[Tuple[int, ...]] = None
+
+        self._m_sent = metrics.counter(
+            "overlay.adverts_sent_total",
+            "summary adverts sent to a neighbour, by link")
+        self._m_suppressed = metrics.counter(
+            "overlay.adverts_suppressed_total",
+            "advert refreshes suppressed because the covering set "
+            "digest was unchanged, by link")
+        self._m_refreshes = metrics.counter(
+            "overlay.advert_refreshes_total",
+            "refresh passes that actually exported adverts")
+
+    # -- change detection -------------------------------------------------------
+
+    def _signature(self) -> Tuple[int, ...]:
+        """Cheap fingerprint of everything that can move our interest.
+
+        Local churn (register/unregister), remote churn (a neighbour
+        advert installed) and recovery (state rebuilt — the covering
+        set *should* be unchanged, and the digest comparison proves
+        it, feeding the suppressed-re-advert counter).
+        """
+        router = self._router
+        recoveries = 0
+        if self._supervisor is not None:
+            recoveries = self._supervisor._m_recoveries.value
+        return (router._m_registrations.value,
+                router._m_unregistrations.value,
+                router._m_summaries.value,
+                recoveries)
+
+    # -- the refresh pass -------------------------------------------------------
+
+    def _export(self, neighbour: str) -> Tuple[bytes, bytes]:
+        """Export one link's advert, recovering a lost enclave once."""
+        sentinel = OverlayLinks.sentinel_for(neighbour)
+        origin = self._links.node_name
+        try:
+            return self._router.enclave.ecall(
+                "export_link_advert", origin, sentinel)
+        except EnclaveLost:
+            if self._supervisor is None:
+                raise
+            self._supervisor.recover()
+            return self._router.enclave.ecall(
+                "export_link_advert", origin, sentinel)
+
+    def refresh(self, force: bool = False) -> int:
+        """Re-advertise links whose covering set changed; returns sends.
+
+        No-op (zero ecalls) while the change signature is stable and
+        nothing marked the interest dirty. ``force`` runs the export
+        pass regardless — the digests still gate what is sent.
+        """
+        signature = self._signature()
+        if not force and not self._links.interest_dirty \
+                and signature == self._last_signature:
+            return 0
+        self._links.interest_dirty = False
+        self._m_refreshes.inc()
+        sent = 0
+        try:
+            for neighbour in self._links.neighbours():
+                digest, blob = self._export(neighbour)
+                last = self._sent_digests.get(neighbour)
+                if last is None:
+                    last = advert_digest(
+                        OverlayLinks.sentinel_for(neighbour), [])
+                if digest == last:
+                    self._m_suppressed.inc(link=neighbour)
+                    continue
+                frame = build_summary(self._links.node_name, digest,
+                                      blob)
+                self._links.send_to(neighbour, frame)
+                self._sent_digests[neighbour] = digest
+                self._m_sent.inc(link=neighbour)
+                sent += 1
+        except EnclaveLost:
+            # Could not finish even after one recovery: leave the
+            # refresh owing, to be retried on the next pump.
+            self._links.interest_dirty = True
+            raise
+        # Recorded only after a complete pass, so a half-finished
+        # refresh is retried rather than silently considered done.
+        self._last_signature = signature
+        return sent

@@ -1,0 +1,146 @@
+"""Broker graph descriptions: seeded line, tree and random topologies.
+
+A topology is a validated undirected graph over named brokers. The
+builders are fully seed-determined, so every overlay test and bench
+names its world with ``(shape, n_brokers, seed)`` and reproduces it
+bit-for-bit. Line and tree graphs are acyclic — adverts converge to
+the minimal covering state; the random builder adds extra edges on
+top of a random spanning tree, deliberately creating cycles so the
+per-hop dedup and TTL machinery is exercised (DESIGN.md §9 discusses
+the phantom-interest caveat cycles introduce).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+
+__all__ = ["Topology"]
+
+
+def _broker_names(n_brokers: int) -> Tuple[str, ...]:
+    return tuple(f"b{i + 1}" for i in range(n_brokers))
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected broker graph; edges are unordered broker pairs."""
+
+    brokers: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    #: human label for bench records ("line", "tree", "random", ...).
+    shape: str = "custom"
+    _neighbours: Dict[str, Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.brokers:
+            raise RoutingError("topology needs at least one broker")
+        if len(set(self.brokers)) != len(self.brokers):
+            raise RoutingError("duplicate broker names")
+        known = set(self.brokers)
+        seen = set()
+        adjacency: Dict[str, List[str]] = {b: [] for b in self.brokers}
+        for a, b in self.edges:
+            if a not in known or b not in known:
+                raise RoutingError(f"edge ({a!r}, {b!r}) references an "
+                                   f"unknown broker")
+            if a == b:
+                raise RoutingError(f"self-loop on broker {a!r}")
+            key = frozenset((a, b))
+            if key in seen:
+                raise RoutingError(f"duplicate edge ({a!r}, {b!r})")
+            seen.add(key)
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        # Connectivity: a publication must be able to reach any broker.
+        reached = {self.brokers[0]}
+        frontier = [self.brokers[0]]
+        while frontier:
+            for neighbour in adjacency[frontier.pop()]:
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    frontier.append(neighbour)
+        if len(reached) != len(self.brokers):
+            missing = sorted(known - reached)
+            raise RoutingError(f"topology is disconnected: {missing} "
+                               f"unreachable from {self.brokers[0]!r}")
+        object.__setattr__(
+            self, "_neighbours",
+            {b: tuple(sorted(adjacency[b])) for b in self.brokers})
+
+    def neighbours(self, broker: str) -> Tuple[str, ...]:
+        """Brokers sharing an edge with ``broker``, sorted."""
+        try:
+            return self._neighbours[broker]
+        except KeyError:
+            raise RoutingError(f"no broker named {broker!r}") from None
+
+    @property
+    def n_brokers(self) -> int:
+        return len(self.brokers)
+
+    def default_ttl(self) -> int:
+        """A TTL that always suffices: every path visits each broker
+        at most once (dedup enforces this), so ``n_brokers`` hops
+        bound any useful forward chain."""
+        return len(self.brokers)
+
+    # -- builders (all seeded, all deterministic) -----------------------------
+
+    @staticmethod
+    def line(n_brokers: int) -> "Topology":
+        """``b1 - b2 - ... - bn``: the worst-diameter chain."""
+        brokers = _broker_names(n_brokers)
+        edges = tuple((brokers[i], brokers[i + 1])
+                      for i in range(n_brokers - 1))
+        return Topology(brokers, edges, shape="line")
+
+    @staticmethod
+    def tree(n_brokers: int, seed: int = 0,
+             max_children: int = 3) -> "Topology":
+        """Random tree: each broker attaches to an earlier one with
+        spare child capacity. Acyclic, so adverts converge to the
+        minimal state and suppressed forwarding is easy to observe."""
+        if max_children < 1:
+            raise RoutingError("max_children must be at least 1")
+        rng = random.Random(seed)
+        brokers = _broker_names(n_brokers)
+        child_counts = [0] * n_brokers
+        edges: List[Tuple[str, str]] = []
+        for index in range(1, n_brokers):
+            candidates = [i for i in range(index)
+                          if child_counts[i] < max_children]
+            parent = rng.choice(candidates) if candidates \
+                else rng.randrange(index)
+            child_counts[parent] += 1
+            edges.append((brokers[parent], brokers[index]))
+        return Topology(brokers, tuple(edges), shape="tree")
+
+    @staticmethod
+    def random(n_brokers: int, seed: int = 0,
+               extra_edges: int = 1) -> "Topology":
+        """Random spanning tree plus ``extra_edges`` chords.
+
+        The chords create cycles: redundant paths that stress the
+        (origin, sequence) dedup and, under churn, the phantom-interest
+        convergence discussed in DESIGN.md §9.
+        """
+        rng = random.Random(seed)
+        brokers = _broker_names(n_brokers)
+        edges: List[Tuple[str, str]] = []
+        for index in range(1, n_brokers):
+            parent = rng.randrange(index)
+            edges.append((brokers[parent], brokers[index]))
+        present = {frozenset(edge) for edge in edges}
+        candidates = [(brokers[i], brokers[j])
+                      for i in range(n_brokers)
+                      for j in range(i + 1, n_brokers)
+                      if frozenset((brokers[i], brokers[j]))
+                      not in present]
+        rng.shuffle(candidates)
+        edges.extend(candidates[:max(0, extra_edges)])
+        return Topology(brokers, tuple(edges), shape="random")

@@ -40,7 +40,8 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
-                                 MSG_UNREGISTER, parse_register,
+                                 MSG_SUMMARY, MSG_UNREGISTER,
+                                 parse_register, parse_summary,
                                  parse_unregister)
 from repro.errors import (CryptoError, EnclaveError, EnclaveLost,
                           MatchingError, NetworkError, RecoveryError,
@@ -316,6 +317,13 @@ class RouterSupervisor:
                     envelope, signature = parse_unregister(record.frame)
                     enclave.ecall("unregister_subscription", envelope,
                                   signature)
+                elif record.kind == MSG_SUMMARY:
+                    # Neighbour adverts are routing state too: replay
+                    # re-installs them in journal order, and last-wins
+                    # replacement inside the enclave makes re-running
+                    # any already-applied prefix harmless.
+                    origin, _digest, blob = parse_summary(record.frame)
+                    enclave.ecall("install_link_advert", origin, blob)
                 else:
                     raise RoutingError(
                         f"WAL holds unexpected {record.kind!r} record")
@@ -331,7 +339,7 @@ class RouterSupervisor:
     def _resume(self, in_flight: Tuple[str, str, bytes]) -> None:
         """Re-dispatch (or suppress) the crash-interrupted frame."""
         sender, kind, frame = in_flight
-        if kind in (MSG_REGISTER, MSG_UNREGISTER):
+        if kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_SUMMARY):
             # Already journalled before its ecall; the replay above
             # applied it. Re-dispatching would journal it twice, so
             # only the router's ledger is updated here — the frame
@@ -340,8 +348,12 @@ class RouterSupervisor:
             if kind == MSG_REGISTER:
                 self.router.registrations += 1
                 self.router._m_registrations.inc()
-            else:
+            elif kind == MSG_UNREGISTER:
                 self.router._m_unregistrations.inc()
+            else:
+                self.router._m_summaries.inc()
+                if self.router.overlay is not None:
+                    self.router.overlay.note_interest_change()
             return
         self._m_resumed.inc(kind=kind if kind == MSG_PUBLISH
                             else "other")

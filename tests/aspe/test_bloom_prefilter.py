@@ -115,3 +115,65 @@ class TestPrefilteredMatching:
         range_only = Subscription.parse({"price": (0.0, 10.0)})
         assert subscription_bloom(
             scheme.encrypt_subscription(range_only)).popcount == 0
+
+
+class TestPrefilterEdges:
+
+    def _setup(self):
+        schema = AttributeSchema(("symbol", "price"), {})
+        scheme = AspeScheme(schema, np.random.default_rng(3))
+        matcher = PrefilteredAspeMatcher(scheme.cipher_dimension)
+        return scheme, matcher
+
+    def test_empty_matcher_answers_instead_of_crashing(self):
+        """Regression: matching before any registration used to die in
+        the row-matrix compile (np.concatenate over zero tables)."""
+        scheme, matcher = self._setup()
+        event = Event({"symbol": "HAL", "price": 5.0})
+        result = matcher.match(scheme.encrypt_event(event),
+                               event_bloom(scheme, event))
+        assert result.subscribers == set()
+        assert result.subscriptions_tested == 0
+        assert result.halfspaces_tested == 0
+        assert result.simulated_us == 0.0
+
+    def test_registration_after_match_recompiles(self):
+        """The compiled row matrix is invalidated by registration, not
+        rebuilt eagerly: a register -> match -> register -> match cycle
+        must see the late subscription."""
+        scheme, matcher = self._setup()
+        event = Event({"symbol": "HAL", "price": 5.0})
+        point = scheme.encrypt_event(event)
+        bloom = event_bloom(scheme, event)
+        first = Subscription.parse({"symbol": "HAL",
+                                    "price": (0.0, 10.0)})
+        matcher.register(scheme.encrypt_subscription(first), "early")
+        assert matcher.match(point, bloom).subscribers == {"early"}
+        late = Subscription.parse({"symbol": "HAL",
+                                   "price": (0.0, 50.0)})
+        matcher.register(scheme.encrypt_subscription(late), "late")
+        assert matcher.match(point, bloom).subscribers \
+            == {"early", "late"}
+
+    def test_false_positive_rate_bounded_no_false_negatives(self):
+        """Seeded FP bound: 200 non-matching equality subscriptions
+        against one event; the Bloom parameters (256 bits, 3 hashes,
+        a handful of tokens) put the per-subscription FP probability
+        around (6/256)^3 ~ 1e-5, so a 1% observed candidate rate is a
+        generous ceiling. The one genuinely matching subscription must
+        always be a candidate: subset tests have no false negatives."""
+        scheme, matcher = self._setup()
+        for index in range(200):
+            decoy = Subscription.parse({"symbol": f"S{index}",
+                                        "price": (0.0, 10.0)})
+            matcher.register(scheme.encrypt_subscription(decoy),
+                             f"decoy-{index}")
+        needle = Subscription.parse({"symbol": "QQQ",
+                                     "price": (0.0, 10.0)})
+        matcher.register(scheme.encrypt_subscription(needle), "needle")
+        event = Event({"symbol": "QQQ", "price": 5.0})
+        result = matcher.match(scheme.encrypt_event(event),
+                               event_bloom(scheme, event))
+        assert result.subscribers == {"needle"}
+        assert result.subscriptions_tested >= 1  # no false negatives
+        assert result.subscriptions_tested <= 1 + 2  # FP rate <= 1%

@@ -1,0 +1,63 @@
+"""The overlay benchmark, smoke-tested at a reduced configuration.
+
+The real run (``python -m repro overlay --record``) writes
+``BENCH_overlay.json``; this keeps the harness itself honest — every
+topology run must come back byte-equivalent to the flat oracle, with
+the traffic accounting fields populated and the covering gate
+demonstrably pruning something somewhere.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+from repro.bench.export import record_bench
+from repro.bench.overlay import run_overlay_bench
+
+
+class TestOverlayBench:
+
+    def setup_method(self):
+        self.result = run_overlay_bench(name="overlay-smoke", seed=11,
+                                        n_clients=3, n_publications=4)
+
+    def test_every_topology_matches_the_flat_oracle(self):
+        assert [run.shape for run in self.result.runs] == \
+            ["line", "tree", "random"]
+        assert all(run.equivalent_to_flat for run in self.result.runs)
+        assert self.result.all_equivalent
+
+    def test_accounting_fields_are_populated(self):
+        for run in self.result.runs:
+            assert run.n_brokers >= 4
+            assert run.n_links >= run.n_brokers - 1
+            assert run.settle_rounds > 0
+            assert run.wall_seconds >= 0.0
+            assert run.adverts_sent > 0
+            # every counter is a non-negative integer, never a float
+            for field in ("publications_forwarded",
+                          "publications_suppressed", "adverts_sent",
+                          "adverts_suppressed", "duplicates_dropped",
+                          "deliveries"):
+                value = getattr(run, field)
+                assert isinstance(value, int) and value >= 0
+
+    def test_covering_gate_pruned_traffic_somewhere(self):
+        assert self.result.suppression_observed
+        assert sum(run.publications_suppressed
+                   for run in self.result.runs) > 0
+
+    def test_result_records_honest_environment(self, tmp_path):
+        assert self.result.cpu_cores >= 1
+        assert self.result.python_version.count(".") == 2
+        path = record_bench("overlay-smoke", self.result,
+                            directory=tmp_path)
+        payload = json.loads(pathlib.Path(path).read_text())
+        assert payload["seed"] == 11
+        assert len(payload["runs"]) == 3
+        restored = [r["shape"] for r in payload["runs"]]
+        assert restored == ["line", "tree", "random"]
+        # the dataclass round-trips completely: nothing dropped
+        assert set(payload) >= {
+            field.name
+            for field in dataclasses.fields(self.result)}

@@ -155,3 +155,41 @@ class TestProcessLifecycle:
     def test_empty_batch(self):
         with MatcherCluster(2, spec=SPEC, backend="process") as cluster:
             assert cluster.match_batch([]) == []
+
+
+class TestWorkerTeardownIdempotency:
+    """Regression: a second Connection.close() raises OSError, so any
+    stop/kill/close ordering that reached the pipe twice blew up a
+    teardown path that promises to be a no-op."""
+
+    def test_stop_after_kill_then_close(self):
+        process = MatcherCluster(2, spec=SPEC, backend="process")
+        process.register(Subscription.parse({"x": 1}), "alice")
+        process.match(Event({"x": 1}))  # flush so workers are live
+        worker = process._workers[0]
+        worker.kill()
+        worker.stop()   # dead process, closed pipe: must not raise
+        worker.kill()   # and the other order too
+        process.close()
+
+    def test_double_stop_and_double_kill(self):
+        process = MatcherCluster(2, spec=SPEC, backend="process")
+        try:
+            worker = process._workers[1]
+            worker.stop()
+            worker.stop()
+            worker.kill()
+        finally:
+            process.close()
+
+    def test_close_after_worker_process_died(self):
+        """A worker whose process is already gone (crash, OOM kill)
+        must not wedge cluster teardown."""
+        process = MatcherCluster(2, spec=SPEC, backend="process")
+        process.register(Subscription.parse({"x": 1}), "alice")
+        process.match(Event({"x": 1}))
+        victim = process._workers[0]._process
+        victim.terminate()
+        victim.join(5.0)
+        process.close()
+        process.close()  # and closing a closed cluster stays a no-op

@@ -305,3 +305,22 @@ class TestRouterRequeue:
         assert len(router.dead_letters) == 1
         assert router.dead_letters.counts_by_reason[
             "retries-exhausted"] == 2
+
+
+class TestCloseIdempotency:
+    """Regression: Router.close() used to EREMOVE the enclave
+    unconditionally, so a double close — or a close after an injected
+    crash had already destroyed the enclave — raised out of a teardown
+    path that every caller treats as infallible."""
+
+    def test_close_twice_is_a_noop(self, world):
+        _bus, router, _provider, _publisher = world
+        router.close()
+        assert router.closed
+        router.close()
+
+    def test_close_over_a_destroyed_enclave(self, world):
+        _bus, router, _provider, _publisher = world
+        router.enclave.destroy()   # a crash got there first
+        router.close()
+        router.close()

@@ -152,3 +152,57 @@ class TestEquivalence:
             assert hybrid.match(event) == reference.match(event)
             traced, _v, _e = hybrid.match_traced(event)
             assert traced == reference.match(event)
+
+
+class TestByKeyFallback:
+    """Re-parenting can strand a stored subscription off the
+    first-cover descent path; a duplicate insert must then be caught
+    by the key map, not stored twice."""
+
+    def _stranded_world(self):
+        _p, forest = make_hybrid(split_depth=1)
+        P = Subscription.of(Predicate("x", Op.RANGE, (0.0, 10.0)),
+                            Predicate("y", Op.RANGE, (0.0, 10.0)))
+        Q = Subscription.of(Predicate("y", Op.RANGE, (0.0, 20.0)),
+                            Predicate("z", Op.RANGE, (0.0, 100.0)))
+        S = Subscription.of(Predicate("x", Op.EQ, 5.0),
+                            Predicate("y", Op.EQ, 5.0),
+                            Predicate("z", Op.EQ, 5.0))
+        G = Subscription.of(Predicate("x", Op.RANGE, (0.0, 100.0)))
+        forest.insert(P, "p")
+        forest.insert(Q, "q")
+        forest.insert(S, "s")     # first-cover descent parks S under P
+        forest.insert(G, "g")     # G absorbs P; roots are now [Q, G]
+        return forest, (P, Q, S, G)
+
+    def test_duplicate_insert_hits_the_key_map(self):
+        forest, (_P, _Q, S, _G) = self._stranded_world()
+        nodes_before = forest.n_nodes
+        # The descent from the roots now reaches S via Q's (empty)
+        # subtree — a dead end; only the key-map fallback can find the
+        # node re-parented under P.
+        node = forest.insert(S, "s2")
+        assert node.subscribers == {"s", "s2"}
+        assert forest.n_nodes == nodes_before
+        assert forest.n_subscriptions == 5
+        event = Event({"x": 5.0, "y": 5.0, "z": 5.0})
+        assert forest.match(event) >= {"s", "s2"}
+
+    def test_duplicate_pair_does_not_inflate_the_count(self):
+        forest, (_P, _Q, S, _G) = self._stranded_world()
+        forest.insert(S, "s")     # identical pair: idempotent
+        assert forest.n_subscriptions == 4
+
+    def test_removal_finds_the_stranded_node_and_frees_its_bytes(self):
+        forest, (P, Q, S, G) = self._stranded_world()
+        assert forest.remove_subscriber(S, "s")
+        assert forest.match(Event({"x": 5.0, "y": 5.0,
+                                   "z": 5.0})) == {"p", "q", "g"}
+        assert not forest.remove_subscriber(S, "s")  # already gone
+        for subscription, subscriber in ((P, "p"), (Q, "q"),
+                                         (G, "g")):
+            assert forest.remove_subscriber(subscription, subscriber)
+        assert forest.n_nodes == 0
+        assert forest.n_subscriptions == 0
+        assert forest.enclave_bytes == 0
+        assert forest.external_bytes == 0

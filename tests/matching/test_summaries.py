@@ -158,3 +158,86 @@ class TestSummarizedForest:
         for symbol, value in event_specs:
             event = Event({"symbol": symbol, "close": value})
             assert forest.match(event) == reference.match(event)
+
+
+class TestUnregisterExactness:
+    """The merge layer's covering gates must stay exact while the base
+    forest churns underneath them: a removal can splice roots away, so
+    a summary hull built before it describes clusters that no longer
+    exist."""
+
+    def _populated(self):
+        forest = SummarizedForest(min_cluster=2)
+        subscriptions = {}
+        for index, lo in enumerate((0, 10, 20, 30)):
+            subscription = sub({"symbol": "HAL",
+                                "close": (float(lo), float(lo + 5))})
+            forest.insert(subscription, index)
+            subscriptions[index] = subscription
+        assert forest.match(Event({"symbol": "HAL", "close": 11.0})) \
+            == {1}
+        assert forest.n_summaries == 1
+        return forest, subscriptions
+
+    def test_removal_invalidates_the_stale_hull(self):
+        forest, subscriptions = self._populated()
+        assert forest.remove_subscriber(subscriptions[1], 1)
+        # The gate is rebuilt before the next answer: the removed
+        # subscriber is gone, its siblings still match.
+        assert forest.match(Event({"symbol": "HAL",
+                                   "close": 11.0})) == set()
+        assert forest.match(Event({"symbol": "HAL",
+                                   "close": 21.0})) == {2}
+        forest.check_invariants()
+
+    def test_removal_below_min_cluster_drops_the_summary(self):
+        forest, subscriptions = self._populated()
+        for index in (0, 1, 2):
+            assert forest.remove_subscriber(subscriptions[index],
+                                            index)
+        assert forest.match(Event({"symbol": "HAL",
+                                   "close": 31.0})) == {3}
+        # One root left: below min_cluster, so no synthetic gate.
+        assert forest.n_summaries == 0
+        assert forest.n_subscriptions == 1
+
+    def test_unknown_removal_keeps_summaries_valid(self):
+        forest, subscriptions = self._populated()
+        stranger = sub({"symbol": "XOM", "close": (0.0, 1.0)})
+        assert not forest.remove_subscriber(stranger, "nobody")
+        assert forest.n_summaries == 1  # nothing changed, no rebuild
+
+    values = st.integers(min_value=0, max_value=8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["HAL", "IBM", "GE"]), values,
+                  values),
+        min_size=2, max_size=20),
+        st.data())
+    def test_exactness_survives_unregister_churn(self, sub_specs,
+                                                 data):
+        """Insert everything, then remove a random subset with matches
+        interleaved; the summarized forest must track the plain forest
+        exactly through every intermediate state."""
+        forest = SummarizedForest(min_cluster=2)
+        reference = ContainmentForest()
+        live = []
+        for index, (symbol, a, b) in enumerate(sub_specs):
+            lo, hi = min(a, b), max(a, b)
+            subscription = sub({"symbol": symbol,
+                                "close": (float(lo), float(hi))})
+            forest.insert(subscription, index)
+            reference.insert(subscription, index)
+            live.append((subscription, index))
+        while live:
+            subscription, index = data.draw(st.sampled_from(live))
+            assert forest.remove_subscriber(subscription, index)
+            assert reference.remove_subscriber(subscription, index)
+            live.remove((subscription, index))
+            symbol = data.draw(st.sampled_from(["HAL", "IBM", "XOM"]))
+            value = float(data.draw(self.values))
+            event = Event({"symbol": symbol, "close": value})
+            assert forest.match(event) == reference.match(event)
+            forest.check_invariants()
+        assert forest.n_subscriptions == 0

@@ -1,0 +1,149 @@
+"""OverlayLinks unit tests: link registry, dedup window, TTL budget.
+
+These are host-side mechanics — no enclave involved — so the tests
+drive :class:`~repro.overlay.forwarding.OverlayLinks` directly with
+callable "wires" that append to lists, and read the suppression
+accounting straight off the metrics registry.
+"""
+
+import pytest
+
+from repro.core.protocol import parse_overlay_publish
+from repro.errors import RoutingError
+from repro.obs.metrics import MetricsRegistry
+from repro.overlay.forwarding import OverlayLinks
+
+PUB = b"\x07inner-pub-frame"
+
+
+def make_links(ttl=4, dedup_capacity=4096, neighbours=("b2", "b3")):
+    registry = MetricsRegistry()
+    links = OverlayLinks("b1", registry, ttl=ttl,
+                         dedup_capacity=dedup_capacity)
+    wires = {}
+    for neighbour in neighbours:
+        wires[neighbour] = []
+        links.connect(neighbour, wires[neighbour].append)
+    return registry, links, wires
+
+
+class TestRegistry:
+
+    def test_constructor_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RoutingError):
+            OverlayLinks("b1", registry, ttl=0)
+        with pytest.raises(RoutingError):
+            OverlayLinks("b1", registry, dedup_capacity=0)
+
+    def test_connect_validation(self):
+        _registry, links, _wires = make_links()
+        with pytest.raises(RoutingError):
+            links.connect("", lambda frame: None)
+        with pytest.raises(RoutingError):
+            links.connect("b1", lambda frame: None)  # self-link
+        with pytest.raises(RoutingError):
+            links.connect("b2", lambda frame: None)  # duplicate
+
+    def test_send_to_unknown_link_raises(self):
+        _registry, links, _wires = make_links()
+        with pytest.raises(RoutingError):
+            links.send_to("b9", b"frame")
+
+    def test_sentinel_naming(self):
+        assert OverlayLinks.sentinel_for("b7") == "link:b7"
+        _registry, links, _wires = make_links()
+        assert links.neighbours() == ["b2", "b3"]
+        assert links.is_neighbour("b2")
+        assert not links.is_neighbour("b9")
+
+
+class TestDedupWindow:
+
+    def test_mark_and_check(self):
+        _registry, links, _wires = make_links()
+        assert not links.already_seen("bX", 1)
+        links.mark_seen("bX", 1)
+        assert links.already_seen("bX", 1)
+
+    def test_fifo_eviction_at_capacity(self):
+        _registry, links, _wires = make_links(dedup_capacity=2)
+        links.mark_seen("bX", 1)
+        links.mark_seen("bX", 2)
+        links.mark_seen("bX", 3)
+        assert not links.already_seen("bX", 1)  # oldest evicted
+        assert links.already_seen("bX", 2)
+        assert links.already_seen("bX", 3)
+
+    def test_remark_does_not_reorder_or_grow(self):
+        registry, links, _wires = make_links(dedup_capacity=2)
+        links.mark_seen("bX", 1)
+        links.mark_seen("bX", 1)
+        links.mark_seen("bX", 2)
+        assert links.already_seen("bX", 1)
+        assert registry.snapshot()["overlay.dedup_entries"] == 2
+
+
+class TestForwarding:
+
+    def test_origination_stamps_identity_and_burns_one_hop(self):
+        registry, links, wires = make_links(ttl=4)
+        used = links.forward_publication(PUB, ["link:b2"], None)
+        assert used == 1
+        assert len(wires["b2"]) == 1 and wires["b3"] == []
+        origin, sequence, ttl, inner = parse_overlay_publish(
+            wires["b2"][0])
+        assert (origin, sequence, ttl, inner) == ("b1", 1, 3, PUB)
+        # The originator must drop its own publication if a cycle
+        # echoes it back.
+        assert links.already_seen("b1", 1)
+        counter = registry.counter(
+            "overlay.publications_suppressed_total")
+        assert counter.labelled(link="b3") == 1
+
+    def test_sequences_are_fresh_per_origination(self):
+        _registry, links, wires = make_links()
+        links.forward_publication(PUB, ["link:b2"], None)
+        links.forward_publication(PUB, ["link:b2"], None)
+        sequences = [parse_overlay_publish(frame)[1]
+                     for frame in wires["b2"]]
+        assert sequences == [1, 2]
+
+    def test_transit_skips_incoming_link_without_counting_it(self):
+        registry, links, wires = make_links()
+        used = links.forward_publication(
+            PUB, ["link:b2", "link:b3"], "link:b2",
+            origin="b9", sequence=7, ttl=2)
+        assert used == 1
+        assert wires["b2"] == [] and len(wires["b3"]) == 1
+        assert parse_overlay_publish(wires["b3"][0]) \
+            == ("b9", 7, 1, PUB)
+        # The arrival link is not a candidate, so it must not show up
+        # as "suppressed by the covering gate" either.
+        counter = registry.counter(
+            "overlay.publications_suppressed_total")
+        assert counter.value == 0
+
+    def test_exhausted_ttl_stops_the_forward(self):
+        registry, links, wires = make_links()
+        used = links.forward_publication(
+            PUB, ["link:b3"], "link:b2",
+            origin="b9", sequence=7, ttl=0)
+        assert used == 0
+        assert wires["b3"] == []
+        assert registry.snapshot()["overlay.ttl_expired_total"] == 1
+
+    def test_unmatched_links_are_suppressed_not_sent(self):
+        registry, links, wires = make_links()
+        used = links.forward_publication(PUB, [], None)
+        assert used == 0
+        assert wires["b2"] == [] and wires["b3"] == []
+        counter = registry.counter(
+            "overlay.publications_suppressed_total")
+        assert counter.value == 2
+
+    def test_interest_dirty_flag(self):
+        _registry, links, _wires = make_links()
+        assert not links.interest_dirty
+        links.note_interest_change()
+        assert links.interest_dirty

@@ -1,0 +1,88 @@
+"""Topology validation and seeded-builder determinism."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.overlay.topology import Topology
+
+
+class TestValidation:
+
+    def test_needs_at_least_one_broker(self):
+        with pytest.raises(RoutingError):
+            Topology((), ())
+
+    def test_duplicate_broker_names_rejected(self):
+        with pytest.raises(RoutingError):
+            Topology(("b1", "b1"), ())
+
+    def test_edge_to_unknown_broker_rejected(self):
+        with pytest.raises(RoutingError):
+            Topology(("b1", "b2"), (("b1", "b9"),))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(RoutingError):
+            Topology(("b1", "b2"), (("b1", "b1"), ("b1", "b2")))
+
+    def test_duplicate_edge_rejected_regardless_of_order(self):
+        with pytest.raises(RoutingError):
+            Topology(("b1", "b2"), (("b1", "b2"), ("b2", "b1")))
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(RoutingError) as excinfo:
+            Topology(("b1", "b2", "b3", "b4"), (("b1", "b2"),))
+        assert "disconnected" in str(excinfo.value)
+
+    def test_neighbours_sorted_and_validated(self):
+        topology = Topology(("b1", "b2", "b3"),
+                            (("b2", "b1"), ("b1", "b3")))
+        assert topology.neighbours("b1") == ("b2", "b3")
+        assert topology.neighbours("b3") == ("b1",)
+        with pytest.raises(RoutingError):
+            topology.neighbours("b9")
+
+    def test_single_broker_topology_is_valid(self):
+        topology = Topology(("b1",), ())
+        assert topology.n_brokers == 1
+        assert topology.neighbours("b1") == ()
+
+
+class TestBuilders:
+
+    def test_line_is_a_chain(self):
+        topology = Topology.line(4)
+        assert topology.shape == "line"
+        assert topology.brokers == ("b1", "b2", "b3", "b4")
+        assert topology.edges == (("b1", "b2"), ("b2", "b3"),
+                                  ("b3", "b4"))
+        assert topology.neighbours("b2") == ("b1", "b3")
+
+    def test_tree_is_spanning_and_seed_deterministic(self):
+        first = Topology.tree(8, seed=5)
+        again = Topology.tree(8, seed=5)
+        assert first.edges == again.edges
+        assert len(first.edges) == 7  # spanning: connectivity is
+        # already enforced by the constructor, so n-1 edges = a tree.
+        assert first.shape == "tree"
+
+    def test_tree_respects_max_children(self):
+        topology = Topology.tree(9, seed=2, max_children=2)
+        fanout = {}
+        for parent, _child in topology.edges:
+            fanout[parent] = fanout.get(parent, 0) + 1
+        assert max(fanout.values()) <= 2
+
+    def test_tree_rejects_zero_children(self):
+        with pytest.raises(RoutingError):
+            Topology.tree(3, max_children=0)
+
+    def test_random_adds_chords_creating_cycles(self):
+        topology = Topology.random(5, seed=11, extra_edges=2)
+        assert topology.shape == "random"
+        assert len(topology.edges) == 4 + 2  # spanning tree + chords
+        assert Topology.random(5, seed=11, extra_edges=2).edges \
+            == topology.edges
+
+    def test_default_ttl_covers_any_simple_path(self):
+        assert Topology.line(6).default_ttl() == 6
+        assert Topology.random(4, seed=1).default_ttl() == 4
