@@ -9,16 +9,49 @@ repository (the paper's figures are log-log gnuplot charts).
 from __future__ import annotations
 
 import csv
+import glob
 import io
 import json
 import os
+import platform as _platform
+import subprocess
 from dataclasses import asdict, is_dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ScbrError
 
 __all__ = ["measurements_to_csv", "measurements_to_json",
-           "write_measurements", "record_bench"]
+           "write_measurements", "record_bench", "bench_metadata",
+           "load_bench", "list_benches"]
+
+
+def _git_sha(directory: str = ".") -> str:
+    """Current commit sha, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=directory,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_metadata(directory: str = ".") -> Dict[str, object]:
+    """The common provenance block stamped into every ``BENCH_*.json``.
+
+    Records what a reader needs to judge whether two recorded numbers
+    are comparable: the interpreter that produced them, the core count
+    of the machine, and the exact commit. Loaders must tolerate this
+    block being absent (records predating it) or extended.
+    """
+    return {
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+        "machine": _platform.machine(),
+        "git_sha": _git_sha(directory),
+    }
 
 
 def _as_record(measurement) -> dict:
@@ -66,11 +99,69 @@ def record_bench(name: str, result, directory: str = ".") -> str:
     Returns the written path.
     """
     record = _as_record(result)
+    # Stamp provenance unless the producer already supplied its own
+    # (merged records like the hotpath bench carry theirs forward).
+    record.setdefault("meta", bench_metadata(directory))
+    os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def load_bench(name_or_path: str,
+               directory: str = ".") -> Tuple[dict, Optional[dict]]:
+    """Load a recorded bench; returns ``(record, meta_or_None)``.
+
+    Accepts either a bare bench name (``parallel_cluster``) or a path
+    to the JSON file. Tolerates records written before the ``meta``
+    provenance block existed — ``meta`` is simply ``None`` for those —
+    so older committed BENCH files keep loading unchanged.
+    """
+    path = name_or_path
+    if not os.path.exists(path):
+        path = os.path.join(directory, f"BENCH_{name_or_path}.json")
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except OSError as exc:
+        raise ScbrError(f"cannot load bench record {name_or_path!r}: "
+                        f"{exc}")
+    except ValueError as exc:
+        raise ScbrError(f"malformed bench record {path!r}: {exc}")
+    if not isinstance(record, dict):
+        raise ScbrError(f"bench record {path!r} is not a JSON object")
+    meta = record.get("meta")
+    return record, meta if isinstance(meta, dict) else None
+
+
+def list_benches(directory: str = ".") -> List[Dict[str, object]]:
+    """Enumerate ``BENCH_*.json`` records under ``directory``.
+
+    Returns one summary dict per record (name, path, provenance when
+    stamped), sorted by name — the backing for
+    ``python -m repro bench --list``.
+    """
+    summaries: List[Dict[str, object]] = []
+    pattern = os.path.join(directory, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            record, meta = load_bench(path)
+        except ScbrError:
+            summaries.append({"name": name, "path": path,
+                              "error": "unreadable"})
+            continue
+        summary: Dict[str, object] = {
+            "name": name, "path": path,
+            "top_level_keys": sorted(record)}
+        if meta:
+            summary["python"] = meta.get("python")
+            summary["cpu_count"] = meta.get("cpu_count")
+            summary["git_sha"] = meta.get("git_sha")
+        summaries.append(summary)
+    return summaries
 
 
 def write_measurements(measurements: Sequence, path: str) -> None:

@@ -1,0 +1,341 @@
+"""Wall-clock hot-path microbenchmarks: crypto + end-to-end + matcher.
+
+Every simulated-cycles benchmark in this repository is deliberately
+wall-clock-agnostic (DESIGN.md §2). This module is the opposite: it
+measures the *real* throughput of the three wall-clock hot paths the
+perf overhaul targets —
+
+* ``aes_ctr_mbps`` — AES-CTR keystream+XOR throughput of the
+  production :class:`repro.crypto.ctr.AesCtr`;
+* ``reference_aes_ctr_mbps`` — the same workload through the pinned
+  pure-loop :class:`repro.crypto.reference.ReferenceAesCtr`, so the
+  speedup of the T-table data plane is measured in-process and cannot
+  drift with hardware;
+* ``cmac_mbps`` — AES-CMAC tag throughput (the WAL / envelope
+  authentication path);
+* ``envelopes_per_s`` — end-to-end batched publications through a
+  provisioned :class:`~repro.core.engine.ScbrEnclaveLibrary`
+  (``match_publications`` ecall: CMAC verify, CTR decrypt, header
+  decode, traced matching);
+* ``matcher_events_per_s`` — arena-backed
+  :meth:`~repro.matching.poset.ContainmentForest.match_traced` over a
+  generated workload (the memory-model accounting path).
+
+Results land in ``BENCH_hotpath.json`` in two phases so the speedup
+claim is recorded against a baseline captured *on the same machine, in
+the same file*:
+
+* ``--phase baseline`` (run once, on the pre-optimisation tree)
+  records the ``baseline`` section;
+* ``--phase current`` (the default) records the ``current`` section,
+  preserves any existing ``baseline``, and computes the ``speedup``
+  ratios between them.
+
+CI's ``hotpath-smoke`` job runs the reduced suite with
+``--require-aes-vs-reference`` as an absolute in-process gate: the
+production CTR path must beat the pinned reference regardless of what
+the committed record says.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.export import bench_metadata, record_bench
+from repro.core.engine import PROVISION_AAD, ScbrEnclaveLibrary
+from repro.core.keys import ProviderKeyChain
+from repro.core.messages import (decode_public_key, encode_header,
+                                 encode_public_key, encode_subscription,
+                                 hybrid_encrypt)
+from repro.crypto.cmac import AesCmac
+from repro.crypto.ctr import AesCtr
+from repro.crypto.encoding import pack_fields
+from repro.crypto.reference import ReferenceAesCmac, ReferenceAesCtr
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.matching.poset import ContainmentForest
+from repro.sgx.cpu import scaled_spec
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sdk import load_enclave
+from repro.workloads.datasets import build_dataset
+
+__all__ = ["run_hotpath_bench", "merge_phase", "compute_speedups",
+           "BENCH_NAME"]
+
+BENCH_NAME = "hotpath"
+
+#: Seed for every deterministic choice in the suite (key material,
+#: workload generation) so phases are comparable run to run.
+_KEY = bytes(range(16))
+_NONCE = bytes(range(16, 32))
+
+#: LLC geometry for the matcher leg — same scaled shape as the other
+#: benches so cache behaviour is comparable across records.
+_MATCHER_LLC_BYTES = 256 * 1024
+
+
+def _mbps(n_bytes: int, seconds: float) -> float:
+    if seconds <= 0:
+        return 0.0
+    return round(n_bytes / seconds / 1e6, 3)
+
+
+def _bench_ctr(total_bytes: int, chunk_bytes: int = 16 * 1024,
+               reference: bool = False) -> float:
+    """MB/s of AES-CTR over ``total_bytes`` in envelope-sized chunks."""
+    ctr = (ReferenceAesCtr if reference else AesCtr)(_KEY)
+    chunk = bytes(range(256)) * (chunk_bytes // 256)
+    n_chunks = max(1, total_bytes // len(chunk))
+    # One untimed chunk pays the key schedule / table warm-up.
+    ctr.process(_NONCE, chunk)
+    start = time.perf_counter()
+    for _ in range(n_chunks):
+        ctr.process(_NONCE, chunk)
+    elapsed = time.perf_counter() - start
+    return _mbps(n_chunks * len(chunk), elapsed)
+
+
+def _bench_cmac(total_bytes: int, chunk_bytes: int = 4 * 1024,
+                reference: bool = False) -> float:
+    """MB/s of AES-CMAC tags over ``total_bytes``."""
+    mac = (ReferenceAesCmac if reference else AesCmac)(_KEY)
+    chunk = bytes(range(256)) * (chunk_bytes // 256)
+    n_chunks = max(1, total_bytes // len(chunk))
+    mac.tag(chunk)
+    start = time.perf_counter()
+    for _ in range(n_chunks):
+        mac.tag(chunk)
+    elapsed = time.perf_counter() - start
+    return _mbps(n_chunks * len(chunk), elapsed)
+
+
+def _bench_envelopes(n_subscriptions: int, n_envelopes: int,
+                     batch_size: int) -> Dict[str, float]:
+    """End-to-end envelopes/s through a provisioned enclave."""
+    vendor_key = _generate_keypair_unchecked(768, 65537)
+    platform = SgxPlatform(attestation_key_bits=768)
+    enclave = load_enclave(platform, ScbrEnclaveLibrary, vendor_key,
+                           rsa_bits=768)
+    keys = ProviderKeyChain(rsa_bits=768)
+    _report, pubkey_blob = enclave.ecall("attestation_report",
+                                         b"\x00" * 32)
+    enclave_pk = decode_public_key(pubkey_blob)
+    payload = pack_fields([keys.sk,
+                           encode_public_key(keys.public_key)])
+    enclave.ecall("provision",
+                  hybrid_encrypt(enclave_pk, payload,
+                                 aad=PROVISION_AAD))
+
+    dataset = build_dataset("e80a1", n_subscriptions,
+                            max(n_envelopes, 1))
+    channel = keys.channel()
+    for index, subscription in enumerate(dataset.subscriptions):
+        envelope = channel.protect(encode_subscription(subscription),
+                                   aad=f"client-{index}".encode())
+        enclave.ecall("register_subscription", envelope,
+                      keys.rsa.sign(envelope))
+
+    events = list(dataset.publications)
+    while len(events) < n_envelopes:
+        events.extend(dataset.publications[:n_envelopes - len(events)])
+    wire = [channel.protect(encode_header(event))
+            for event in events[:n_envelopes]]
+    batches = [wire[i:i + batch_size]
+               for i in range(0, len(wire), batch_size)]
+
+    # Warm-up batch: first-touch faults and interning costs stay out
+    # of the timed region (it still advances simulated state, which is
+    # irrelevant here — only wall-clock is reported).
+    enclave.ecall("match_publications", batches[0])
+    start = time.perf_counter()
+    total = 0
+    for batch in batches[1:]:
+        enclave.ecall("match_publications", batch)
+        total += len(batch)
+    elapsed = time.perf_counter() - start
+    return {
+        "envelopes_per_s": round(total / elapsed, 1)
+        if elapsed > 0 else 0.0,
+        "n_envelopes": float(total),
+        "n_subscriptions": float(n_subscriptions),
+    }
+
+
+def _bench_matcher(n_subscriptions: int, n_events: int
+                   ) -> Dict[str, float]:
+    """Arena-traced matcher walks/s (the memory-accounting path)."""
+    spec = scaled_spec(llc_bytes=_MATCHER_LLC_BYTES)
+    platform = SgxPlatform(spec=spec)
+    arena = platform.memory.new_arena(enclave=True)
+    forest = ContainmentForest(arena=arena, trace_inserts=False)
+    dataset = build_dataset("e80a1", n_subscriptions,
+                            max(n_events, 1))
+    for index, subscription in enumerate(dataset.subscriptions):
+        forest.insert(subscription, index)
+    platform.memory.prefault(arena.base, arena.allocated_bytes,
+                             enclave=True)
+    events = list(dataset.publications)
+    while len(events) < n_events:
+        events.extend(dataset.publications[:n_events - len(events)])
+    events = events[:n_events]
+    for event in events[:max(1, n_events // 10)]:  # warm-up
+        forest.match_traced(event)
+    start = time.perf_counter()
+    for event in events:
+        forest.match_traced(event)
+    elapsed = time.perf_counter() - start
+    return {
+        "matcher_events_per_s": round(n_events / elapsed, 1)
+        if elapsed > 0 else 0.0,
+        "matcher_events": float(n_events),
+        "matcher_subscriptions": float(n_subscriptions),
+    }
+
+
+def run_hotpath_bench(reduced: bool = False) -> Dict[str, float]:
+    """Run the full suite; returns a flat measurement dict."""
+    if reduced:
+        ctr_bytes, ref_bytes, cmac_bytes = 96 * 1024, 8 * 1024, 16 * 1024
+        n_subs, n_env, batch = 40, 60, 20
+        m_subs, m_events = 250, 120
+    else:
+        ctr_bytes, ref_bytes, cmac_bytes = 512 * 1024, 32 * 1024, 64 * 1024
+        n_subs, n_env, batch = 150, 300, 50
+        m_subs, m_events = 1000, 400
+
+    measurements: Dict[str, float] = {
+        "aes_ctr_mbps": _bench_ctr(ctr_bytes),
+        "reference_aes_ctr_mbps": _bench_ctr(ref_bytes,
+                                             reference=True),
+        "cmac_mbps": _bench_cmac(cmac_bytes),
+    }
+    measurements.update(_bench_envelopes(n_subs, n_env, batch))
+    measurements.update(_bench_matcher(m_subs, m_events))
+    measurements["aes_vs_reference"] = round(
+        measurements["aes_ctr_mbps"]
+        / measurements["reference_aes_ctr_mbps"], 3) \
+        if measurements["reference_aes_ctr_mbps"] > 0 else 0.0
+    return measurements
+
+
+# -- record assembly -----------------------------------------------------------------
+
+_SPEEDUP_KEYS = {
+    "aes_ctr": "aes_ctr_mbps",
+    "cmac": "cmac_mbps",
+    "envelopes": "envelopes_per_s",
+    "matcher": "matcher_events_per_s",
+}
+
+
+def compute_speedups(baseline: Dict[str, float],
+                     current: Dict[str, float]) -> Dict[str, float]:
+    """``current/baseline`` ratio for each headline measurement."""
+    speedups: Dict[str, float] = {}
+    for label, key in _SPEEDUP_KEYS.items():
+        base = baseline.get(key, 0.0)
+        now = current.get(key, 0.0)
+        if base and now:
+            speedups[label] = round(now / base, 3)
+    return speedups
+
+
+def merge_phase(existing: Optional[dict], phase: str,
+                measurements: Dict[str, float],
+                reduced: bool) -> dict:
+    """Fold one phase's measurements into the two-phase record.
+
+    ``baseline`` runs replace the baseline section; ``current`` runs
+    replace the current section and refresh the speedup ratios while
+    preserving the recorded baseline — so the committed file always
+    compares against the pre-optimisation numbers captured on this
+    machine.
+    """
+    record = dict(existing) if existing else {}
+    record[phase] = {"measurements": measurements,
+                     "reduced": reduced,
+                     "meta": bench_metadata()}
+    baseline = record.get("baseline", {}).get("measurements")
+    current = record.get("current", {}).get("measurements")
+    if baseline and current:
+        record["speedup"] = compute_speedups(baseline, current)
+    # Top-level meta reflects the most recent write.
+    record["meta"] = bench_metadata()
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.hotpath",
+        description="wall-clock hot-path microbenchmarks")
+    parser.add_argument("--reduced", action="store_true",
+                        help="smaller sizes for CI smoke runs")
+    parser.add_argument("--record", action="store_true",
+                        help="write/merge BENCH_hotpath.json")
+    parser.add_argument("--phase", choices=("baseline", "current"),
+                        default="current",
+                        help="which section of the record to write")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_hotpath.json")
+    parser.add_argument("--require-aes-vs-reference", type=float,
+                        default=0.0, metavar="X",
+                        help="fail unless AesCtr is at least X times "
+                             "faster than the pinned reference "
+                             "(in-process gate, CI)")
+    parser.add_argument("--require-aes-speedup", type=float,
+                        default=0.0, metavar="X",
+                        help="fail unless recorded aes_ctr speedup "
+                             "vs baseline is at least X")
+    parser.add_argument("--require-e2e-speedup", type=float,
+                        default=0.0, metavar="X",
+                        help="fail unless recorded envelopes/s "
+                             "speedup vs baseline is at least X")
+    args = parser.parse_args(argv)
+
+    measurements = run_hotpath_bench(reduced=args.reduced)
+    for key in sorted(measurements):
+        print(f"  {key:28s} {measurements[key]:>12,.3f}")
+
+    record = None
+    path = os.path.join(args.out, f"BENCH_{BENCH_NAME}.json")
+    existing = None
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+    record = merge_phase(existing, args.phase, measurements,
+                         args.reduced)
+    speedup = record.get("speedup", {})
+    for label in sorted(speedup):
+        print(f"  speedup:{label:20s} {speedup[label]:>12,.3f}x")
+    if args.record:
+        written = record_bench(BENCH_NAME, record, directory=args.out)
+        print(f"recorded {written}")
+
+    failures = []
+    ratio = measurements.get("aes_vs_reference", 0.0)
+    if args.require_aes_vs_reference and \
+            ratio < args.require_aes_vs_reference:
+        failures.append(
+            f"AesCtr is only {ratio:.2f}x the pinned reference "
+            f"(required {args.require_aes_vs_reference:.2f}x)")
+    if args.require_aes_speedup and \
+            speedup.get("aes_ctr", 0.0) < args.require_aes_speedup:
+        failures.append(
+            f"aes_ctr speedup {speedup.get('aes_ctr', 0.0):.2f}x "
+            f"below required {args.require_aes_speedup:.2f}x")
+    if args.require_e2e_speedup and \
+            speedup.get("envelopes", 0.0) < args.require_e2e_speedup:
+        failures.append(
+            f"envelopes speedup {speedup.get('envelopes', 0.0):.2f}x "
+            f"below required {args.require_e2e_speedup:.2f}x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

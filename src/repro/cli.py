@@ -17,8 +17,10 @@ Commands::
     metrics                  fault-injected run + router metrics dump
     recover                  crash-recovery soak + latency sweep
     dlq                      dead-letter quarantine + requeue demo
-    bench [--record]         serial vs process cluster wall-clock run
+    bench [--record|--list]  serial vs process cluster wall-clock run
     overlay [--record]       multi-broker overlay vs the flat router
+    hotpath [--record]       crypto/envelope/matcher wall-clock suite
+    profile [--top N]        cProfile the seeded hot-path workload
 """
 
 from __future__ import annotations
@@ -307,6 +309,23 @@ def _run_dlq(args: argparse.Namespace) -> int:
 
 def _run_bench(args: argparse.Namespace) -> int:
     """Serial vs process cluster backends, wall-clock trajectory."""
+    if args.list:
+        from repro.bench.export import list_benches
+        records = list_benches(args.out)
+        if not records:
+            print(f"no BENCH_*.json records under {args.out!r}")
+            return 0
+        rows = []
+        for entry in records:
+            rows.append([entry["name"],
+                         entry.get("python") or "-",
+                         entry.get("cpu_count") or "-",
+                         (entry.get("git_sha") or "-")[:12],
+                         entry.get("error", "")])
+        print(format_table(
+            ["bench", "python", "cpus", "git sha", ""], rows,
+            title=f"recorded benches in {args.out}"))
+        return 0
     from repro.bench.parallel import run_parallel_bench
     result = run_parallel_bench(
         name=args.name, workload=args.workload,
@@ -364,6 +383,50 @@ def _run_overlay(args: argparse.Namespace) -> int:
         path = record_bench(result.name, result, directory=args.out)
         print(f"wrote {path}")
     return 0 if result.all_equivalent else 1
+
+
+def _run_hotpath(args: argparse.Namespace) -> int:
+    """Wall-clock hot-path suite (delegates to bench.hotpath)."""
+    from repro.bench.hotpath import main as hotpath_main
+    argv: List[str] = []
+    if args.reduced:
+        argv.append("--reduced")
+    if args.record:
+        argv.append("--record")
+    argv += ["--phase", args.phase, "--out", args.out]
+    if args.require_aes_vs_reference is not None:
+        argv += ["--require-aes-vs-reference",
+                 str(args.require_aes_vs_reference)]
+    return hotpath_main(argv)
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """cProfile the seeded hot-path workload; top-N cumulative table.
+
+    The separation matters for interpreting the output: *simulated*
+    cycles (the paper-faithful numbers) are unaffected by anything
+    here — this profile shows where real CPU time goes, which is what
+    the wall-clock optimisation work targets.
+    """
+    import cProfile
+    import pstats
+
+    from repro.bench.hotpath import run_hotpath_bench
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    measurements = run_hotpath_bench(reduced=not args.full)
+    profiler.disable()
+
+    print(f"seeded workload: {measurements['envelopes_per_s']:,.0f} "
+          f"envelopes/s end-to-end, "
+          f"{measurements['aes_ctr_mbps']:.2f} MB/s AES-CTR, "
+          f"{measurements['matcher_events_per_s']:,.0f} matcher "
+          f"events/s")
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
 
 
 def _run_table1(_args: argparse.Namespace) -> int:
@@ -582,6 +645,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write BENCH_<name>.json")
     pb.add_argument("--out", default=".", metavar="DIR",
                     help="directory for the recorded JSON")
+    pb.add_argument("--list", action="store_true",
+                    help="enumerate recorded BENCH_*.json and exit")
     pb.set_defaults(func=_run_bench)
 
     po = sub.add_parser(
@@ -599,6 +664,34 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("--out", default=".", metavar="DIR",
                     help="directory for the recorded JSON")
     po.set_defaults(func=_run_overlay)
+
+    ph = sub.add_parser(
+        "hotpath", help="crypto/envelope/matcher wall-clock suite")
+    ph.add_argument("--reduced", action="store_true",
+                    help="smaller sizes for smoke runs")
+    ph.add_argument("--record", action="store_true",
+                    help="write/merge BENCH_hotpath.json")
+    ph.add_argument("--phase", choices=("baseline", "current"),
+                    default="current",
+                    help="which section of the record to write")
+    ph.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for BENCH_hotpath.json")
+    ph.add_argument("--require-aes-vs-reference", type=float,
+                    default=None, metavar="RATIO",
+                    help="fail unless the T-table AES beats the pinned "
+                         "pure-loop reference by this factor")
+    ph.set_defaults(func=_run_hotpath)
+
+    pp = sub.add_parser(
+        "profile", help="cProfile the seeded hot-path workload")
+    pp.add_argument("--top", type=int, default=25,
+                    help="rows of the pstats table to print")
+    pp.add_argument("--sort", default="cumulative",
+                    choices=("cumulative", "tottime", "ncalls"),
+                    help="pstats sort key")
+    pp.add_argument("--full", action="store_true",
+                    help="profile the full-size workload (slower)")
+    pp.set_defaults(func=_run_profile)
     return parser
 
 

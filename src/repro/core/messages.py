@@ -20,13 +20,12 @@ import math
 import secrets
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.crypto.cmac import cmac, cmac_verify
-from repro.crypto.ctr import AesCtr
 from repro.crypto.encoding import (b64decode, b64encode, pack_fields,
                                    unpack_fields)
 from repro.crypto.hkdf import hkdf
+from repro.crypto.provider import cmac_for_key, ctr_for_key
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import CryptoError, NetworkError, RoutingError
 from repro.matching.events import Event
@@ -182,14 +181,19 @@ class SecureChannel:
     def __init__(self, master_key: bytes) -> None:
         if len(master_key) not in (16, 24, 32):
             raise CryptoError("master key must be an AES key size")
-        self._ctr = AesCtr(hkdf(master_key, info=b"scbr-enc", length=16))
-        self._mac_key = hkdf(master_key, info=b"scbr-mac", length=16)
+        # Both derived transforms come from the per-key cache: every
+        # SecureChannel over the same master key (the provisioned SK,
+        # re-derived per ecall) shares one expanded key schedule.
+        self._ctr = ctr_for_key(hkdf(master_key, info=b"scbr-enc",
+                                     length=16))
+        self._mac = cmac_for_key(hkdf(master_key, info=b"scbr-mac",
+                                      length=16))
 
     def protect(self, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt-then-MAC; ``aad`` is authenticated, not encrypted."""
         nonce = secrets.token_bytes(_NONCE)
         ciphertext = self._ctr.process(nonce, plaintext)
-        tag = cmac(self._mac_key, nonce + aad + ciphertext)
+        tag = self._mac.tag(nonce + aad + ciphertext)
         return pack_fields([nonce, ciphertext, tag, aad])
 
     def open(self, blob: bytes) -> Tuple[bytes, bytes]:
@@ -201,8 +205,34 @@ class SecureChannel:
         if len(fields) != 4:
             raise CryptoError("malformed secure envelope")
         nonce, ciphertext, tag, aad = fields
-        cmac_verify(self._mac_key, nonce + aad + ciphertext, tag)
+        self._mac.verify(nonce + aad + ciphertext, tag)
         return self._ctr.process(nonce, ciphertext), aad
+
+    def open_many(self, blobs: Sequence[bytes]
+                  ) -> List[Tuple[bytes, bytes]]:
+        """Verify and decrypt a batch; returns ``(plaintext, aad)`` pairs.
+
+        Semantically a loop of :meth:`open` — any failing envelope
+        raises before anything is returned — but all CMACs are checked
+        first and the CTR decryptions then run through one batched
+        keystream pass (:meth:`~repro.crypto.ctr.AesCtr.process_many`),
+        which is what the engine's ``match_publications`` ecall rides.
+        """
+        verify = self._mac.verify
+        pairs: List[Tuple[bytes, bytes]] = []
+        aads: List[bytes] = []
+        for blob in blobs:
+            try:
+                fields = unpack_fields(blob)
+            except NetworkError as exc:
+                raise CryptoError(f"malformed secure envelope: {exc}")
+            if len(fields) != 4:
+                raise CryptoError("malformed secure envelope")
+            nonce, ciphertext, tag, aad = fields
+            verify(nonce + aad + ciphertext, tag)
+            pairs.append((nonce, ciphertext))
+            aads.append(aad)
+        return list(zip(self._ctr.process_many(pairs), aads))
 
 
 # -- hybrid asymmetric envelope ---------------------------------------------------------

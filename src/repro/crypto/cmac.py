@@ -9,6 +9,7 @@ implementation, as does the authenticated envelope in
 from __future__ import annotations
 
 import hmac
+from struct import Struct
 
 from repro.crypto.aes import AES, BLOCK_SIZE, xor_bytes
 from repro.errors import AuthenticationError, CryptoError
@@ -16,6 +17,8 @@ from repro.errors import AuthenticationError, CryptoError
 __all__ = ["AesCmac", "cmac", "cmac_verify"]
 
 _RB = 0x87  # constant for 128-bit block size subkey derivation
+
+_PACK4 = Struct(">4I")
 
 
 def _left_shift_one(block: bytes) -> bytes:
@@ -53,11 +56,18 @@ class AesCmac:
             last = xor_bytes(message[-BLOCK_SIZE:], self._k1)
             full_blocks = n_blocks - 1
 
-        state = bytes(BLOCK_SIZE)
+        # The CBC-MAC chain stays in 32-bit words end to end: one
+        # unpack per message block, no intermediate bytes objects.
+        encrypt = self._aes._encrypt_words
+        unpack_from = _PACK4.unpack_from
+        s0 = s1 = s2 = s3 = 0
         for i in range(full_blocks):
-            block = message[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
-            state = self._aes.encrypt_block(xor_bytes(state, block))
-        return self._aes.encrypt_block(xor_bytes(state, last))
+            b0, b1, b2, b3 = unpack_from(message, i * BLOCK_SIZE)
+            s0, s1, s2, s3 = encrypt(s0 ^ b0, s1 ^ b1,
+                                     s2 ^ b2, s3 ^ b3)
+        b0, b1, b2, b3 = _PACK4.unpack(last)
+        return _PACK4.pack(*encrypt(s0 ^ b0, s1 ^ b1,
+                                    s2 ^ b2, s3 ^ b3))
 
     def verify(self, message: bytes, tag: bytes) -> None:
         """Raise :class:`AuthenticationError` unless ``tag`` is valid."""
@@ -68,10 +78,12 @@ class AesCmac:
 
 
 def cmac(key: bytes, message: bytes) -> bytes:
-    """One-shot AES-CMAC tag."""
-    return AesCmac(key).tag(message)
+    """One-shot AES-CMAC tag (cached transform per key)."""
+    from repro.crypto.provider import cmac_for_key
+    return cmac_for_key(key).tag(message)
 
 
 def cmac_verify(key: bytes, message: bytes, tag: bytes) -> None:
     """One-shot AES-CMAC verification; raises on mismatch."""
-    AesCmac(key).verify(message, tag)
+    from repro.crypto.provider import cmac_for_key
+    cmac_for_key(key).verify(message, tag)

@@ -7,12 +7,16 @@ decryption are the same operation and no padding is needed.
 
 The nonce handling mirrors common practice (and the Intel SDK's
 ``sgx_aes_ctr_encrypt``): a 16-byte initial counter block whose low bits
-are incremented per block, big-endian.
+are incremented per block, big-endian — here the counter is a plain
+128-bit integer, the whole keystream is generated up front by the block
+cipher's :meth:`~repro.crypto.aes.AES.ctr_keystream`, and the XOR is a
+single big-integer operation instead of a per-byte loop.
 """
 
 from __future__ import annotations
 
 import secrets
+from typing import List, Sequence, Tuple
 
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.errors import CryptoError
@@ -20,14 +24,6 @@ from repro.errors import CryptoError
 __all__ = ["AesCtr", "ctr_encrypt", "ctr_decrypt"]
 
 NONCE_SIZE = 16
-
-
-def _increment_counter(counter: bytearray) -> None:
-    """Increment a 16-byte big-endian counter in place (wraps at 2^128)."""
-    for i in range(len(counter) - 1, -1, -1):
-        counter[i] = (counter[i] + 1) & 0xFF
-        if counter[i]:
-            return
 
 
 class AesCtr:
@@ -40,6 +36,8 @@ class AesCtr:
     b'attack at dawn'
     """
 
+    __slots__ = ("_aes",)
+
     def __init__(self, key: bytes) -> None:
         self._aes = AES(key)
 
@@ -49,16 +47,41 @@ class AesCtr:
             raise CryptoError(
                 f"CTR nonce must be {NONCE_SIZE} bytes, got {len(nonce)}"
             )
-        out = bytearray(len(data))
-        counter = bytearray(nonce)
-        encrypt = self._aes.encrypt_block
-        for offset in range(0, len(data), BLOCK_SIZE):
-            keystream = encrypt(bytes(counter))
-            chunk = data[offset:offset + BLOCK_SIZE]
-            for i, byte in enumerate(chunk):
-                out[offset + i] = byte ^ keystream[i]
-            _increment_counter(counter)
-        return bytes(out)
+        n = len(data)
+        if not n:
+            return b""
+        n_blocks = -(-n // BLOCK_SIZE)
+        keystream = self._aes.ctr_keystream(
+            int.from_bytes(nonce, "big"), n_blocks)
+        return (int.from_bytes(data, "big")
+                ^ int.from_bytes(keystream[:n], "big")).to_bytes(n, "big")
+
+    def process_many(self, pairs: Sequence[Tuple[bytes, bytes]]
+                     ) -> List[bytes]:
+        """Apply :meth:`process` to many ``(nonce, data)`` pairs.
+
+        The batched entry point the engine's envelope path uses: one
+        call sites the whole batch's keystream generation behind a
+        single attribute-resolved hot loop.
+        """
+        keystream = self._aes.ctr_keystream
+        out: List[bytes] = []
+        for nonce, data in pairs:
+            if len(nonce) != NONCE_SIZE:
+                raise CryptoError(
+                    f"CTR nonce must be {NONCE_SIZE} bytes, "
+                    f"got {len(nonce)}"
+                )
+            n = len(data)
+            if not n:
+                out.append(b"")
+                continue
+            ks = keystream(int.from_bytes(nonce, "big"),
+                           -(-n // BLOCK_SIZE))
+            out.append((int.from_bytes(data, "big")
+                        ^ int.from_bytes(ks[:n], "big"))
+                       .to_bytes(n, "big"))
+        return out
 
     def encrypt_with_fresh_nonce(self, data: bytes) -> bytes:
         """Encrypt under a random nonce; returns ``nonce || ciphertext``."""
@@ -73,10 +96,12 @@ class AesCtr:
 
 
 def ctr_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
-    """One-shot AES-CTR encryption."""
-    return AesCtr(key).process(nonce, plaintext)
+    """One-shot AES-CTR encryption (cached transform per key)."""
+    from repro.crypto.provider import ctr_for_key
+    return ctr_for_key(key).process(nonce, plaintext)
 
 
 def ctr_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
     """One-shot AES-CTR decryption (identical to encryption)."""
-    return AesCtr(key).process(nonce, ciphertext)
+    from repro.crypto.provider import ctr_for_key
+    return ctr_for_key(key).process(nonce, ciphertext)

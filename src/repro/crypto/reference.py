@@ -1,0 +1,284 @@
+"""Pinned pure-loop crypto reference implementations.
+
+This module is a frozen copy of the original per-byte AES / AES-CTR /
+AES-CMAC code that shipped before the T-table data-plane rewrite in
+:mod:`repro.crypto.aes` and :mod:`repro.crypto.ctr`. It exists for two
+reasons, and must NOT be "optimised":
+
+* **byte-exactness**: the differential fuzz suite drives thousands of
+  seeded cases through both implementations and requires identical
+  output — any divergence is a correctness bug in the rewrite, not a
+  performance regression;
+* **perf gating**: the ``hotpath`` benchmark and CI's ``hotpath-smoke``
+  job measure the production path against this pinned baseline in the
+  same process, so the recorded speedup cannot drift with hardware.
+
+The implementation favours clarity over speed (per-byte state lists,
+a per-byte big-endian counter increment) — exactly what the rewrite
+replaced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import CryptoError
+
+__all__ = ["ReferenceAES", "ReferenceAesCtr", "ReferenceAesCmac"]
+
+BLOCK_SIZE = 16
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    inverse = [0] * 256
+    for x in range(1, 256):
+        y = x
+        acc = 1
+        exponent = 254
+        while exponent:
+            if exponent & 1:
+                acc = _gf_mul(acc, y)
+            y = _gf_mul(y, y)
+            exponent >>= 1
+        inverse[x] = acc
+
+    def _affine(value: int) -> int:
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            rotated = ((value << shift) | (value >> (8 - shift))) & 0xFF
+            result ^= rotated
+        return result
+
+    sbox = bytes(_affine(inverse[x]) for x in range(256))
+    inv_sbox = bytearray(256)
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return sbox, bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = [0] * 11
+_value = 1
+for _i in range(1, 11):
+    _RCON[_i] = _value
+    _value = _xtime(_value)
+
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+_MUL9 = bytes(_gf_mul(x, 9) for x in range(256))
+_MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
+_MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
+_MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
+
+
+class ReferenceAES:
+    """The original per-byte AES-128/192/256 block cipher."""
+
+    _ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in self._ROUNDS_BY_KEYLEN:
+            raise CryptoError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = self._ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        key_words = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(key_words)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(key_words, total_words):
+            temp = list(words[i - 1])
+            if i % key_words == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // key_words]
+            elif key_words == 8 and i % key_words == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([t ^ w for t, w in zip(temp, words[i - key_words])])
+        round_keys = []
+        for r in range(self._rounds + 1):
+            flat: List[int] = []
+            for w in words[4 * r:4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        return [
+            state[0], state[5], state[10], state[15],
+            state[4], state[9], state[14], state[3],
+            state[8], state[13], state[2], state[7],
+            state[12], state[1], state[6], state[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        return [
+            state[0], state[13], state[10], state[7],
+            state[4], state[1], state[14], state[11],
+            state[8], state[5], state[2], state[15],
+            state[12], state[9], state[6], state[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c:c + 4]
+            state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c:c + 4]
+            state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self._rounds):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for r in range(self._rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def _increment_counter(counter: bytearray) -> None:
+    for i in range(len(counter) - 1, -1, -1):
+        counter[i] = (counter[i] + 1) & 0xFF
+        if counter[i]:
+            return
+
+
+class ReferenceAesCtr:
+    """The original AES-CTR: per-block encrypt, per-byte XOR/increment."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = ReferenceAES(key)
+
+    def process(self, nonce: bytes, data: bytes) -> bytes:
+        if len(nonce) != BLOCK_SIZE:
+            raise CryptoError(
+                f"CTR nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}"
+            )
+        out = bytearray(len(data))
+        counter = bytearray(nonce)
+        encrypt = self._aes.encrypt_block
+        for offset in range(0, len(data), BLOCK_SIZE):
+            keystream = encrypt(bytes(counter))
+            chunk = data[offset:offset + BLOCK_SIZE]
+            for i, byte in enumerate(chunk):
+                out[offset + i] = byte ^ keystream[i]
+            _increment_counter(counter)
+        return bytes(out)
+
+
+def _xor_block(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _left_shift_one(block: bytes) -> bytes:
+    as_int = int.from_bytes(block, "big")
+    shifted = (as_int << 1) & ((1 << 128) - 1)
+    return shifted.to_bytes(16, "big")
+
+
+class ReferenceAesCmac:
+    """RFC 4493 CMAC built on the pinned per-byte block cipher."""
+
+    _RB = 0x87
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = ReferenceAES(key)
+        zero = self._aes.encrypt_block(bytes(BLOCK_SIZE))
+        k1 = _left_shift_one(zero)
+        if zero[0] & 0x80:
+            k1 = k1[:-1] + bytes([k1[-1] ^ self._RB])
+        k2 = _left_shift_one(k1)
+        if k1[0] & 0x80:
+            k2 = k2[:-1] + bytes([k2[-1] ^ self._RB])
+        self._k1 = k1
+        self._k2 = k2
+
+    def tag(self, message: bytes) -> bytes:
+        n_blocks, remainder = divmod(len(message), BLOCK_SIZE)
+        if n_blocks == 0 or remainder:
+            padded = message[n_blocks * BLOCK_SIZE:] + b"\x80"
+            padded += bytes(BLOCK_SIZE - len(padded))
+            last = _xor_block(padded, self._k2)
+            full_blocks = n_blocks
+        else:
+            last = _xor_block(message[-BLOCK_SIZE:], self._k1)
+            full_blocks = n_blocks - 1
+
+        state = bytes(BLOCK_SIZE)
+        for i in range(full_blocks):
+            block = message[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
+            state = self._aes.encrypt_block(_xor_block(state, block))
+        return self._aes.encrypt_block(_xor_block(state, last))

@@ -98,13 +98,16 @@ class NaiveMatcher:
         matched: Set[object] = set()
         visited = 0
         evaluated = 0
+        runs: List[Tuple[int, int]] = []
         for subscription, subscribers, address, size in self._entries:
             visited += 1
             ok, n_evals = subscription.matches_counting(event)
             evaluated += n_evals
-            if arena is not None:
-                # Same short-circuit-aware touch model as the forest.
-                arena.touch(address, min(size, 64 + 48 * n_evals))
+            # Same short-circuit-aware touch model as the forest, one
+            # coalesced run per scanned entry, batched after the scan.
+            runs.append((address, min(size, 64 + 48 * n_evals)))
             if ok:
                 matched |= subscribers
+        if arena is not None:
+            arena.touch_many(runs)
         return matched, visited, evaluated

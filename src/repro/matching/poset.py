@@ -255,12 +255,17 @@ class ContainmentForest:
         if arena is None:
             raise MatchingError("match_traced requires an arena-backed "
                                 "index")
-        touch = arena.touch
         matched: Set[object] = set()
         visited = 0
         evaluated = 0
         stack, gated = self._entry_roots(event)
         pop = stack.pop
+        # One coalesced (address, n_bytes) run per visited node,
+        # reported to the memory model in visit order as a single
+        # batch after the walk — the model observes the identical
+        # access sequence without a touch call per node.
+        runs: List[Tuple[int, int]] = []
+        append_run = runs.append
         while stack:
             node = pop()
             visited += 1
@@ -270,11 +275,12 @@ class ContainmentForest:
             # plus the constraints evaluated before short-circuiting
             # (a failed first predicate does not stream the whole node
             # through the cache).
-            touch(node.address,
-                  min(node.size, 64 + 48 * n_evals))
+            append_run((node.address,
+                        min(node.size, 64 + 48 * n_evals)))
             if ok:
                 matched |= node.subscribers
                 stack.extend(node.children)
+        arena.touch_many(runs)
         counters = self.counters
         if counters is not None:
             counters.matches += 1

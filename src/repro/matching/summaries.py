@@ -243,22 +243,25 @@ class SummarizedForest:
         """Traced matching (same accounting as the base forest)."""
         if self.arena is None:
             raise MatchingError("match_traced requires an arena")
-        touch = self.arena.touch
         present = event.header.keys()
         matched: Set[object] = set()
         visited = 0
         evaluated = 0
         stack = [node for node in self._entry_nodes()
                  if node.required_attributes <= present]
+        # Coalesced per-node runs, reported as one batch in visit order
+        # (same access sequence as per-node touches, fewer calls).
+        runs: List[Tuple[int, int]] = []
         while stack:
             node = stack.pop()
             visited += 1
             ok, n_evals = node.subscription.matches_counting(event)
             evaluated += n_evals
-            touch(node.address, min(node.size, 64 + 48 * n_evals))
+            runs.append((node.address, min(node.size, 64 + 48 * n_evals)))
             if ok:
                 matched |= node.subscribers
                 stack.extend(node.children)
+        self.arena.touch_many(runs)
         return matched, visited, evaluated
 
     def check_invariants(self) -> None:

@@ -6,12 +6,16 @@ and 7: once the subscription index outgrows the LLC, every miss inside
 an enclave additionally pays the MEE decrypt/verify cost.
 
 The model tracks cache *lines* only (no data): a line is identified by
-``address >> line_shift``. Sets are lists in LRU order (front = LRU).
+``address >> line_shift``. Each set is an :class:`~collections.
+OrderedDict` in LRU order (front = LRU), so a hit is one hash probe and
+an O(1) ``move_to_end`` instead of the ``list.remove`` scan the model
+originally paid on every reordering access.
 """
 
 from __future__ import annotations
 
-from typing import List
+from collections import OrderedDict
+from typing import List, Tuple
 
 __all__ = ["CacheModel"]
 
@@ -31,17 +35,23 @@ class CacheModel:
 
     def __init__(self, size_bytes: int, line_bytes: int = 64,
                  associativity: int = 16) -> None:
-        if size_bytes % (line_bytes * associativity):
-            raise ValueError("cache size must be a multiple of way size")
+        way_bytes = line_bytes * associativity
+        if size_bytes % way_bytes:
+            raise ValueError(
+                f"cache size {size_bytes} is not a multiple of the way "
+                f"size {way_bytes} (line_bytes={line_bytes} x "
+                f"associativity={associativity}); the requested "
+                f"geometry cannot be built exactly")
         self.line_shift = line_bytes.bit_length() - 1
         if 1 << self.line_shift != line_bytes:
             raise ValueError("line size must be a power of two")
         self.ways = associativity
-        self.n_sets = size_bytes // (line_bytes * associativity)
+        self.n_sets = size_bytes // way_bytes
         if self.n_sets & (self.n_sets - 1):
             raise ValueError("set count must be a power of two")
         self._set_mask = self.n_sets - 1
-        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -53,16 +63,43 @@ class CacheModel:
         """Touch a line address directly (hot path for traced loops)."""
         cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
-            if cache_set[-1] != line:
-                cache_set.remove(line)
-                cache_set.append(line)
+            cache_set.move_to_end(line)
             self.hits += 1
             return True
         self.misses += 1
-        cache_set.append(line)
+        cache_set[line] = None
         if len(cache_set) > self.ways:
-            del cache_set[0]
+            cache_set.popitem(last=False)
         return False
+
+    def access_run(self, first_line: int,
+                   last_line: int) -> Tuple[int, int]:
+        """Touch the inclusive line run; returns ``(hits, misses)``.
+
+        Access-for-access identical to calling :meth:`access_line` for
+        each line in order — same LRU reordering, same evictions, same
+        counter increments — but with the per-call overhead hoisted out
+        of the loop, which is what the coalesced per-node touches of
+        the matcher walk ride.
+        """
+        sets = self._sets
+        mask = self._set_mask
+        ways = self.ways
+        hits = 0
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            cache_set = sets[line & mask]
+            if line in cache_set:
+                cache_set.move_to_end(line)
+                hits += 1
+            else:
+                misses += 1
+                cache_set[line] = None
+                if len(cache_set) > ways:
+                    cache_set.popitem(last=False)
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
 
     @property
     def accesses(self) -> int:

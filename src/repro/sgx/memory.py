@@ -19,7 +19,7 @@ Two address spaces are distinguished by the arena's ``enclave`` flag:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SgxError
 from repro.sgx.cache import CacheModel
@@ -89,37 +89,85 @@ class MemorySubsystem:
     # -- hot path ----------------------------------------------------------
 
     def touch(self, address: int, n_bytes: int, enclave: bool) -> None:
-        """Account for a data access of ``n_bytes`` at ``address``."""
+        """Account for a data access of ``n_bytes`` at ``address``.
+
+        The line and page runs go through the batched
+        :meth:`~repro.sgx.cache.CacheModel.access_run` /
+        :meth:`~repro.sgx.epc.EpcManager.access_run` entry points, and
+        cycles are computed by multiplication — the per-access costs
+        are integers, so the total is bit-identical to the original
+        per-line accumulation.
+        """
         costs = self.costs
-        cache = self.cache
-        cycles = 0.0
-
-        first_line = address >> self._line_shift
-        last_line = (address + n_bytes - 1) >> self._line_shift
+        end = address + n_bytes - 1
+        hits, misses = self.cache.access_run(address >> self._line_shift,
+                                             end >> self._line_shift)
         if enclave:
-            miss_cost = costs.llc_miss_cycles + costs.mee_line_cycles
+            cycles = (hits * costs.llc_hit_cycles
+                      + misses * (costs.llc_miss_cycles
+                                  + costs.mee_line_cycles))
+            cycles += (self.epc.access_run(address >> self._page_shift,
+                                           end >> self._page_shift)
+                       * costs.epc_fault_cycles)
         else:
-            miss_cost = costs.llc_miss_cycles
-        for line in range(first_line, last_line + 1):
-            if cache.access_line(line):
-                cycles += costs.llc_hit_cycles
-            else:
-                cycles += miss_cost
-
-        first_page = address >> self._page_shift
-        last_page = (address + n_bytes - 1) >> self._page_shift
-        if enclave:
-            epc_access = self.epc.access
-            for page in range(first_page, last_page + 1):
-                if epc_access(page):
-                    cycles += costs.epc_fault_cycles
-        else:
+            cycles = (hits * costs.llc_hit_cycles
+                      + misses * costs.llc_miss_cycles)
             pages = self._untrusted_pages
-            for page in range(first_page, last_page + 1):
+            for page in range(address >> self._page_shift,
+                              (end >> self._page_shift) + 1):
                 if page not in pages:
                     pages.add(page)
                     self.minor_faults += 1
                     cycles += costs.minor_fault_cycles
+        self.cycles += cycles
+
+    #: ``touch`` already accounts one coalesced run; the alias makes
+    #: call sites that batch explicitly read as such.
+    touch_range = touch
+
+    def touch_many(self, runs: Iterable[Tuple[int, int]],
+                   enclave: bool) -> None:
+        """Account a sequence of ``(address, n_bytes)`` accesses.
+
+        Access-for-access identical to calling :meth:`touch` per run in
+        the same order — the LLC/EPC models observe the identical
+        line/page sequence — but the cost model and counter plumbing
+        are resolved once for the whole batch and ``cycles`` takes a
+        single accumulated add. This is the entry point the matcher
+        walks use: one run per visited node.
+        """
+        costs = self.costs
+        line_shift = self._line_shift
+        page_shift = self._page_shift
+        access_run = self.cache.access_run
+        hit_cost = costs.llc_hit_cycles
+        cycles = 0
+        if enclave:
+            miss_cost = costs.llc_miss_cycles + costs.mee_line_cycles
+            fault_cost = costs.epc_fault_cycles
+            epc_run = self.epc.access_run
+            for address, n_bytes in runs:
+                end = address + n_bytes - 1
+                hits, misses = access_run(address >> line_shift,
+                                          end >> line_shift)
+                cycles += (hits * hit_cost + misses * miss_cost
+                           + epc_run(address >> page_shift,
+                                     end >> page_shift) * fault_cost)
+        else:
+            miss_cost = costs.llc_miss_cycles
+            minor_cost = costs.minor_fault_cycles
+            pages = self._untrusted_pages
+            for address, n_bytes in runs:
+                end = address + n_bytes - 1
+                hits, misses = access_run(address >> line_shift,
+                                          end >> line_shift)
+                cycles += hits * hit_cost + misses * miss_cost
+                for page in range(address >> page_shift,
+                                  (end >> page_shift) + 1):
+                    if page not in pages:
+                        pages.add(page)
+                        self.minor_faults += 1
+                        cycles += minor_cost
         self.cycles += cycles
 
     def charge(self, cycles: float) -> None:
@@ -294,3 +342,11 @@ class MemoryArena:
     def touch(self, address: int, n_bytes: int) -> None:
         """Record an access to a previously allocated region."""
         self.memory.touch(address, n_bytes, self.enclave)
+
+    def touch_range(self, address: int, n_bytes: int) -> None:
+        """Record one coalesced run (alias of :meth:`touch`)."""
+        self.memory.touch(address, n_bytes, self.enclave)
+
+    def touch_many(self, runs: Iterable[Tuple[int, int]]) -> None:
+        """Record a batch of ``(address, n_bytes)`` accesses in order."""
+        self.memory.touch_many(runs, self.enclave)

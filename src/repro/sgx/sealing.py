@@ -14,8 +14,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.crypto.cmac import cmac, cmac_verify
-from repro.crypto.ctr import AesCtr
+from repro.crypto.provider import cmac_for_key, ctr_for_key
 from repro.errors import AuthenticationError, RollbackError, SgxError
 from repro.sgx.enclave import TrustedRuntime
 from repro.sgx.platform import KeyPolicy
@@ -102,8 +101,11 @@ def seal(runtime: TrustedRuntime, plaintext: bytes,
         counter_value = runtime.increment_monotonic_counter(counter_id)
     key = runtime.egetkey(policy, key_id=b"sealing")
     nonce = secrets.token_bytes(_NONCE)
-    ciphertext = AesCtr(key).process(nonce, plaintext)
-    tag = cmac(key, _mac_body(nonce, ciphertext, counter_value, policy))
+    # Seal keys are derived deterministically per policy, so the cached
+    # transforms are shared across every checkpoint of an enclave.
+    ciphertext = ctr_for_key(key).process(nonce, plaintext)
+    tag = cmac_for_key(key).tag(
+        _mac_body(nonce, ciphertext, counter_value, policy))
     return SealedBlob(nonce, ciphertext, tag, counter_value, policy)
 
 
@@ -117,13 +119,14 @@ def unseal(runtime: TrustedRuntime, blob: SealedBlob,
     the attack the paper's monotonic-counter discussion addresses).
     """
     key = runtime.egetkey(blob.key_policy, key_id=b"sealing")
-    cmac_verify(key, _mac_body(blob.nonce, blob.ciphertext,
-                               blob.counter_value, blob.key_policy),
-                blob.tag)
+    cmac_for_key(key).verify(
+        _mac_body(blob.nonce, blob.ciphertext, blob.counter_value,
+                  blob.key_policy),
+        blob.tag)
     if counter_id is not None:
         current = runtime.read_monotonic_counter(counter_id)
         if blob.counter_value != current:
             raise RollbackError(
                 f"sealed state is version {blob.counter_value} but the "
                 f"platform counter is {current}: stale blob replayed")
-    return AesCtr(key).process(blob.nonce, blob.ciphertext)
+    return ctr_for_key(key).process(blob.nonce, blob.ciphertext)

@@ -7,8 +7,9 @@ import json
 import pytest
 
 from repro.bench.experiments import FilterMeasurement
-from repro.bench.export import (measurements_to_csv,
-                                measurements_to_json,
+from repro.bench.export import (bench_metadata, list_benches,
+                                load_bench, measurements_to_csv,
+                                measurements_to_json, record_bench,
                                 write_measurements)
 from repro.errors import ScbrError
 
@@ -73,3 +74,89 @@ class TestWrite:
         with pytest.raises(ScbrError):
             write_measurements([_measurement()],
                                str(tmp_path / "out.xml"))
+
+
+class TestBenchMetadata:
+
+    def test_required_fields(self):
+        meta = bench_metadata()
+        assert set(meta) >= {"python", "implementation", "cpu_count",
+                             "machine", "git_sha"}
+        assert isinstance(meta["cpu_count"], int)
+        assert meta["cpu_count"] >= 1
+
+    def test_git_sha_unknown_outside_checkout(self, tmp_path):
+        meta = bench_metadata(str(tmp_path))
+        assert meta["git_sha"] == "unknown"
+
+
+class TestRecordAndLoad:
+
+    def test_record_stamps_meta(self, tmp_path):
+        path = record_bench("probe", {"value": 1},
+                            directory=str(tmp_path))
+        record = json.load(open(path))
+        assert record["value"] == 1
+        assert "python" in record["meta"]
+        assert "git_sha" in record["meta"]
+
+    def test_record_preserves_producer_meta(self, tmp_path):
+        """A record carrying its own meta is not re-stamped."""
+        path = record_bench("probe", {"meta": {"python": "0.0"}},
+                            directory=str(tmp_path))
+        assert json.load(open(path))["meta"] == {"python": "0.0"}
+
+    def test_load_by_name_and_by_path(self, tmp_path):
+        path = record_bench("probe", {"value": 2},
+                            directory=str(tmp_path))
+        by_name, meta = load_bench("probe", directory=str(tmp_path))
+        by_path, _ = load_bench(path)
+        assert by_name == by_path
+        assert by_name["value"] == 2
+        assert meta is not None and "python" in meta
+
+    def test_load_tolerates_missing_meta(self, tmp_path):
+        """Pre-PR records (no meta block) still load, meta=None."""
+        path = str(tmp_path / "BENCH_legacy.json")
+        json.dump({"old_field": 3}, open(path, "w"))
+        record, meta = load_bench("legacy", directory=str(tmp_path))
+        assert record == {"old_field": 3}
+        assert meta is None
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ScbrError):
+            load_bench("nope", directory=str(tmp_path))
+
+    def test_load_malformed_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(ScbrError):
+            load_bench("bad", directory=str(tmp_path))
+
+    def test_load_non_object(self, tmp_path):
+        (tmp_path / "BENCH_arr.json").write_text("[1, 2]")
+        with pytest.raises(ScbrError):
+            load_bench("arr", directory=str(tmp_path))
+
+
+class TestListBenches:
+
+    def test_lists_sorted_with_provenance(self, tmp_path):
+        record_bench("zeta", {"v": 1}, directory=str(tmp_path))
+        record_bench("alpha", {"v": 2}, directory=str(tmp_path))
+        (tmp_path / "BENCH_legacy.json").write_text('{"old": true}')
+        entries = list_benches(str(tmp_path))
+        assert [e["name"] for e in entries] == ["alpha", "legacy",
+                                                "zeta"]
+        assert "python" in entries[0] and "git_sha" in entries[0]
+        assert "python" not in entries[1]  # legacy record: no meta
+        assert entries[1]["top_level_keys"] == ["old"]
+
+    def test_unreadable_record_flagged_not_fatal(self, tmp_path):
+        record_bench("good", {"v": 1}, directory=str(tmp_path))
+        (tmp_path / "BENCH_broken.json").write_text("{oops")
+        entries = {e["name"]: e for e in list_benches(str(tmp_path))}
+        assert entries["broken"]["error"] == "unreadable"
+        assert "error" not in entries["good"]
+
+    def test_empty_directory(self, tmp_path):
+        assert list_benches(str(tmp_path)) == []

@@ -1,0 +1,97 @@
+"""Hot-path wall-clock bench: smoke run, phase merging, gates."""
+
+import json
+
+import pytest
+
+from repro.bench.hotpath import (compute_speedups, main, merge_phase,
+                                 run_hotpath_bench)
+
+
+class TestComputeSpeedups:
+
+    def test_ratios(self):
+        baseline = {"aes_ctr_mbps": 1.0, "cmac_mbps": 2.0,
+                    "envelopes_per_s": 100.0,
+                    "matcher_events_per_s": 50.0}
+        current = {"aes_ctr_mbps": 4.0, "cmac_mbps": 3.0,
+                   "envelopes_per_s": 250.0,
+                   "matcher_events_per_s": 50.0}
+        speedups = compute_speedups(baseline, current)
+        assert speedups["aes_ctr"] == pytest.approx(4.0)
+        assert speedups["cmac"] == pytest.approx(1.5)
+        assert speedups["envelopes"] == pytest.approx(2.5)
+        assert speedups["matcher"] == pytest.approx(1.0)
+
+    def test_missing_or_zero_fields_skipped(self):
+        speedups = compute_speedups({"aes_ctr_mbps": 0.0},
+                                    {"aes_ctr_mbps": 4.0})
+        assert speedups == {}
+
+
+class TestMergePhase:
+
+    def test_baseline_then_current(self):
+        record = merge_phase({}, "baseline", {"aes_ctr_mbps": 1.0},
+                             reduced=True)
+        assert record["baseline"]["measurements"]["aes_ctr_mbps"] == 1.0
+        assert record["baseline"]["reduced"] is True
+        assert "speedup" not in record
+        record = merge_phase(record, "current", {"aes_ctr_mbps": 3.5},
+                             reduced=True)
+        # The baseline phase survives the second merge untouched.
+        assert record["baseline"]["measurements"]["aes_ctr_mbps"] == 1.0
+        assert record["speedup"]["aes_ctr"] == pytest.approx(3.5)
+
+    def test_rerecording_current_updates_speedup(self):
+        record = merge_phase({}, "baseline", {"aes_ctr_mbps": 1.0},
+                             reduced=True)
+        record = merge_phase(record, "current", {"aes_ctr_mbps": 2.0},
+                             reduced=True)
+        record = merge_phase(record, "current", {"aes_ctr_mbps": 5.0},
+                             reduced=True)
+        assert record["speedup"]["aes_ctr"] == pytest.approx(5.0)
+
+
+class TestSmokeRun:
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        return run_hotpath_bench(reduced=True)
+
+    def test_all_metrics_present_and_positive(self, measurements):
+        for key in ("aes_ctr_mbps", "reference_aes_ctr_mbps",
+                    "cmac_mbps", "envelopes_per_s",
+                    "matcher_events_per_s", "aes_vs_reference"):
+            assert measurements[key] > 0, key
+
+    def test_optimized_aes_beats_pinned_reference(self, measurements):
+        """The in-process gate the CI smoke job enforces."""
+        assert measurements["aes_vs_reference"] > 1.5
+
+    def test_workload_sizes_recorded(self, measurements):
+        assert measurements["n_envelopes"] > 0
+        assert measurements["matcher_events"] > 0
+
+
+class TestMainGates:
+
+    def test_record_flow_and_gate_failure(self, tmp_path, capsys):
+        out_dir = str(tmp_path)
+        assert main(["--reduced", "--record", "--phase", "baseline",
+                     "--out", out_dir]) == 0
+        record = json.load(open(tmp_path / "BENCH_hotpath.json"))
+        assert "baseline" in record and "meta" in record
+        # Re-record as current: speedup block appears, ~1x on same code.
+        assert main(["--reduced", "--record", "--phase", "current",
+                     "--out", out_dir]) == 0
+        record = json.load(open(tmp_path / "BENCH_hotpath.json"))
+        assert "speedup" in record
+        assert record["speedup"]["aes_ctr"] == pytest.approx(
+            1.0, rel=0.6)
+        capsys.readouterr()
+        # An impossible speedup requirement must fail the run.
+        assert main(["--reduced", "--record", "--phase", "current",
+                     "--out", out_dir,
+                     "--require-aes-speedup", "1e9"]) == 1
+        assert "FAIL" in capsys.readouterr().err

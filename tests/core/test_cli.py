@@ -82,3 +82,34 @@ class TestExecution:
         assert "quarantined" in out
         assert "requeued 3" in out
         assert "dead letters now 0" in out
+
+
+class TestHotpathCommands:
+
+    def test_parser_registers_new_commands(self):
+        parser = build_parser()
+        for argv in (["hotpath", "--reduced"],
+                     ["profile", "--top", "5"],
+                     ["bench", "--list"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_bench_list(self, tmp_path, capsys):
+        from repro.bench.export import record_bench
+        record_bench("probe", {"v": 1}, directory=str(tmp_path))
+        assert main(["bench", "--list", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "probe" in out and "python" in out
+
+    def test_hotpath_gate_failure_propagates(self, tmp_path, capsys):
+        assert main(["hotpath", "--reduced", "--record",
+                     "--phase", "baseline", "--out", str(tmp_path),
+                     "--require-aes-vs-reference", "1e9"]) == 1
+        assert (tmp_path / "BENCH_hotpath.json").exists()
+
+    def test_profile_prints_stats_table(self, capsys):
+        assert main(["profile", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        # Summary line plus the pstats table.
+        assert "envelopes/s" in out
+        assert "cumtime" in out

@@ -1,0 +1,53 @@
+"""Per-key cipher provider: caching semantics and bounds."""
+
+from repro.crypto import provider
+from repro.crypto.provider import (CACHE_CAPACITY, aes_for_key,
+                                   clear_key_cache, cmac_for_key,
+                                   ctr_for_key)
+
+
+class TestKeyCache:
+
+    def setup_method(self):
+        clear_key_cache()
+
+    def test_same_key_returns_same_object(self):
+        key = b"k" * 16
+        assert aes_for_key(key) is aes_for_key(key)
+        assert ctr_for_key(key) is ctr_for_key(key)
+        assert cmac_for_key(key) is cmac_for_key(key)
+
+    def test_distinct_keys_distinct_objects(self):
+        assert aes_for_key(b"a" * 16) is not aes_for_key(b"b" * 16)
+
+    def test_cached_objects_compute_correctly(self):
+        key = b"k" * 16
+        nonce = b"n" * 16
+        ctr = ctr_for_key(key)
+        assert ctr.process(nonce, ctr.process(nonce, b"data")) == b"data"
+        mac = cmac_for_key(key)
+        mac.verify(b"msg", mac.tag(b"msg"))
+
+    def test_capacity_bounded_lru(self):
+        first_key = (0).to_bytes(16, "big")
+        first = aes_for_key(first_key)
+        for i in range(1, CACHE_CAPACITY + 1):
+            aes_for_key(i.to_bytes(16, "big"))
+        # first_key was least recently used and fell out: a fresh
+        # instance is built for it.
+        assert aes_for_key(first_key) is not first
+
+    def test_lru_refresh_on_hit(self):
+        first_key = (0).to_bytes(16, "big")
+        first = aes_for_key(first_key)
+        for i in range(1, CACHE_CAPACITY):
+            aes_for_key(i.to_bytes(16, "big"))
+        aes_for_key(first_key)  # refresh
+        aes_for_key((CACHE_CAPACITY).to_bytes(16, "big"))  # evicts key 1
+        assert aes_for_key(first_key) is first
+
+    def test_clear(self):
+        key = b"k" * 16
+        before = aes_for_key(key)
+        clear_key_cache()
+        assert aes_for_key(key) is not before
