@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""The broker overlay under churn: nothing lost, nothing doubled.
+
+`examples/overlay_routing.py` shows the overlay in fair weather; this
+walkthrough takes the same five-broker tree through the failure modes
+a real deployment meets:
+
+1. a link is severed — matching publications are quarantined in the
+   dead-letter queue under the ``link-down`` reason, and the overlay
+   still settles *around* the partition;
+2. the link heals — the quarantine drains exactly once, and the owed
+   subscription advert ships as a size-priced delta (``SUMD``), not a
+   reflood;
+3. a broker joins live, is attested like a founder, and pulls the
+   overlay's interest through anti-entropy;
+4. a broker leaves cleanly — the only event that withdraws interest;
+5. a seeded chaos soak interleaves sever/heal/join/crash with traffic
+   and converges back to a settled overlay with an empty link-debt
+   queue and the full published set delivered.
+
+Run with:  python examples/overlay_churn.py
+"""
+
+import random
+
+from repro.core.router import REASON_LINK_DOWN
+from repro.crypto.rsa import generate_keypair
+from repro.overlay import ChurnSchedule, OverlayNetwork, Topology
+
+
+def totals(node, name):
+    return int(node.metrics.counter(name).value)
+
+
+def link_debt(network):
+    return sum(1 for node in network.nodes.values()
+               for letter in node.router.dead_letters
+               if letter.reason == REASON_LINK_DOWN)
+
+
+def main() -> None:
+    topology = Topology.tree(5, seed=7)
+    print(f"tree topology, brokers {', '.join(topology.brokers)}; "
+          f"links: " + ", ".join(f"{a}~{b}"
+                                 for a, b in topology.edges) + "\n")
+
+    network = OverlayNetwork(topology, generate_keypair(bits=1024))
+    far = topology.brokers[-1]
+    entry = topology.brokers[0]
+    network.client("alice", home=far, subscription={"symbol": "HAL"})
+    # A broad covering set at alice's broker: with only one or two
+    # entries the size-priced reconciler would (correctly) ship a full
+    # advert, because the SUMD framing outweighs the saved entries.
+    network.client("carol", home=far, subscription={"symbol": "IBM"})
+    network.client("dave", home=far, subscription={"symbol": "GE"})
+    network.settle()
+
+    # -- 1. a partition quarantines, it does not lose -----------------
+    # Cut the edge to alice's home so the publication genuinely needs
+    # the severed link to reach her.
+    cut = next(edge for edge in topology.edges if far in edge)
+    network.sever_link(*cut)
+    network.publish({"symbol": "HAL", "price": 9.0}, b"cut off",
+                    at=entry)
+    network.settle()          # settles *around* the partition
+    print(f"severed {cut[0]}~{cut[1]}, published at {entry}: "
+          f"alice has {network.deliveries().get('alice', [])!r}, "
+          f"{link_debt(network)} frame(s) quarantined under "
+          f"'link-down'.")
+    print("the backlog report names the cut:\n  "
+          + network.backlog_report().replace("\n", "\n  "))
+
+    # -- 2. the heal requeues exactly once and reconciles by delta ----
+    network.client("late", home=far, subscription={"symbol": "XRX"})
+    network.settle()          # the advert for XRX is owed across the cut
+    network.heal_link(*cut)
+    network.settle()
+    deltas = sum(totals(n, "reconcile.delta_adverts_total")
+                 for n in network.nodes.values())
+    requeued = sum(totals(n, "router.dead_letters_requeued_total")
+                   for n in network.nodes.values())
+    print(f"\nhealed {cut[0]}~{cut[1]}: alice = "
+          f"{network.deliveries()['alice']!r} (requeued={requeued}, "
+          f"link debt now {link_debt(network)}), and the owed XRX "
+          f"interest crossed as {deltas} delta advert(s) — no "
+          f"reflood.")
+    assert network.deliveries()["alice"] == [b"cut off"]
+
+    # -- 3. a live join: attested, then fed by anti-entropy -----------
+    network.add_broker("b6", attach_to=(far,))
+    network.settle()
+    network.publish({"symbol": "HAL", "price": 11.0}, b"via joiner",
+                    at="b6")
+    network.settle()
+    print(f"\nb6 joined at {far}, attested like a founder; a HAL "
+          f"event entering at b6 still reaches alice: "
+          f"{network.deliveries()['alice'][-1]!r}")
+
+    # -- 4. a clean leave is the only interest withdrawal -------------
+    network.remove_broker("b6")
+    network.settle()
+    print(f"b6 left cleanly; brokers now "
+          f"{', '.join(sorted(network.nodes))} and its advert is "
+          f"withdrawn everywhere.")
+
+    # -- 5. seeded chaos: sever/heal/join/crash under traffic ---------
+    rng = random.Random(42)
+    schedule = ChurnSchedule(seed=42, max_down_links=1, max_events=10,
+                             allow=("sever", "heal", "crash"))
+    published = 0
+    while True:
+        event = schedule.draw(
+            up_links=[e for e in network.link_buses
+                      if e not in network.down_links()],
+            down_links=network.down_links(),
+            removable_brokers=[],
+            crashable_brokers=sorted(network.nodes),
+            can_join=False)
+        if event is None:
+            break
+        kind, target = event
+        if kind == "sever":
+            network.sever_link(*target)
+        elif kind == "heal":
+            network.heal_link(*target)
+        elif kind == "crash":
+            network.crash_broker(target)
+        network.publish({"symbol": "HAL",
+                         "price": float(rng.randrange(100))},
+                        b"soak %d" % published,
+                        at=rng.choice(sorted(network.nodes)))
+        published += 1
+        for _ in range(schedule.next_gap()):
+            network.pump_all(membership_active=True)
+    for edge in network.down_links():
+        network.heal_link(*edge)
+    network.settle(max_rounds=512)
+    got = sorted(network.deliveries()["alice"])
+    want = sorted([b"cut off", b"via joiner"]
+                  + [b"soak %d" % i for i in range(published)])
+    crashes = sum(totals(n, "recovery.recoveries_total")
+                  for n in network.nodes.values())
+    print(f"\nchaos soak: {published} publications through "
+          f"{schedule.events_drawn} churn events "
+          f"({crashes} enclave recoveries); after the final heal the "
+          f"overlay settled with link debt {link_debt(network)}.")
+    assert got == want, "a payload was lost or doubled"
+    print("alice's delivered multiset equals the published multiset — "
+          "zero lost, zero duplicated.")
+
+    network.close()
+    print("\nthe same surface, driven harder and compared against the "
+          "flat oracle, is what `python -m repro churn` measures and "
+          "tests/overlay/test_partition.py pins per topology.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,359 @@
+"""Churn chaos bench: partition tolerance, measured.
+
+One seeded workload interleaves pub/sub traffic with membership chaos
+drawn from a :class:`~repro.overlay.membership.ChurnSchedule` —
+partitions, heals, broker joins, clean leaves and enclave crashes —
+over several topologies, and proves two things against the flat
+single-router oracle:
+
+* **nothing is lost and nothing is duplicated**: once the overlay
+  settles after the final heal, every client's delivered multiset
+  matches the oracle's exactly (publications refused by a severed
+  link are dead-lettered under the ``link-down`` reason and requeued
+  on heal; receiver-side dedup absorbs the retries);
+* **reconciliation is a delta, not a reflood**: the same script runs
+  twice, once with ``SUMD`` delta adverts (the default) and once in
+  ``reconcile_mode="full"`` — the control arm that re-sends whole
+  covering sets. The delta arm must move strictly fewer advert bytes.
+
+Equivalence discipline: at most one link is down at a time, every
+publication is followed by a settle, and new interest registered
+*during* a partition is only published to after the heal settles —
+the staleness window DESIGN.md §10 explains. The harness composes
+with the existing :class:`~repro.network.faults.FaultPlan` machinery:
+duplicate and reorder faults ride along on every link (drop/corrupt
+faults genuinely lose traffic and belong to the fault tests, not an
+equivalence bench).
+
+Results feed ``BENCH_churn.json`` via
+:func:`repro.bench.export.record_bench`.
+"""
+
+from __future__ import annotations
+
+import platform as platform_module
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.parallel import available_cores
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.network.faults import FaultPlan, LinkFaults
+from repro.overlay.membership import ChurnSchedule
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.oracle import FlatOracle
+from repro.overlay.topology import Topology
+
+__all__ = ["ChurnRun", "ChurnBenchResult", "make_churn_script",
+           "replay_churn_script", "run_churn_bench"]
+
+_SYMBOLS = ("HAL", "IBM", "GE", "XRX", "DEC")
+
+#: mild ambient link faults for every churn run: duplicates and
+#: reorders stress dedup and ordering without losing traffic.
+_AMBIENT_FAULTS = LinkFaults(duplicate=0.02, reorder=0.02)
+
+
+def _subscription(rng: random.Random) -> dict:
+    symbol = rng.choice(_SYMBOLS)
+    if rng.random() < 0.5:
+        return {"symbol": symbol}
+    return {"symbol": symbol,
+            "price": ("<", float(rng.randrange(10, 90)))}
+
+
+def make_churn_script(topology: Topology, seed: int,
+                      n_clients: int = 8, n_publications: int = 30,
+                      allow: Tuple[str, ...] = ChurnSchedule.KINDS,
+                      mean_interval: int = 3
+                      ) -> List[Tuple[str, tuple]]:
+    """A replayable script of traffic interleaved with churn episodes.
+
+    All churn is drawn from a :class:`ChurnSchedule` against the
+    script's *simulated* overlay state, so the same ``(topology,
+    seed)`` always produces the same script. Partition episodes are
+    closed (sever → traffic → mid-partition subscription → heal →
+    settle) before the next event, keeping at most one link down and
+    the delivered sets provable. The oracle ignores every churn op —
+    which is the equivalence claim itself.
+    """
+    rng = random.Random(seed)
+    schedule = ChurnSchedule(seed=seed + 1, max_down_links=1,
+                             mean_interval=mean_interval, allow=allow)
+    steps: List[Tuple[str, tuple]] = []
+    current = topology
+    #: joined brokers that never received a client may leave again.
+    joined: List[str] = []
+    homes_used: set = set()
+    counters = {"client": 0, "join": 0}
+    severs_emitted = 0
+
+    def add_client(home: str, subscription=None) -> None:
+        counters["client"] += 1
+        cid = f"c{counters['client']}"
+        if subscription is None:
+            subscription = _subscription(rng)
+        steps.append(("client", (cid, home, subscription)))
+        homes_used.add(home)
+
+    def publish() -> None:
+        header = {"symbol": rng.choice(_SYMBOLS),
+                  "price": float(rng.randrange(0, 100))}
+        payload = b"event %d" % len(steps)
+        steps.append(("publish", (header, payload,
+                                  rng.choice(current.brokers))))
+        steps.append(("settle", ()))
+
+    def partition_episode(edge: Tuple[str, str]) -> None:
+        nonlocal severs_emitted
+        severs_emitted += 1
+        steps.append(("sever", edge))
+        for _ in range(rng.randint(1, 2)):
+            publish()  # refused forwards exercise store-and-forward
+        # Interest registered mid-partition: its advert is owed across
+        # the severed edge, so the heal has a real delta to ship. The
+        # reserved symbol is never drawn by ``publish()``, keeping the
+        # late subscriber disjoint from the quarantined traffic — a
+        # requeued publication is re-matched against *current*
+        # interest, and an overlap would (legitimately) deliver events
+        # the oracle's later subscriber never sees.
+        add_client(rng.choice(current.brokers), {"symbol": "LATE"})
+        steps.append(("settle", ()))
+        steps.append(("heal", edge))
+        steps.append(("settle", ()))
+        # Exercise the reconciled interest: published only after the
+        # heal settles (the staleness-window discipline).
+        steps.append(("publish", ({"symbol": "LATE", "price": 1.0},
+                                  b"late %d" % len(steps),
+                                  rng.choice(current.brokers))))
+        steps.append(("settle", ()))
+
+    for index in range(n_clients):
+        add_client(current.brokers[index % current.n_brokers])
+    steps.append(("settle", ()))
+
+    pubs_left = n_publications
+    while pubs_left > 0:
+        burst = min(pubs_left, rng.randint(1, 3))
+        for _ in range(burst):
+            publish()
+        pubs_left -= burst
+        removable = []
+        for broker in joined:
+            if broker in homes_used:
+                continue
+            try:
+                current.without_broker(broker)
+            except Exception:
+                continue
+            removable.append(broker)
+        event = schedule.draw(
+            up_links=list(current.edges), down_links=[],
+            removable_brokers=removable,
+            crashable_brokers=list(current.brokers),
+            can_join=counters["join"] < 2)
+        if event is None:
+            continue
+        kind, target = event
+        if kind == "sever":
+            partition_episode(target)
+        elif kind == "join":
+            counters["join"] += 1
+            name = f"j{counters['join']}"
+            attach = tuple(sorted(rng.sample(
+                current.brokers, k=min(2, current.n_brokers))))
+            current = current.with_broker(name, attach)
+            joined.append(name)
+            steps.append(("join", (name, attach)))
+            steps.append(("settle", ()))
+        elif kind == "leave":
+            current = current.without_broker(target)
+            joined.remove(target)
+            steps.append(("leave", (target,)))
+            steps.append(("settle", ()))
+        elif kind == "crash":
+            steps.append(("crash", (target,)))
+            publish()  # force the supervisor to notice and recover
+        # "heal" never drawn: episodes close their own partitions.
+    if severs_emitted == 0:
+        # The delta-vs-reflood gate needs at least one reconciliation.
+        partition_episode(current.edges[0])
+        publish()
+    steps.append(("settle", ()))
+    return steps
+
+
+def replay_churn_script(world, steps) -> Tuple[
+        Dict[str, List[bytes]], int, int]:
+    """Run one script; returns ``(deliveries, settle_rounds,
+    heal_convergence_rounds)`` — the latter counting only settle
+    rounds spent immediately after a heal (reconciliation cost)."""
+    rounds = 0
+    heal_rounds = 0
+    after_heal = False
+    for op, args in steps:
+        if op == "client":
+            client_id, home, subscription = args
+            world.client(client_id, home, subscription=subscription)
+        elif op == "publish":
+            header, payload, at = args
+            world.publish(header, payload, at=at)
+        elif op == "settle":
+            used = world.settle()
+            rounds += used
+            if after_heal:
+                heal_rounds += used
+                after_heal = False
+        elif op == "sever":
+            world.sever_link(*args)
+        elif op == "heal":
+            world.heal_link(*args)
+            after_heal = True
+        elif op == "join":
+            name, attach = args
+            world.add_broker(name, attach)
+        elif op == "leave":
+            world.remove_broker(*args)
+        elif op == "crash":
+            world.crash_broker(*args)
+        else:
+            raise ValueError(f"unknown script op {op!r}")
+    rounds += world.settle()
+    return world.deliveries(), rounds, heal_rounds
+
+
+def _diff(expected: Dict[str, List[bytes]],
+          got: Dict[str, List[bytes]]) -> Tuple[int, int]:
+    """(lost, duplicated) across all clients, as multisets."""
+    lost = duplicated = 0
+    for client_id in sorted(set(expected) | set(got)):
+        want = Counter(expected.get(client_id, []))
+        have = Counter(got.get(client_id, []))
+        lost += sum((want - have).values())
+        duplicated += sum((have - want).values())
+    return lost, duplicated
+
+
+@dataclass
+class ChurnRun:
+    """One (topology, reconcile mode) arm of the chaos workload."""
+
+    shape: str
+    mode: str
+    n_brokers: int
+    n_links: int
+    events: Dict[str, int]
+    settle_rounds: int
+    heal_convergence_rounds: int
+    adverts_sent: int
+    advert_bytes: int
+    advert_bytes_full: int
+    advert_bytes_delta: int
+    link_down_dead_letters: int
+    dead_letters_requeued: int
+    deliveries: int
+    deliveries_lost: int
+    deliveries_duplicated: int
+    equivalent: bool
+    wall_seconds: float
+
+
+@dataclass
+class ChurnBenchResult:
+    """The recorded ``BENCH_churn.json`` payload."""
+
+    name: str
+    seed: int
+    n_clients: int
+    n_publications: int
+    cpu_cores: int
+    python_version: str
+    runs: List[ChurnRun] = field(default_factory=list)
+    #: every arm delivered the oracle's multiset: nothing lost,
+    #: nothing duplicated, under partitions, churn and crashes.
+    zero_lost: bool = True
+    zero_duplicated: bool = True
+    #: the delta arm moved strictly fewer advert bytes than the
+    #: full-reflood arm on every topology.
+    delta_saves_bytes: bool = True
+
+
+def _count_events(steps) -> Dict[str, int]:
+    events = {kind: 0 for kind in ChurnSchedule.KINDS}
+    for op, _args in steps:
+        if op in events:
+            events[op] += 1
+    return events
+
+
+def run_churn_bench(name: str = "churn", seed: int = 2016,
+                    n_clients: int = 8, n_publications: int = 30,
+                    rsa_bits: int = 768) -> ChurnBenchResult:
+    """Replay the chaos workload over line/tree/random, twice each
+    (delta vs full reconciliation), checking oracle equivalence."""
+    vendor_key = _generate_keypair_unchecked(768, 65537)
+    result = ChurnBenchResult(
+        name=name, seed=seed, n_clients=n_clients,
+        n_publications=n_publications, cpu_cores=available_cores(),
+        python_version=platform_module.python_version())
+
+    topologies = [Topology.line(4), Topology.tree(6, seed=seed),
+                  Topology.random(5, seed=seed)]
+    for topology in topologies:
+        script = make_churn_script(topology, seed, n_clients,
+                                   n_publications)
+        events = _count_events(script)
+
+        oracle = FlatOracle(vendor_key, rsa_bits=rsa_bits)
+        expected, _r, _h = replay_churn_script(oracle, script)
+        oracle.close()
+
+        bytes_by_mode: Dict[str, int] = {}
+        for mode in ("delta", "full"):
+            started = time.perf_counter()
+            network = OverlayNetwork(
+                topology, vendor_key, rsa_bits=rsa_bits,
+                reconcile_mode=mode,
+                link_fault_plans=FaultPlan.for_topology_edges(
+                    topology.edges, _AMBIENT_FAULTS, seed=seed))
+            deliveries, rounds, heal_rounds = \
+                replay_churn_script(network, script)
+            snapshot = network.snapshot()
+            network.close()
+            elapsed = time.perf_counter() - started
+
+            lost, duplicated = _diff(expected, deliveries)
+            advert_bytes = int(
+                snapshot.get("reconcile.advert_bytes_total", 0))
+            bytes_by_mode[mode] = advert_bytes
+            run = ChurnRun(
+                shape=topology.shape, mode=mode,
+                n_brokers=topology.n_brokers,
+                n_links=len(topology.edges),
+                events=events,
+                settle_rounds=rounds,
+                heal_convergence_rounds=heal_rounds,
+                adverts_sent=int(
+                    snapshot.get("overlay.adverts_sent_total", 0)),
+                advert_bytes=advert_bytes,
+                advert_bytes_full=int(snapshot.get(
+                    "reconcile.advert_bytes_total{kind=full}", 0)),
+                advert_bytes_delta=int(snapshot.get(
+                    "reconcile.advert_bytes_total{kind=delta}", 0)),
+                link_down_dead_letters=int(snapshot.get(
+                    "router.link_down_dead_letters_total", 0)),
+                dead_letters_requeued=int(snapshot.get(
+                    "router.dead_letters_requeued_total", 0)),
+                deliveries=sum(len(p) for p in deliveries.values()),
+                deliveries_lost=lost,
+                deliveries_duplicated=duplicated,
+                equivalent=(lost == 0 and duplicated == 0),
+                wall_seconds=round(elapsed, 3))
+            result.runs.append(run)
+            result.zero_lost &= lost == 0
+            result.zero_duplicated &= duplicated == 0
+        result.delta_saves_bytes &= \
+            bytes_by_mode["delta"] < bytes_by_mode["full"]
+    return result

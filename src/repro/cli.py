@@ -19,6 +19,7 @@ Commands::
     dlq                      dead-letter quarantine + requeue demo
     bench [--record|--list]  serial vs process cluster wall-clock run
     overlay [--record]       multi-broker overlay vs the flat router
+    churn [--record]         membership chaos: partitions, churn, crashes
     hotpath [--record]       crypto/envelope/matcher wall-clock suite
     profile [--top N]        cProfile the seeded hot-path workload
 """
@@ -385,6 +386,41 @@ def _run_overlay(args: argparse.Namespace) -> int:
     return 0 if result.all_equivalent else 1
 
 
+def _run_churn(args: argparse.Namespace) -> int:
+    """Membership chaos: oracle equivalence + delta reconciliation."""
+    from repro.bench.churn import run_churn_bench
+    result = run_churn_bench(name=args.name, seed=args.seed,
+                             n_clients=args.clients,
+                             n_publications=args.publications)
+    table = [[run.shape, run.mode, run.n_brokers,
+              run.events["sever"], run.events["join"],
+              run.events["leave"], run.events["crash"],
+              run.heal_convergence_rounds, run.advert_bytes,
+              run.link_down_dead_letters, run.dead_letters_requeued,
+              run.deliveries, run.deliveries_lost,
+              run.deliveries_duplicated,
+              "yes" if run.equivalent else "NO"]
+             for run in result.runs]
+    print(format_table(
+        ["topology", "mode", "brokers", "severs", "joins", "leaves",
+         "crashes", "heal-rounds", "adv-bytes", "dlq'd", "requeued",
+         "delivered", "lost", "dup", "=flat"], table,
+        title=f"membership chaos — seed {result.seed}, "
+              f"{result.n_clients} clients, "
+              f"{result.n_publications} publications"))
+    print(f"zero lost: {result.zero_lost}   "
+          f"zero duplicated: {result.zero_duplicated}   "
+          f"delta reconciliation beat full reflood: "
+          f"{result.delta_saves_bytes}")
+    if args.record:
+        from repro.bench.export import record_bench
+        path = record_bench(result.name, result, directory=args.out)
+        print(f"wrote {path}")
+    ok = (result.zero_lost and result.zero_duplicated
+          and result.delta_saves_bytes)
+    return 0 if ok else 1
+
+
 def _run_hotpath(args: argparse.Namespace) -> int:
     """Wall-clock hot-path suite (delegates to bench.hotpath)."""
     from repro.bench.hotpath import main as hotpath_main
@@ -664,6 +700,22 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("--out", default=".", metavar="DIR",
                     help="directory for the recorded JSON")
     po.set_defaults(func=_run_overlay)
+
+    pc = sub.add_parser(
+        "churn", help="membership chaos: partitions, churn, crashes")
+    pc.add_argument("--name", default="churn",
+                    help="record name (BENCH_<name>.json)")
+    pc.add_argument("--seed", type=int, default=2016,
+                    help="workload + churn-schedule seed")
+    pc.add_argument("--clients", type=int, default=8,
+                    help="initial subscribing clients per topology")
+    pc.add_argument("--publications", type=int, default=30,
+                    help="publications per topology")
+    pc.add_argument("--record", action="store_true",
+                    help="write BENCH_<name>.json")
+    pc.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for the recorded JSON")
+    pc.set_defaults(func=_run_churn)
 
     ph = sub.add_parser(
         "hotpath", help="crypto/envelope/matcher wall-clock suite")

@@ -27,6 +27,7 @@ paper's in/out comparison.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import (SecureChannel, decode_header,
@@ -45,7 +46,8 @@ from repro.sgx.sdk import EnclaveLibrary, ecall
 from repro.sgx.sealing import SealedBlob, seal, unseal
 
 __all__ = ["ScbrEnclaveLibrary", "PROVISION_AAD", "LINK_PREFIX",
-           "ADVERT_AAD_PREFIX", "advert_digest"]
+           "ADVERT_AAD_PREFIX", "ADVERT_DELTA_AAD_PREFIX",
+           "advert_digest"]
 
 PROVISION_AAD = b"scbr-provision-v1"
 
@@ -59,6 +61,15 @@ LINK_PREFIX = "link:"
 
 #: AAD context binding an advert blob to the broker that exported it.
 ADVERT_AAD_PREFIX = b"scbr-advert:"
+
+#: Distinct AAD context for *delta* advert blobs, so a delta can never
+#: be replayed (or confused) as a full advert and vice versa.
+ADVERT_DELTA_AAD_PREFIX = b"scbr-advert-delta:"
+
+#: Exported covering sets remembered per link for delta computation;
+#: bounded, oldest-first eviction — a baseline that ages out simply
+#: forces one full re-advert.
+ADVERT_HISTORY_DEPTH = 8
 
 
 def advert_digest(exclude_link: str, entries: List[bytes]) -> bytes:
@@ -106,6 +117,12 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         # real SGX applications do.
         self._counter_id: Optional[bytes] = None
         self._restored_app_data = b""
+        # Per-link memory of recently exported covering sets, keyed by
+        # their digest: the baselines delta adverts diff against. Not
+        # sealed — a recovered enclave starts with no baselines and
+        # falls back to full adverts, which is always correct.
+        self._advert_history: Dict[
+            str, "OrderedDict[bytes, List[bytes]]"] = {}
         # The engine keeps its own registry (trusted code must not
         # hold references to untrusted mutable state); the untrusted
         # host reads it through the engine_metrics ecall.
@@ -128,6 +145,16 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self._m_advert_installs = m.counter(
             "engine.advert_installs_total",
             "neighbour adverts installed (remote interest replaced)")
+        self._m_delta_exports = m.counter(
+            "engine.advert_delta_exports_total",
+            "delta adverts computed against a remembered baseline")
+        self._m_delta_installs = m.counter(
+            "engine.advert_delta_installs_total",
+            "delta adverts applied to remote interest")
+        self._m_delta_rejects = m.counter(
+            "engine.advert_delta_rejects_total",
+            "delta adverts rejected because the installed set no "
+            "longer matched the stated base digest")
         m.gauge("engine.link_subscriptions",
                 "remote-interest entries installed from neighbour "
                 "adverts", fn=self._count_link_subscriptions)
@@ -461,16 +488,84 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         the overlay.
         """
         channel = self._require_provisioned()
-        antichain = covering_antichain(self._forest,
-                                       exclude=(exclude_link,))
-        entries = sorted(encode_subscription(subscription)
-                         for subscription in antichain)
+        entries = self._current_entries(exclude_link)
         canonical = pack_fields(entries)
         self._charge_aes(len(canonical))
         blob = channel.protect(canonical,
                                aad=ADVERT_AAD_PREFIX + origin.encode())
         self._m_advert_exports.inc()
-        return advert_digest(exclude_link, entries), blob
+        digest = advert_digest(exclude_link, entries)
+        self._remember_export(exclude_link, digest, entries)
+        return digest, blob
+
+    def _current_entries(self, exclude_link: str) -> List[bytes]:
+        """Sorted encoded covering antichain for one link's advert."""
+        antichain = covering_antichain(self._forest,
+                                       exclude=(exclude_link,))
+        return sorted(encode_subscription(subscription)
+                      for subscription in antichain)
+
+    def _remember_export(self, exclude_link: str, digest: bytes,
+                         entries: List[bytes]) -> None:
+        """Keep a bounded per-link history of exported covering sets."""
+        history = self._advert_history.setdefault(exclude_link,
+                                                  OrderedDict())
+        if digest in history:
+            history.move_to_end(digest)
+        history[digest] = list(entries)
+        while len(history) > ADVERT_HISTORY_DEPTH:
+            history.popitem(last=False)
+
+    @ecall
+    def export_link_advert_delta(self, origin: str, exclude_link: str,
+                                 base_digest: bytes
+                                 ) -> Tuple[str, bytes, bytes]:
+        """Compute one link's advert as a delta when a baseline allows.
+
+        Returns ``(mode, digest, blob)``:
+
+        * ``("noop", digest, b"")`` — the current covering set already
+          digests to ``base_digest``; nothing needs to travel;
+        * ``("delta", digest, blob)`` — ``base_digest`` names a
+          remembered baseline; ``blob`` is the sealed adds/removals
+          relative to it (plus the expected result digest, verified by
+          the receiver *before* mutating);
+        * ``("full", digest, blob)`` — no baseline (first contact, or
+          a recovered enclave whose history died with it): ``blob`` is
+          a full advert, byte-compatible with
+          :meth:`export_link_advert`'s.
+
+        Either way the current set is remembered, so the next change
+        on this link can go out as a delta.
+        """
+        channel = self._require_provisioned()
+        entries = self._current_entries(exclude_link)
+        digest = advert_digest(exclude_link, entries)
+        self._remember_export(exclude_link, digest, entries)
+        if digest == base_digest:
+            return "noop", digest, b""
+        baseline = self._advert_history.get(exclude_link,
+                                            {}).get(base_digest)
+        if baseline is None:
+            canonical = pack_fields(entries)
+            self._charge_aes(len(canonical))
+            blob = channel.protect(
+                canonical, aad=ADVERT_AAD_PREFIX + origin.encode())
+            self._m_advert_exports.inc()
+            return "full", digest, blob
+        base_set = set(baseline)
+        current_set = set(entries)
+        adds = sorted(current_set - base_set)
+        removals = sorted(base_set - current_set)
+        canonical = pack_fields([base_digest, digest,
+                                 pack_fields(adds),
+                                 pack_fields(removals)])
+        self._charge_aes(len(canonical))
+        blob = channel.protect(
+            canonical,
+            aad=ADVERT_DELTA_AAD_PREFIX + origin.encode())
+        self._m_delta_exports.inc()
+        return "delta", digest, blob
 
     @ecall
     def install_link_advert(self, from_broker: str,
@@ -510,3 +605,80 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             self._memo.bump()
         self._m_advert_installs.inc()
         return len(entries)
+
+    def _installed_entries(self, sentinel: str) -> List[bytes]:
+        """Sorted encoded subscriptions held under one link sentinel."""
+        return sorted(
+            encode_subscription(node.subscription)
+            for node in self._forest.iter_nodes()
+            if sentinel in node.subscribers)
+
+    @ecall
+    def installed_advert_digest(self, from_broker: str,
+                                exclude_link: str) -> bytes:
+        """Digest of the advert set currently held from a neighbour.
+
+        ``exclude_link`` must be the sentinel the *sender* computed the
+        advert against — ``link:<this broker's name>`` — so the value
+        here is comparable with the digests the neighbour exports.
+        Rebuilt from the forest (not host-tracked), so it stays right
+        across crash recovery, checkpoint restore and WAL replay.
+        """
+        sentinel = LINK_PREFIX + from_broker
+        return advert_digest(exclude_link,
+                             self._installed_entries(sentinel))
+
+    @ecall
+    def apply_link_advert_delta(self, from_broker: str,
+                                exclude_link: str,
+                                blob: bytes) -> Tuple[bool, bytes]:
+        """Apply a delta advert if the installed set matches its base.
+
+        Returns ``(applied, installed_digest)`` where the digest is the
+        post-call state either way. A base mismatch — the deltas sender
+        diffed against a set this enclave no longer holds (a dropped
+        advert, an out-of-order replay) — rejects the delta without
+        touching the forest; the caller answers with a ``DIG`` probe so
+        the peers reconverge instead of diverging silently. The guard
+        also makes WAL replay of delta records idempotent: re-applying
+        an already-applied delta finds base != installed and no-ops.
+        """
+        channel = self._require_provisioned()
+        plaintext, aad = channel.open(blob)
+        self._charge_aes(len(blob))
+        if aad != ADVERT_DELTA_AAD_PREFIX + from_broker.encode():
+            raise RoutingError(
+                "delta advert bound to a different broker")
+        fields = unpack_fields(plaintext)
+        if len(fields) != 4:
+            raise RoutingError("malformed delta advert payload")
+        base_digest, new_digest, adds_blob, removals_blob = fields
+        sentinel = LINK_PREFIX + from_broker
+        installed = self._installed_entries(sentinel)
+        current = advert_digest(exclude_link, installed)
+        if current != base_digest:
+            self._m_delta_rejects.inc()
+            return False, current
+        adds = unpack_fields(adds_blob)
+        removals = unpack_fields(removals_blob)
+        # Verify the sealed result digest *before* mutating: applying
+        # the delta must land exactly on the set the sender exported.
+        result = sorted((set(installed) - set(removals)) | set(adds))
+        if advert_digest(exclude_link, result) != new_digest:
+            raise RoutingError(
+                "delta advert does not reproduce its stated digest")
+        costs = self.runtime.costs
+        for entry in removals:
+            self._forest.remove_subscriber(decode_subscription(entry),
+                                           sentinel)
+        for entry in adds:
+            subscription = decode_subscription(entry)
+            self.runtime.memory.charge(
+                costs.node_visit_cycles
+                + costs.predicate_eval_cycles
+                * subscription.n_constraints)
+            self._forest.insert(subscription, sentinel)
+        if self._memo is not None:
+            self._memo.bump()
+        self._m_delta_installs.inc()
+        return True, new_digest

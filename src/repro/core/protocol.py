@@ -30,6 +30,21 @@ message types on the same wire format:
   original ``PUB`` frame rides inside byte-for-byte, wrapped with the
   origin broker, an origin-scoped sequence number (for per-hop
   duplicate suppression) and a remaining-hops TTL.
+
+Dynamic membership (see :mod:`repro.overlay.membership`) adds three
+more inter-broker types:
+
+* ``HBT`` — a liveness heartbeat carrying the sender's tick; consumed
+  host-side by the failure detector, never entering the enclave.
+* ``DIG`` — an anti-entropy digest probe: the sender states the
+  deterministic digest of the advert set it currently holds *from*
+  the receiver, so the receiver can re-export exactly the delta a
+  partition made it miss.
+* ``SUMD`` — a delta summary advert: adds/removals relative to a
+  stated base digest, sealed under SK like a full ``SUM``. Applying
+  it is guarded by the base digest, which makes WAL replay of
+  ``SUMD`` records idempotent (a delta whose base no longer matches
+  is rejected, not re-applied).
 """
 
 from __future__ import annotations
@@ -51,7 +66,10 @@ __all__ = [
     "build_admit", "parse_admit",
     "build_group_key", "parse_group_key",
     "build_summary", "parse_summary",
+    "build_summary_delta", "parse_summary_delta",
     "build_overlay_publish", "parse_overlay_publish",
+    "build_heartbeat", "parse_heartbeat",
+    "build_digest_probe", "parse_digest_probe",
     "message_type",
 ]
 
@@ -64,6 +82,9 @@ MSG_ADMIT = "ADMIT"
 MSG_GROUP_KEY = "GK"
 MSG_SUMMARY = "SUM"
 MSG_OVERLAY_PUBLISH = "OPUB"
+MSG_SUMMARY_DELTA = "SUMD"
+MSG_HEARTBEAT = "HBT"
+MSG_DIGEST_PROBE = "DIG"
 
 
 def message_type(frame: bytes) -> str:
@@ -235,3 +256,91 @@ def parse_overlay_publish(frame: bytes) -> Tuple[str, int, int, bytes]:
     if sequence < 0 or ttl < 0:
         raise RoutingError("overlay sequence/ttl must be non-negative")
     return origin, sequence, ttl, fields[3]
+
+
+# -- membership: heartbeats, digest probes, delta adverts --------------------------
+
+def build_heartbeat(origin: str, tick: int) -> bytes:
+    """A liveness beacon from one broker to a direct neighbour.
+
+    Carries only the sender's identity and local tick — both already
+    visible to the infrastructure — and is consumed host-side by the
+    failure detector without ever entering an enclave.
+    """
+    if not origin:
+        raise RoutingError("heartbeat without an origin broker")
+    if tick < 0:
+        raise RoutingError("heartbeat tick must be non-negative")
+    blob = pack_fields([origin.encode(), str(tick).encode()])
+    return to_wire(MSG_HEARTBEAT, blob)
+
+
+def parse_heartbeat(frame: bytes) -> Tuple[str, int]:
+    fields = unpack_fields(_expect(frame, MSG_HEARTBEAT))
+    if len(fields) != 2:
+        raise RoutingError("malformed heartbeat")
+    origin = fields[0].decode()
+    if not origin:
+        raise RoutingError("heartbeat without an origin broker")
+    try:
+        tick = int(fields[1].decode())
+    except ValueError as exc:
+        raise RoutingError("malformed heartbeat tick") from exc
+    if tick < 0:
+        raise RoutingError("heartbeat tick must be non-negative")
+    return origin, tick
+
+
+def build_digest_probe(origin: str, installed_digest: bytes) -> bytes:
+    """An anti-entropy probe sent on link heal or join.
+
+    ``installed_digest`` fingerprints the advert set ``origin``
+    currently holds *from the receiver* (the empty-advert digest when
+    it holds none), so the receiver can answer with exactly the delta
+    the probe sender missed — or with nothing, when they are already
+    in sync. Digests reveal only set (in)equality, like ``SUM``'s.
+    """
+    if not origin:
+        raise RoutingError("digest probe without an origin broker")
+    blob = pack_fields([origin.encode(), installed_digest])
+    return to_wire(MSG_DIGEST_PROBE, blob)
+
+
+def parse_digest_probe(frame: bytes) -> Tuple[str, bytes]:
+    fields = unpack_fields(_expect(frame, MSG_DIGEST_PROBE))
+    if len(fields) != 2:
+        raise RoutingError("malformed digest probe")
+    origin = fields[0].decode()
+    if not origin:
+        raise RoutingError("digest probe without an origin broker")
+    return origin, fields[1]
+
+
+def build_summary_delta(origin: str, base_digest: bytes,
+                        new_digest: bytes, delta_blob: bytes) -> bytes:
+    """A delta summary advert relative to a stated base digest.
+
+    ``delta_blob`` is the SK-sealed adds/removals (only a provisioned
+    peer enclave can open it); the digests travel in the clear like a
+    full ``SUM``'s, exposing only whether/that the set changed. The
+    receiving enclave applies the delta only when its installed set
+    still matches ``base_digest`` — a mismatch (a missed advert, a
+    replayed record) is rejected and answered with a fresh ``DIG``
+    exchange instead of silently corrupting remote interest.
+    """
+    if not origin:
+        raise RoutingError("summary delta without an origin broker")
+    blob = pack_fields([origin.encode(), base_digest, new_digest,
+                        delta_blob])
+    return to_wire(MSG_SUMMARY_DELTA, blob)
+
+
+def parse_summary_delta(frame: bytes) -> Tuple[str, bytes, bytes,
+                                               bytes]:
+    fields = unpack_fields(_expect(frame, MSG_SUMMARY_DELTA))
+    if len(fields) != 4:
+        raise RoutingError("malformed summary delta")
+    origin = fields[0].decode()
+    if not origin:
+        raise RoutingError("summary delta without an origin broker")
+    return origin, fields[1], fields[2], fields[3]

@@ -25,9 +25,11 @@ from repro.core.messages import (SecureChannel, encode_public_key,
                                  encode_subscription, hybrid_decrypt,
                                  hybrid_encrypt)
 from repro.core.protocol import (build_admit, build_group_key,
-                                 build_register, build_unregister,
+                                 build_register, build_summary,
+                                 build_unregister,
                                  parse_subscription_request)
-from repro.core.engine import PROVISION_AAD
+from repro.core.engine import (ADVERT_AAD_PREFIX, LINK_PREFIX,
+                               PROVISION_AAD, advert_digest)
 from repro.crypto.encoding import pack_fields
 from repro.errors import AdmissionError, AttestationError, RoutingError
 from repro.matching.subscriptions import Subscription
@@ -124,6 +126,23 @@ class ServiceProvider:
 
     def client_status(self, client_id: str) -> str:
         return self._clients.get(client_id, "unknown")
+
+    def build_interest_withdrawal(self, leaving: str,
+                                  receiver: str) -> bytes:
+        """An empty ``SUM`` advert retiring broker ``leaving``.
+
+        When a broker leaves the overlay cleanly, its neighbours must
+        drop the remote interest its adverts installed — but the
+        departed enclave is no longer there to export the empty
+        covering set itself. The provider owns SK, so it can seal the
+        same last-wins replacement advert the enclave would have:
+        installing it withdraws every ``link:<leaving>`` subscription
+        at ``receiver``, WAL-journalled like any other ``SUM``.
+        """
+        digest = advert_digest(LINK_PREFIX + receiver, [])
+        blob = self.keys.channel().protect(
+            pack_fields([]), aad=ADVERT_AAD_PREFIX + leaving.encode())
+        return build_summary(leaving, digest, blob)
 
     # -- subscription handling (Fig. 4 steps 1-2) ---------------------------------------
 

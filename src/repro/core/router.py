@@ -24,6 +24,8 @@ rather than fail:
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -31,10 +33,11 @@ from repro.core.deadletter import DeadLetterQueue
 from repro.core.engine import LINK_PREFIX, ScbrEnclaveLibrary
 from repro.core.protocol import (MSG_OVERLAY_PUBLISH, MSG_PUBLISH,
                                  MSG_REGISTER, MSG_SUMMARY,
-                                 MSG_UNREGISTER, build_deliver,
-                                 message_type, parse_overlay_publish,
-                                 parse_publish, parse_register,
-                                 parse_summary, parse_unregister)
+                                 MSG_SUMMARY_DELTA, MSG_UNREGISTER,
+                                 build_deliver, message_type,
+                                 parse_overlay_publish, parse_publish,
+                                 parse_register, parse_summary,
+                                 parse_summary_delta, parse_unregister)
 from repro.crypto.rsa import RsaPrivateKey
 from repro.errors import (CryptoError, EnclaveError, MatchingError,
                           NetworkError, RoutingError)
@@ -55,6 +58,7 @@ _FRAME_FAULTS = (RoutingError, CryptoError, MatchingError,
 REASON_POISON = "poison-frame"
 REASON_UNEXPECTED = "unexpected-type"
 REASON_EXHAUSTED = "retries-exhausted"
+REASON_LINK_DOWN = "link-down"
 
 
 @dataclass(frozen=True)
@@ -66,20 +70,30 @@ class RetryPolicy:
     ``min(base_delay_ticks * 2**(n-1), max_delay_ticks)`` router ticks.
     Ticks advance once per :meth:`Router.pump`, keeping the schedule
     reproducible under simulation.
+
+    ``jitter_ticks`` adds ``0..jitter_ticks`` extra ticks to each wait,
+    drawn from the router's own seeded RNG. Without it every subscriber
+    failed by one shared fault retries on the *same* future tick — a
+    synchronized retry storm that re-overloads whatever just failed;
+    with it the storm de-correlates while the run stays seed-exact.
     """
 
     max_attempts: int = 4
     base_delay_ticks: int = 1
     max_delay_ticks: int = 8
+    jitter_ticks: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.base_delay_ticks < 1 or self.max_delay_ticks < 1:
             raise ValueError("retry delays must be positive")
+        if self.jitter_ticks < 0:
+            raise ValueError("jitter_ticks must be non-negative")
 
     def delay_for(self, retry_number: int) -> int:
-        """Ticks to wait before retry ``retry_number`` (1-based)."""
+        """Base ticks to wait before retry ``retry_number`` (1-based),
+        before jitter."""
         return min(self.base_delay_ticks << (retry_number - 1),
                    self.max_delay_ticks)
 
@@ -103,7 +117,8 @@ class Router:
                  retry_policy: Optional[RetryPolicy] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  dead_letter_capacity: int = 1024,
-                 wal=None) -> None:
+                 wal=None,
+                 retry_seed: Optional[int] = None) -> None:
         self.name = name
         self.platform = platform
         self.endpoint: Endpoint = bus.endpoint(name)
@@ -117,6 +132,12 @@ class Router:
         self.wal = wal
         self.retry_policy = retry_policy if retry_policy is not None \
             else RetryPolicy()
+        # Backoff jitter source: seeded per router (by name unless an
+        # explicit seed is given), so two routers that fail together
+        # draw different jitter, yet any seeded run replays exactly.
+        if retry_seed is None:
+            retry_seed = zlib.crc32(name.encode("utf-8"))
+        self._retry_rng = random.Random(retry_seed)
         self.dead_letters = DeadLetterQueue(
             capacity=dead_letter_capacity)
         #: Router tick count; advanced once per :meth:`pump`.
@@ -152,7 +173,8 @@ class Router:
         self._m_frames_by_kind = {
             kind: self._m_frames.child(kind=kind)
             for kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_PUBLISH,
-                         MSG_SUMMARY, MSG_OVERLAY_PUBLISH)}
+                         MSG_SUMMARY, MSG_OVERLAY_PUBLISH,
+                         MSG_SUMMARY_DELTA)}
         self._m_frames_unparseable = self._m_frames.child(
             kind="unparseable")
         self._m_poisoned = m.counter(
@@ -169,6 +191,17 @@ class Router:
         self._m_summaries = m.counter(
             "router.summaries_installed_total",
             "neighbour summary adverts installed into the enclave")
+        self._m_summary_deltas = m.counter(
+            "router.summary_deltas_installed_total",
+            "delta summary adverts applied into the enclave")
+        self._m_delta_mismatches = m.counter(
+            "router.summary_delta_mismatches_total",
+            "delta adverts rejected for a stale base digest (a DIG "
+            "reconciliation is requested instead)")
+        self._m_link_down_letters = m.counter(
+            "router.link_down_dead_letters_total",
+            "overlay forwards dead-lettered because the link was "
+            "down, by link")
         self._m_overlay_publications = m.counter(
             "router.overlay_publications_total",
             "publications received over broker links and matched")
@@ -237,6 +270,25 @@ class Router:
     def attach_overlay(self, links) -> None:
         """Install the overlay forwarding state for this router."""
         self.overlay = links
+        # Forwards that fail because a link is down are quarantined
+        # here (store-and-forward): they are requeued on heal, not lost.
+        links.on_send_failure = self._dead_letter_link_frame
+
+    def _dead_letter_link_frame(self, neighbour: str, frame: bytes,
+                                error: Exception) -> None:
+        """Quarantine one OPUB owed to a currently unreachable link.
+
+        The ``link:<neighbour>`` client id records the destination, so
+        :meth:`requeue_dead_letters` can re-send the exact frame once
+        the link heals; the receiver's (origin, sequence) dedup keeps
+        the publication exactly-once even when a redundant path already
+        delivered it meanwhile.
+        """
+        self._m_link_down_letters.inc(link=neighbour)
+        self.dead_letters.add(
+            frame, sender=self.name, reason=REASON_LINK_DOWN,
+            detail=f"to {neighbour}: {error}", tick=self.tick,
+            client_id=LINK_PREFIX + neighbour)
 
     def take_in_flight(self) -> Optional[Tuple[str, str, bytes]]:
         """Pop the frame that was mid-processing when the enclave died.
@@ -349,6 +401,36 @@ class Router:
             self.overlay.note_interest_change()
         return installed
 
+    def handle_summary_delta(self, frame: bytes) -> bool:
+        """SUMD frame -> apply the neighbour's delta advert.
+
+        Journalled like a full ``SUM`` (remote interest is routing
+        state a recovered enclave must rebuild); the in-enclave base
+        digest guard makes replaying the record idempotent. A base
+        mismatch — this broker missed an advert the sender believes it
+        has — is answered by queueing a ``DIG`` probe so the peers
+        reconcile, and is *not* an error: the frame did its job of
+        exposing the divergence. Returns True when applied.
+        """
+        origin, _base, _new, blob = parse_summary_delta(frame)
+        if self.overlay is None:
+            raise RoutingError(
+                "delta advert at a router with no overlay attached")
+        if not self.overlay.is_neighbour(origin):
+            raise RoutingError(
+                f"delta advert from non-neighbour {origin!r}")
+        applied, installed_digest = self.enclave.ecall(
+            "apply_link_advert_delta", origin,
+            LINK_PREFIX + self.name, blob)
+        if applied:
+            self._m_summary_deltas.inc()
+            self.overlay.note_interest_change()
+        else:
+            self._m_delta_mismatches.inc()
+            self.overlay.note_reconcile_needed(origin,
+                                               installed_digest)
+        return applied
+
     def handle_overlay_publish(self, sender: str,
                                frame: bytes) -> List[str]:
         """OPUB frame -> dedup -> match -> deliver locally + forward.
@@ -417,6 +499,9 @@ class Router:
                 tick=self.tick, client_id=client_id)
             return
         delay = policy.delay_for(attempts_made)
+        if policy.jitter_ticks:
+            delay += self._retry_rng.randrange(
+                policy.jitter_ticks + 1)
         self._m_retries.inc()
         self._retries.append(_PendingDelivery(
             client_id=client_id, frame=frame,
@@ -456,7 +541,8 @@ class Router:
         # leaves the frame recoverable from checkpoint + WAL replay.
         if self.wal is not None and kind in (MSG_REGISTER,
                                              MSG_UNREGISTER,
-                                             MSG_SUMMARY):
+                                             MSG_SUMMARY,
+                                             MSG_SUMMARY_DELTA):
             self.wal.append(kind, frame)
         self._in_flight = (sender, kind, frame)
         try:
@@ -468,6 +554,8 @@ class Router:
                 self.handle_publish(frame)
             elif kind == MSG_SUMMARY:
                 self.handle_summary(frame)
+            elif kind == MSG_SUMMARY_DELTA:
+                self.handle_summary_delta(frame)
             elif kind == MSG_OVERLAY_PUBLISH:
                 self.handle_overlay_publish(sender, frame)
             else:
@@ -522,15 +610,31 @@ class Router:
         """Re-inject quarantined messages; returns how many were tried.
 
         Undeliverable payloads (which recorded their destination) get a
-        fresh delivery attempt with a full retry schedule; inbound
-        frames go back through the normal dispatch boundary. Either
-        path may legitimately dead-letter the message *again* — the
-        point is that after the failure cause is fixed (the enclave
-        recovered, the subscriber reconnected) nothing is stranded in
-        quarantine.
+        fresh delivery attempt with a full retry schedule; overlay
+        forwards held back by a down link (``link:<broker>`` client
+        ids) are re-sent on the link directly — re-dispatching them
+        through the inbox would hit this node's own dedup window and
+        silently drop them; inbound frames go back through the normal
+        dispatch boundary. Every path may legitimately dead-letter the
+        message *again* — the point is that after the failure cause is
+        fixed (the enclave recovered, the subscriber reconnected, the
+        link healed) nothing is stranded in quarantine.
         """
         def _reinject(letter) -> None:
-            if letter.client_id is not None:
+            if letter.client_id is not None \
+                    and letter.client_id.startswith(LINK_PREFIX) \
+                    and self.overlay is not None:
+                neighbour = letter.client_id[len(LINK_PREFIX):]
+                try:
+                    self.overlay.send_to(neighbour, letter.frame)
+                except (NetworkError, RoutingError) as exc:
+                    # Still down (or the neighbour left): back into
+                    # quarantine, to be retried on the next heal.
+                    self._dead_letter_link_frame(neighbour,
+                                                 letter.frame, exc)
+                else:
+                    self.overlay.note_forward_requeued(neighbour)
+            elif letter.client_id is not None:
                 self._attempt_delivery(letter.client_id, letter.frame,
                                        attempts_made=0)
             else:

@@ -95,6 +95,15 @@ class MessageBus:
         self.fault_plan = fault_plan
         #: messages lost to an injected drop fault, per link.
         self.dropped_messages = 0
+        #: severed-link state: while True every deliver() raises
+        #: :class:`~repro.errors.NetworkError` — the *sender* learns of
+        #: the failure (connection refused), unlike a drop fault which
+        #: loses the message silently. Frames already queued in a
+        #: mailbox before the sever stay readable: they reached the
+        #: remote host before the cable was cut.
+        self.down = False
+        #: sends refused while the bus was down (never silent).
+        self.refused_messages = 0
         #: optional bus identity. Overlays run one bus per broker link
         #: off a *shared* registry; naming each bus attributes traffic
         #: and fault counters per link (``bus.messages_total{bus=...}``)
@@ -109,9 +118,13 @@ class MessageBus:
         self._m_faults = self.metrics.counter(
             "bus.faults_injected_total",
             "faults injected by the active plan, by kind")
+        self._m_refused = self.metrics.counter(
+            "bus.sends_refused_total",
+            "sends refused because the bus was severed")
         if name:
             self._m_messages = self._m_messages.child(bus=name)
             self._m_bytes = self._m_bytes.child(bus=name)
+            self._m_refused = self._m_refused.child(bus=name)
             self._m_faults_by_kind = {
                 kind: self._m_faults.child(kind=kind, bus=name)
                 for kind in ("drop", "duplicate", "reorder", "corrupt")}
@@ -124,6 +137,10 @@ class MessageBus:
         """Attach (or clear) the fault-injection plan."""
         self.fault_plan = plan
 
+    def set_down(self, down: bool) -> None:
+        """Sever (or heal) the bus. Idempotent either way."""
+        self.down = down
+
     def endpoint(self, name: str) -> Endpoint:
         """Create (or fetch) the endpoint with this identity."""
         if not name:
@@ -135,6 +152,12 @@ class MessageBus:
 
     def deliver(self, sender: str, to: str, frames: Frame) -> None:
         """Validate, apply link faults, and enqueue one message."""
+        if self.down:
+            self.refused_messages += 1
+            self._m_refused.inc()
+            raise NetworkError(
+                f"link {self.name or '<bus>'} is down: "
+                f"{sender} -> {to} refused")
         mailbox = self._mailboxes.get(to)
         if mailbox is None:
             raise NetworkError(f"no endpoint named {to!r}")

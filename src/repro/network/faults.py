@@ -17,6 +17,7 @@ soak tests assert.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -101,6 +102,28 @@ class FaultPlan:
             raise FaultPlanError(
                 "bidirectional links need concrete endpoints")
         return self.on_link(a, b, faults).on_link(b, a, faults)
+
+    @staticmethod
+    def for_topology_edges(edges, faults: LinkFaults,
+                           seed: int = 0
+                           ) -> Dict[Tuple[str, str], "FaultPlan"]:
+        """One independent bidirectional plan per topology edge.
+
+        The overlay runs one bus per edge, and a shared plan would
+        entangle their random streams — traffic on one link shifting
+        the faults another draws. Seeding each edge's plan with
+        ``seed`` xor a stable hash of the edge name keeps every link's
+        fault sequence independent and reproducible. Returns the
+        ``{edge: plan}`` mapping :class:`OverlayNetwork` accepts.
+        """
+        plans: Dict[Tuple[str, str], FaultPlan] = {}
+        for a, b in edges:
+            edge_seed = seed ^ int.from_bytes(
+                hashlib.sha256(f"{a}~{b}".encode()).digest()[:4],
+                "big")
+            plans[(a, b)] = FaultPlan(
+                seed=edge_seed).on_bidirectional_link(a, b, faults)
+        return plans
 
     def faults_for(self, sender: str, to: str) -> LinkFaults:
         """Effective fault rates for one concrete link."""

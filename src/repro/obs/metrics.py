@@ -33,7 +33,7 @@ from repro.errors import MetricsError
 
 __all__ = ["Counter", "BoundCounter", "Gauge", "Histogram",
            "MetricsRegistry", "aggregate_snapshots",
-           "DEFAULT_BUCKETS", "TIME_BUCKETS_US"]
+           "DEFAULT_BUCKETS", "TIME_BUCKETS_US", "TICK_BUCKETS"]
 
 Number = Union[int, float]
 
@@ -48,6 +48,12 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250,
 TIME_BUCKETS_US: Tuple[float, ...] = (
     10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
     10_000_000.0)
+
+#: Bucket bounds for tick-valued durations (pump rounds): outage
+#: lengths, convergence times. Sized for the chaos harness, where a
+#: partition typically spans tens of ticks and a soak a few thousand.
+TICK_BUCKETS: Tuple[float, ...] = (4, 8, 16, 32, 64, 128, 256, 512,
+                                   1024, 4096)
 
 
 def _label_key(labels: Dict[str, object]) -> str:

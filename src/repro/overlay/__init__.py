@@ -14,16 +14,22 @@ Modules:
 * :mod:`~repro.overlay.forwarding` — per-node hop-by-hop forwarding:
   link registry, (origin, sequence) dedup, TTL, suppression metrics;
 * :mod:`~repro.overlay.propagation` — advert refresh scheduling with
-  digest-based re-advertisement suppression;
+  digest-based re-advertisement suppression and delta (anti-entropy)
+  reconciliation;
+* :mod:`~repro.overlay.membership` — heartbeat failure detection per
+  link and the seeded :class:`ChurnSchedule` chaos event source;
 * :mod:`~repro.overlay.node` — one broker: router + supervisor +
-  links + advert state, with idempotent teardown;
+  links + advert state + failure detector, with idempotent teardown;
 * :mod:`~repro.overlay.network` — the assembled overlay: provider
-  routing, clients, publishers, quiescence pumping;
+  routing, clients, publishers, quiescence pumping, and live
+  membership (sever/heal/join/leave/crash);
 * :mod:`~repro.overlay.oracle` — the flat single-router oracle the
   equivalence tests compare deliveries against.
 """
 
 from repro.overlay.forwarding import OverlayLinks
+from repro.overlay.membership import (ChurnSchedule, FailureDetector,
+                                      MembershipConfig)
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.node import OverlayNode
 from repro.overlay.oracle import FlatOracle
@@ -31,4 +37,5 @@ from repro.overlay.propagation import AdvertScheduler
 from repro.overlay.topology import Topology
 
 __all__ = ["Topology", "OverlayLinks", "AdvertScheduler",
-           "OverlayNode", "OverlayNetwork", "FlatOracle"]
+           "OverlayNode", "OverlayNetwork", "FlatOracle",
+           "MembershipConfig", "FailureDetector", "ChurnSchedule"]

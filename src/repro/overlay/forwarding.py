@@ -18,11 +18,11 @@ metadata the protocol already exposes to the infrastructure.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import LINK_PREFIX
 from repro.core.protocol import build_overlay_publish
-from repro.errors import RoutingError
+from repro.errors import NetworkError, RoutingError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["OverlayLinks"]
@@ -42,12 +42,27 @@ class OverlayLinks:
         self.dedup_capacity = dedup_capacity
         #: neighbour -> callable(frame) placing one frame on the link.
         self._sends: Dict[str, Callable[[bytes], None]] = {}
+        #: neighbour -> callable() -> bool reporting link liveness
+        #: (backed by the link bus's severed state when available).
+        self._is_up: Dict[str, Callable[[], bool]] = {}
+        #: links the failure detector confirmed dead: forwards go
+        #: straight to the dead-letter hook without a doomed send.
+        self._detached: Set[str] = set()
         #: (origin, sequence) pairs already processed, FIFO-bounded.
         self._seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         self._next_sequence = 0
         #: set when our forest changed (a neighbour advert installed,
         #: or replayed); the owning node re-exports its adverts.
         self.interest_dirty = False
+        #: called as ``(neighbour, frame, error)`` when a forward could
+        #: not be placed on its link; the router installs its
+        #: dead-letter path here (store-and-forward across partitions).
+        self.on_send_failure: Optional[
+            Callable[[str, bytes, Exception], None]] = None
+        #: ``(neighbour, installed_digest)`` pairs owed a DIG probe —
+        #: queued by the router when a delta advert's base digest
+        #: mismatched, drained by the owning node's pump.
+        self.reconcile_needed: List[Tuple[str, bytes]] = []
 
         self._m_forwarded = metrics.counter(
             "overlay.publications_forwarded_total",
@@ -69,19 +84,63 @@ class OverlayLinks:
     # -- link registry ----------------------------------------------------------
 
     def connect(self, neighbour: str,
-                send: Callable[[bytes], None]) -> None:
-        """Register the send side of one link to ``neighbour``."""
+                send: Callable[[bytes], None],
+                is_up: Optional[Callable[[], bool]] = None) -> None:
+        """Register the send side of one link to ``neighbour``.
+
+        ``is_up`` (optional) reports the link's liveness — overlay
+        nodes back it with the link bus's severed state so backlog
+        accounting can tell "owed and sendable" from "owed but
+        partitioned away".
+        """
         if not neighbour or neighbour == self.node_name:
             raise RoutingError(f"bad link neighbour {neighbour!r}")
         if neighbour in self._sends:
             raise RoutingError(f"duplicate link to {neighbour!r}")
         self._sends[neighbour] = send
+        if is_up is not None:
+            self._is_up[neighbour] = is_up
+
+    def disconnect(self, neighbour: str) -> None:
+        """Forget one link entirely (the neighbour left the overlay).
+
+        Unlike a severed link — which keeps its registration so healed
+        traffic resumes — a disconnect removes the neighbour from the
+        candidate set; forwards simply stop considering it.
+        """
+        if neighbour not in self._sends:
+            raise RoutingError(f"no link to broker {neighbour!r}")
+        del self._sends[neighbour]
+        self._is_up.pop(neighbour, None)
+        self._detached.discard(neighbour)
 
     def neighbours(self) -> List[str]:
         return sorted(self._sends)
 
     def is_neighbour(self, broker: str) -> bool:
         return broker in self._sends
+
+    def is_up(self, neighbour: str) -> bool:
+        """Best-effort liveness of one link (True when unknown)."""
+        probe = self._is_up.get(neighbour)
+        return True if probe is None else probe()
+
+    def mark_detached(self, neighbour: str) -> None:
+        """Failure detector verdict: stop attempting sends here."""
+        if neighbour in self._sends:
+            self._detached.add(neighbour)
+
+    def mark_attached(self, neighbour: str) -> None:
+        """The neighbour is (back) among the living."""
+        self._detached.discard(neighbour)
+
+    def is_detached(self, neighbour: str) -> bool:
+        return neighbour in self._detached
+
+    def note_reconcile_needed(self, neighbour: str,
+                              installed_digest: bytes) -> None:
+        """Queue a DIG probe to ``neighbour`` (drained by the node)."""
+        self.reconcile_needed.append((neighbour, installed_digest))
 
     @staticmethod
     def sentinel_for(neighbour: str) -> str:
@@ -163,7 +222,25 @@ class OverlayLinks:
                 continue
             frame = build_overlay_publish(origin, sequence, ttl - 1,
                                           publish_frame)
-            self._sends[neighbour](frame)
+            if neighbour in self._detached:
+                # Confirmed-dead link: don't waste a doomed send, go
+                # straight to store-and-forward.
+                if self.on_send_failure is not None:
+                    self.on_send_failure(
+                        neighbour, frame,
+                        NetworkError(f"link to {neighbour!r} detached"))
+                continue
+            try:
+                self._sends[neighbour](frame)
+            except NetworkError as exc:
+                if self.on_send_failure is None:
+                    raise
+                self.on_send_failure(neighbour, frame, exc)
+                continue
             self._m_forwarded.inc(link=neighbour)
             forwarded += 1
         return forwarded
+
+    def note_forward_requeued(self, neighbour: str) -> None:
+        """Count a dead-lettered forward that finally left on a heal."""
+        self._m_forwarded.inc(link=neighbour)

@@ -1,0 +1,298 @@
+"""Overlay membership: failure detection and seeded broker churn.
+
+The paper's deployment model (§5) assumes a static broker overlay; a
+production SCBR fabric loses that luxury — links partition, brokers
+crash, machines join and leave. This module supplies the two host-side
+pieces that tolerate it:
+
+* :class:`FailureDetector` — a tick-driven heartbeat protocol per
+  overlay link. Every ``heartbeat_interval`` ticks a broker emits an
+  ``HBT`` frame on each link; a neighbour silent for ``suspect_after``
+  ticks becomes *suspect*, and for ``confirm_dead_after`` ticks
+  *dead* — at which point forwards to it are detached into the
+  dead-letter queue instead of attempted. Heartbeats are pure host
+  metadata (no ecall, nothing confidential: link liveness is already
+  visible to the infrastructure), so detection costs the enclave
+  nothing.
+
+* :class:`ChurnSchedule` — the chaos harness's seeded event source, a
+  sibling of :class:`repro.recovery.CrashSchedule`. One
+  ``random.Random(seed)`` draws partitions, heals, joins, leaves and
+  enclave crashes against the *current* overlay state, so a seed fully
+  determines a churn run and any failure is replayable.
+
+States move one way on silence (alive → suspect → dead) and reset on
+any evidence of life: a received heartbeat, any frame on the link, or
+an administrative heal. Revival from *dead* fires the node's recovery
+hook — requeue link-quarantined dead letters, probe the peer's digest
+for anti-entropy reconciliation — which is what turns a healed
+partition back into one converged overlay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.obs.metrics import MetricsRegistry, TICK_BUCKETS
+
+__all__ = ["MembershipConfig", "FailureDetector", "ChurnSchedule",
+           "ALIVE", "SUSPECT", "DEAD"]
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Timing knobs for the heartbeat failure detector, in ticks.
+
+    Defaults give three missed heartbeats before suspicion and six
+    before a neighbour is confirmed dead — conservative enough that a
+    crash-recovery pause (the supervisor replaying a WAL) does not get
+    a live broker declared dead.
+    """
+    heartbeat_interval: int = 4
+    suspect_after: int = 12
+    confirm_dead_after: int = 24
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval < 1:
+            raise RoutingError("heartbeat interval must be >= 1")
+        if self.suspect_after <= self.heartbeat_interval:
+            raise RoutingError(
+                "suspect_after must exceed the heartbeat interval")
+        if self.confirm_dead_after <= self.suspect_after:
+            raise RoutingError(
+                "confirm_dead_after must exceed suspect_after")
+
+
+class FailureDetector:
+    """Per-link liveness state for one broker, driven by ticks.
+
+    The owning node wires three callbacks:
+
+    ``send_heartbeat(neighbour)``
+        place one HBT frame on the link; raised network errors are the
+        caller's to swallow (a refused heartbeat is itself evidence).
+    ``on_dead(neighbour)``
+        a neighbour crossed ``confirm_dead_after`` — detach the link.
+    ``on_revived(neighbour)``
+        a dead neighbour spoke again (or the link was healed) —
+        reattach, requeue quarantined forwards, start reconciliation.
+    """
+
+    def __init__(self, node_name: str, metrics: MetricsRegistry,
+                 config: Optional[MembershipConfig] = None,
+                 send_heartbeat: Optional[
+                     Callable[[str], None]] = None,
+                 on_dead: Optional[Callable[[str], None]] = None,
+                 on_revived: Optional[
+                     Callable[[str], None]] = None) -> None:
+        self.node_name = node_name
+        self.config = config if config is not None \
+            else MembershipConfig()
+        self.send_heartbeat = send_heartbeat
+        self.on_dead = on_dead
+        self.on_revived = on_revived
+        self.now = 0
+        #: neighbour -> (state, last_evidence_tick, died_at_tick).
+        self._state: Dict[str, str] = {}
+        self._last_seen: Dict[str, int] = {}
+        self._died_at: Dict[str, int] = {}
+
+        self._m_hb_sent = metrics.counter(
+            "membership.heartbeats_sent_total",
+            "HBT frames emitted on overlay links")
+        self._m_hb_seen = metrics.counter(
+            "membership.heartbeats_received_total",
+            "HBT frames received from neighbours")
+        self._m_suspects = metrics.counter(
+            "membership.suspicions_total",
+            "neighbours that crossed the suspect timeout, by broker")
+        self._m_deaths = metrics.counter(
+            "membership.deaths_confirmed_total",
+            "neighbours confirmed dead, by broker")
+        self._m_revivals = metrics.counter(
+            "membership.revivals_total",
+            "confirmed-dead neighbours that came back, by broker")
+        self._h_outage = metrics.histogram(
+            "membership.outage_ticks",
+            "ticks between a neighbour's confirmed death and its "
+            "revival", bounds=TICK_BUCKETS)
+
+    # -- neighbour set ----------------------------------------------------------
+
+    def add_neighbour(self, neighbour: str) -> None:
+        """Start watching one link (fresh grace period)."""
+        if neighbour in self._state:
+            return
+        self._state[neighbour] = ALIVE
+        self._last_seen[neighbour] = self.now
+
+    def forget(self, neighbour: str) -> None:
+        """Stop watching (the neighbour left the overlay cleanly)."""
+        self._state.pop(neighbour, None)
+        self._last_seen.pop(neighbour, None)
+        self._died_at.pop(neighbour, None)
+
+    def neighbours(self) -> List[str]:
+        return sorted(self._state)
+
+    def state_of(self, neighbour: str) -> str:
+        try:
+            return self._state[neighbour]
+        except KeyError:
+            raise RoutingError(
+                f"not watching broker {neighbour!r}") from None
+
+    def dead_neighbours(self) -> List[str]:
+        return sorted(n for n, s in self._state.items() if s == DEAD)
+
+    # -- evidence ---------------------------------------------------------------
+
+    def observe_heartbeat(self, neighbour: str) -> None:
+        """An HBT frame arrived from ``neighbour``."""
+        if neighbour not in self._state:
+            return
+        self._m_hb_seen.inc()
+        self._note_alive(neighbour)
+
+    def observe_traffic(self, neighbour: str) -> None:
+        """Any overlay frame arrived — as good as a heartbeat."""
+        if neighbour in self._state:
+            self._note_alive(neighbour)
+
+    def notice_heal(self, neighbour: str) -> None:
+        """Administrative heal: treat the link as alive immediately.
+
+        The heartbeat protocol would rediscover the peer within one
+        interval anyway; taking the operator's word skips that lag so
+        dead-letter requeue and reconciliation start on the heal tick.
+        """
+        if neighbour in self._state:
+            self._note_alive(neighbour)
+
+    def _note_alive(self, neighbour: str) -> None:
+        previous = self._state[neighbour]
+        self._state[neighbour] = ALIVE
+        self._last_seen[neighbour] = self.now
+        if previous == DEAD:
+            died = self._died_at.pop(neighbour, self.now)
+            self._h_outage.observe(self.now - died)
+            self._m_revivals.inc(broker=neighbour)
+            if self.on_revived is not None:
+                self.on_revived(neighbour)
+
+    # -- the clock --------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one pump round: emit heartbeats, age neighbours."""
+        self.now += 1
+        if self.send_heartbeat is not None \
+                and self.now % self.config.heartbeat_interval == 0:
+            for neighbour in self.neighbours():
+                self.send_heartbeat(neighbour)
+                self._m_hb_sent.inc()
+        for neighbour in self.neighbours():
+            silent = self.now - self._last_seen[neighbour]
+            state = self._state[neighbour]
+            if state == ALIVE \
+                    and silent >= self.config.suspect_after:
+                self._state[neighbour] = SUSPECT
+                self._m_suspects.inc(broker=neighbour)
+            elif state == SUSPECT \
+                    and silent >= self.config.confirm_dead_after:
+                self._state[neighbour] = DEAD
+                self._died_at[neighbour] = self.now
+                self._m_deaths.inc(broker=neighbour)
+                if self.on_dead is not None:
+                    self.on_dead(neighbour)
+
+
+class ChurnSchedule:
+    """Seeded membership-chaos event source for the churn harness.
+
+    Unlike :class:`repro.recovery.CrashSchedule` — whose fuse counts
+    ecalls inside one broker — churn events are drawn against the
+    *overlay's current shape*, so the schedule cannot ask for an
+    impossible event (healing an intact link, severing one that is
+    already down, removing the last connected broker). The harness
+    calls :meth:`draw` with the live state each time it wants the next
+    event; one ``random.Random(seed)`` drives every choice.
+
+    ``max_down_links`` bounds how many links may be severed at once
+    (the equivalence-gated bench uses 1 so deliveries stay provable;
+    the soak uses more).
+    """
+
+    #: event kinds, in draw-weight order.
+    KINDS = ("sever", "heal", "join", "leave", "crash")
+
+    def __init__(self, seed: int = 0, mean_interval: int = 20,
+                 max_events: Optional[int] = None,
+                 max_down_links: int = 1,
+                 allow: Tuple[str, ...] = KINDS) -> None:
+        if mean_interval < 1:
+            raise RoutingError("mean churn interval must be >= 1")
+        if max_down_links < 0:
+            raise RoutingError("max_down_links must be >= 0")
+        unknown = set(allow) - set(self.KINDS)
+        if unknown:
+            raise RoutingError(f"unknown churn kinds: {sorted(unknown)}")
+        self._rng = random.Random(seed)
+        self.mean_interval = mean_interval
+        self.max_events = max_events
+        self.max_down_links = max_down_links
+        self.allow = tuple(allow)
+        self.events_drawn = 0
+
+    def next_gap(self) -> int:
+        """Ticks of calm before the next event (>= 1)."""
+        return self._rng.randint(1, 2 * self.mean_interval - 1)
+
+    def draw(self, up_links: List[Tuple[str, str]],
+             down_links: List[Tuple[str, str]],
+             removable_brokers: List[str],
+             crashable_brokers: List[str],
+             can_join: bool) -> Optional[Tuple[str, object]]:
+        """Draw one feasible event against the overlay's live state.
+
+        ``up_links``/``down_links`` are the currently intact/severed
+        edges whose severing/healing keeps the (healed) overlay
+        connected; ``removable_brokers`` may leave cleanly;
+        ``crashable_brokers`` may lose their enclave. Returns
+        ``(kind, target)`` — target is an edge tuple for sever/heal, a
+        broker name for leave/crash, and None for join — or None when
+        the schedule is spent or nothing is feasible.
+        """
+        if self.max_events is not None \
+                and self.events_drawn >= self.max_events:
+            return None
+        feasible: List[Tuple[str, object]] = []
+        if "sever" in self.allow \
+                and len(down_links) < self.max_down_links:
+            feasible.extend(("sever", e) for e in sorted(up_links))
+        if "heal" in self.allow:
+            feasible.extend(("heal", e) for e in sorted(down_links))
+        if "join" in self.allow and can_join:
+            feasible.append(("join", None))
+        if "leave" in self.allow:
+            feasible.extend(
+                ("leave", b) for b in sorted(removable_brokers))
+        if "crash" in self.allow:
+            feasible.extend(
+                ("crash", b) for b in sorted(crashable_brokers))
+        if not feasible:
+            return None
+        self.events_drawn += 1
+        # Draw the kind first (uniform over feasible kinds), then the
+        # target — otherwise a long candidate list (many up links)
+        # would drown out rare kinds like join.
+        kinds = sorted({kind for kind, _ in feasible})
+        kind = self._rng.choice(kinds)
+        targets = [t for k, t in feasible if k == kind]
+        return kind, self._rng.choice(targets)

@@ -3,7 +3,8 @@
 A node owns everything PR 2 and PR 3 built for a single router —
 enclave, WAL, sealed checkpoints, supervised crash recovery — and adds
 the overlay parts: per-link endpoints on dedicated link buses, the
-hop-by-hop forwarding state, and the advert scheduler. Each node keeps
+hop-by-hop forwarding state, the advert scheduler, and (since the
+membership PR) a heartbeat failure detector per link. Each node keeps
 its *own* metrics registry (the network aggregates them with
 :func:`repro.obs.metrics.aggregate_snapshots`), mirroring the fact
 that in a deployment each broker is a separate host.
@@ -12,36 +13,61 @@ The pump order matters: link traffic is injected into the router's
 inbox *before* the supervised drain, so an OPUB and the local PUBs
 behind it share one fault boundary; adverts are refreshed *after* the
 drain, so a registration processed this tick is advertised this tick.
+
+Membership traffic (``HBT`` heartbeats and ``DIG`` digest probes) is
+intercepted host-side during the link drain and never reaches the
+router's enclave boundary — liveness and reconciliation scheduling are
+infrastructure metadata, exactly the plaintext the threat model
+already concedes. Only the resulting ``SUM``/``SUMD`` adverts cross
+into the enclave, where they are WAL-journalled like any interest
+change.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.engine import LINK_PREFIX
-from repro.errors import EnclaveError, EnclaveLost, RoutingError
+from repro.core.protocol import (MSG_DIGEST_PROBE, MSG_HEARTBEAT,
+                                 build_digest_probe, build_heartbeat,
+                                 message_type, parse_digest_probe,
+                                 parse_heartbeat)
+from repro.core.router import REASON_LINK_DOWN
+from repro.errors import (EnclaveError, EnclaveLost, NetworkError,
+                          RoutingError)
 from repro.network.bus import Endpoint, MessageBus
 from repro.obs.metrics import MetricsRegistry
 from repro.overlay.forwarding import OverlayLinks
+from repro.overlay.membership import FailureDetector
 from repro.overlay.propagation import AdvertScheduler
 
 __all__ = ["OverlayNode"]
 
 
 class OverlayNode:
-    """Router + supervisor + links + advert scheduling, as one unit."""
+    """Router + supervisor + links + adverts + membership, one unit."""
 
     def __init__(self, name: str, router, supervisor,
                  links: OverlayLinks, scheduler: AdvertScheduler,
-                 metrics: MetricsRegistry) -> None:
+                 metrics: MetricsRegistry,
+                 membership: Optional[FailureDetector] = None) -> None:
         self.name = name
         self.router = router
         self.supervisor = supervisor
         self.links = links
         self.scheduler = scheduler
         self.metrics = metrics
+        self.membership = membership
         self._link_endpoints: Dict[str, Endpoint] = {}
+        self._link_buses: Dict[str, MessageBus] = {}
+        #: neighbours owed a DIG probe (revival, heal, or join) —
+        #: drained by the pump, where the enclave is reachable.
+        self._probe_queue: List[str] = []
         router.attach_overlay(links)
+        if membership is not None:
+            membership.send_heartbeat = self._emit_heartbeat
+            membership.on_dead = self._on_neighbour_dead
+            membership.on_revived = self._on_neighbour_revived
 
     # -- wiring -----------------------------------------------------------------
 
@@ -53,12 +79,93 @@ class OverlayNode:
                 f"{self.name} already linked to {neighbour!r}")
         endpoint = bus.endpoint(self.name)
         self._link_endpoints[neighbour] = endpoint
+        self._link_buses[neighbour] = bus
         self.links.connect(
             neighbour,
             lambda frame, _to=neighbour, _ep=endpoint:
-                _ep.send(_to, [frame]))
+                _ep.send(_to, [frame]),
+            is_up=lambda _bus=bus: not _bus.down)
+        if self.membership is not None:
+            self.membership.add_neighbour(neighbour)
+
+    def disconnect_link(self, neighbour: str) -> None:
+        """Drop the link entirely (the neighbour left the overlay)."""
+        if neighbour not in self._link_endpoints:
+            raise RoutingError(
+                f"{self.name} has no link to {neighbour!r}")
+        del self._link_endpoints[neighbour]
+        del self._link_buses[neighbour]
+        self.links.disconnect(neighbour)
+        if self.membership is not None:
+            self.membership.forget(neighbour)
+        self._probe_queue = [n for n in self._probe_queue
+                             if n != neighbour]
+
+    def notice_heal(self, neighbour: str) -> None:
+        """The network healed our link: revive the neighbour now.
+
+        The revival actions run unconditionally — a short partition
+        heals before the detector ever confirms a death, but frames
+        quarantined by refused sends and adverts that diverged while
+        the link was down do not wait for a verdict.
+        """
+        if self.membership is not None:
+            self.membership.notice_heal(neighbour)
+        self._on_neighbour_revived(neighbour)
+
+    def request_probe(self, neighbour: str) -> None:
+        """Queue a DIG digest probe to ``neighbour`` (join/announce)."""
+        if neighbour not in self._probe_queue:
+            self._probe_queue.append(neighbour)
+
+    # -- membership callbacks ---------------------------------------------------
+
+    def _emit_heartbeat(self, neighbour: str) -> None:
+        frame = build_heartbeat(
+            self.name, self.membership.now if self.membership else 0)
+        try:
+            self.links.send_to(neighbour, frame)
+        except NetworkError:
+            # Refused by a severed link: the silence is the signal.
+            pass
+
+    def _on_neighbour_dead(self, neighbour: str) -> None:
+        # Remote interest stays installed — publications matched for
+        # the dead link are dead-lettered, not dropped, so nothing is
+        # lost if the neighbour comes back.
+        self.links.mark_detached(neighbour)
+
+    def _on_neighbour_revived(self, neighbour: str) -> None:
+        self.links.mark_attached(neighbour)
+        # Everything quarantined while *any* link was down gets one
+        # requeue attempt; frames for still-down links re-quarantine.
+        self.router.requeue_dead_letters(reason=REASON_LINK_DOWN)
+        self.request_probe(neighbour)
 
     # -- the drive loop ---------------------------------------------------------
+
+    def _handle_link_frame(self, neighbour: str, frame: bytes) -> bool:
+        """Host-side interception of membership frames.
+
+        Returns True when the frame was consumed here (HBT/DIG) and
+        must not reach the router.
+        """
+        try:
+            kind = message_type(frame)
+        except RoutingError:
+            # Malformed (e.g. a corrupt-fault-damaged header): let the
+            # router's own dispatch account for it.
+            return False
+        if kind == MSG_HEARTBEAT:
+            origin, _tick = parse_heartbeat(frame)
+            if self.membership is not None:
+                self.membership.observe_heartbeat(origin)
+            return True
+        if kind == MSG_DIGEST_PROBE:
+            origin, digest = parse_digest_probe(frame)
+            self.scheduler.queue_reconcile(origin, digest)
+            return True
+        return False
 
     def _drain_links(self) -> int:
         """Move pending link traffic into the router's own inbox.
@@ -66,26 +173,84 @@ class OverlayNode:
         Injection uses the inbox's host-local requeue (the frame was
         already counted when the link bus accepted it) with the sender
         rewritten to ``link:<neighbour>`` — the incoming-link identity
-        the forwarding split-horizon needs.
+        the forwarding split-horizon needs. Membership frames are
+        consumed here instead; any frame at all counts as liveness
+        evidence for the sending neighbour.
         """
         moved = 0
         for neighbour in sorted(self._link_endpoints):
             endpoint = self._link_endpoints[neighbour]
-            for _sender, frames in endpoint.recv_all():
-                self.router.endpoint.requeue(LINK_PREFIX + neighbour,
-                                             frames)
-                moved += len(frames)
+            messages = endpoint.recv_all()
+            if messages and self.membership is not None:
+                self.membership.observe_traffic(neighbour)
+            for _sender, frames in messages:
+                for frame in frames:
+                    if self._handle_link_frame(neighbour, frame):
+                        moved += 1
+                        continue
+                    self.router.endpoint.requeue(
+                        LINK_PREFIX + neighbour, [frame])
+                    moved += 1
         return moved
 
-    def pump(self) -> int:
+    def _installed_digest_for(self, neighbour: str) -> bytes:
+        """What we hold of ``neighbour``'s adverts, as the peer's
+        export digest — recovering the enclave once if needed."""
+        exclude = LINK_PREFIX + self.name
+        try:
+            return self.router.enclave.ecall(
+                "installed_advert_digest", neighbour, exclude)
+        except EnclaveLost:
+            self.supervisor.recover()
+            return self.router.enclave.ecall(
+                "installed_advert_digest", neighbour, exclude)
+
+    def _send_probes(self) -> int:
+        """Send queued DIG probes; refused links stay queued."""
+        sent = 0
+        pending, self._probe_queue = self._probe_queue, []
+        for neighbour in pending:
+            if not self.links.is_neighbour(neighbour):
+                continue
+            if not self.links.is_up(neighbour) \
+                    or self.links.is_detached(neighbour):
+                self._probe_queue.append(neighbour)
+                continue
+            digest = self._installed_digest_for(neighbour)
+            frame = build_digest_probe(self.name, digest)
+            try:
+                self.links.send_to(neighbour, frame)
+            except NetworkError:
+                self._probe_queue.append(neighbour)
+                continue
+            sent += 1
+        return sent
+
+    def _drain_reconcile_requests(self) -> None:
+        """Router-flagged digest mismatches become DIG probes."""
+        needed, self.links.reconcile_needed = \
+            self.links.reconcile_needed, []
+        for neighbour, _installed in needed:
+            self.request_probe(neighbour)
+
+    def pump(self, membership_active: bool = True) -> int:
         """One node tick; returns a count of observable activity.
 
-        Activity (moved link frames + drained frames + adverts sent)
-        is what the network's settle loop sums to detect quiescence, so
-        anything that can cause further work must count.
+        Activity (moved link frames + drained frames + probes +
+        adverts sent) is what the network's settle loop sums to detect
+        quiescence, so anything that can cause further work must
+        count. ``membership_active=False`` freezes the failure
+        detector's clock (no heartbeats emitted, no timeouts
+        advanced): the settle loop uses it, since a detector that
+        heartbeats every few ticks would never let the overlay go
+        quiet.
         """
         activity = self._drain_links()
+        if membership_active and self.membership is not None:
+            self.membership.tick()
         activity += self.supervisor.pump()
+        self._drain_reconcile_requests()
+        activity += self._send_probes()
         try:
             activity += self.scheduler.refresh()
         except EnclaveLost:
@@ -97,14 +262,52 @@ class OverlayNode:
 
     @property
     def backlog(self) -> int:
-        """Work still owed: queued frames and scheduled retries."""
+        """Work still owed: queued frames, retries, reconciliation.
+
+        Probes and owed adverts for *severed* links are excluded (via
+        :attr:`AdvertScheduler.backlog` and the liveness check here) —
+        a partitioned overlay must still settle; the debt is retried
+        on heal.
+        """
         pending = self.router.endpoint.pending
         pending += sum(endpoint.pending
                        for endpoint in self._link_endpoints.values())
         pending += self.router.pending_retries
         if self.links.interest_dirty:
             pending += 1
+        pending += sum(
+            1 for n in self._probe_queue
+            if self.links.is_neighbour(n) and self.links.is_up(n)
+            and not self.links.is_detached(n))
+        pending += len(self.links.reconcile_needed)
+        pending += self.scheduler.backlog
         return pending
+
+    def backlog_details(self) -> str:
+        """Where this node's unfinished work sits, queue by queue —
+        the settle loop's failure diagnostic."""
+        parts = []
+        if self.router.endpoint.pending:
+            parts.append(f"inbox={self.router.endpoint.pending}")
+        link_frames = {
+            n: ep.pending
+            for n, ep in sorted(self._link_endpoints.items())
+            if ep.pending}
+        if link_frames:
+            parts.append("link-frames=" + ",".join(
+                f"{n}:{count}" for n, count in link_frames.items()))
+        if self.router.pending_retries:
+            parts.append(f"retries={self.router.pending_retries}")
+        if self.links.interest_dirty:
+            parts.append("interest-dirty")
+        if self._probe_queue:
+            parts.append("probes-queued="
+                         + ",".join(sorted(self._probe_queue)))
+        if self.links.reconcile_needed:
+            parts.append(f"reconciles={len(self.links.reconcile_needed)}")
+        if self.scheduler.backlog:
+            parts.append(f"adverts-owed={self.scheduler.backlog}")
+        return ", ".join(parts)
 
     # -- lifecycle / observability ----------------------------------------------
 

@@ -98,6 +98,28 @@ class FlatOracle:
         raise RoutingError(
             f"oracle did not settle within {max_rounds} rounds")
 
+    # -- churn no-ops ------------------------------------------------------------
+    #
+    # The oracle has one router and no links: overlay membership
+    # events cannot change what it delivers. Accepting (and ignoring)
+    # them lets one scripted run drive both worlds, which is exactly
+    # the equivalence claim — churn must not change deliveries.
+
+    def sever_link(self, a: str, b: str) -> None:
+        pass
+
+    def heal_link(self, a: str, b: str) -> None:
+        pass
+
+    def add_broker(self, name: str, attach_to=()) -> None:
+        pass
+
+    def remove_broker(self, name: str) -> None:
+        pass
+
+    def crash_broker(self, name: str) -> None:
+        pass
+
     def drain_clients(self) -> None:
         for client_id in sorted(self._clients):
             self._clients[client_id].pump()

@@ -2,58 +2,95 @@
 
 Each broker advertises, per link, the covering antichain of every
 interest it holds *except* what it learned from that link (split
-horizon). The scheduler here decides *when* those adverts go out:
+horizon). The scheduler here decides *when* those adverts go out and
+*how much* of them:
 
 * a **change signature** over the router's interest counters
-  (registrations, withdrawals, installed neighbour adverts, completed
-  recoveries) gates the whole refresh — a quiescent broker never
-  enters the enclave at all;
+  (registrations, withdrawals, installed neighbour adverts — full and
+  delta — and completed recoveries) gates the whole refresh — a
+  quiescent broker never enters the enclave at all;
 * per link, the exported advert's deterministic digest is compared
-  against the digest last sent on that link — byte-identical covering
-  sets are **suppressed**, not re-sent, which is what keeps churn that
-  is absorbed by covering (a new subscription under an already
-  advertised one) and crash recovery (same state, rebuilt enclave)
-  from flooding the overlay;
-* the digest of the *empty* advert is computable host-side, so a
-  broker with nothing to say sends nothing even on its first refresh.
+  against the digest last *successfully* sent on that link —
+  byte-identical covering sets are **suppressed**, not re-sent;
+* changed covering sets ship as **delta adverts** (``SUMD``): the
+  enclave diffs the current antichain against the remembered baseline
+  the peer holds and seals only the additions and removals. When no
+  baseline is remembered (first advert, or the history died with a
+  crashed enclave) the full ``SUM`` advert goes out instead. A delta
+  is only *preferred*, not mandated: the sender prices both frames
+  and ships whichever is smaller — on a tiny covering set the two
+  digests a ``SUMD`` carries can outweigh the entries it saves;
+* a send refused by a severed link leaves the neighbour **owed**: the
+  advert is retried once the link reports up again, and the owed set
+  is excluded from the settle backlog while the link stays down — a
+  partitioned overlay still quiesces.
+
+Anti-entropy reconciliation rides the same machinery: a neighbour's
+``DIG`` probe (its installed digest for our adverts) lands in
+:meth:`AdvertScheduler.queue_reconcile`; the next refresh exports a
+delta against *that* digest — in-sync peers cost one suppressed
+export, divergent peers get exactly the missing delta rather than a
+full reflood.
 
 An enclave death during an export is recovered through the node's
 supervisor and the export retried; a refresh that still cannot finish
-leaves the dirty flag set so the next pump tries again.
+counts an export failure and leaves the dirty flag set so the next
+pump tries again.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import advert_digest
-from repro.core.protocol import build_summary
-from repro.errors import EnclaveLost
+from repro.core.protocol import build_summary, build_summary_delta
+from repro.errors import EnclaveLost, NetworkError, RoutingError
 from repro.obs.metrics import MetricsRegistry
 from repro.overlay.forwarding import OverlayLinks
 
 __all__ = ["AdvertScheduler"]
+
+#: reconciliation strategies: ``delta`` ships SUMD diffs against the
+#: peer's baseline; ``full`` always refloods the whole covering set
+#: (the control arm the churn bench compares delta savings against).
+RECONCILE_MODES = ("delta", "full")
 
 
 class AdvertScheduler:
     """Digest-gated advert refresh for one broker's links."""
 
     def __init__(self, router, links: OverlayLinks,
-                 metrics: MetricsRegistry, supervisor=None) -> None:
+                 metrics: MetricsRegistry, supervisor=None,
+                 reconcile_mode: str = "delta") -> None:
+        if reconcile_mode not in RECONCILE_MODES:
+            raise RoutingError(
+                f"unknown reconcile mode {reconcile_mode!r}")
         self._router = router
         self._links = links
         #: optional :class:`repro.recovery.RouterSupervisor`; lets a
         #: refresh survive an injected enclave death mid-export.
         self._supervisor = supervisor
-        #: link -> digest of the advert last actually sent on it.
-        #: Seeded lazily with the empty-advert digest, so "nothing to
-        #: advertise" needs no initial frame.
+        self.reconcile_mode = reconcile_mode
+        #: link -> digest of the advert last *successfully* sent on it
+        #: (i.e. what the peer actually holds). Seeded lazily with the
+        #: empty-advert digest, so "nothing to advertise" needs no
+        #: initial frame.
         self._sent_digests: Dict[str, bytes] = {}
+        #: links whose latest advert could not be placed (severed bus,
+        #: detached link): retried as soon as the link reports up.
+        self._owed: Set[str] = set()
+        #: pending ``(neighbour, peer_installed_digest)`` reconcile
+        #: requests from DIG probes, drained by the next refresh.
+        self._reconcile: List[Tuple[str, bytes]] = []
         self._last_signature: Optional[Tuple[int, ...]] = None
+        #: advert payload bytes actually placed on links, by frame
+        #: kind — the churn bench's delta-vs-reflood evidence.
+        self.advert_bytes_sent = 0
 
         self._m_sent = metrics.counter(
             "overlay.adverts_sent_total",
-            "summary adverts sent to a neighbour, by link")
+            "summary adverts (full or delta) sent to a neighbour, "
+            "by link")
         self._m_suppressed = metrics.counter(
             "overlay.adverts_suppressed_total",
             "advert refreshes suppressed because the covering set "
@@ -61,6 +98,32 @@ class AdvertScheduler:
         self._m_refreshes = metrics.counter(
             "overlay.advert_refreshes_total",
             "refresh passes that actually exported adverts")
+        self._m_export_failures = metrics.counter(
+            "propagation.advert_export_failures_total",
+            "refresh passes abandoned because the enclave stayed "
+            "lost after one recovery attempt")
+        self._m_owed = metrics.counter(
+            "propagation.adverts_deferred_total",
+            "adverts deferred because the link was down, by link")
+        self._m_full = metrics.counter(
+            "reconcile.full_adverts_total",
+            "full SUM adverts sent (no usable baseline)")
+        self._m_delta = metrics.counter(
+            "reconcile.delta_adverts_total",
+            "SUMD delta adverts sent against a remembered baseline")
+        self._m_in_sync = metrics.counter(
+            "reconcile.in_sync_total",
+            "DIG probes answered with nothing — peer already in sync")
+        self._m_outweighed = metrics.counter(
+            "reconcile.delta_outweighed_total",
+            "deltas shipped as full adverts because the SUM frame "
+            "was no bigger than the SUMD")
+        self._m_bytes = metrics.counter(
+            "reconcile.advert_bytes_total",
+            "advert frame bytes placed on links, by kind")
+        self._m_bytes_by_kind = {
+            kind: self._m_bytes.child(kind=kind)
+            for kind in ("full", "delta")}
 
     # -- change detection -------------------------------------------------------
 
@@ -68,9 +131,10 @@ class AdvertScheduler:
         """Cheap fingerprint of everything that can move our interest.
 
         Local churn (register/unregister), remote churn (a neighbour
-        advert installed) and recovery (state rebuilt — the covering
-        set *should* be unchanged, and the digest comparison proves
-        it, feeding the suppressed-re-advert counter).
+        advert — full or delta — installed) and recovery (state
+        rebuilt — the covering set *should* be unchanged, and the
+        digest comparison proves it, feeding the suppressed-re-advert
+        counter).
         """
         router = self._router
         recoveries = 0
@@ -79,12 +143,41 @@ class AdvertScheduler:
         return (router._m_registrations.value,
                 router._m_unregistrations.value,
                 router._m_summaries.value,
+                router._m_summary_deltas.value,
                 recoveries)
+
+    # -- reconciliation intake --------------------------------------------------
+
+    def queue_reconcile(self, neighbour: str,
+                        peer_digest: bytes) -> None:
+        """Record a neighbour's installed digest for anti-entropy.
+
+        Called when a ``DIG`` probe arrives (the peer healed, joined,
+        or detected a baseline mismatch). The next refresh exports a
+        delta against exactly this digest.
+        """
+        if not self._links.is_neighbour(neighbour):
+            return
+        self._reconcile.append((neighbour, peer_digest))
+
+    @property
+    def backlog(self) -> int:
+        """Advert work still owed to *reachable* neighbours.
+
+        Owed adverts to severed links are deliberately excluded: a
+        partitioned overlay must still settle, and the owed set is
+        retried when the link heals.
+        """
+        ready = sum(1 for n in self._owed
+                    if self._links.is_neighbour(n)
+                    and self._links.is_up(n)
+                    and not self._links.is_detached(n))
+        return ready + len(self._reconcile)
 
     # -- the refresh pass -------------------------------------------------------
 
-    def _export(self, neighbour: str) -> Tuple[bytes, bytes]:
-        """Export one link's advert, recovering a lost enclave once."""
+    def _export_full(self, neighbour: str) -> Tuple[bytes, bytes]:
+        """Export one link's full advert, recovering the enclave once."""
         sentinel = OverlayLinks.sentinel_for(neighbour)
         origin = self._links.node_name
         try:
@@ -97,40 +190,134 @@ class AdvertScheduler:
             return self._router.enclave.ecall(
                 "export_link_advert", origin, sentinel)
 
+    def _export_delta(self, neighbour: str,
+                      base: bytes) -> Tuple[str, bytes, bytes]:
+        """Export one link's delta against ``base``, recovering once."""
+        sentinel = OverlayLinks.sentinel_for(neighbour)
+        origin = self._links.node_name
+        try:
+            return self._router.enclave.ecall(
+                "export_link_advert_delta", origin, sentinel, base)
+        except EnclaveLost:
+            if self._supervisor is None:
+                raise
+            self._supervisor.recover()
+            return self._router.enclave.ecall(
+                "export_link_advert_delta", origin, sentinel, base)
+
+    def _peer_baseline(self, neighbour: str) -> bytes:
+        last = self._sent_digests.get(neighbour)
+        if last is None:
+            last = advert_digest(
+                OverlayLinks.sentinel_for(neighbour), [])
+        return last
+
+    def _send_advert(self, neighbour: str, kind: str, digest: bytes,
+                     frame: bytes) -> bool:
+        """Place one prebuilt SUM/SUMD frame; False if the link
+        refused it (the neighbour is then owed)."""
+        try:
+            self._links.send_to(neighbour, frame)
+        except NetworkError:
+            self._owed.add(neighbour)
+            self._m_owed.inc(link=neighbour)
+            return False
+        self._sent_digests[neighbour] = digest
+        self._owed.discard(neighbour)
+        self._m_sent.inc(link=neighbour)
+        (self._m_full if kind == "full" else self._m_delta).inc()
+        size = len(frame)
+        self.advert_bytes_sent += size
+        self._m_bytes_by_kind[kind].inc(size)
+        return True
+
+    def _refresh_link(self, neighbour: str,
+                      base: Optional[bytes] = None) -> int:
+        """Export-and-send pass for one link; returns frames sent.
+
+        ``base`` overrides the remembered peer baseline (used by the
+        reconcile path, where the peer just *told* us its digest).
+        """
+        if base is None:
+            base = self._peer_baseline(neighbour)
+        origin = self._links.node_name
+        if self.reconcile_mode == "full":
+            digest, blob = self._export_full(neighbour)
+            if digest == base:
+                self._m_suppressed.inc(link=neighbour)
+                self._owed.discard(neighbour)
+                return 0
+            frame = build_summary(origin, digest, blob)
+            return 1 if self._send_advert(
+                neighbour, "full", digest, frame) else 0
+        mode, digest, blob = self._export_delta(neighbour, base)
+        if mode == "noop":
+            self._m_suppressed.inc(link=neighbour)
+            self._owed.discard(neighbour)
+            return 0
+        if mode == "delta":
+            frame = build_summary_delta(origin, base, digest, blob)
+            # Price the full advert too and ship whichever frame is
+            # smaller: a delta carries two digests and add/remove
+            # framing, which outweighs the saved entries whenever the
+            # covering set is small or mostly changed.
+            _digest, full_blob = self._export_full(neighbour)
+            full_frame = build_summary(origin, digest, full_blob)
+            if len(full_frame) <= len(frame):
+                mode, frame = "full", full_frame
+                self._m_outweighed.inc()
+        else:
+            frame = build_summary(origin, digest, blob)
+        return 1 if self._send_advert(
+            neighbour, mode, digest, frame) else 0
+
     def refresh(self, force: bool = False) -> int:
         """Re-advertise links whose covering set changed; returns sends.
 
-        No-op (zero ecalls) while the change signature is stable and
-        nothing marked the interest dirty. ``force`` runs the export
-        pass regardless — the digests still gate what is sent.
+        No-op (zero ecalls) while the change signature is stable,
+        nothing marked the interest dirty, no reachable neighbour is
+        owed an advert, and no reconcile request is pending. ``force``
+        runs the export pass regardless — the digests still gate what
+        is sent.
         """
         signature = self._signature()
         if not force and not self._links.interest_dirty \
-                and signature == self._last_signature:
+                and signature == self._last_signature \
+                and not self.backlog:
             return 0
         self._links.interest_dirty = False
         self._m_refreshes.inc()
         sent = 0
         try:
-            for neighbour in self._links.neighbours():
-                digest, blob = self._export(neighbour)
-                last = self._sent_digests.get(neighbour)
-                if last is None:
-                    last = advert_digest(
-                        OverlayLinks.sentinel_for(neighbour), [])
-                if digest == last:
-                    self._m_suppressed.inc(link=neighbour)
+            # Answer DIG probes first: the peer told us exactly what
+            # it holds, so the export diffs against *that*, not our
+            # possibly stale send memory.
+            reconcile, self._reconcile = self._reconcile, []
+            for neighbour, peer_digest in reconcile:
+                if not self._links.is_neighbour(neighbour):
                     continue
-                frame = build_summary(self._links.node_name, digest,
-                                      blob)
-                self._links.send_to(neighbour, frame)
-                self._sent_digests[neighbour] = digest
-                self._m_sent.inc(link=neighbour)
-                sent += 1
+                before = self._m_suppressed.value
+                delivered = self._refresh_link(neighbour,
+                                               base=peer_digest)
+                if delivered:
+                    sent += delivered
+                elif self._m_suppressed.value > before:
+                    # Suppressed == the peer already matches us.
+                    self._m_in_sync.inc()
+                    self._sent_digests[neighbour] = peer_digest
+            for neighbour in self._links.neighbours():
+                if neighbour in self._owed and (
+                        not self._links.is_up(neighbour)
+                        or self._links.is_detached(neighbour)):
+                    # Owed, but the link is still down: skip without
+                    # touching the enclave; retried on heal.
+                    continue
+                sent += self._refresh_link(neighbour)
         except EnclaveLost:
             # Could not finish even after one recovery: leave the
             # refresh owing, to be retried on the next pump.
             self._links.interest_dirty = True
+            self._m_export_failures.inc()
             raise
         # Recorded only after a complete pass, so a half-finished
         # refresh is retried rather than silently considered done.

@@ -89,6 +89,39 @@ class Topology:
         bound any useful forward chain."""
         return len(self.brokers)
 
+    # -- membership-change derivatives ----------------------------------------
+
+    def with_broker(self, name: str,
+                    attach_to: Tuple[str, ...]) -> "Topology":
+        """This graph plus one broker linked to ``attach_to``.
+
+        Validation (names, duplicate edges, connectivity) runs in the
+        returned topology's ``__post_init__`` — a join that would leave
+        the graph inconsistent raises instead of building.
+        """
+        if name in self.brokers:
+            raise RoutingError(f"broker {name!r} already exists")
+        if not attach_to:
+            raise RoutingError(
+                f"broker {name!r} must attach to at least one broker")
+        new_edges = self.edges + tuple(
+            (peer, name) for peer in attach_to)
+        return Topology(self.brokers + (name,), new_edges,
+                        shape=self.shape)
+
+    def without_broker(self, name: str) -> "Topology":
+        """This graph minus one broker and its edges.
+
+        Raises when the remainder is disconnected — a broker whose
+        removal partitions the overlay cannot leave cleanly; sever its
+        links (and let the failure detector do its work) instead.
+        """
+        if name not in self.brokers:
+            raise RoutingError(f"no broker named {name!r}")
+        brokers = tuple(b for b in self.brokers if b != name)
+        edges = tuple(e for e in self.edges if name not in e)
+        return Topology(brokers, edges, shape=self.shape)
+
     # -- builders (all seeded, all deterministic) -----------------------------
 
     @staticmethod

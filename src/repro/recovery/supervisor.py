@@ -39,9 +39,11 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro.core.engine import LINK_PREFIX
 from repro.core.protocol import (MSG_PUBLISH, MSG_REGISTER,
-                                 MSG_SUMMARY, MSG_UNREGISTER,
-                                 parse_register, parse_summary,
+                                 MSG_SUMMARY, MSG_SUMMARY_DELTA,
+                                 MSG_UNREGISTER, parse_register,
+                                 parse_summary, parse_summary_delta,
                                  parse_unregister)
 from repro.errors import (CryptoError, EnclaveError, EnclaveLost,
                           MatchingError, NetworkError, RecoveryError,
@@ -189,12 +191,20 @@ class RouterSupervisor:
     # -- crash injection -----------------------------------------------------
 
     def _arm(self) -> None:
-        """Draw the next fuse and interpose on the (live) enclave."""
-        if self.schedule is None:
-            return
-        drawn = self.schedule.draw()
-        self._fuse, self._mode = drawn if drawn is not None \
-            else (None, None)
+        """Draw the next fuse and interpose on the (live) enclave.
+
+        The interposer is installed even without a schedule: its
+        corpse check is what turns an *out-of-band* destroy (a chaos
+        ``crash_broker``, an operator pulling the platform) into the
+        recoverable :class:`EnclaveLost` that SGX itself reports as
+        ``SGX_ERROR_ENCLAVE_LOST``, rather than the lifecycle-misuse
+        :class:`EnclaveError` a direct ecall on a destroyed enclave
+        raises. A fuse is only drawn when a schedule exists.
+        """
+        if self.schedule is not None:
+            drawn = self.schedule.draw()
+            self._fuse, self._mode = drawn if drawn is not None \
+                else (None, None)
         self.router.enclave = _CrashingEnclave(self.router.enclave,
                                                self)
 
@@ -324,6 +334,21 @@ class RouterSupervisor:
                     # any already-applied prefix harmless.
                     origin, _digest, blob = parse_summary(record.frame)
                     enclave.ecall("install_link_advert", origin, blob)
+                elif record.kind == MSG_SUMMARY_DELTA:
+                    # Delta adverts replay in journal order too; the
+                    # base-digest guard inside the enclave makes an
+                    # already-applied (or out-of-order) delta a no-op
+                    # rather than a corruption. A delta the rebuilt
+                    # state cannot accept is handed to anti-entropy.
+                    origin, _base, _new, blob = \
+                        parse_summary_delta(record.frame)
+                    exclude = LINK_PREFIX + self.router.name
+                    applied, installed = enclave.ecall(
+                        "apply_link_advert_delta", origin, exclude,
+                        blob)
+                    if not applied and self.router.overlay is not None:
+                        self.router.overlay.note_reconcile_needed(
+                            origin, installed)
                 else:
                     raise RoutingError(
                         f"WAL holds unexpected {record.kind!r} record")
@@ -339,7 +364,8 @@ class RouterSupervisor:
     def _resume(self, in_flight: Tuple[str, str, bytes]) -> None:
         """Re-dispatch (or suppress) the crash-interrupted frame."""
         sender, kind, frame = in_flight
-        if kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_SUMMARY):
+        if kind in (MSG_REGISTER, MSG_UNREGISTER, MSG_SUMMARY,
+                    MSG_SUMMARY_DELTA):
             # Already journalled before its ecall; the replay above
             # applied it. Re-dispatching would journal it twice, so
             # only the router's ledger is updated here — the frame
@@ -350,8 +376,12 @@ class RouterSupervisor:
                 self.router._m_registrations.inc()
             elif kind == MSG_UNREGISTER:
                 self.router._m_unregistrations.inc()
-            else:
+            elif kind == MSG_SUMMARY:
                 self.router._m_summaries.inc()
+                if self.router.overlay is not None:
+                    self.router.overlay.note_interest_change()
+            else:
+                self.router._m_summary_deltas.inc()
                 if self.router.overlay is not None:
                     self.router.overlay.note_interest_change()
             return

@@ -113,3 +113,22 @@ class TestHotpathCommands:
         # Summary line plus the pstats table.
         assert "envelopes/s" in out
         assert "cumtime" in out
+
+
+class TestChurnCommand:
+
+    def test_churn_parser_registered(self):
+        args = build_parser().parse_args(
+            ["churn", "--seed", "7", "--clients", "3",
+             "--publications", "4", "--record"])
+        assert callable(args.func)
+        assert args.seed == 7 and args.record
+
+    def test_churn_tiny_records_and_gates(self, tmp_path, capsys):
+        assert main(["churn", "--seed", "7", "--clients", "3",
+                     "--publications", "3", "--record",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "membership chaos" in out
+        assert "zero lost: True" in out
+        assert (tmp_path / "BENCH_churn.json").exists()

@@ -324,3 +324,78 @@ class TestCloseIdempotency:
         router.enclave.destroy()   # a crash got there first
         router.close()
         router.close()
+
+
+class TestRetryJitter:
+    """Seeded backoff jitter: retry storms must de-correlate.
+
+    Two routers failed by one shared fault used to schedule every
+    retry on the same future tick; jitter spreads them while keeping
+    any seeded run exactly replayable.
+    """
+
+    POLICY = RetryPolicy(max_attempts=99, base_delay_ticks=2,
+                         max_delay_ticks=2, jitter_ticks=6)
+
+    @staticmethod
+    def _jitter_draws(router, n=16):
+        from repro.errors import NetworkError
+        router.retry_policy = TestRetryJitter.POLICY
+        draws = []
+        for _ in range(n):
+            router._delivery_failed("ghost", b"frame", 1,
+                                    NetworkError("down"))
+            pending = router._retries.pop()
+            draws.append(pending.due_tick - router.tick - 2)
+        return draws
+
+    def _fresh_router(self, vendor_key, name, retry_seed=None):
+        bus = MessageBus()
+        platform = SgxPlatform(attestation_key_bits=768)
+        return Router(bus, platform, vendor_key, name=name,
+                      rsa_bits=768, retry_seed=retry_seed)
+
+    def test_jitter_stays_inside_the_policy_bound(self, world):
+        _bus, router, _provider, _publisher = world
+        draws = self._jitter_draws(router)
+        assert all(0 <= draw <= 6 for draw in draws)
+        assert len(set(draws)) > 1  # it does actually jitter
+
+    def test_distinct_routers_decorrelate(self, vendor_key):
+        a = self._fresh_router(vendor_key, "router-a")
+        b = self._fresh_router(vendor_key, "router-b")
+        try:
+            assert self._jitter_draws(a) != self._jitter_draws(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_same_name_replays_identically(self, vendor_key):
+        draws = []
+        for _ in range(2):
+            router = self._fresh_router(vendor_key, "router-a")
+            try:
+                draws.append(self._jitter_draws(router))
+            finally:
+                router.close()
+        assert draws[0] == draws[1]
+
+    def test_explicit_seed_overrides_the_name(self, vendor_key):
+        a = self._fresh_router(vendor_key, "router-a", retry_seed=5)
+        b = self._fresh_router(vendor_key, "router-b", retry_seed=5)
+        try:
+            assert self._jitter_draws(a) == self._jitter_draws(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_zero_jitter_stays_deterministic(self, world):
+        from repro.errors import NetworkError
+        _bus, router, _provider, _publisher = world
+        router.retry_policy = RetryPolicy(max_attempts=99,
+                                          base_delay_ticks=2,
+                                          max_delay_ticks=2)
+        for _ in range(4):
+            router._delivery_failed("ghost", b"frame", 1,
+                                    NetworkError("down"))
+            assert router._retries.pop().due_tick == router.tick + 2

@@ -98,3 +98,44 @@ class TestCounters:
         assert bus.total_bytes == 7
         assert bus.stats("b") == (2, 7)
         assert bus.pending("b") == 2
+
+
+class TestSeveredBus:
+    """Connection-oriented link-down: refusal, not silent loss."""
+
+    def test_down_bus_refuses_sends_loudly(self):
+        bus = MessageBus(name="b1~b2")
+        a = bus.endpoint("a")
+        b = bus.endpoint("b")
+        bus.set_down(True)
+        with pytest.raises(NetworkError) as excinfo:
+            a.send("b", [b"refused"])
+        assert "b1~b2" in str(excinfo.value)
+        assert bus.refused_messages == 1
+        assert b.recv() is None
+
+    def test_in_flight_frames_survive_the_cut(self):
+        """Severing refuses *new* sends; frames already accepted by
+        the mailbox stay deliverable — a partition is not amnesia."""
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        b = bus.endpoint("b")
+        a.send("b", [b"already queued"])
+        bus.set_down(True)
+        sender, frames = b.recv()
+        assert (sender, frames) == ("a", [b"already queued"])
+
+    def test_heal_restores_delivery_and_counts(self):
+        bus = MessageBus()
+        a = bus.endpoint("a")
+        b = bus.endpoint("b")
+        bus.set_down(True)
+        for _ in range(3):
+            with pytest.raises(NetworkError):
+                a.send("b", [b"x"])
+        bus.set_down(False)
+        a.send("b", [b"through"])
+        assert b.recv()[1] == [b"through"]
+        assert bus.refused_messages == 3
+        refused = bus.metrics.counter("bus.sends_refused_total")
+        assert refused.value == 3

@@ -1,0 +1,220 @@
+"""Failure detection and churn scheduling, unit-tested off-fabric.
+
+The :class:`FailureDetector` is pure host logic driven by an explicit
+tick, so every timing claim (grace periods, suspicion, confirmed
+death, revival) is tested against exact tick counts rather than by
+pumping a whole overlay. The :class:`ChurnSchedule` is tested for the
+two properties the chaos harness leans on: determinism under a seed,
+and feasibility — it never asks the overlay for an impossible event.
+"""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.obs.metrics import MetricsRegistry
+from repro.overlay.membership import (ALIVE, DEAD, SUSPECT,
+                                      ChurnSchedule, FailureDetector,
+                                      MembershipConfig)
+
+CONFIG = MembershipConfig(heartbeat_interval=2, suspect_after=4,
+                          confirm_dead_after=8)
+
+
+class Recorder:
+    """Callback sink recording (event, neighbour) in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def heartbeat(self, neighbour):
+        self.events.append(("hbt", neighbour))
+
+    def dead(self, neighbour):
+        self.events.append(("dead", neighbour))
+
+    def revived(self, neighbour):
+        self.events.append(("revived", neighbour))
+
+
+@pytest.fixture()
+def detector():
+    recorder = Recorder()
+    registry = MetricsRegistry()
+    fd = FailureDetector("b1", registry, config=CONFIG,
+                         send_heartbeat=recorder.heartbeat,
+                         on_dead=recorder.dead,
+                         on_revived=recorder.revived)
+    fd.add_neighbour("b2")
+    return fd, recorder, registry
+
+
+class TestMembershipConfig:
+
+    def test_defaults_are_valid(self):
+        config = MembershipConfig()
+        assert config.suspect_after > config.heartbeat_interval
+        assert config.confirm_dead_after > config.suspect_after
+
+    @pytest.mark.parametrize("kwargs", [
+        {"heartbeat_interval": 0},
+        {"heartbeat_interval": 5, "suspect_after": 5},
+        {"suspect_after": 12, "confirm_dead_after": 12},
+    ])
+    def test_incoherent_timings_are_rejected(self, kwargs):
+        with pytest.raises(RoutingError):
+            MembershipConfig(**kwargs)
+
+
+class TestFailureDetector:
+
+    def test_heartbeats_follow_the_interval(self, detector):
+        fd, recorder, registry = detector
+        for _ in range(6):
+            fd.tick()
+            fd.observe_heartbeat("b2")  # keep b2 alive throughout
+        beats = [e for e in recorder.events if e == ("hbt", "b2")]
+        assert len(beats) == 3  # ticks 2, 4, 6
+        sent = registry.counter("membership.heartbeats_sent_total")
+        seen = registry.counter("membership.heartbeats_received_total")
+        assert sent.value == 3
+        assert seen.value == 6
+
+    def test_silence_walks_alive_suspect_dead(self, detector):
+        fd, recorder, registry = detector
+        for _ in range(CONFIG.suspect_after - 1):
+            fd.tick()
+        assert fd.state_of("b2") == ALIVE
+        fd.tick()
+        assert fd.state_of("b2") == SUSPECT
+        assert ("dead", "b2") not in recorder.events
+        for _ in range(CONFIG.confirm_dead_after
+                       - CONFIG.suspect_after):
+            fd.tick()
+        assert fd.state_of("b2") == DEAD
+        assert fd.dead_neighbours() == ["b2"]
+        assert recorder.events.count(("dead", "b2")) == 1
+        suspects = registry.counter("membership.suspicions_total")
+        deaths = registry.counter("membership.deaths_confirmed_total")
+        assert suspects.labelled(broker="b2") == 1
+        assert deaths.labelled(broker="b2") == 1
+
+    def test_any_evidence_resets_suspicion(self, detector):
+        fd, _recorder, _registry = detector
+        for _ in range(CONFIG.suspect_after):
+            fd.tick()
+        assert fd.state_of("b2") == SUSPECT
+        fd.observe_traffic("b2")  # any frame is as good as an HBT
+        assert fd.state_of("b2") == ALIVE
+        fd.tick()
+        assert fd.state_of("b2") == ALIVE
+
+    def test_revival_fires_hook_and_measures_outage(self, detector):
+        fd, recorder, registry = detector
+        for _ in range(CONFIG.confirm_dead_after):
+            fd.tick()
+        assert fd.state_of("b2") == DEAD
+        for _ in range(5):
+            fd.tick()  # stays dead; no repeated on_dead
+        assert recorder.events.count(("dead", "b2")) == 1
+        fd.observe_heartbeat("b2")
+        assert fd.state_of("b2") == ALIVE
+        assert recorder.events.count(("revived", "b2")) == 1
+        revivals = registry.counter("membership.revivals_total")
+        assert revivals.labelled(broker="b2") == 1
+        outage = registry.histogram("membership.outage_ticks")
+        assert outage.count == 1
+        assert outage.total == 5  # died at tick 8, revived after 13
+
+    def test_notice_heal_is_immediate_evidence(self, detector):
+        fd, recorder, _registry = detector
+        for _ in range(CONFIG.confirm_dead_after):
+            fd.tick()
+        fd.notice_heal("b2")
+        assert fd.state_of("b2") == ALIVE
+        assert ("revived", "b2") in recorder.events
+
+    def test_forgotten_neighbour_stops_being_watched(self, detector):
+        fd, recorder, _registry = detector
+        fd.forget("b2")
+        assert fd.neighbours() == []
+        for _ in range(CONFIG.confirm_dead_after):
+            fd.tick()
+        assert ("dead", "b2") not in recorder.events
+        with pytest.raises(RoutingError):
+            fd.state_of("b2")
+        # Evidence about unknown neighbours is ignored, not an error.
+        fd.observe_heartbeat("b2")
+        fd.observe_traffic("b2")
+        fd.notice_heal("b2")
+
+    def test_added_neighbour_gets_a_fresh_grace_period(self, detector):
+        fd, _recorder, _registry = detector
+        for _ in range(CONFIG.suspect_after):
+            fd.tick()
+        fd.add_neighbour("b3")
+        for _ in range(CONFIG.suspect_after - 1):
+            fd.tick()
+        assert fd.state_of("b3") == ALIVE
+        fd.tick()
+        assert fd.state_of("b3") == SUSPECT
+
+
+class TestChurnSchedule:
+
+    STATE = dict(up_links=[("b1", "b2"), ("b2", "b3")],
+                 down_links=[], removable_brokers=["b3"],
+                 crashable_brokers=["b1", "b2", "b3"], can_join=True)
+
+    def test_same_seed_same_sequence(self):
+        draws = []
+        for _ in range(2):
+            schedule = ChurnSchedule(seed=7, mean_interval=5)
+            draws.append([(schedule.next_gap(),
+                           schedule.draw(**self.STATE))
+                          for _ in range(20)])
+        assert draws[0] == draws[1]
+
+    def test_different_seeds_diverge(self):
+        sequences = []
+        for seed in (1, 2):
+            schedule = ChurnSchedule(seed=seed)
+            sequences.append([schedule.draw(**self.STATE)
+                              for _ in range(20)])
+        assert sequences[0] != sequences[1]
+
+    def test_draws_respect_the_allow_list(self):
+        schedule = ChurnSchedule(seed=3, allow=("crash",))
+        kinds = {schedule.draw(**self.STATE)[0] for _ in range(10)}
+        assert kinds == {"crash"}
+
+    def test_sever_is_infeasible_at_the_down_link_cap(self):
+        schedule = ChurnSchedule(seed=3, allow=("sever", "heal"),
+                                 max_down_links=1)
+        state = dict(self.STATE, down_links=[("b1", "b2")],
+                     up_links=[("b2", "b3")])
+        for _ in range(10):
+            kind, target = schedule.draw(**state)
+            assert kind == "heal"
+            assert target == ("b1", "b2")
+
+    def test_nothing_feasible_returns_none_without_spending(self):
+        schedule = ChurnSchedule(seed=3, allow=("heal", "leave"))
+        assert schedule.draw(up_links=[("b1", "b2")], down_links=[],
+                             removable_brokers=[],
+                             crashable_brokers=["b1"],
+                             can_join=False) is None
+        assert schedule.events_drawn == 0
+
+    def test_max_events_exhausts_the_schedule(self):
+        schedule = ChurnSchedule(seed=3, max_events=2)
+        assert schedule.draw(**self.STATE) is not None
+        assert schedule.draw(**self.STATE) is not None
+        assert schedule.draw(**self.STATE) is None
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(RoutingError):
+            ChurnSchedule(mean_interval=0)
+        with pytest.raises(RoutingError):
+            ChurnSchedule(max_down_links=-1)
+        with pytest.raises(RoutingError):
+            ChurnSchedule(allow=("sever", "meteor"))

@@ -1,0 +1,144 @@
+"""Partition tolerance: sever, store-and-forward, heal, exactly-once.
+
+The contract under test: a severed link never *loses* a publication
+and a healed link never *duplicates* one. Refused forwards are
+dead-lettered under the ``link-down`` reason while the partition
+lasts (the overlay still settles), requeued when the link heals, and
+absorbed by the receiver's (origin, sequence) dedup if an alternate
+path delivered them already. Replaying one script against the flat
+oracle — which ignores sever/heal entirely — makes the claim exact:
+per-client delivered multisets must match.
+"""
+
+import pytest
+
+from repro.core.router import REASON_LINK_DOWN
+from repro.overlay import FlatOracle, OverlayNetwork, Topology
+
+from tests.overlay.conftest import make_partition_script, run_script
+
+TOPOLOGIES = [
+    pytest.param(Topology.line(3), 31, id="line3-seed31"),
+    pytest.param(Topology.line(3), 32, id="line3-seed32"),
+    pytest.param(Topology.line(4), 33, id="line4-seed33"),
+    pytest.param(Topology.tree(5, seed=1), 34, id="tree5-seed34"),
+    pytest.param(Topology.tree(5, seed=2), 35, id="tree5-seed35"),
+    pytest.param(Topology.tree(6, seed=3), 36, id="tree6-seed36"),
+    pytest.param(Topology.random(4, seed=1), 37, id="random4-seed37"),
+    pytest.param(Topology.random(5, seed=2), 38, id="random5-seed38"),
+    pytest.param(Topology.random(5, seed=3), 39, id="random5-seed39"),
+]
+
+
+def as_multisets(deliveries):
+    """Per-client sorted payloads: mid-partition deliveries arrive
+    late relative to same-side ones, so order across the cut is not
+    comparable — the multiset is."""
+    return {client: sorted(payloads)
+            for client, payloads in deliveries.items()}
+
+
+class TestPartitionEquivalence:
+
+    @pytest.mark.parametrize("topology,seed", TOPOLOGIES)
+    def test_partition_heal_preserves_exactly_once(self, topology,
+                                                   seed, vendor_key):
+        script = make_partition_script(topology, seed)
+        overlay = OverlayNetwork(topology, vendor_key)
+        oracle = FlatOracle(vendor_key)
+        try:
+            overlay_deliveries = run_script(overlay, script)
+            oracle_deliveries = run_script(oracle, script)
+            assert as_multisets(overlay_deliveries) \
+                == as_multisets(oracle_deliveries)
+            # Whatever was quarantined by the severed link must have
+            # been requeued by the heal — the DLQ holds no link debt
+            # once the run is over.
+            snapshot = overlay.snapshot()
+            quarantined = snapshot.get(
+                "router.link_down_dead_letters_total", 0)
+            requeued = snapshot.get(
+                "router.dead_letters_requeued_total", 0)
+            assert requeued == quarantined
+            for node in overlay.nodes.values():
+                assert not [letter for letter
+                            in node.router.dead_letters
+                            if letter.reason == REASON_LINK_DOWN]
+        finally:
+            overlay.close()
+            oracle.close()
+
+
+class TestStoreAndForward:
+    """The deterministic two-broker version, counter by counter."""
+
+    @pytest.fixture()
+    def pair(self, vendor_key):
+        network = OverlayNetwork(Topology.line(2), vendor_key)
+        yield network
+        network.close()
+
+    def test_refused_forward_is_quarantined_then_requeued(self, pair):
+        pair.client("alice", "b1", subscription={"symbol": "HAL"})
+        pair.settle()
+        pair.sever_link("b1", "b2")
+        assert pair.down_links() == [("b1", "b2")]
+        pair.publish({"symbol": "HAL", "price": 5.0}, b"cut off",
+                     at="b2")
+        # The partitioned overlay still settles; the forward b2 -> b1
+        # is dead-lettered, not retried forever.
+        pair.settle()
+        assert pair.deliveries().get("alice", []) == []
+        b2 = pair.nodes["b2"].router
+        letters = [letter for letter in b2.dead_letters
+                   if letter.reason == REASON_LINK_DOWN]
+        assert len(letters) == 1
+        assert letters[0].client_id == "link:b1"
+        quarantined = pair.nodes["b2"].metrics.counter(
+            "router.link_down_dead_letters_total")
+        assert quarantined.value == 1
+
+        pair.heal_link("b1", "b2")
+        pair.settle()
+        assert pair.deliveries()["alice"] == [b"cut off"]
+        assert not [letter for letter in b2.dead_letters
+                    if letter.reason == REASON_LINK_DOWN]
+        requeued = pair.nodes["b2"].metrics.counter(
+            "router.dead_letters_requeued_total")
+        assert requeued.value == 1
+
+    def test_heal_is_idempotent_and_duplicate_free(self, pair):
+        pair.client("alice", "b1", subscription={"symbol": "HAL"})
+        pair.settle()
+        pair.sever_link("b1", "b2")
+        pair.sever_link("b1", "b2")  # idempotent
+        pair.publish({"symbol": "HAL", "price": 5.0}, b"once only",
+                     at="b2")
+        pair.settle()
+        pair.heal_link("b1", "b2")
+        pair.heal_link("b1", "b2")  # no-op: link already up
+        pair.settle()
+        assert pair.deliveries()["alice"] == [b"once only"]
+
+    def test_partition_does_not_withdraw_remote_interest(self, pair):
+        """A partitioned (even confirmed-dead) neighbour's interest
+        stays installed: only a clean leave withdraws it. Publications
+        matching it keep being quarantined for the heal, which is the
+        no-loss half of the store-and-forward contract."""
+        pair.client("alice", "b1", subscription={"symbol": "HAL"})
+        pair.settle()
+        pair.sever_link("b1", "b2")
+        # Drive the failure detector to a confirmed death.
+        config = pair.nodes["b2"].membership.config
+        for _ in range(config.confirm_dead_after + 1):
+            pair.pump_all(membership_active=True)
+        assert pair.nodes["b2"].membership.state_of("b1") == "dead"
+        pair.publish({"symbol": "HAL", "price": 5.0}, b"kept",
+                     at="b2")
+        pair.settle()
+        b2 = pair.nodes["b2"].router
+        assert len([letter for letter in b2.dead_letters
+                    if letter.reason == REASON_LINK_DOWN]) == 1
+        pair.heal_link("b1", "b2")
+        pair.settle()
+        assert pair.deliveries()["alice"] == [b"kept"]

@@ -134,3 +134,132 @@ class TestSuppression:
         # wire: nothing is sent.
         assert scheduler.refresh(force=True) == 0
         assert refreshes.value == refreshes_before + 1
+
+
+class TestReconciliation:
+    """Anti-entropy: healed links converge by delta, not reflood."""
+
+    def test_heal_ships_a_delta_not_a_reflood(self, pair):
+        # A broad pre-partition covering set makes the delta strictly
+        # cheaper than a reflood, so the size-priced choice in the
+        # scheduler must pick the SUMD arm.
+        for index, symbol in enumerate(("HAL", "IBM", "GE")):
+            pair.client(f"c{index}", "b1",
+                        subscription={"symbol": symbol})
+        pair.settle()
+        deltas = counter(pair, "b1", "reconcile.delta_adverts_total")
+        in_sync = counter(pair, "b1", "reconcile.in_sync_total")
+        assert deltas.value == 0
+        pair.sever_link("b1", "b2")
+        pair.client("late", "b1", subscription={"symbol": "XRX"})
+        pair.settle()  # the advert to b2 is owed, not lost
+        pair.heal_link("b1", "b2")
+        pair.settle()
+        assert deltas.value == 1
+        # The owed delta went out ahead of the DIG exchange, so the
+        # probe answer verifies the peer in sync instead of re-sending.
+        assert in_sync.value == 1
+        # The delta actually opened the gate: XRX traffic entering at
+        # b2 now crosses the healed link.
+        pair.publish({"symbol": "XRX", "price": 2.0}, b"delta works",
+                     at="b2")
+        pair.settle()
+        assert pair.deliveries()["late"] == [b"delta works"]
+
+    def test_unchanged_peer_reconciles_silently(self, pair):
+        pair.client("alice", "b1", subscription={"symbol": "HAL"})
+        pair.settle()
+        sent = counter(pair, "b1", "overlay.adverts_sent_total")
+        in_sync = counter(pair, "b1", "reconcile.in_sync_total")
+        sends_before = sent.value
+        pair.sever_link("b1", "b2")
+        pair.settle()
+        pair.heal_link("b1", "b2")
+        pair.settle()
+        # Nothing changed while the link was down: the exchanged DIG
+        # probes are answered by suppression, not by adverts.
+        assert sent.value == sends_before
+        assert in_sync.value >= 1
+
+    def test_delta_survives_receiver_crash_via_wal_replay(self, pair):
+        for index, symbol in enumerate(("HAL", "IBM", "GE")):
+            pair.client(f"c{index}", "b1",
+                        subscription={"symbol": symbol})
+        pair.settle()
+        pair.sever_link("b1", "b2")
+        pair.client("late", "b1", subscription={"symbol": "XRX"})
+        pair.settle()
+        pair.heal_link("b1", "b2")
+        pair.settle()
+        assert counter(pair, "b1",
+                       "reconcile.delta_adverts_total").value == 1
+        # Kill the broker that *installed* the delta. Recovery replays
+        # the WAL — including the SUMD record — so the rebuilt gate
+        # still forwards the delta-advertised interest.
+        pair.crash_broker("b2")
+        pair.publish({"symbol": "XRX", "price": 2.0}, b"replayed",
+                     at="b2")
+        pair.settle()
+        assert pair.deliveries()["late"] == [b"replayed"]
+        assert counter(pair, "b2",
+                       "recovery.recoveries_total").value == 1
+
+    def test_abandoned_export_counts_and_recovers(self, pair,
+                                                  monkeypatch):
+        """A refresh that cannot finish even after one in-line
+        recovery counts an export failure, stays dirty, and succeeds
+        on a later pump once the enclave truly recovers."""
+        import pytest as _pytest
+
+        from repro.errors import EnclaveLost
+
+        pair.client("alice", "b1", subscription={"symbol": "HAL"})
+        pair.settle()
+        node = pair.nodes["b1"]
+        failures = counter(pair, "b1",
+                           "propagation.advert_export_failures_total")
+        pair.client("bob", "b1", subscription={"symbol": "IBM"})
+        pair.pump_provider()
+        node.supervisor.pump()  # register bob: the next refresh exports
+        pair.crash_broker("b1")
+        monkeypatch.setattr(node.supervisor, "recover", lambda: 0)
+        with _pytest.raises(EnclaveLost):
+            node.scheduler.refresh(force=True)
+        assert failures.value == 1
+        assert node.links.interest_dirty  # the debt is remembered
+        monkeypatch.undo()
+        pair.settle()  # real recovery path: supervisor rebuilds
+        assert failures.value == 1
+        pair.publish({"symbol": "IBM", "price": 2.0}, b"after",
+                     at="b2")
+        pair.settle()
+        assert pair.deliveries()["bob"] == [b"after"]
+
+
+class TestReconcileModes:
+
+    def test_full_mode_never_sends_deltas(self, vendor_key):
+        network = OverlayNetwork(Topology.line(2), vendor_key,
+                                 reconcile_mode="full")
+        try:
+            network.client("alice", "b1",
+                           subscription={"symbol": "HAL"})
+            network.settle()
+            network.sever_link("b1", "b2")
+            network.client("bob", "b1", subscription={"symbol": "IBM"})
+            network.settle()
+            network.heal_link("b1", "b2")
+            network.settle()
+            snapshot = network.snapshot()
+            assert snapshot.get("reconcile.delta_adverts_total", 0) == 0
+            assert snapshot.get("reconcile.full_adverts_total", 0) > 0
+            assert snapshot.get(
+                "reconcile.advert_bytes_total{kind=delta}", 0) == 0
+        finally:
+            network.close()
+
+    def test_unknown_mode_is_rejected(self, vendor_key):
+        from repro.errors import RoutingError
+        with pytest.raises(RoutingError):
+            OverlayNetwork(Topology.line(2), vendor_key,
+                           reconcile_mode="psychic")
