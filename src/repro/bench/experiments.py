@@ -43,6 +43,7 @@ __all__ = [
     "FilterSweep", "AspeSweep", "bench_spec",
     "measure_filter", "measure_aspe", "run_fig5", "run_fig6", "run_fig7",
     "run_fig8", "run_containment_ablation", "run_prefilter_ablation",
+    "ColumnarPoint", "run_columnar_ablation",
     "RegistrationPoint", "RecoveryPoint", "run_recovery_latency",
 ]
 
@@ -564,4 +565,91 @@ def run_recovery_latency(sizes: Optional[Sequence[int]] = None,
             checkpoint_bytes=len(checkpoint.sealed_bytes),
             recovery_us=platform.simulated_us() - before_us,
         ))
+    return points
+
+
+# -- Columnar crossover ablation ------------------------------------------------------------------
+
+@dataclass
+class ColumnarPoint:
+    """One cell of the columnar crossover sweep (wall-clock)."""
+    workload: str
+    n_subscriptions: int
+    forest_events_per_s: float
+    #: batch size -> events/s through the columnar plane
+    columnar_events_per_s: Dict[int, float] = field(default_factory=dict)
+
+    def ratio(self, batch: int) -> float:
+        if not self.forest_events_per_s:
+            return 0.0
+        return self.columnar_events_per_s.get(batch, 0.0) \
+            / self.forest_events_per_s
+
+    def crossover_batch(self) -> Optional[int]:
+        """Smallest batch size at which the columnar plane wins."""
+        for batch in sorted(self.columnar_events_per_s):
+            if self.ratio(batch) >= 1.0:
+                return batch
+        return None
+
+
+def run_columnar_ablation(sizes: Optional[Sequence[int]] = None,
+                          workloads: Sequence[str] = ("e80a1", "e80a4"),
+                          batch_sizes: Sequence[int] = (1, 8, 64),
+                          n_events: int = 150
+                          ) -> List[ColumnarPoint]:
+    """Columnar batch plane vs per-event forest walk (wall-clock).
+
+    Unlike the other runners this one reports *wall-clock* events/s:
+    the columnar plane is a Python-level optimisation — it does not
+    change the simulated cost model's verdict (the same constraints
+    are still evaluated), it changes how much interpreter work each
+    evaluation costs. The sweep varies registered subscriptions,
+    per-subscription attribute count (via the workload's
+    ``attribute_multiplier``) and the batch size fed to
+    :meth:`~repro.matching.columnar.ColumnarMatchPlane.match_batch`,
+    exposing where the compile+pass overhead amortises away
+    (batch-of-1 keeps the plane honest at its weakest).
+    """
+    from repro.matching.columnar import ColumnarMatchPlane
+
+    sizes = list(sizes) if sizes is not None else (
+        [500, 2000, 10000] if full_mode() else [100, 400, 1600])
+    points: List[ColumnarPoint] = []
+    for workload in workloads:
+        dataset = build_dataset(workload, max(sizes), n_events)
+        events = list(dataset.publications)
+        while len(events) < n_events:
+            events.extend(
+                dataset.publications[:n_events - len(events)])
+        events = events[:n_events]
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        registered = 0
+        for size in sorted(sizes):
+            for index in range(registered, size):
+                forest.insert(dataset.subscriptions[index], index)
+            registered = size
+            for event in events[:10]:  # warm-up
+                forest.match(event)
+            start = time.perf_counter()
+            for event in events:
+                forest.match(event)
+            elapsed = time.perf_counter() - start
+            point = ColumnarPoint(
+                workload=workload, n_subscriptions=size,
+                forest_events_per_s=round(n_events / elapsed, 1)
+                if elapsed > 0 else 0.0)
+            for batch in batch_sizes:
+                plane.ensure_compiled()  # compile outside the timing
+                chunks = [events[i:i + batch]
+                          for i in range(0, n_events, batch)]
+                plane.match_batch(chunks[0])  # warm-up
+                start = time.perf_counter()
+                for chunk in chunks:
+                    plane.match_batch(chunk)
+                elapsed = time.perf_counter() - start
+                point.columnar_events_per_s[batch] = round(
+                    n_events / elapsed, 1) if elapsed > 0 else 0.0
+            points.append(point)
     return points

@@ -17,9 +17,14 @@ perf overhaul targets —
   provisioned :class:`~repro.core.engine.ScbrEnclaveLibrary`
   (``match_publications`` ecall: CMAC verify, CTR decrypt, header
   decode, traced matching);
-* ``matcher_events_per_s`` — arena-backed
-  :meth:`~repro.matching.poset.ContainmentForest.match_traced` over a
-  generated workload (the memory-model accounting path).
+* ``matcher_events_per_s`` — arena-traced matching over a generated
+  workload (the memory-model accounting path). Two legs share one
+  forest: the per-event
+  :meth:`~repro.matching.poset.ContainmentForest.match_traced` walk
+  (``matcher_events_per_s_forest``) and the columnar batch plane
+  (``matcher_events_per_s_columnar``, bursts of ``_MATCHER_BATCH``
+  events); the headline key follows the columnar leg when it runs,
+  and ``matcher_columnar_vs_forest`` records the in-process ratio.
 
 Results land in ``BENCH_hotpath.json`` in two phases so the speedup
 claim is recorded against a baseline captured *on the same machine, in
@@ -57,6 +62,7 @@ from repro.crypto.ctr import AesCtr
 from repro.crypto.encoding import pack_fields
 from repro.crypto.reference import ReferenceAesCmac, ReferenceAesCtr
 from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.matching.columnar import ColumnarMatchPlane
 from repro.matching.poset import ContainmentForest
 from repro.sgx.cpu import scaled_spec
 from repro.sgx.platform import SgxPlatform
@@ -165,9 +171,23 @@ def _bench_envelopes(n_subscriptions: int, n_envelopes: int,
     }
 
 
-def _bench_matcher(n_subscriptions: int, n_events: int
-                   ) -> Dict[str, float]:
-    """Arena-traced matcher walks/s (the memory-accounting path)."""
+#: Batch size for the columnar matcher leg — large enough to amortise
+#: the per-batch column passes, small enough to stay a realistic
+#: publication burst (one ``match_publications`` ecall's worth).
+_MATCHER_BATCH = 64
+
+
+def _bench_matcher(n_subscriptions: int, n_events: int,
+                   backend: str = "both") -> Dict[str, float]:
+    """Arena-traced matcher walks/s (the memory-accounting path).
+
+    Runs the requested backend leg(s) over the *same* forest, dataset
+    and arena: the forest leg walks ``match_traced`` per event, the
+    columnar leg drives ``match_batch_traced`` in bursts of
+    ``_MATCHER_BATCH``. The headline ``matcher_events_per_s`` follows
+    the columnar number when that leg runs (it is the production
+    batch path); per-backend keys keep both visible side by side.
+    """
     spec = scaled_spec(llc_bytes=_MATCHER_LLC_BYTES)
     platform = SgxPlatform(spec=spec)
     arena = platform.memory.new_arena(enclave=True)
@@ -182,21 +202,48 @@ def _bench_matcher(n_subscriptions: int, n_events: int
     while len(events) < n_events:
         events.extend(dataset.publications[:n_events - len(events)])
     events = events[:n_events]
-    for event in events[:max(1, n_events // 10)]:  # warm-up
-        forest.match_traced(event)
-    start = time.perf_counter()
-    for event in events:
-        forest.match_traced(event)
-    elapsed = time.perf_counter() - start
-    return {
-        "matcher_events_per_s": round(n_events / elapsed, 1)
-        if elapsed > 0 else 0.0,
+    out: Dict[str, float] = {
         "matcher_events": float(n_events),
         "matcher_subscriptions": float(n_subscriptions),
     }
+    if backend in ("forest", "both"):
+        for event in events[:max(1, n_events // 10)]:  # warm-up
+            forest.match_traced(event)
+        start = time.perf_counter()
+        for event in events:
+            forest.match_traced(event)
+        elapsed = time.perf_counter() - start
+        out["matcher_events_per_s_forest"] = round(
+            n_events / elapsed, 1) if elapsed > 0 else 0.0
+    if backend in ("columnar", "both"):
+        plane = ColumnarMatchPlane(forest, arena=arena)
+        plane.ensure_compiled()
+        # The compile allocated the column blocks after the first
+        # prefault; fault them in too so neither leg pays simulated
+        # first-touch handling inside the timed region.
+        platform.memory.prefault(arena.base, arena.allocated_bytes,
+                                 enclave=True)
+        batches = [events[i:i + _MATCHER_BATCH]
+                   for i in range(0, n_events, _MATCHER_BATCH)]
+        plane.match_batch_traced(batches[0])  # warm-up
+        start = time.perf_counter()
+        for batch in batches:
+            plane.match_batch_traced(batch)
+        elapsed = time.perf_counter() - start
+        out["matcher_events_per_s_columnar"] = round(
+            n_events / elapsed, 1) if elapsed > 0 else 0.0
+    forest_rate = out.get("matcher_events_per_s_forest", 0.0)
+    columnar_rate = out.get("matcher_events_per_s_columnar", 0.0)
+    if forest_rate and columnar_rate:
+        out["matcher_columnar_vs_forest"] = round(
+            columnar_rate / forest_rate, 3)
+    out["matcher_events_per_s"] = columnar_rate or forest_rate
+    return out
 
 
-def run_hotpath_bench(reduced: bool = False) -> Dict[str, float]:
+def run_hotpath_bench(reduced: bool = False,
+                      matcher_backend: str = "both"
+                      ) -> Dict[str, float]:
     """Run the full suite; returns a flat measurement dict."""
     if reduced:
         ctr_bytes, ref_bytes, cmac_bytes = 96 * 1024, 8 * 1024, 16 * 1024
@@ -214,7 +261,8 @@ def run_hotpath_bench(reduced: bool = False) -> Dict[str, float]:
         "cmac_mbps": _bench_cmac(cmac_bytes),
     }
     measurements.update(_bench_envelopes(n_subs, n_env, batch))
-    measurements.update(_bench_matcher(m_subs, m_events))
+    measurements.update(_bench_matcher(m_subs, m_events,
+                                       backend=matcher_backend))
     measurements["aes_vs_reference"] = round(
         measurements["aes_ctr_mbps"]
         / measurements["reference_aes_ctr_mbps"], 3) \
@@ -281,6 +329,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="which section of the record to write")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_hotpath.json")
+    parser.add_argument("--matcher-backend",
+                        choices=("forest", "columnar", "both"),
+                        default="both",
+                        help="which matcher leg(s) to run; 'both' "
+                             "reports the backends side by side")
+    parser.add_argument("--require-matcher-speedup", type=float,
+                        default=0.0, metavar="X",
+                        help="fail unless the columnar matcher is at "
+                             "least X times faster than the forest "
+                             "walk (in-process gate, CI; needs "
+                             "--matcher-backend both)")
     parser.add_argument("--require-aes-vs-reference", type=float,
                         default=0.0, metavar="X",
                         help="fail unless AesCtr is at least X times "
@@ -296,7 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "speedup vs baseline is at least X")
     args = parser.parse_args(argv)
 
-    measurements = run_hotpath_bench(reduced=args.reduced)
+    measurements = run_hotpath_bench(
+        reduced=args.reduced, matcher_backend=args.matcher_backend)
     for key in sorted(measurements):
         print(f"  {key:28s} {measurements[key]:>12,.3f}")
 
@@ -322,6 +382,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures.append(
             f"AesCtr is only {ratio:.2f}x the pinned reference "
             f"(required {args.require_aes_vs_reference:.2f}x)")
+    matcher_ratio = measurements.get("matcher_columnar_vs_forest", 0.0)
+    if args.require_matcher_speedup and \
+            matcher_ratio < args.require_matcher_speedup:
+        failures.append(
+            f"columnar matcher is only {matcher_ratio:.2f}x the "
+            f"forest walk (required "
+            f"{args.require_matcher_speedup:.2f}x)")
     if args.require_aes_speedup and \
             speedup.get("aes_ctr", 0.0) < args.require_aes_speedup:
         failures.append(

@@ -429,10 +429,14 @@ def _run_hotpath(args: argparse.Namespace) -> int:
         argv.append("--reduced")
     if args.record:
         argv.append("--record")
-    argv += ["--phase", args.phase, "--out", args.out]
+    argv += ["--phase", args.phase, "--out", args.out,
+             "--matcher-backend", args.matcher_backend]
     if args.require_aes_vs_reference is not None:
         argv += ["--require-aes-vs-reference",
                  str(args.require_aes_vs_reference)]
+    if args.require_matcher_speedup is not None:
+        argv += ["--require-matcher-speedup",
+                 str(args.require_matcher_speedup)]
     return hotpath_main(argv)
 
 
@@ -451,14 +455,15 @@ def _run_profile(args: argparse.Namespace) -> int:
 
     profiler = cProfile.Profile()
     profiler.enable()
-    measurements = run_hotpath_bench(reduced=not args.full)
+    measurements = run_hotpath_bench(
+        reduced=not args.full, matcher_backend=args.matcher_backend)
     profiler.disable()
 
     print(f"seeded workload: {measurements['envelopes_per_s']:,.0f} "
           f"envelopes/s end-to-end, "
           f"{measurements['aes_ctr_mbps']:.2f} MB/s AES-CTR, "
           f"{measurements['matcher_events_per_s']:,.0f} matcher "
-          f"events/s")
+          f"events/s ({args.matcher_backend})")
     print()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
@@ -732,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None, metavar="RATIO",
                     help="fail unless the T-table AES beats the pinned "
                          "pure-loop reference by this factor")
+    ph.add_argument("--matcher-backend", default="both",
+                    choices=("forest", "columnar", "both"),
+                    help="matcher leg(s) to run; 'both' reports the "
+                         "backends side by side")
+    ph.add_argument("--require-matcher-speedup", type=float,
+                    default=None, metavar="RATIO",
+                    help="fail unless the columnar matcher beats the "
+                         "forest walk by this factor")
     ph.set_defaults(func=_run_hotpath)
 
     pp = sub.add_parser(
@@ -743,6 +756,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pstats sort key")
     pp.add_argument("--full", action="store_true",
                     help="profile the full-size workload (slower)")
+    pp.add_argument("--matcher-backend", default="both",
+                    choices=("forest", "columnar", "both"),
+                    help="matcher leg(s) to include in the profiled "
+                         "workload")
     pp.set_defaults(func=_run_profile)
     return parser
 

@@ -40,6 +40,7 @@ import zlib
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError
+from repro.matching.columnar import ColumnarMatchPlane, validate_backend
 from repro.matching.events import Event
 from repro.matching.poset import ContainmentForest
 from repro.matching.subscriptions import Subscription
@@ -52,13 +53,21 @@ __all__ = ["MatcherSlice", "MatcherCluster", "ClusterMatchResult"]
 class MatcherSlice:
     """One matcher replica: its own platform, enclave arena and index."""
 
-    def __init__(self, slice_id: int, spec: PlatformSpec) -> None:
+    def __init__(self, slice_id: int, spec: PlatformSpec,
+                 matcher_backend: str = "forest") -> None:
         self.slice_id = slice_id
+        self.matcher_backend = validate_backend(matcher_backend)
         self.platform = SgxPlatform(spec=spec)
         self.arena = self.platform.memory.new_arena(
             enclave=True, name=f"slice-{slice_id}")
         self.forest = ContainmentForest(arena=self.arena,
                                         trace_inserts=False)
+        # Columnar match plane over this slice's forest. Matching stays
+        # one-event-per-ecall in the cluster (latency semantics are
+        # per-publication), so the plane runs batches of one here; the
+        # compiled tables still amortise across the event stream.
+        self.plane = ColumnarMatchPlane(self.forest, arena=self.arena) \
+            if self.matcher_backend == "columnar" else None
 
     def register(self, subscription: Subscription,
                  subscriber: object) -> None:
@@ -76,7 +85,14 @@ class MatcherSlice:
         costs = self.platform.spec.costs
         start = memory.cycles
         memory.charge(costs.eenter_cycles)
-        matched, visited, evaluated = self.forest.match_traced(event)
+        if self.plane is not None:
+            sets, visits, consults = self.plane.match_batch_traced(
+                [event])
+            matched, visited, evaluated = \
+                sets[0], visits[0], consults[0]
+        else:
+            matched, visited, evaluated = self.forest.match_traced(
+                event)
         memory.charge(visited * costs.node_visit_cycles
                       + evaluated * costs.predicate_eval_cycles
                       + costs.eexit_cycles)
@@ -99,7 +115,8 @@ class ClusterMatchResult:
             if slice_latencies_us else 0.0
 
 
-def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec) -> None:
+def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec,
+                       matcher_backend: str = "forest") -> None:
     """Entry point of one persistent slice worker process.
 
     Hosts a real :class:`MatcherSlice` and serves a tiny request/reply
@@ -108,7 +125,7 @@ def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec) -> None:
     pipe (they are plain frozen dataclasses), compiled poset nodes
     never do.
     """
-    matcher_slice = MatcherSlice(slice_id, spec)
+    matcher_slice = MatcherSlice(slice_id, spec, matcher_backend)
     while True:
         try:
             op, payload = conn.recv()
@@ -142,12 +159,14 @@ def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec) -> None:
 class _SliceWorker:
     """Parent-side handle for one persistent slice worker process."""
 
-    def __init__(self, slice_id: int, spec: PlatformSpec, ctx) -> None:
+    def __init__(self, slice_id: int, spec: PlatformSpec, ctx,
+                 matcher_backend: str = "forest") -> None:
         self.slice_id = slice_id
         parent_conn, child_conn = ctx.Pipe()
         self._conn = parent_conn
         self._process = ctx.Process(
-            target=_slice_worker_main, args=(child_conn, slice_id, spec),
+            target=_slice_worker_main,
+            args=(child_conn, slice_id, spec, matcher_backend),
             daemon=True, name=f"matcher-slice-{slice_id}")
         self._process.start()
         child_conn.close()
@@ -234,13 +253,15 @@ class MatcherCluster:
                  assignment: str = "round-robin",
                  symbol_attribute: str = "symbol",
                  backend: str = "serial",
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 matcher_backend: str = "forest") -> None:
         if n_slices < 1:
             raise RoutingError("cluster needs at least one slice")
         if assignment not in self.ASSIGNMENTS:
             raise RoutingError(f"unknown assignment {assignment!r}")
         if backend not in self.BACKENDS:
             raise RoutingError(f"unknown backend {backend!r}")
+        self.matcher_backend = validate_backend(matcher_backend)
         self.spec = spec
         self.n_slices = n_slices
         self.assignment = assignment
@@ -259,15 +280,18 @@ class MatcherCluster:
                 start_method = "fork" if "fork" in methods else "spawn"
             self._ctx = multiprocessing.get_context(start_method)
             self.slices: List[MatcherSlice] = []
-            self._workers = [_SliceWorker(i, spec, self._ctx)
-                             for i in range(n_slices)]
+            self._workers = [
+                _SliceWorker(i, spec, self._ctx,
+                             matcher_backend=matcher_backend)
+                for i in range(n_slices)]
             #: registrations not yet shipped to workers, per slice.
             self._pending: List[List[Tuple[Subscription, object]]] = [
                 [] for _ in range(n_slices)]
         else:
             self._ctx = None
-            self.slices = [MatcherSlice(i, spec)
-                           for i in range(n_slices)]
+            self.slices = [
+                MatcherSlice(i, spec, matcher_backend=matcher_backend)
+                for i in range(n_slices)]
             self._workers = []
             self._pending = []
 
@@ -353,15 +377,18 @@ class MatcherCluster:
                   if owner == slice_id]
         if self.backend == "process":
             self._workers[slice_id].kill()
-            replacement_worker = _SliceWorker(slice_id, self.spec,
-                                              self._ctx)
+            replacement_worker = _SliceWorker(
+                slice_id, self.spec, self._ctx,
+                matcher_backend=self.matcher_backend)
             self._workers[slice_id] = replacement_worker
             self._pending[slice_id] = []  # journal supersedes buffer
             if replay:
                 replacement_worker.call("register", replay)
             self.slices_recovered += 1
             return len(replay)
-        replacement = MatcherSlice(slice_id, self.spec)
+        replacement = MatcherSlice(
+            slice_id, self.spec,
+            matcher_backend=self.matcher_backend)
         for subscription, subscriber in replay:
             replacement.register(subscription, subscriber)
         self.slices[slice_id] = replacement

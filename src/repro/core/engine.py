@@ -37,6 +37,7 @@ from repro.core.messages import (SecureChannel, decode_header,
 from repro.crypto.encoding import pack_fields, unpack_fields
 from repro.crypto.rsa import RsaPublicKey, _generate_keypair_unchecked
 from repro.errors import EnclaveError, RoutingError
+from repro.matching.columnar import ColumnarMatchPlane, validate_backend
 from repro.matching.matcher import MatchMemo
 from repro.matching.poset import ContainmentForest
 from repro.matching.summaries import covering_antichain
@@ -96,9 +97,17 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
     """Trusted routing engine (the enclave 'shared library')."""
 
     def __init__(self, runtime, rsa_bits: int = 768,
-                 memo_capacity: int = 0) -> None:
+                 memo_capacity: int = 0,
+                 matcher_backend: str = "forest") -> None:
         super().__init__(runtime)
+        self._matcher_backend = validate_backend(matcher_backend)
         self._forest = ContainmentForest(arena=runtime.arena)
+        # Columnar match plane, compiled lazily from the forest when
+        # selected. Registration, covering antichains and sealing all
+        # stay on the forest; only match-time evaluation changes, so
+        # adverts, seal blobs and registration digests are backend-
+        # independent by construction.
+        self._plane = self._new_plane()
         # Optional in-enclave match memo (event-key -> sorted client
         # tuple). Generation-stamped: any registration change or state
         # restore bumps it, so a recovered or churned engine can never
@@ -168,6 +177,13 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
                 fn=lambda: self._forest.index_bytes)
 
     # -- internal helpers -------------------------------------------------------
+
+    def _new_plane(self) -> Optional[ColumnarMatchPlane]:
+        """Columnar plane over the *current* forest (or None)."""
+        if self._matcher_backend != "columnar":
+            return None
+        return ColumnarMatchPlane(self._forest,
+                                  arena=self.runtime.arena)
 
     def _charge_aes(self, n_bytes: int) -> None:
         """Charge AES-CTR work over ``n_bytes`` (SDK crypto cost)."""
@@ -297,6 +313,46 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
             memo.store(event.key(), tuple(clients))
         return clients
 
+    def _match_decoded_batch(self, events) -> List[List[str]]:
+        """Match decoded headers with the configured backend.
+
+        The forest backend walks the index per event; the columnar
+        backend answers all memo misses with shared column passes.
+        Both return the same sorted client lists in input order.
+        """
+        if self._plane is None:
+            return [self._match_decoded(event) for event in events]
+        memo = self._memo
+        results: List[Optional[List[str]]] = [None] * len(events)
+        pending = []
+        pending_slots = []
+        for slot, event in enumerate(events):
+            if memo is not None:
+                cached = memo.lookup(event.key())
+                if cached is not None:
+                    self._m_matches.inc()
+                    self._m_memo_hits.inc()
+                    results[slot] = list(cached)
+                    continue
+            pending.append(event)
+            pending_slots.append(slot)
+        if pending:
+            matched, visited, consulted = \
+                self._plane.match_batch_traced(pending)
+            costs = self.runtime.costs
+            self.runtime.memory.charge(
+                sum(visited) * costs.node_visit_cycles
+                + sum(consulted) * costs.predicate_eval_cycles)
+            for slot, event, subscribers, n_visited in zip(
+                    pending_slots, pending, matched, visited):
+                self._m_matches.inc()
+                self._m_visited.observe(n_visited)
+                clients = sorted(str(c) for c in subscribers)
+                if memo is not None:
+                    memo.store(event.key(), tuple(clients))
+                results[slot] = clients
+        return results
+
     @ecall
     def match_publication(self, header_envelope: bytes) -> List[str]:
         """Decrypt a publication header and match it in the enclave."""
@@ -304,7 +360,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         plaintext, _aad = channel.open(header_envelope)
         self._charge_aes(len(header_envelope))
         event = decode_header(plaintext)
-        return self._match_decoded(event)
+        return self._match_decoded_batch([event])[0]
 
     @ecall
     def match_publications(self, header_envelopes: List[bytes]
@@ -331,7 +387,7 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
                                                opened):
             self._charge_aes(len(envelope))
             events.append(decode_header(plaintext))
-        return [self._match_decoded(event) for event in events]
+        return self._match_decoded_batch(events)
 
     # -- persistence -----------------------------------------------------------------
 
@@ -395,6 +451,12 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
         self._sk_channel = SecureChannel(sk)
         self._provider_pk = decode_public_key(provider_pk_blob)
         self._forest = ContainmentForest(arena=self.runtime.arena)
+        # The plane holds compiled references into the *old* forest;
+        # release its modelled memory and rebuild it over the
+        # replacement (still lazy: nothing compiles until a match).
+        if self._plane is not None:
+            self._plane.release()
+        self._plane = self._new_plane()
         for entry in unpack_fields(entries_blob):
             sub_blob, client = unpack_fields(entry)
             self._forest.insert(decode_subscription(sub_blob),

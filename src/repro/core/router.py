@@ -118,15 +118,18 @@ class Router:
                  metrics: Optional[MetricsRegistry] = None,
                  dead_letter_capacity: int = 1024,
                  wal=None,
-                 retry_seed: Optional[int] = None) -> None:
+                 retry_seed: Optional[int] = None,
+                 matcher_backend: str = "forest") -> None:
         self.name = name
         self.platform = platform
         self.endpoint: Endpoint = bus.endpoint(name)
         self._signing_key = enclave_signing_key
         self._rsa_bits = rsa_bits
+        self._matcher_backend = matcher_backend
         self.enclave = load_enclave(platform, ScbrEnclaveLibrary,
                                     enclave_signing_key,
-                                    rsa_bits=rsa_bits)
+                                    rsa_bits=rsa_bits,
+                                    matcher_backend=matcher_backend)
         #: optional :class:`repro.recovery.WriteAheadLog`; when present,
         #: every REG/UNREG frame is journalled *before* its ecall.
         self.wal = wal
@@ -245,7 +248,8 @@ class Router:
         """
         self.enclave = load_enclave(self.platform, ScbrEnclaveLibrary,
                                     self._signing_key,
-                                    rsa_bits=self._rsa_bits)
+                                    rsa_bits=self._rsa_bits,
+                                    matcher_backend=self._matcher_backend)
 
     def close(self) -> None:
         """Tear the router down; safe to call twice or on a corpse.

@@ -7,6 +7,9 @@ evaluation.
 """
 
 from repro.matching.attributes import AttributeValue
+from repro.matching.columnar import (MATCHER_BACKENDS,
+                                     ColumnarMatchPlane,
+                                     validate_backend)
 from repro.matching.containment import (covers, equivalent,
                                         maximal_elements, strictly_covers)
 from repro.matching.events import Event
@@ -31,6 +34,7 @@ __all__ = [
     "ContainmentForest", "PosetNode",
     "HybridContainmentForest", "HybridNode",
     "MatchingEngine", "MatchResult", "NaiveMatcher",
+    "ColumnarMatchPlane", "MATCHER_BACKENDS", "validate_backend",
     "ForestStats", "forest_stats",
     "SummarizedForest", "hull_subscription",
 ]

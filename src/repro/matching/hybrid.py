@@ -231,7 +231,67 @@ class HybridContainmentForest:
         return matched
 
     def match_traced(self, event: Event) -> Tuple[Set[object], int, int]:
-        """Traced matching; external visits pay decrypt + verify."""
+        """Traced matching; external visits pay decrypt + verify.
+
+        Accounting is batched with *interleaving preserved*: visits
+        accumulate coalesced ``(address, n_bytes)`` runs, and a run
+        segment is flushed through ``touch_many`` whenever the walk
+        crosses the enclave boundary — so the two arenas' accesses
+        reach the shared LLC model in exactly the per-touch order, and
+        the external segments' AES decrypt/verify cycles are charged
+        once per segment (cycle charges are additive, so the totals
+        are identical to per-touch charging). A snapshot-equality test
+        pins this against the per-touch reference walk.
+        """
+        matched: Set[object] = set()
+        visited = 0
+        evaluated = 0
+        stack = list(self.roots)
+        runs: List[Tuple[int, int]] = []
+        runs_external = False
+        aes_cycles = 0.0
+        while stack:
+            node = stack.pop()
+            visited += 1
+            ok, n_evals = node.subscription.matches_counting(event)
+            evaluated += n_evals
+            if node.external:
+                if runs and not runs_external:
+                    self.enclave_arena.touch_many(runs)
+                    runs = []
+                runs_external = True
+                # External nodes are sealed: the whole node is fetched
+                # and decrypted regardless of short-circuiting.
+                runs.append((node.address, node.size))
+                aes_cycles += self._visit_cost_cycles(node)
+            else:
+                if runs and runs_external:
+                    self.external_arena.touch_many(runs)
+                    self.external_arena.memory.charge(aes_cycles)
+                    runs = []
+                    aes_cycles = 0.0
+                runs_external = False
+                runs.append((node.address,
+                             min(node.size, 64 + 48 * n_evals)))
+            if ok:
+                matched |= node.subscribers
+                stack.extend(node.children)
+        if runs:
+            if runs_external:
+                self.external_arena.touch_many(runs)
+                self.external_arena.memory.charge(aes_cycles)
+            else:
+                self.enclave_arena.touch_many(runs)
+        return matched, visited, evaluated
+
+    def match_traced_pertouch(self, event: Event
+                              ) -> Tuple[Set[object], int, int]:
+        """Per-touch reference walk (pre-batching accounting).
+
+        Kept as the oracle for the snapshot-equality test: it must
+        produce byte-identical simulated memory counters to
+        :meth:`match_traced` on any event stream.
+        """
         matched: Set[object] = set()
         visited = 0
         evaluated = 0

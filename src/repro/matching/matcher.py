@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+from repro.matching.columnar import ColumnarMatchPlane, validate_backend
 from repro.matching.events import Event
 from repro.matching.poset import ContainmentForest
 from repro.matching.stats import MatchCounters
@@ -106,9 +107,11 @@ class MatchingEngine:
                  name: str = "scbr-engine",
                  memo_capacity: int = 0,
                  root_gate: bool = True,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 backend: str = "forest") -> None:
         self.platform = platform
         self.enclave = enclave
+        self.backend = validate_backend(backend)
         self.arena: MemoryArena = platform.memory.new_arena(
             enclave=enclave, name=name)
         #: Hot-path work counters (see :class:`MatchCounters`); tests
@@ -117,6 +120,12 @@ class MatchingEngine:
         self.forest = ContainmentForest(arena=self.arena,
                                         root_gate=root_gate,
                                         counters=self.counters)
+        #: Columnar match plane, compiled lazily from the forest when
+        #: ``backend="columnar"``. Registration always goes through the
+        #: forest (covering stays authoritative); only the match-time
+        #: evaluation strategy changes.
+        self.plane = ColumnarMatchPlane(self.forest, arena=self.arena) \
+            if self.backend == "columnar" else None
         #: ``memo_capacity > 0`` enables the match memo. Off by default:
         #: a hit skips the traversal entirely (simulated time ~0), which
         #: is the point, but would silently change the figure
@@ -179,6 +188,8 @@ class MatchingEngine:
         cached frozen subscriber set: no traversal, no predicate
         evaluations, no simulated memory traffic.
         """
+        if self.plane is not None:
+            return self._match_columnar([event])[0]
         memo = self.memo
         if memo is not None:
             cached = memo.lookup(event.key())
@@ -206,8 +217,68 @@ class MatchingEngine:
         return MatchResult(subscribers, visited, evaluated, elapsed)
 
     def match_batch(self, events) -> list:
-        """Match a batch of events (memo and counters apply per event)."""
+        """Match a batch of events (memo and counters apply per event).
+
+        The columnar backend answers the whole batch with one column
+        pass per attribute; the forest backend walks the index once
+        per event.
+        """
+        if self.plane is not None:
+            return self._match_columnar(list(events))
         return [self.match(event) for event in events]
+
+    def _match_columnar(self, events) -> list:
+        """Batch matching through the columnar plane.
+
+        The memo is consulted first, per event; only the misses enter
+        the column passes. The batch charges simulated cycles once
+        (coalesced column touches + per-test compute), and each miss
+        reports the batch-mean ``simulated_us`` — the plane evaluates
+        all events in shared passes, so per-event attribution below
+        batch granularity is not meaningful.
+        """
+        memo = self.memo
+        counters = self.counters
+        results: list = [None] * len(events)
+        pending: list = []
+        pending_slots: list = []
+        for slot, event in enumerate(events):
+            if memo is not None:
+                cached = memo.lookup(event.key())
+                if cached is not None:
+                    self._m_matches.inc()
+                    self._m_memo_hits.inc()
+                    counters.matches += 1
+                    counters.memo_hits += 1
+                    results[slot] = MatchResult(cached, 0, 0, 0.0)
+                    continue
+            pending.append(event)
+            pending_slots.append(slot)
+        if not pending:
+            return results
+        memory = self.platform.memory
+        costs = self.platform.spec.costs
+        start_cycles = memory.cycles
+        matched, visited, consulted = \
+            self.plane.match_batch_traced(pending)
+        memory.charge(sum(visited) * costs.node_visit_cycles
+                      + sum(consulted) * costs.predicate_eval_cycles)
+        elapsed = self.platform.spec.cycles_to_us(
+            memory.cycles - start_cycles) / len(pending)
+        for slot, event, subscribers, n_visited, n_consulted in zip(
+                pending_slots, pending, matched, visited, consulted):
+            self._m_matches.inc()
+            counters.matches += 1
+            counters.nodes_visited += n_visited
+            counters.predicates_evaluated += n_consulted
+            if memo is not None:
+                subscribers = frozenset(subscribers)
+                memo.store(event.key(), subscribers)
+                self._m_memo_misses.inc()
+                counters.memo_misses += 1
+            results[slot] = MatchResult(subscribers, n_visited,
+                                        n_consulted, elapsed)
+        return results
 
     # -- introspection -----------------------------------------------------------
 

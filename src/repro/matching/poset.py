@@ -80,6 +80,13 @@ class ContainmentForest:
         #: Optional :class:`repro.matching.stats.MatchCounters` bumped
         #: by every match call (one add per field per event).
         self.counters = counters
+        #: Registration generation stamp: bumped on every insert and
+        #: every successful removal. Derived match-time structures (the
+        #: match memo, the columnar match plane) compare it against the
+        #: generation they were built from — an O(1) invalidation with
+        #: no eager rebuild, same discipline as
+        #: :class:`repro.matching.matcher.MatchMemo`.
+        self.generation = 0
         self.n_nodes = 0
         self.n_subscriptions = 0
         self._bytes = 0
@@ -128,6 +135,9 @@ class ContainmentForest:
         if not subscription.is_satisfiable():
             raise MatchingError("refusing to index an unsatisfiable "
                                 "subscription")
+        # Even an idempotent re-registration may extend a subscriber
+        # set, so every insert invalidates derived match planes.
+        self.generation += 1
         arena = self.arena if self.trace_inserts else None
         siblings = self.roots
         while True:
@@ -198,6 +208,7 @@ class ContainmentForest:
                          for child in candidate.children)
         if node is None or subscriber not in node.subscribers:
             return False
+        self.generation += 1
         node.subscribers.discard(subscriber)
         self.n_subscriptions -= 1
         if not node.subscribers:

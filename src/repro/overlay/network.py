@@ -72,7 +72,8 @@ class OverlayNetwork:
                  checkpoint_interval: int = 32,
                  retry_policy: Optional[RetryPolicy] = None,
                  membership: Optional[MembershipConfig] = None,
-                 reconcile_mode: str = "delta") -> None:
+                 reconcile_mode: str = "delta",
+                 matcher_backend: str = "forest") -> None:
         self.topology = topology
         self.access_registry = MetricsRegistry()
         self.access_bus = MessageBus(metrics=self.access_registry,
@@ -92,6 +93,7 @@ class OverlayNetwork:
         self._membership_config = membership if membership is not None \
             else MembershipConfig()
         self._reconcile_mode = reconcile_mode
+        self._matcher_backend = matcher_backend
 
         # Every broker is its own machine: own platform, registered
         # with the one attestation service the provider trusts. The
@@ -139,7 +141,8 @@ class OverlayNetwork:
         router = Router(self.access_bus, self._platforms[broker],
                         self._vendor_key, name=broker,
                         rsa_bits=self._rsa_bits, metrics=registry,
-                        retry_policy=self._retry_policy)
+                        retry_policy=self._retry_policy,
+                        matcher_backend=self._matcher_backend)
         self.provider.provision_router(router)
         supervisor = RouterSupervisor(
             router, self.provider.provision_router,

@@ -73,6 +73,33 @@ class TestSmokeRun:
         assert measurements["n_envelopes"] > 0
         assert measurements["matcher_events"] > 0
 
+    def test_matcher_backends_reported_side_by_side(self,
+                                                    measurements):
+        """The default run carries both legs, their ratio, and a
+        headline that follows the columnar (batch) path."""
+        assert measurements["matcher_events_per_s_forest"] > 0
+        assert measurements["matcher_events_per_s_columnar"] > 0
+        assert measurements["matcher_columnar_vs_forest"] == \
+            pytest.approx(
+                measurements["matcher_events_per_s_columnar"]
+                / measurements["matcher_events_per_s_forest"],
+                rel=0.01)
+        assert measurements["matcher_events_per_s"] == \
+            measurements["matcher_events_per_s_columnar"]
+
+    def test_single_backend_runs_omit_the_other_leg(self):
+        forest_only = run_hotpath_bench(reduced=True,
+                                        matcher_backend="forest")
+        assert forest_only["matcher_events_per_s"] == \
+            forest_only["matcher_events_per_s_forest"]
+        assert "matcher_events_per_s_columnar" not in forest_only
+        assert "matcher_columnar_vs_forest" not in forest_only
+        columnar_only = run_hotpath_bench(reduced=True,
+                                          matcher_backend="columnar")
+        assert columnar_only["matcher_events_per_s"] == \
+            columnar_only["matcher_events_per_s_columnar"]
+        assert "matcher_events_per_s_forest" not in columnar_only
+
 
 class TestMainGates:
 
@@ -95,3 +122,16 @@ class TestMainGates:
                      "--out", out_dir,
                      "--require-aes-speedup", "1e9"]) == 1
         assert "FAIL" in capsys.readouterr().err
+
+    def test_matcher_speedup_gate(self, tmp_path, capsys):
+        """The in-process columnar-vs-forest gate: impossible bars
+        fail, and a forest-only run (no ratio) fails too rather than
+        silently passing."""
+        out_dir = str(tmp_path)
+        assert main(["--reduced", "--out", out_dir,
+                     "--require-matcher-speedup", "1e9"]) == 1
+        assert "columnar matcher" in capsys.readouterr().err
+        assert main(["--reduced", "--out", out_dir,
+                     "--matcher-backend", "forest",
+                     "--require-matcher-speedup", "2.0"]) == 1
+        capsys.readouterr()

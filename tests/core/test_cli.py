@@ -107,11 +107,18 @@ class TestHotpathCommands:
                      "--require-aes-vs-reference", "1e9"]) == 1
         assert (tmp_path / "BENCH_hotpath.json").exists()
 
+    def test_hotpath_matcher_gate_propagates(self, tmp_path, capsys):
+        assert main(["hotpath", "--reduced", "--out", str(tmp_path),
+                     "--require-matcher-speedup", "1e9"]) == 1
+        assert "columnar matcher" in capsys.readouterr().err
+
     def test_profile_prints_stats_table(self, capsys):
-        assert main(["profile", "--top", "5"]) == 0
+        assert main(["profile", "--top", "5",
+                     "--matcher-backend", "columnar"]) == 0
         out = capsys.readouterr().out
         # Summary line plus the pstats table.
         assert "envelopes/s" in out
+        assert "(columnar)" in out
         assert "cumtime" in out
 
 

@@ -93,6 +93,54 @@ class TestBackendEquivalence:
             process.close()
 
 
+class TestColumnarSlices:
+    """The columnar matcher backend composes with both execution
+    backends: serial-columnar, process-columnar and serial-forest must
+    all produce identical match sets (and the two columnar variants
+    identical latencies) for the same registrations and events."""
+
+    @pytest.mark.parametrize("workload,seed", [("e80a1", 2016),
+                                               ("e80a2", 7)])
+    def test_columnar_equivalence_across_backends(self, workload, seed):
+        dataset = build_dataset(workload, 200, 40, seed=seed)
+        forest = MatcherCluster(3, spec=SPEC)
+        serial = MatcherCluster(3, spec=SPEC,
+                                matcher_backend="columnar")
+        process = MatcherCluster(3, spec=SPEC, backend="process",
+                                 matcher_backend="columnar")
+        try:
+            for index, subscription in enumerate(dataset.subscriptions):
+                forest.register(subscription, f"c{index}")
+                serial.register(subscription, f"c{index}")
+                process.register(subscription, f"c{index}")
+            serial_results = serial.match_batch(dataset.publications)
+            _assert_equivalent(serial_results,
+                               process.match_batch(dataset.publications))
+            for a, b in zip(forest.match_batch(dataset.publications),
+                            serial_results):
+                assert a.subscribers == b.subscribers
+        finally:
+            process.close()
+
+    def test_columnar_recover_slice_replays_journal(self):
+        dataset = build_dataset("e80a1", 120, 20)
+        cluster = MatcherCluster(3, spec=SPEC,
+                                 matcher_backend="columnar")
+        for index, subscription in enumerate(dataset.subscriptions):
+            cluster.register(subscription, index)
+        baseline = [r.subscribers
+                    for r in cluster.match_batch(dataset.publications)]
+        assert cluster.recover_slice(1) == cluster.slice_sizes()[1]
+        after = [r.subscribers
+                 for r in cluster.match_batch(dataset.publications)]
+        assert after == baseline
+
+    def test_unknown_matcher_backend_rejected(self):
+        from repro.errors import MatchingError
+        with pytest.raises(MatchingError):
+            MatcherCluster(2, spec=SPEC, matcher_backend="simd")
+
+
 class TestProcessLifecycle:
 
     def test_unknown_backend_rejected(self):

@@ -1,0 +1,246 @@
+"""Columnar match plane: compilation, invalidation, trace accounting.
+
+The differential suite proves the plane agrees with the other six
+matcher implementations; this file pins the plane's own contract — the
+generation-stamped compile/invalidate lifecycle, the per-shape table
+placement, the modelled column memory (alloc on compile, free on
+recompile and release), and the error paths.
+"""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.columnar import (MATCHER_BACKENDS,
+                                     ColumnarMatchPlane,
+                                     validate_backend)
+from repro.matching.events import Event
+from repro.matching.poset import ContainmentForest
+from repro.matching.predicates import Op, Predicate
+from repro.matching.subscriptions import Subscription
+from repro.sgx.cpu import scaled_spec
+from repro.sgx.memory import MemorySubsystem
+
+
+def sub(*predicates):
+    return Subscription.of(*predicates)
+
+
+def make_traced():
+    memory = MemorySubsystem(scaled_spec(llc_bytes=256 * 1024))
+    arena = memory.new_arena(enclave=True, name="columnar")
+    forest = ContainmentForest(arena=arena)
+    return memory, arena, forest, ColumnarMatchPlane(forest,
+                                                     arena=arena)
+
+
+class TestBackendNames:
+
+    def test_known_backends(self):
+        assert MATCHER_BACKENDS == ("forest", "columnar")
+        for name in MATCHER_BACKENDS:
+            assert validate_backend(name) == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MatchingError):
+            validate_backend("vectorized")
+
+
+class TestLifecycle:
+
+    def test_lazy_compile_and_generation_invalidation(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        assert plane.compilations == 0
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "a")
+        assert plane.match(Event({"x": 5})) == {"a"}
+        assert plane.compilations == 1
+        # No registration change: further matches reuse the build.
+        assert plane.match(Event({"x": 0})) == set()
+        assert plane.compilations == 1
+        # Any insert bumps the forest generation -> one recompile.
+        forest.insert(sub(Predicate("x", Op.GE, 3)), "b")
+        assert plane.match(Event({"x": 5})) == {"a", "b"}
+        assert plane.compilations == 2
+        # Removal invalidates too.
+        forest.remove_subscriber(sub(Predicate("x", Op.GE, 1)), "a")
+        assert plane.match(Event({"x": 5})) == {"b"}
+        assert plane.compilations == 3
+
+    def test_failed_removal_does_not_invalidate(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "a")
+        plane.match(Event({"x": 5}))
+        assert not forest.remove_subscriber(
+            sub(Predicate("x", Op.GE, 1)), "ghost")
+        plane.match(Event({"x": 5}))
+        assert plane.compilations == 1
+
+    def test_idempotent_reregistration_still_invalidates(self):
+        # Re-registering may extend a node's subscriber set; the plane
+        # holds live references, but the generation bump keeps the
+        # compiled node list in lockstep with the forest regardless.
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "a")
+        assert plane.match(Event({"x": 5})) == {"a"}
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "b")
+        assert plane.match(Event({"x": 5})) == {"a", "b"}
+
+    def test_empty_forest_and_empty_batch(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        assert plane.match(Event({"x": 1})) == set()
+        assert plane.match_batch([]) == []
+        assert plane.n_subscription_nodes == 0
+        assert plane.n_attributes == 0
+
+
+class TestTablePlacement:
+    """Each constraint shape must land in — and be answered by — the
+    intended table, covered here via shapes that would misfire if
+    placed wrong."""
+
+    def test_equality_buckets_numeric_and_string(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.EQ, 5)), "num")
+        forest.insert(sub(Predicate("x", Op.EQ, "five")), "str")
+        assert plane.match(Event({"x": 5})) == {"num"}
+        assert plane.match(Event({"x": 5.0})) == {"num"}
+        assert plane.match(Event({"x": "five"})) == {"str"}
+        assert plane.match(Event({"x": 4})) == set()
+
+    def test_one_sided_bounds_open_and_closed(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.GE, 5)), "ge")
+        forest.insert(sub(Predicate("x", Op.GT, 5)), "gt")
+        forest.insert(sub(Predicate("x", Op.LE, 5)), "le")
+        forest.insert(sub(Predicate("x", Op.LT, 5)), "lt")
+        assert plane.match(Event({"x": 5})) == {"ge", "le"}
+        assert plane.match(Event({"x": 6})) == {"ge", "gt"}
+        assert plane.match(Event({"x": 4})) == {"le", "lt"}
+        # A string value must not enter the numeric bound lists.
+        assert plane.match(Event({"x": "5"})) == set()
+
+    def test_two_sided_ranges(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.RANGE, (2, 8))), "wide")
+        forest.insert(sub(Predicate("x", Op.RANGE, (4, 6))), "narrow")
+        forest.insert(sub(Predicate("x", Op.RANGE, (7, 9))), "high")
+        assert plane.match(Event({"x": 5})) == {"wide", "narrow"}
+        assert plane.match(Event({"x": 8})) == {"wide", "high"}
+        assert plane.match(Event({"x": 1})) == set()
+
+    def test_exists_matches_any_present_value(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.EXISTS)), "e")
+        assert plane.match(Event({"x": 3})) == {"e"}
+        assert plane.match(Event({"x": "s"})) == {"e"}
+        assert plane.match(Event({"y": 3})) == set()
+
+    def test_exclusions_and_string_wildcards_via_residual(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.NE, 5)), "ne")
+        forest.insert(sub(Predicate("x", Op.GE, 0),
+                          Predicate("x", Op.NE, 3)), "bounded-ne")
+        forest.insert(sub(Predicate("s", Op.EQ, "a"),
+                          Predicate("s", Op.NE, "b")), "pin")
+        assert plane.match(Event({"x": 4})) == {"ne", "bounded-ne"}
+        assert plane.match(Event({"x": 5})) == {"bounded-ne"}
+        assert plane.match(Event({"x": 3})) == {"ne"}
+        assert plane.match(Event({"x": "s"})) == {"ne"}
+        assert plane.match(Event({"s": "a"})) == {"pin"}
+
+    def test_multi_attribute_conjunction_counts_to_arity(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("a", Op.GE, 1),
+                          Predicate("b", Op.EQ, "x"),
+                          Predicate("c", Op.RANGE, (0, 9))), "all3")
+        assert plane.match(Event({"a": 2, "b": "x", "c": 5})) == \
+            {"all3"}
+        # Any one missing or failing attribute breaks the conjunction.
+        assert plane.match(Event({"a": 2, "b": "x"})) == set()
+        assert plane.match(Event({"a": 0, "b": "x", "c": 5})) == set()
+        assert plane.match(Event({"a": 2, "b": "y", "c": 5})) == set()
+
+
+class TestTraceAccounting:
+
+    def test_traced_requires_arena(self):
+        plane = ColumnarMatchPlane(ContainmentForest())
+        with pytest.raises(MatchingError):
+            plane.match_batch_traced([Event({"x": 1})])
+
+    def test_traced_counts_and_runs(self):
+        memory, _arena, forest, plane = make_traced()
+        for index in range(8):
+            forest.insert(sub(Predicate("x", Op.GE, index)), index)
+        before = memory.snapshot()
+        sets, visited, consulted = plane.match_batch_traced(
+            [Event({"x": 3}), Event({"x": 100}), Event({"y": 1})])
+        delta = memory.snapshot().delta(before)
+        assert sets[0] == {0, 1, 2, 3}
+        assert sets[1] == set(range(8))
+        assert sets[2] == set()
+        assert visited[0] == 4 and visited[1] == 8 and visited[2] == 0
+        # Consulted = bound-list entries admitted by the bisect probe;
+        # the event without the attribute consults nothing.
+        assert consulted[2] == 0
+        assert delta.llc_misses > 0      # column + accumulator traffic
+
+    def test_column_blocks_freed_on_recompile(self):
+        _memory, arena, forest, plane = make_traced()
+        for index in range(16):
+            forest.insert(sub(Predicate("x", Op.GE, index)), index)
+        plane.match_batch_traced([Event({"x": 1})])
+        held_once = arena.live_bytes
+        # Churn and recompile several times: the *live* modelled
+        # footprint must not grow with the number of recompiles (the
+        # freelist recycles the column blocks).
+        for round_ in range(4):
+            forest.insert(sub(Predicate("y", Op.GE, round_)), "extra")
+            forest.remove_subscriber(
+                sub(Predicate("y", Op.GE, round_)), "extra")
+            plane.match_batch_traced([Event({"x": 1})])
+        assert arena.live_bytes == held_once
+        assert arena.reused_blocks > 0
+
+    def test_release_frees_everything_it_allocated(self):
+        _memory, arena, forest, plane = make_traced()
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "a")
+        base = arena.live_bytes            # forest nodes only
+        plane.match_batch_traced([Event({"x": 2})])
+        assert arena.live_bytes > base
+        plane.release()
+        assert arena.live_bytes == base
+        # Released plane recompiles on the next use.
+        assert plane.match(Event({"x": 2})) == {"a"}
+
+    def test_column_bytes_scales_with_entries(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        forest.insert(sub(Predicate("x", Op.GE, 1)), "a")
+        small = plane.column_bytes
+        for index in range(20):
+            forest.insert(sub(Predicate("x", Op.GE, index),
+                              Predicate("y", Op.LE, index)), index)
+        assert plane.column_bytes > small
+
+
+class TestArityCap:
+
+    def test_256_constraints_rejected(self):
+        forest = ContainmentForest()
+        plane = ColumnarMatchPlane(forest)
+        wide = Subscription.of(*[
+            Predicate(f"a{index}", Op.GE, index)
+            for index in range(256)])
+        forest.insert(wide, "wide")
+        with pytest.raises(MatchingError):
+            plane.match(Event({"a0": 1}))

@@ -1,9 +1,11 @@
-"""Differential matcher equivalence: five implementations, one truth.
+"""Differential matcher equivalence: seven implementations, one truth.
 
 Every matcher in the tree — the containment forest, the linear-scan
-baseline, the hybrid enclave/external split, and the full engine with
-and without its match memo — must compute the *same* match set for the
-same registrations; they differ only in cost model and placement. This
+baseline, the hybrid enclave/external split, the full engine with and
+without its match memo, the columnar batch plane compiled from the
+forest, and the columnar-backed engine (with memo, exercising the
+memo/plane interplay) — must compute the *same* match set for the same
+registrations; they differ only in cost model and placement. This
 file pins that property with seeded randomized scripts of
 register / unregister / match operations: one shared op sequence is
 applied to all implementations and the resulting subscriber sets are
@@ -18,6 +20,7 @@ two scripted properties).
 
 from hypothesis import given, settings, strategies as st
 
+from repro.matching.columnar import ColumnarMatchPlane
 from repro.matching.events import Event
 from repro.matching.hybrid import HybridContainmentForest
 from repro.matching.matcher import MatchingEngine
@@ -89,6 +92,15 @@ class Fleet:
         self.memoized = MatchingEngine(
             SgxPlatform(spec=scaled_spec(llc_bytes=256 * 1024)),
             enclave=True, memo_capacity=8)
+        # Columnar plane compiled straight off the shared forest: the
+        # generation stamp must keep it fresh through every register/
+        # unregister the script performs between queries.
+        self.plane = ColumnarMatchPlane(self.forest)
+        # Columnar-backed engine with a memo: exercises the memo ->
+        # plane interplay (hits bypass the columns, misses batch).
+        self.columnar = MatchingEngine(
+            SgxPlatform(spec=scaled_spec(llc_bytes=256 * 1024)),
+            enclave=True, memo_capacity=8, backend="columnar")
         self.live = []  # (subscription, subscriber) currently stored
 
     def register(self, subscription, subscriber):
@@ -97,6 +109,7 @@ class Fleet:
         self.hybrid.insert(subscription, subscriber)
         self.engine.register(subscription, subscriber)
         self.memoized.register(subscription, subscriber)
+        self.columnar.register(subscription, subscriber)
         if (subscription.key(), subscriber) not in [
                 (s.key(), w) for s, w in self.live]:
             self.live.append((subscription, subscriber))
@@ -108,8 +121,9 @@ class Fleet:
             self.hybrid.remove_subscriber(subscription, subscriber),
             self.engine.unregister(subscription, subscriber),
             self.memoized.unregister(subscription, subscriber),
+            self.columnar.unregister(subscription, subscriber),
         ]
-        assert removed == [True] * 5
+        assert removed == [True] * 6
         self.live.remove((subscription, subscriber))
 
     def assert_agreement(self, event):
@@ -121,15 +135,24 @@ class Fleet:
         # the same header from the memo and must not drift.
         assert self.memoized.match(event).subscribers == expected
         assert set(self.memoized.match(event).subscribers) == expected
+        assert self.plane.match(event) == expected
+        # Twice through the columnar engine as well: first answer may
+        # come from the column passes, the second from its memo.
+        assert set(self.columnar.match(event).subscribers) == expected
+        assert set(self.columnar.match(event).subscribers) == expected
 
     def check_structure(self):
         self.forest.check_invariants()
         self.engine.forest.check_invariants()
         self.memoized.forest.check_invariants()
+        self.columnar.forest.check_invariants()
         n = len(self.live)
         assert self.forest.n_subscriptions == n
         assert self.naive.n_subscriptions == n
         assert self.hybrid.n_subscriptions == n
+        assert self.columnar.n_subscriptions == n
+        # The plane's compiled view must mirror the forest exactly.
+        assert self.plane.n_subscription_nodes == self.forest.n_nodes
 
 
 class TestDifferentialChurn:
@@ -162,6 +185,45 @@ class TestDifferentialChurn:
                 if sym is not None:
                     attributes["sym"] = sym
                 fleet.assert_agreement(Event(attributes))
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(st.lists(st.tuples(diff_subscription(),
+                              st.integers(min_value=0, max_value=4)),
+                    min_size=1, max_size=16),
+           st.lists(st.lists(diff_event(), min_size=1, max_size=6),
+                    min_size=1, max_size=4),
+           st.data())
+    def test_columnar_batches_between_churn(self, pairs, batches,
+                                            data):
+        """Whole batches through the columnar engine, churn between
+        them: every batch must agree event-for-event with the linear
+        oracle, across lazy plane recompiles and memo interplay (the
+        second pass over each batch mixes memo hits with column
+        passes)."""
+        naive = NaiveMatcher()
+        engine = MatchingEngine(
+            SgxPlatform(spec=scaled_spec(llc_bytes=256 * 1024)),
+            enclave=True, memo_capacity=4, backend="columnar")
+        live = []
+        queue = list(pairs)
+        for batch in batches:
+            burst, queue = queue[:4], queue[4:]
+            for subscription, subscriber in burst:
+                naive.insert(subscription, subscriber)
+                engine.register(subscription, subscriber)
+                if (subscription.key(), subscriber) not in [
+                        (s.key(), w) for s, w in live]:
+                    live.append((subscription, subscriber))
+            if live and data.draw(st.booleans()):
+                victim_sub, victim = data.draw(st.sampled_from(live))
+                assert naive.remove_subscriber(victim_sub, victim)
+                assert engine.unregister(victim_sub, victim)
+                live.remove((victim_sub, victim))
+            for results in (engine.match_batch(batch),
+                            engine.match_batch(batch)):
+                for event, result in zip(batch, results):
+                    assert set(result.subscribers) == naive.match(event)
+        engine.forest.check_invariants()
 
     @settings(max_examples=120, deadline=None, derandomize=True)
     @given(st.lists(diff_subscription(), min_size=1, max_size=12),

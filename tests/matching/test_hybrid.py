@@ -154,6 +154,58 @@ class TestEquivalence:
             assert traced == reference.match(event)
 
 
+class TestBatchedAccountingEquivalence:
+    """The segment-batched accounting in ``match_traced`` must be
+    counter-identical to the per-touch reference walk — same LLC
+    hits/misses, same EPC faults, same cycles — on any registration
+    set, any split depth and any event stream: batching may only
+    coalesce touches, never reorder them across the enclave boundary
+    or change what is charged."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rand_sub(), min_size=1, max_size=25),
+           st.lists(st.builds(
+               lambda a, b: Event({"a": a, "b": b}), values, values),
+               min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=3))
+    def test_snapshot_equality(self, subs, events, split):
+        platform_batched, batched = make_hybrid(split_depth=split)
+        platform_ref, reference = make_hybrid(split_depth=split)
+        for index, subscription in enumerate(subs):
+            batched.insert(subscription, index)
+            reference.insert(subscription, index)
+        assert platform_batched.memory.snapshot() == \
+            platform_ref.memory.snapshot()
+        for event in events:
+            got = batched.match_traced(event)
+            want = reference.match_traced_pertouch(event)
+            assert got == want
+            # Snapshot equality after *every* event: a divergence
+            # points at the exact match that broke the interleaving.
+            assert platform_batched.memory.snapshot() == \
+                platform_ref.memory.snapshot()
+
+    def test_boundary_interleaving_preserved(self):
+        """A walk that alternates internal and external nodes must
+        flush one segment per boundary crossing, not one batch per
+        arena — pinned by exact snapshot equality on a split-depth-1
+        chain (root inside, descendants outside)."""
+        platform_batched, batched = make_hybrid(split_depth=1)
+        platform_ref, reference = make_hybrid(split_depth=1)
+        for index in range(8):
+            subscription = sub({"x": (index, 100 - index)})
+            batched.insert(subscription, index)
+            reference.insert(subscription, index)
+        internal, external = batched.placement_summary()
+        assert internal == 1 and external == 7
+        for value in (0, 3, 50, 99):
+            event = Event({"x": value})
+            assert batched.match_traced(event) == \
+                reference.match_traced_pertouch(event)
+        assert platform_batched.memory.snapshot() == \
+            platform_ref.memory.snapshot()
+
+
 class TestByKeyFallback:
     """Re-parenting can strand a stored subscription off the
     first-cover descent path; a duplicate insert must then be caught

@@ -56,6 +56,21 @@ class TestEquivalence:
         script = make_script(topology, 42, n_clients=2, n_publishes=4)
         assert_equivalent(topology, script, vendor_key)
 
+    @pytest.mark.parametrize("topology,seed", [
+        pytest.param(Topology.line(3), 31, id="columnar-line3"),
+        pytest.param(Topology.tree(5, seed=2), 32, id="columnar-tree5"),
+        pytest.param(Topology.random(4, seed=3), 33,
+                     id="columnar-random4"),
+    ])
+    def test_columnar_brokers_match_flat_oracle(self, topology, seed,
+                                                vendor_key):
+        """Every broker matching through the columnar plane must
+        deliver byte-identically to the forest-backed flat oracle —
+        the backend may change cost, never routing."""
+        script = make_script(topology, seed)
+        assert_equivalent(topology, script, vendor_key,
+                          matcher_backend="columnar")
+
     @pytest.mark.parametrize("victim,crash_seed", [("b2", 7),
                                                    ("b3", 11)])
     def test_equivalence_survives_broker_crashes(self, victim,
