@@ -20,6 +20,8 @@ See ``examples/quickstart.py`` for the full walk-through.
 from repro.core import (Client, DeadLetterQueue, GroupKeyManager,
                         ProviderKeyChain, Publisher, RetryPolicy,
                         Router, ScbrEnclaveLibrary, ServiceProvider)
+from repro.ingress import (IngressConfig, IngressConnection,
+                           IngressTier, TokenBucket)
 from repro.matching import (ContainmentForest, Event, MatchingEngine, Op,
                             Predicate, Subscription)
 from repro.network import FaultPlan, LinkFaults, MessageBus
@@ -39,6 +41,7 @@ __all__ = [
     "Event", "Op", "Predicate", "Subscription", "ContainmentForest",
     "MatchingEngine",
     "MessageBus", "FaultPlan", "LinkFaults",
+    "IngressTier", "IngressConfig", "IngressConnection", "TokenBucket",
     "MetricsRegistry", "RetryPolicy", "DeadLetterQueue",
     "WriteAheadLog", "CheckpointStore", "CheckpointManager",
     "CrashSchedule", "RouterSupervisor",

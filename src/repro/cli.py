@@ -21,6 +21,7 @@ Commands::
     overlay [--record]       multi-broker overlay vs the flat router
     churn [--record]         membership chaos: partitions, churn, crashes
     hotpath [--record]       crypto/envelope/matcher wall-clock suite
+    ingress [--record]       open-loop ingress load suite (overload)
     profile [--top N]        cProfile the seeded hot-path workload
 """
 
@@ -440,6 +441,20 @@ def _run_hotpath(args: argparse.Namespace) -> int:
     return hotpath_main(argv)
 
 
+def _run_ingress(args: argparse.Namespace) -> int:
+    """Open-loop ingress load suite (delegates to bench.ingress)."""
+    from repro.bench.ingress import main as ingress_main
+    argv: List[str] = []
+    if args.reduced:
+        argv.append("--reduced")
+    if args.record:
+        argv.append("--record")
+    argv += ["--out", args.out,
+             "--matcher-backend", args.matcher_backend,
+             "--seed", str(args.seed)]
+    return ingress_main(argv)
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     """cProfile the seeded hot-path workload; top-N cumulative table.
 
@@ -746,6 +761,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail unless the columnar matcher beats the "
                          "forest walk by this factor")
     ph.set_defaults(func=_run_hotpath)
+
+    pi = sub.add_parser(
+        "ingress", help="open-loop ingress load suite (1x/2x/5x "
+                        "overload)")
+    pi.add_argument("--reduced", action="store_true",
+                    help="smaller sizes for smoke runs")
+    pi.add_argument("--record", action="store_true",
+                    help="write BENCH_ingress.json")
+    pi.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for BENCH_ingress.json")
+    pi.add_argument("--matcher-backend", default="columnar",
+                    choices=("forest", "columnar"),
+                    help="matcher backend behind the ingress tier")
+    pi.add_argument("--seed", type=int, default=20260808,
+                    help="seed for world build + arrival schedules")
+    pi.set_defaults(func=_run_ingress)
 
     pp = sub.add_parser(
         "profile", help="cProfile the seeded hot-path workload")

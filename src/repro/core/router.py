@@ -383,6 +383,94 @@ class Router:
                                              incoming_link=None)
         return matched
 
+    def handle_publish_batch(self, frames: List[bytes],
+                             senders: Optional[List[str]] = None,
+                             progress: Optional[List[int]] = None
+                             ) -> List[Optional[List[str]]]:
+        """Many PUB frames -> one ``match_publications`` ecall.
+
+        The batched counterpart of :meth:`handle_publish`, fed by the
+        ingress tier's coalescer: every parseable PUB header rides a
+        single enclave transition (one batched CMAC verify + CTR pass
+        via ``SecureChannel.open_many``), then deliveries fan out per
+        frame exactly as the per-frame path would — same counters,
+        same retry schedule, same overlay forwarding — so a batch of
+        *n* is observationally identical to *n* sequential
+        :meth:`handle_publish` calls.
+
+        Fault containment: a frame that cannot take the batch path
+        (unparseable, or not a PUB at all) detours through the
+        ordinary per-frame boundary — quarantined or handled there —
+        ahead of the batched survivors. If the batched ecall itself
+        rejects the set (one poison envelope fails ``open_many``
+        before anything is returned), the whole batch falls back to
+        per-frame processing so only the poison frame is quarantined.
+        A platform-scoped failure (lost enclave) propagates, as ever.
+
+        ``progress``, when given, accumulates the index of every frame
+        whose processing *completed* (delivered or quarantined), so a
+        caller interrupted by an escaping platform fault knows exactly
+        which frames to re-dispatch after recovery — the ingress tier
+        uses this for its exactly-once put-back. Returns the matched
+        id list per frame, ``None`` for frames that took a per-frame
+        detour.
+        """
+        if senders is None:
+            senders = ["ingress"] * len(frames)
+        if len(senders) != len(frames):
+            raise ValueError("senders must parallel frames")
+        if progress is None:
+            progress = []
+        results: List[Optional[List[str]]] = [None] * len(frames)
+        headers: List[bytes] = []
+        payloads: List[bytes] = []
+        slots: List[int] = []
+        for index, frame in enumerate(frames):
+            try:
+                kind = message_type(frame)
+                if kind != MSG_PUBLISH:
+                    raise RoutingError(
+                        f"publish batch got {kind} frame")
+                header_envelope, payload_envelope = parse_publish(frame)
+            except _FRAME_FAULTS:
+                self._process_frame(senders[index], frame)
+                progress.append(index)
+                continue
+            headers.append(header_envelope)
+            payloads.append(payload_envelope)
+            slots.append(index)
+        if not slots:
+            return results
+        try:
+            matched_lists = self.enclave.ecall("match_publications",
+                                               headers)
+        except _FRAME_FAULTS:
+            # The batched ecall verifies every envelope before
+            # returning anything, so one poison header poisons the
+            # call with zero effects applied; isolate it per frame.
+            for index in slots:
+                self._process_frame(senders[index], frames[index])
+                progress.append(index)
+            return results
+        pub_bound = self._m_frames_by_kind[MSG_PUBLISH]
+        for position, index in enumerate(slots):
+            matched = matched_lists[position]
+            pub_bound.inc()
+            self.publications += 1
+            self._m_publications.inc()
+            self._m_fanout.observe(len(matched))
+            local_clients, links = self._split_matched(matched)
+            deliver_frame = build_deliver(payloads[position])
+            for client_id in local_clients:
+                self._attempt_delivery(client_id, deliver_frame,
+                                       attempts_made=0)
+            if self.overlay is not None:
+                self.overlay.forward_publication(frames[index], links,
+                                                 incoming_link=None)
+            results[index] = matched
+            progress.append(index)
+        return results
+
     def handle_summary(self, frame: bytes) -> int:
         """SUM frame -> install the neighbour's advert in the enclave.
 
@@ -578,6 +666,17 @@ class Router:
         self.dead_letters.add(frame, sender=sender, reason=reason,
                               detail=f"{type(error).__name__}: {error}",
                               tick=self.tick)
+
+    def ingest_frame(self, sender: str, frame: bytes) -> None:
+        """Process one host-local frame under the per-frame boundary.
+
+        The public entry the ingress tier uses for traffic that never
+        touched the bus: same dispatch, counters and quarantine as a
+        frame drained by :meth:`pump`, minus the inbox round-trip.
+        Platform-scoped failures (a lost enclave) propagate, exactly
+        as they do from the drain loop.
+        """
+        self._process_frame(sender, frame)
 
     def pump(self) -> int:
         """Advance one tick and drain the inbox; returns frames seen.

@@ -1,0 +1,20 @@
+"""Admission-controlled ingress tier in front of the router.
+
+See :mod:`repro.ingress.tier` for the design narrative, and DESIGN.md
+§12 for the shed policy and backpressure contract.
+"""
+
+from repro.ingress.inbox import (POLICY_DROP_OLDEST, POLICY_REJECT_NEW,
+                                 SHED_POLICIES, BoundedInbox,
+                                 InboxEntry)
+from repro.ingress.tier import (SHED_QUEUE_FULL, SHED_RATE_LIMIT,
+                                IngressConfig, IngressConnection,
+                                IngressTier)
+from repro.ingress.tokens import TokenBucket
+
+__all__ = [
+    "BoundedInbox", "InboxEntry", "IngressConfig", "IngressConnection",
+    "IngressTier", "TokenBucket",
+    "POLICY_DROP_OLDEST", "POLICY_REJECT_NEW", "SHED_POLICIES",
+    "SHED_QUEUE_FULL", "SHED_RATE_LIMIT",
+]

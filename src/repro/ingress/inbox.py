@@ -1,0 +1,112 @@
+"""Bounded FIFO inbox with explicit, accounted load shedding.
+
+The ingress tier's central queue. Unlike the bus mailboxes (unbounded
+deques), this inbox has a hard capacity and a declared policy for what
+happens at the brim:
+
+* ``reject-new`` — the arriving envelope is shed; everything already
+  queued keeps its place. This favours old traffic (FIFO fairness) and
+  gives publishers an immediate backpressure signal.
+* ``drop-oldest`` — the oldest queued envelope is shed to admit the new
+  one. This favours fresh traffic (bounded staleness), the right call
+  for telemetry-shaped workloads where a stale reading is worthless.
+
+Every shed is *explicit*: :meth:`BoundedInbox.offer` returns exactly
+which entry (if any) was rejected, so the tier can count it with a
+reason and fire the client's shed callback — nothing is dropped
+silently. Under a fixed arrival order the shed sequence is
+deterministic (property-tested in ``tests/ingress/test_inbox.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+__all__ = ["InboxEntry", "BoundedInbox", "POLICY_REJECT_NEW",
+           "POLICY_DROP_OLDEST", "SHED_POLICIES"]
+
+#: Shed the arriving entry when full (backpressure to the sender).
+POLICY_REJECT_NEW = "reject-new"
+#: Shed the oldest queued entry to admit the arrival (bounded staleness).
+POLICY_DROP_OLDEST = "drop-oldest"
+SHED_POLICIES = (POLICY_REJECT_NEW, POLICY_DROP_OLDEST)
+
+
+@dataclass(frozen=True)
+class InboxEntry:
+    """One admitted (or candidate) envelope with its provenance."""
+
+    client_id: str
+    frame: bytes
+    #: opaque correlation token the submitter chose; the tier threads
+    #: it through to the completion/shed callbacks (the open-loop bench
+    #: uses it to pair each completion with its scheduled arrival).
+    token: object = None
+    #: tier tick at which the entry reached the inbox.
+    enqueued_tick: int = 0
+
+
+class BoundedInbox:
+    """Capacity-bounded FIFO queue with an explicit shed policy."""
+
+    def __init__(self, capacity: int,
+                 policy: str = POLICY_REJECT_NEW) -> None:
+        if capacity < 1:
+            raise ValueError("inbox capacity must be at least 1")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {policy!r}; "
+                f"expected one of {SHED_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: Deque[InboxEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued."""
+        return len(self._entries)
+
+    def offer(self, entry: InboxEntry
+              ) -> Tuple[bool, Optional[InboxEntry]]:
+        """Try to enqueue; returns ``(admitted, shed_entry)``.
+
+        * ``(True, None)`` — admitted, nothing shed;
+        * ``(False, entry)`` — full under ``reject-new``: the offered
+          entry itself bounced;
+        * ``(True, oldest)`` — full under ``drop-oldest``: admitted,
+          and the returned (previously queued) entry was evicted.
+        """
+        if len(self._entries) < self.capacity:
+            self._entries.append(entry)
+            return True, None
+        if self.policy == POLICY_REJECT_NEW:
+            return False, entry
+        shed = self._entries.popleft()
+        self._entries.append(entry)
+        return True, shed
+
+    def take(self, limit: Optional[int] = None) -> List[InboxEntry]:
+        """Dequeue up to ``limit`` entries in FIFO order (all if None)."""
+        if limit is None or limit >= len(self._entries):
+            drained = list(self._entries)
+            self._entries.clear()
+            return drained
+        if limit <= 0:
+            return []
+        return [self._entries.popleft() for _ in range(limit)]
+
+    def put_back(self, entries: Iterable[InboxEntry]) -> None:
+        """Restore taken-but-undispatched entries at the *front*.
+
+        Mirrors :meth:`Endpoint.requeue`'s contract: after a crash
+        interrupts a dispatch, the untouched tail resumes ahead of
+        anything that arrived meanwhile, preserving FIFO order. May
+        transiently exceed ``capacity`` — give-backs are never shed;
+        the bound applies to admissions, not restorations.
+        """
+        self._entries.extendleft(reversed(list(entries)))

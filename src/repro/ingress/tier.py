@@ -1,0 +1,404 @@
+"""The ingress tier: a multiplexing, admission-controlled front door.
+
+Today's clients talk to the router synchronously, one frame at a time,
+through the in-process bus — nothing models ten thousand publishers
+hammering one broker. :class:`IngressTier` sits *in front of* a
+:class:`~repro.core.router.Router` and closes that gap:
+
+* **multiplexing** — many :class:`IngressConnection` handles feed one
+  tier; each connection buffers its client's submissions and the tier
+  drains them in a deterministic order (sorted client id, FIFO within
+  a connection) on every :meth:`IngressTier.pump`;
+* **admission control** — a per-client :class:`~repro.ingress.tokens.
+  TokenBucket` rate limit and a shared :class:`~repro.ingress.inbox.
+  BoundedInbox` shed excess load *explicitly*: every shed envelope is
+  counted under a reason (``rate-limit`` or ``queue-full``) and
+  reported to the submitter via ``on_shed`` — backpressure is a
+  signal, never a silent drop;
+* **batch coalescing** — queued ``PUB`` frames are grouped into runs
+  of up to ``batch_size`` and dispatched through
+  :meth:`Router.handle_publish_batch`, which rides the engine's
+  ``match_publications`` ecall (one enclave transition, one batched
+  CMAC/CTR pass via ``SecureChannel.open_many``) instead of one ecall
+  per envelope. Non-``PUB`` frames flush the current run first, so the
+  per-client FIFO order the bus provides is preserved exactly.
+
+Like everything else in the reproduction the tier is tick-driven: no
+threads, no clock reads, every decision a pure function of the
+submission sequence — which is what lets the equivalence suite prove
+the coalesced path byte-identical to the synchronous one, and the
+conservation soak prove ``offered == accepted + shed + backlog`` at
+every tick (and ``offered == accepted + shed`` exactly at quiescence).
+
+Accounting contract (asserted by ``tests/ingress/``):
+
+* ``offered`` counts every submitted envelope, at submission;
+* ``shed`` counts every envelope turned away, each under exactly one
+  reason — at admission (``rate-limit``), at the inbox brim
+  (``queue-full`` for either the arrival or the evicted oldest,
+  depending on policy);
+* ``accepted`` counts an envelope when it is *handed to the router*
+  and the router returns — i.e. an accepted envelope has been
+  processed (delivered, retried or quarantined by the router's own
+  machinery), never lost in the tier;
+* a platform-scoped crash (``EnclaveLost``) during dispatch puts the
+  undispatched remainder back at the *front* of the inbox and
+  propagates, so recovery resumes with no envelope lost or double
+  dispatched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.protocol import MSG_PUBLISH, message_type
+from repro.errors import NetworkError
+from repro.ingress.inbox import (POLICY_REJECT_NEW, SHED_POLICIES,
+                                 BoundedInbox, InboxEntry)
+from repro.ingress.tokens import TokenBucket
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["IngressConfig", "IngressConnection", "IngressTier",
+           "SHED_RATE_LIMIT", "SHED_QUEUE_FULL"]
+
+#: Shed reason slugs (the ``reason`` label on ``ingress.shed_total``).
+SHED_RATE_LIMIT = "rate-limit"
+SHED_QUEUE_FULL = "queue-full"
+
+#: Batch-size histogram bounds: powers of two up to the largest batch
+#: the engine's columnar plane is tuned for.
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class IngressConfig:
+    """Tuning knobs for one :class:`IngressTier`.
+
+    ``rate_per_tick``/``burst`` of ``None`` disables per-client rate
+    limiting (the bounded inbox still sheds). ``service_per_tick`` of
+    ``None`` drains the whole inbox every pump — the wall-clock bench
+    wants that; the deterministic overload soak caps it to model a
+    broker slower than its offered load.
+    """
+
+    inbox_capacity: int = 1024
+    batch_size: int = 32
+    shed_policy: str = POLICY_REJECT_NEW
+    rate_per_tick: Optional[float] = None
+    burst: Optional[float] = None
+    service_per_tick: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.inbox_capacity < 1:
+            raise ValueError("inbox_capacity must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}")
+        if (self.rate_per_tick is None) != (self.burst is None):
+            raise ValueError(
+                "rate_per_tick and burst must be set together")
+        if self.rate_per_tick is not None and self.rate_per_tick <= 0:
+            raise ValueError("rate_per_tick must be positive")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be at least 1")
+        if self.service_per_tick is not None \
+                and self.service_per_tick < 1:
+            raise ValueError("service_per_tick must be at least 1")
+
+
+class IngressConnection:
+    """One client's handle on the tier.
+
+    :meth:`submit` never blocks and never sheds — it buffers. Admission
+    (rate limit, inbox bound) is decided at the next
+    :meth:`IngressTier.pump`, where the outcome is counted and the
+    tier's ``on_shed`` callback fires for anything turned away.
+    """
+
+    def __init__(self, tier: "IngressTier", client_id: str) -> None:
+        self._tier = tier
+        self.client_id = client_id
+        self.closed = False
+        self._buffer: Deque[Tuple[bytes, object]] = deque()
+        config = tier.config
+        self.bucket: Optional[TokenBucket] = None
+        if config.rate_per_tick is not None:
+            self.bucket = TokenBucket(config.rate_per_tick,
+                                      config.burst)
+
+    def submit(self, frame: bytes, token: object = None) -> None:
+        """Offer one wire frame; outcome decided at the next pump."""
+        if self.closed:
+            raise NetworkError(
+                f"connection {self.client_id!r} is closed")
+        self._buffer.append((bytes(frame), token))
+        self._tier.offered += 1
+        self._tier._m_offered.inc()
+
+    @property
+    def pending(self) -> int:
+        """Frames buffered but not yet admitted or shed."""
+        return len(self._buffer)
+
+
+class IngressTier:
+    """Tick-driven ingress front door for one router."""
+
+    def __init__(self, router, config: Optional[IngressConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.router = router
+        self.config = config if config is not None else IngressConfig()
+        self.metrics = metrics if metrics is not None \
+            else router.metrics
+        self._inbox = BoundedInbox(self.config.inbox_capacity,
+                                   policy=self.config.shed_policy)
+        self._connections: Dict[str, IngressConnection] = {}
+        #: tier tick; advanced once per :meth:`pump`.
+        self.tick = 0
+
+        # Scalar accounting, mirrored into the registry below. The
+        # conservation identity offered == accepted + shed + backlog
+        # holds after every pump; at quiescence backlog == 0.
+        self.offered = 0
+        self.accepted = 0
+        self.shed = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        self.batches = 0
+        self.peak_queue_depth = 0
+
+        #: fired once per envelope after the router processed it,
+        #: with the envelope's :class:`InboxEntry` (carries the
+        #: submitter's correlation token).
+        self.on_complete: Optional[Callable[[InboxEntry], None]] = None
+        #: fired once per shed envelope with ``(entry, reason)``.
+        self.on_shed: Optional[
+            Callable[[InboxEntry, str], None]] = None
+
+        m = self.metrics
+        self._m_offered = m.counter(
+            "ingress.offered_total",
+            "envelopes submitted by clients, counted at submit")
+        self._m_accepted = m.counter(
+            "ingress.accepted_total",
+            "envelopes admitted and processed by the router")
+        self._m_shed = m.counter(
+            "ingress.shed_total",
+            "envelopes turned away by admission control, by reason")
+        self._m_shed_by_reason = {
+            reason: self._m_shed.child(reason=reason)
+            for reason in (SHED_RATE_LIMIT, SHED_QUEUE_FULL)}
+        self._m_batches = m.counter(
+            "ingress.batches_total",
+            "publish batches dispatched to the router")
+        self._m_batch_size = m.histogram(
+            "ingress.batch_size",
+            "PUB frames coalesced per router batch dispatch",
+            bounds=_BATCH_BUCKETS)
+        m.gauge("ingress.queue_depth",
+                "envelopes admitted and waiting for dispatch",
+                fn=lambda: self._inbox.depth)
+        m.gauge("ingress.submit_backlog",
+                "envelopes buffered on connections, not yet admitted",
+                fn=lambda: sum(len(c._buffer)
+                               for c in self._connections.values()))
+        m.gauge("ingress.connections", "open client connections",
+                fn=lambda: len(self._connections))
+
+    # -- connection management -----------------------------------------------------
+
+    def connect(self, client_id: str) -> IngressConnection:
+        """Open (or fetch) the connection for ``client_id``."""
+        if not client_id:
+            raise NetworkError("client id must be non-empty")
+        connection = self._connections.get(client_id)
+        if connection is None:
+            connection = IngressConnection(self, client_id)
+            self._connections[client_id] = connection
+        return connection
+
+    def disconnect(self, client_id: str) -> int:
+        """Close a connection; sheds its unadmitted buffer.
+
+        Buffered envelopes were offered but never admitted, so they
+        are shed (reason ``queue-full`` — the inbox they were bound
+        for no longer accepts them) to keep the conservation identity
+        exact. Returns how many were shed.
+        """
+        connection = self._connections.pop(client_id, None)
+        if connection is None:
+            return 0
+        connection.closed = True
+        shed = 0
+        while connection._buffer:
+            frame, token = connection._buffer.popleft()
+            self._shed(InboxEntry(client_id, frame, token, self.tick),
+                       SHED_QUEUE_FULL)
+            shed += 1
+        return shed
+
+    # -- accounting helpers --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._inbox.depth
+
+    @property
+    def backlog(self) -> int:
+        """Envelopes inside the tier: connection buffers + inbox."""
+        return self._inbox.depth + sum(
+            len(c._buffer) for c in self._connections.values())
+
+    def _shed(self, entry: InboxEntry, reason: str) -> None:
+        self.shed += 1
+        self.shed_by_reason[reason] = \
+            self.shed_by_reason.get(reason, 0) + 1
+        self._m_shed_by_reason[reason].inc()
+        if self.on_shed is not None:
+            self.on_shed(entry, reason)
+
+    def _complete(self, entry: InboxEntry) -> None:
+        self.accepted += 1
+        self._m_accepted.inc()
+        if self.on_complete is not None:
+            self.on_complete(entry)
+
+    # -- the pump ------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Advance one tick: admit buffered traffic, dispatch batches.
+
+        Returns the number of envelopes dispatched to the router this
+        tick. Ends by pumping the router once, so its retry schedule
+        advances in lockstep with the tier.
+        """
+        self.tick += 1
+        self._admit_buffered()
+        dispatched = self._dispatch()
+        self.router.pump()
+        return dispatched
+
+    def _admit_buffered(self) -> None:
+        """Admission phase: rate-limit, then offer to the bounded inbox.
+
+        Connections are visited in sorted client-id order and drained
+        FIFO, so admission is a deterministic function of the submitted
+        sequence — no arrival-time races to make a seeded run diverge.
+        """
+        for client_id in sorted(self._connections):
+            connection = self._connections[client_id]
+            bucket = connection.bucket
+            if bucket is not None:
+                bucket.refill()
+            buffer = connection._buffer
+            while buffer:
+                frame, token = buffer.popleft()
+                entry = InboxEntry(client_id, frame, token, self.tick)
+                if bucket is not None and not bucket.try_consume():
+                    self._shed(entry, SHED_RATE_LIMIT)
+                    continue
+                admitted, evicted = self._inbox.offer(entry)
+                if not admitted:
+                    # reject-new: the arrival itself bounced.
+                    self._shed(entry, SHED_QUEUE_FULL)
+                elif evicted is not None:
+                    # drop-oldest: a previously queued entry made room.
+                    self._shed(evicted, SHED_QUEUE_FULL)
+            if self._inbox.depth > self.peak_queue_depth:
+                self.peak_queue_depth = self._inbox.depth
+
+    def _dispatch(self) -> int:
+        """Service phase: coalesce PUB runs, hand batches to the router.
+
+        A platform-scoped failure (lost enclave) puts every entry whose
+        processing is not confirmed back at the *front* of the inbox
+        and propagates — after the supervisor recovers the enclave the
+        next pump resumes exactly where this one stopped.
+        """
+        entries = self._inbox.take(self.config.service_per_tick)
+        if not entries:
+            return 0
+        batch_size = self.config.batch_size
+        index = 0
+        total = len(entries)
+        try:
+            while index < total:
+                entry = entries[index]
+                if self._frame_kind(entry.frame) == MSG_PUBLISH:
+                    run = [entry]
+                    while (len(run) < batch_size
+                           and index + len(run) < total
+                           and self._frame_kind(
+                               entries[index + len(run)].frame)
+                           == MSG_PUBLISH):
+                        run.append(entries[index + len(run)])
+                    progress: List[int] = []
+                    try:
+                        self.router.handle_publish_batch(
+                            [e.frame for e in run],
+                            senders=[e.client_id for e in run],
+                            progress=progress)
+                    except BaseException:
+                        # Entries the router confirmed are complete;
+                        # the rest of the run rejoins the undispatched
+                        # tail below, in order.
+                        done = set(progress)
+                        for offset in sorted(done):
+                            self._complete(run[offset])
+                        survivors = [e for offset, e in enumerate(run)
+                                     if offset not in done]
+                        entries[index:index + len(run)] = survivors
+                        raise
+                    self.batches += 1
+                    self._m_batches.inc()
+                    self._m_batch_size.observe(len(run))
+                    for batched in run:
+                        self._complete(batched)
+                    index += len(run)
+                else:
+                    # Non-PUB (control frames, junk): through the
+                    # router's ordinary per-frame boundary, flushing
+                    # the coalescer so FIFO order survives.
+                    self.router.ingest_frame(entry.client_id,
+                                             entry.frame)
+                    self._complete(entry)
+                    index += 1
+        except BaseException:
+            self._inbox.put_back(entries[index:])
+            raise
+        return total
+
+    @staticmethod
+    def _frame_kind(frame: bytes) -> Optional[str]:
+        try:
+            return message_type(frame)
+        except Exception:
+            return None  # unparseable: router will quarantine it
+
+    # -- drain helpers -------------------------------------------------------------
+
+    def drain(self, max_ticks: int = 10_000) -> int:
+        """Pump until the tier holds nothing (bounded); returns ticks."""
+        ticks = 0
+        while self.backlog and ticks < max_ticks:
+            self.pump()
+            ticks += 1
+        return ticks
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the tier's accounting scalars."""
+        return {
+            "tick": self.tick,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "backlog": self.backlog,
+            "queue_depth": self._inbox.depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "batches": self.batches,
+            "connections": len(self._connections),
+        }

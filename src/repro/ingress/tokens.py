@@ -1,0 +1,68 @@
+"""Deterministic per-client token bucket for admission control.
+
+A classic token bucket, but driven by the ingress tier's *tick* rather
+than wall-clock time: :meth:`TokenBucket.refill` adds ``rate_per_tick``
+tokens per elapsed tick (capped at ``burst``), and
+:meth:`TokenBucket.try_consume` spends them. Because every quantity is
+tick-denominated and there is no clock read, a seeded simulation
+replays the exact same admit/shed sequence every run — the property the
+conservation soak and the Hypothesis suite pin down.
+
+Invariants (property-tested in ``tests/ingress/test_tokens.py``):
+
+* the level never goes negative and never exceeds ``burst``;
+* a consume only succeeds when the full cost is available — there is
+  no partial spend and no debt;
+* refill arithmetic is monotone in elapsed ticks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Tick-driven token bucket: ``rate_per_tick`` refill, ``burst`` cap.
+
+    The bucket starts full, modelling a client that connects idle: it
+    may send an initial burst up to ``burst`` envelopes before the
+    steady-state rate binds.
+    """
+
+    __slots__ = ("rate_per_tick", "burst", "_tokens")
+
+    def __init__(self, rate_per_tick: float, burst: float) -> None:
+        if rate_per_tick <= 0:
+            raise ValueError("rate_per_tick must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1 token")
+        self.rate_per_tick = float(rate_per_tick)
+        self.burst = float(burst)
+        self._tokens = self.burst
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (``0 <= tokens <= burst``)."""
+        return self._tokens
+
+    def refill(self, ticks: int = 1) -> float:
+        """Credit ``ticks`` worth of tokens; returns the new level."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        if ticks:
+            self._tokens = min(self.burst,
+                               self._tokens + self.rate_per_tick * ticks)
+        return self._tokens
+
+    def try_consume(self, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if the full amount is available.
+
+        Returns True on success; on failure the level is untouched (no
+        partial spend), so a shed envelope costs the client nothing.
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        if self._tokens + 1e-12 < cost:  # tolerate float refill drift
+            return False
+        self._tokens = max(0.0, self._tokens - cost)
+        return True

@@ -59,8 +59,23 @@ class Endpoint:
         return self._bus.pop(self.name)
 
     def requeue(self, sender: str, frames: Frame) -> None:
-        """Give back a message this endpoint popped but never handled."""
+        """Give back a message this endpoint popped but never handled.
+
+        The message returns to the *front* of the inbox, ahead of
+        anything that arrived meanwhile — the next :meth:`recv`
+        resumes exactly where the interrupted drain stopped.
+        """
         self._bus.requeue(self.name, sender, frames)
+
+    def inject(self, sender: str, frames: Frame) -> None:
+        """Append a host-local message at the *tail* of the inbox.
+
+        For traffic that should queue behind what is already pending
+        (an overlay node moving link frames into its router's inbox),
+        as if it had just arrived — without the fault plan or traffic
+        counters a network :meth:`send` would apply.
+        """
+        self._bus.inject(self.name, sender, frames)
 
     def recv_all(self) -> List[Tuple[str, Frame]]:
         """Drain the inbox."""
@@ -217,6 +232,29 @@ class MessageBus:
         counted) when it was first delivered. Used by the router when a
         crash interrupts a drain mid-message, so the untouched tail of
         the inbox survives the enclave's death.
+
+        The message goes back at the *front* of the inbox: it was
+        popped first, so it drains first, even if later traffic
+        arrived while it was out. (Appending it at the tail — the old
+        behaviour — silently reordered a crash-interrupted message
+        behind everything that arrived during the outage; the
+        regression is pinned in ``tests/network/test_requeue_order``.)
+        Callers restoring *several* popped messages must requeue them
+        in reverse pop order. Tail-append injection is :meth:`inject`.
+        """
+        mailbox = self._mailboxes.get(name)
+        if mailbox is None:
+            raise NetworkError(f"no endpoint named {name!r}")
+        mailbox.inbox.appendleft((sender, [bytes(f) for f in frames]))
+
+    def inject(self, name: str, sender: str, frames: Frame) -> None:
+        """Append a host-local message at the *tail* of ``name``'s inbox.
+
+        Same non-network semantics as :meth:`requeue` (no fault plan,
+        no traffic counters), but for *new* host-local traffic that
+        must queue behind what is already pending — overlay nodes use
+        it to move frames from link buses into their router's inbox in
+        arrival order.
         """
         mailbox = self._mailboxes.get(name)
         if mailbox is None:

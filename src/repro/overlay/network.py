@@ -262,8 +262,8 @@ class OverlayNetwork:
             nb_node = self.nodes[nb]
             withdrawal = self.provider.build_interest_withdrawal(
                 name, nb)
-            nb_node.router.endpoint.requeue(LINK_PREFIX + name,
-                                            [withdrawal])
+            nb_node.router.endpoint.inject(LINK_PREFIX + name,
+                                           [withdrawal])
             nb_node.supervisor.pump()
             nb_node.disconnect_link(name)
         for nb in neighbours:

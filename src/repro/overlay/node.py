@@ -170,10 +170,11 @@ class OverlayNode:
     def _drain_links(self) -> int:
         """Move pending link traffic into the router's own inbox.
 
-        Injection uses the inbox's host-local requeue (the frame was
-        already counted when the link bus accepted it) with the sender
-        rewritten to ``link:<neighbour>`` — the incoming-link identity
-        the forwarding split-horizon needs. Membership frames are
+        Injection uses the inbox's host-local tail-append (the frame
+        was already counted when the link bus accepted it, and it
+        queues behind pending traffic in arrival order) with the
+        sender rewritten to ``link:<neighbour>`` — the incoming-link
+        identity the forwarding split-horizon needs. Membership frames are
         consumed here instead; any frame at all counts as liveness
         evidence for the sending neighbour.
         """
@@ -188,7 +189,7 @@ class OverlayNode:
                     if self._handle_link_frame(neighbour, frame):
                         moved += 1
                         continue
-                    self.router.endpoint.requeue(
+                    self.router.endpoint.inject(
                         LINK_PREFIX + neighbour, [frame])
                     moved += 1
         return moved

@@ -38,7 +38,8 @@ class FlatOracle:
     """Single-router reference world with the overlay driver surface."""
 
     def __init__(self, vendor_key, rsa_bits: int = 768,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 matcher_backend: str = "forest") -> None:
         self.registry = MetricsRegistry()
         self.bus = MessageBus(metrics=self.registry)
         self.platform = SgxPlatform(attestation_key_bits=768)
@@ -48,7 +49,8 @@ class FlatOracle:
                                   ScbrEnclaveLibrary).measure()
         self.router = Router(self.bus, self.platform, vendor_key,
                              rsa_bits=rsa_bits, metrics=self.registry,
-                             retry_policy=retry_policy)
+                             retry_policy=retry_policy,
+                             matcher_backend=matcher_backend)
         self.provider = ServiceProvider(
             self.bus, rsa_bits=rsa_bits, attestation_service=self.ias,
             expected_mr_enclave=expected)

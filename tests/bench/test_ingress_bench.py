@@ -1,0 +1,102 @@
+"""Ingress load bench: schedule properties, a micro run, recording."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import record_bench
+from repro.bench.ingress import (BENCH_NAME, build_world,
+                                 burst_arrivals, main,
+                                 poisson_arrivals, ramp_arrivals,
+                                 run_ingress_bench)
+from repro.ingress import IngressConfig
+from repro.bench.ingress import _run_point
+
+
+class TestSchedules:
+
+    @pytest.mark.parametrize("schedule",
+                             [poisson_arrivals, ramp_arrivals,
+                              burst_arrivals])
+    def test_sorted_within_duration_and_seeded(self, schedule):
+        first = schedule(200.0, 1.0, np.random.default_rng(5))
+        again = schedule(200.0, 1.0, np.random.default_rng(5))
+        other = schedule(200.0, 1.0, np.random.default_rng(6))
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, other)
+        ordered = np.sort(first)
+        assert float(ordered[0]) >= 0.0
+        assert float(ordered[-1]) < 1.0
+
+    def test_poisson_count_tracks_offered_rate(self):
+        rng = np.random.default_rng(11)
+        counts = [len(poisson_arrivals(500.0, 2.0, rng))
+                  for _ in range(5)]
+        mean = sum(counts) / len(counts)
+        assert 800 <= mean <= 1200  # 1000 expected, CLT slack
+
+    def test_ramp_and_burst_shift_mass_as_designed(self):
+        rng = np.random.default_rng(7)
+        ramp = np.sort(ramp_arrivals(2000.0, 1.0, rng))
+        # the ramp ends at 1.75x its start: the back half is denser
+        assert (ramp > 0.5).sum() > (ramp <= 0.5).sum()
+        burst = np.sort(burst_arrivals(2000.0, 1.0, rng))
+        # square wave 0.4x/1.6x: odd segments carry most arrivals
+        segment = np.floor(burst * 6).astype(int)
+        on = sum((segment == k).sum() for k in (1, 3, 5))
+        off = sum((segment == k).sum() for k in (0, 2, 4))
+        assert on > 2 * off
+
+
+class TestMicroRun:
+
+    def test_run_point_accounts_exactly(self):
+        world = build_world(n_subscribers=4, pool_size=16, seed=99)
+        config = IngressConfig(inbox_capacity=64, batch_size=8)
+        rng = np.random.default_rng(3)
+        arrivals = np.sort(poisson_arrivals(400.0, 0.25, rng))
+        point = _run_point(world, config, "poisson", 1.0, 400.0,
+                           arrivals, n_connections=2)
+        assert point["offered"] == len(arrivals)
+        assert point["conserved"] is True
+        assert point["lost"] == 0
+        assert point["duplicated"] == 0
+        assert point["offered"] == point["accepted"] + point["shed"]
+        assert point["p50_ms"] <= point["p99_ms"] <= point["p999_ms"]
+        world.router.close()
+
+    def test_reduced_suite_record_shape(self, tmp_path):
+        record = run_ingress_bench(reduced=True, seed=5)
+        assert record["reduced"] is True
+        assert record["capacity_eps"] > 0
+        assert len(record["points"]) == 5
+        schedules = {(p["schedule"], p["multiplier"])
+                     for p in record["points"]}
+        assert ("poisson", 1.0) in schedules
+        assert ("poisson", 5.0) in schedules
+        assert record["all_conserved"] is True
+        assert record["zero_lost"] is True
+
+        written = record_bench(BENCH_NAME, record,
+                               directory=str(tmp_path))
+        loaded = json.loads(
+            (tmp_path / f"BENCH_{BENCH_NAME}.json").read_text())
+        assert loaded["all_conserved"] is True
+        assert "meta" in loaded
+        assert written.endswith(f"BENCH_{BENCH_NAME}.json")
+
+
+class TestMain:
+
+    def test_main_reduced_records_and_passes_gates(self, tmp_path,
+                                                   capsys):
+        exit_code = main(["--reduced", "--record",
+                          "--out", str(tmp_path), "--seed", "17"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "closed-loop capacity" in out
+        loaded = json.loads(
+            (tmp_path / "BENCH_ingress.json").read_text())
+        assert loaded["all_conserved"] is True
+        assert loaded["zero_lost"] is True

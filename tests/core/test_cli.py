@@ -122,6 +122,26 @@ class TestHotpathCommands:
         assert "cumtime" in out
 
 
+class TestIngressCommand:
+
+    def test_ingress_parser_registered(self):
+        args = build_parser().parse_args(
+            ["ingress", "--reduced", "--record", "--seed", "9",
+             "--matcher-backend", "forest"])
+        assert callable(args.func)
+        assert args.reduced and args.record
+        assert args.matcher_backend == "forest"
+        assert args.seed == 9
+
+    def test_ingress_reduced_records_and_gates(self, tmp_path, capsys):
+        assert main(["ingress", "--reduced", "--record",
+                     "--out", str(tmp_path), "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop capacity" in out
+        assert "conservation exact at every point: True" in out
+        assert (tmp_path / "BENCH_ingress.json").exists()
+
+
 class TestChurnCommand:
 
     def test_churn_parser_registered(self):

@@ -1,0 +1,31 @@
+"""Shared fixtures for the ingress tier suite.
+
+The tier tests drive a real provisioned router (via the overlay's
+:class:`~repro.overlay.FlatOracle`, which is exactly "one router with
+clients") rather than a mock: admission control, batching and the
+crash put-back path are only meaningful against the genuine
+``match_publications`` ecall and delivery machinery.
+"""
+
+import pytest
+
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.overlay import FlatOracle
+
+
+@pytest.fixture(scope="session")
+def vendor_key():
+    return _generate_keypair_unchecked(768, 65537)
+
+
+@pytest.fixture()
+def world(vendor_key):
+    """One flat router world; tests add clients and a tier on top."""
+    oracle = FlatOracle(vendor_key)
+    yield oracle
+    oracle.close()
+
+
+def make_pub(world, header, payload):
+    """Pre-encrypt one PUB frame with the world's provider keys."""
+    return world._publisher.make_publication(header, payload)

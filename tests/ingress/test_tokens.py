@@ -1,0 +1,116 @@
+"""Token bucket properties: the admission-control arithmetic.
+
+Hypothesis drives arbitrary interleavings of refill and consume against
+the invariants the tier's conservation proof leans on: the level is
+always within ``[0, burst]``, a consume never overdraws, and refill is
+deterministic — the same op sequence always produces the same
+admit/deny pattern.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingress import TokenBucket
+
+RATES = st.floats(min_value=0.1, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)
+BURSTS = st.floats(min_value=1.0, max_value=200.0,
+                   allow_nan=False, allow_infinity=False)
+OPS = st.lists(st.one_of(
+    st.tuples(st.just("refill"), st.integers(0, 10)),
+    st.tuples(st.just("consume"), st.floats(0.1, 20.0))),
+    max_size=60)
+
+
+class TestValidation:
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 4)
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0, 4)
+
+    def test_rejects_sub_token_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5)
+
+    def test_rejects_negative_refill_ticks(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 4).refill(-1)
+
+    def test_rejects_non_positive_cost(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 4).try_consume(0)
+
+
+class TestProperties:
+
+    @settings(max_examples=200, deadline=None)
+    @given(rate=RATES, burst=BURSTS, ops=OPS)
+    def test_level_always_within_bounds(self, rate, burst, ops):
+        bucket = TokenBucket(rate, burst)
+        for op, amount in ops:
+            if op == "refill":
+                bucket.refill(amount)
+            else:
+                bucket.try_consume(amount)
+            assert 0.0 <= bucket.tokens <= bucket.burst
+
+    @settings(max_examples=200, deadline=None)
+    @given(rate=RATES, burst=BURSTS, ops=OPS)
+    def test_consume_never_overdraws(self, rate, burst, ops):
+        bucket = TokenBucket(rate, burst)
+        for op, amount in ops:
+            if op == "refill":
+                bucket.refill(amount)
+                continue
+            before = bucket.tokens
+            granted = bucket.try_consume(amount)
+            if granted:
+                # a successful consume had full cover (modulo the
+                # float-drift epsilon) and spent exactly the cost
+                assert before + 1e-9 >= amount
+                assert bucket.tokens == pytest.approx(
+                    max(0.0, before - amount))
+            else:
+                # a denied consume costs nothing
+                assert bucket.tokens == before
+
+    @settings(max_examples=100, deadline=None)
+    @given(rate=RATES, burst=BURSTS, ticks=st.integers(0, 1000))
+    def test_burst_cap_honored(self, rate, burst, ticks):
+        bucket = TokenBucket(rate, burst)
+        bucket.refill(ticks)
+        assert bucket.tokens == bucket.burst  # started full, stays full
+        bucket.try_consume(1.0)
+        bucket.refill(ticks)
+        assert bucket.tokens <= bucket.burst
+
+    @settings(max_examples=100, deadline=None)
+    @given(rate=RATES, burst=BURSTS, ops=OPS)
+    def test_deterministic_replay(self, rate, burst, ops):
+        outcomes = []
+        for _ in range(2):
+            bucket = TokenBucket(rate, burst)
+            run = []
+            for op, amount in ops:
+                if op == "refill":
+                    run.append(bucket.refill(amount))
+                else:
+                    run.append(bucket.try_consume(amount))
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSteadyState:
+
+    def test_rate_binds_after_burst(self):
+        """Burst of 4 up front, then exactly 2 admits per tick."""
+        bucket = TokenBucket(rate_per_tick=2.0, burst=4.0)
+        admitted = sum(bucket.try_consume() for _ in range(10))
+        assert admitted == 4
+        for _ in range(5):
+            bucket.refill()
+            admitted = sum(bucket.try_consume() for _ in range(10))
+            assert admitted == 2

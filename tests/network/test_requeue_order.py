@@ -1,0 +1,152 @@
+"""Regression: requeue restores the *front* of the inbox, exactly once.
+
+The original ``MessageBus.requeue`` appended at the tail, so a message
+given back after a crash drained behind traffic that arrived later —
+reordering the stream the sender saw as FIFO, and making the router's
+crash-resume path replay out of order. These tests pin the contract:
+``requeue`` is front restoration, ``inject`` is the tail-append path
+for host-local traffic that should queue normally.
+"""
+
+import pytest
+
+from repro.core.deadletter import DeadLetterQueue
+from repro.crypto.rsa import _generate_keypair_unchecked
+from repro.errors import EnclaveLost
+from repro.network.bus import MessageBus
+from repro.overlay import FlatOracle
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus()
+
+
+@pytest.fixture()
+def flat_world():
+    oracle = FlatOracle(_generate_keypair_unchecked(768, 65537))
+    yield oracle
+    oracle.close()
+
+
+class TestBusRequeue:
+
+    def test_requeue_restores_front(self, bus):
+        rx = bus.endpoint("rx")
+        tx = bus.endpoint("tx")
+        tx.send("rx", [b"m1"])
+        tx.send("rx", [b"m2"])
+        sender, frames = rx.recv()
+        assert frames == [b"m1"]
+        tx.send("rx", [b"m3"])  # arrives while m1 is out
+        rx.requeue(sender, frames)
+        drained = [f for _, (f,) in iter(rx.recv, None)]
+        assert drained == [b"m1", b"m2", b"m3"]
+
+    def test_multi_requeue_in_reverse_pop_order(self, bus):
+        """Giving back several popped messages means requeueing them
+        newest-first, so the oldest ends up at the very front."""
+        rx = bus.endpoint("rx")
+        tx = bus.endpoint("tx")
+        for payload in (b"a", b"b", b"c"):
+            tx.send("rx", [payload])
+        popped = [rx.recv(), rx.recv()]
+        for sender, frames in reversed(popped):
+            rx.requeue(sender, frames)
+        drained = [f for _, (f,) in iter(rx.recv, None)]
+        assert drained == [b"a", b"b", b"c"]
+
+    def test_inject_appends_at_tail(self, bus):
+        rx = bus.endpoint("rx")
+        tx = bus.endpoint("tx")
+        tx.send("rx", [b"first"])
+        rx.inject("local", [b"second"])
+        drained = [f for _, (f,) in iter(rx.recv, None)]
+        assert drained == [b"first", b"second"]
+
+    def test_requeue_is_not_a_network_event(self, bus):
+        rx = bus.endpoint("rx")
+        tx = bus.endpoint("tx")
+        tx.send("rx", [b"m1"])
+        before = bus.total_messages
+        sender, frames = rx.recv()
+        rx.requeue(sender, frames)
+        rx.inject("local", [b"m2"])
+        assert bus.total_messages == before
+
+
+class TestRouterCrashResume:
+
+    def test_interrupted_drain_resumes_in_order_exactly_once(
+            self, flat_world):
+        """A crash mid-message must not reorder or replay traffic.
+
+        The router pops [A, B, C], dies on B; [D] lands afterwards.
+        After recovery the processing order must be C then D, each
+        exactly once — requeue-at-tail would have drained D first.
+        """
+        router = flat_world.router
+        wire = flat_world.bus.endpoint("wire")
+        wire.send(router.name, [b"frame-A", b"frame-B", b"frame-C"])
+        wire.send(router.name, [b"frame-D"])
+
+        processed = []
+        original = router._process_frame
+
+        def tracing(sender, frame):
+            if frame == b"frame-B" and b"frame-B" not in processed:
+                processed.append(frame)
+                raise EnclaveLost("crash mid-drain")
+            processed.append(frame)
+            return original(sender, frame)
+
+        router._process_frame = tracing
+        with pytest.raises(EnclaveLost):
+            router.pump()
+        # A was handled; B crashed; C was never touched.
+        assert processed == [b"frame-A", b"frame-B"]
+
+        router.pump()
+        router.pump()
+        assert processed == [b"frame-A", b"frame-B",
+                             b"frame-C", b"frame-D"]
+
+
+class TestDeadLetterRequeue:
+
+    def test_requeue_is_fifo_and_clears_buffer(self):
+        dlq = DeadLetterQueue(capacity=8)
+        for index in range(4):
+            dlq.add(b"f%d" % index, sender="s", reason="poison")
+        replayed = []
+        count = dlq.requeue(lambda letter: replayed.append(
+            letter.frame))
+        assert count == 4
+        assert replayed == [b"f0", b"f1", b"f2", b"f3"]
+        assert len(dlq) == 0
+        assert dlq.total == 4  # accounting survives the requeue
+
+    def test_requeue_filters_and_limits_oldest_first(self):
+        dlq = DeadLetterQueue(capacity=8)
+        dlq.add(b"p0", sender="s", reason="poison")
+        dlq.add(b"u0", sender="s", reason="undeliverable")
+        dlq.add(b"p1", sender="s", reason="poison")
+        dlq.add(b"p2", sender="s", reason="poison")
+        replayed = []
+        count = dlq.requeue(lambda letter: replayed.append(
+            letter.frame), reason="poison", limit=2)
+        assert count == 2
+        assert replayed == [b"p0", b"p1"]
+        assert [letter.frame for letter in dlq] == [b"u0", b"p2"]
+
+    def test_handler_readding_does_not_see_its_own_entry(self):
+        dlq = DeadLetterQueue(capacity=8)
+        dlq.add(b"flaky", sender="s", reason="poison")
+
+        def failing_handler(letter):
+            dlq.add(letter.frame, sender=letter.sender,
+                    reason="poison")  # failed again: re-quarantined
+
+        assert dlq.requeue(failing_handler) == 1
+        assert [letter.frame for letter in dlq] == [b"flaky"]
+        assert dlq.total == 2
