@@ -1,0 +1,151 @@
+"""Registration throughput: routing table vs hash-mod placement.
+
+The sharding work replaced the cluster's implicit hash-mod placement
+with an explicit mutable :class:`~repro.core.sharding.RoutingTable`
+(O(1) dict assignment + per-slice ordered member sets) so live
+migration can re-route subscriptions. This microbench guards the
+bargain: the table must not make plain registration measurably slower
+than the old scheme, whose cost model it replaces — a bare counter
+modulo plus a direct slice insert.
+
+Both arms drive the same subscriptions into the same number of
+:class:`~repro.core.cluster.MatcherSlice` instances; the only
+difference is the placement bookkeeping. Forest insertion dominates
+both, so the gate is a loose ratio, not an equality — what it catches
+is an accidental O(n) (or worse) sneaking into the register path.
+
+Entry points as usual: ``pytest benchmarks/bench_registration_routing
+.py --benchmark-only`` or ``python benchmarks/...py [--require-ratio X]``.
+"""
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from repro.bench.export import record_bench
+from repro.bench.report import format_table
+from repro.core.cluster import MatcherCluster, MatcherSlice
+from repro.sgx.cpu import scaled_spec
+from repro.workloads.datasets import _quotes_cached
+from repro.workloads.spec import get_workload
+from repro.workloads.subscriptions_gen import SubscriptionGenerator
+
+DEFAULTS = dict(n_subscriptions=3000, n_slices=4, rounds=3)
+REDUCED = dict(n_subscriptions=800, n_slices=4, rounds=3)
+_SPEC = scaled_spec(llc_bytes=256 * 1024)
+
+
+def _subscriptions(count, seed=2016):
+    collection = _quotes_cached(20000, 100, seed)
+    generator = SubscriptionGenerator(collection, get_workload("e80a1"),
+                                      seed=seed + 11)
+    return list(generator.generate_many(count))
+
+
+def _time_hash_mod(subscriptions, n_slices):
+    """The pre-sharding scheme: counter-mod placement, direct insert,
+    a plain list journal (what recover_slice used to replay)."""
+    slices = [MatcherSlice(i, _SPEC) for i in range(n_slices)]
+    journal = []
+    start = time.perf_counter()
+    for index, (subscription, subscriber) in enumerate(subscriptions):
+        slice_id = index % n_slices
+        slices[slice_id].register(subscription, subscriber)
+        journal.append((subscription, subscriber))
+    return time.perf_counter() - start
+
+
+def _time_routing_table(subscriptions, n_slices):
+    cluster = MatcherCluster(n_slices, spec=_SPEC,
+                             assignment="round-robin")
+    start = time.perf_counter()
+    for subscription, subscriber in subscriptions:
+        cluster.register(subscription, subscriber)
+    return time.perf_counter() - start
+
+
+def run_registration_bench(n_subscriptions=3000, n_slices=4, rounds=3):
+    """Best-of-``rounds`` seconds per arm, interleaved for fairness."""
+    pairs = [(subscription, f"client-{i}") for i, subscription
+             in enumerate(_subscriptions(n_subscriptions))]
+    baseline = min(_time_hash_mod(pairs, n_slices)
+                   for _ in range(rounds))
+    table = min(_time_routing_table(pairs, n_slices)
+                for _ in range(rounds))
+    return {
+        "n_subscriptions": n_subscriptions,
+        "n_slices": n_slices,
+        "rounds": rounds,
+        "hash_mod_seconds": baseline,
+        "routing_table_seconds": table,
+        "hash_mod_regs_per_s": n_subscriptions / baseline,
+        "routing_table_regs_per_s": n_subscriptions / table,
+        "ratio": table / baseline,
+    }
+
+
+def _render(result):
+    rows = [["hash-mod (baseline)", f"{result['hash_mod_seconds']:.3f}",
+             f"{result['hash_mod_regs_per_s']:,.0f}"],
+            ["routing table", f"{result['routing_table_seconds']:.3f}",
+             f"{result['routing_table_regs_per_s']:,.0f}"]]
+    table = format_table(
+        ["placement", "seconds", "registrations/s"], rows,
+        title=f"registration path — {result['n_subscriptions']} subs, "
+              f"{result['n_slices']} slices, best of "
+              f"{result['rounds']}")
+    return f"{table}\nratio (table/hash-mod): {result['ratio']:.2f}x"
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_registration_routing_no_regression(benchmark):
+    from conftest import emit
+    holder = {}
+
+    def run():
+        holder["result"] = run_registration_bench(**DEFAULTS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["result"]
+    emit("registration_routing", _render(result))
+    assert result["ratio"] <= 1.5, (
+        f"routing-table registration is {result['ratio']:.2f}x the "
+        f"hash-mod baseline (limit 1.5x)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="registration throughput: routing table vs "
+                    "hash-mod placement")
+    parser.add_argument("--name", default="registration_routing")
+    parser.add_argument("--reduced", action="store_true",
+                        help="small config for CI smoke runs")
+    parser.add_argument("--record", action="store_true",
+                        help="write BENCH_<name>.json")
+    parser.add_argument("--out", default=".", metavar="DIR")
+    parser.add_argument("--require-ratio", type=float, default=None,
+                        metavar="X",
+                        help="fail when routing-table time exceeds "
+                             "X times the hash-mod baseline")
+    args = parser.parse_args(argv)
+
+    config = dict(REDUCED if args.reduced else DEFAULTS)
+    result = run_registration_bench(**config)
+    print(_render(result))
+    if args.record:
+        path = record_bench(args.name, result, directory=args.out)
+        print(f"wrote {path}")
+
+    if args.require_ratio is not None \
+            and result["ratio"] > args.require_ratio:
+        print(f"FAIL: routing-table registration is "
+              f"{result['ratio']:.2f}x the hash-mod baseline "
+              f"(limit {args.require_ratio}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

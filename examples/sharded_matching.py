@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""The EPC cliff, and the live-migration escape hatch.
+
+Act 1 grows a single matcher slice straight past its (scaled) usable
+EPC and watches per-event latency inflect — Fig. 8's cliff, the
+paper's hard limit. Act 2 runs the same feed into an EPC-aware
+cluster whose autoscaler splits slices by *live migration* (sealed
+checkpoint, registration-WAL suffix, one atomic routing flip) before
+any working set reaches the threshold — latency stays flat. Act 3
+stages a migration by hand, keeps registering and withdrawing into
+the open window, and shows match sets never wavering from a flat
+reference engine at any point in the move.
+
+Run with:  python examples/sharded_matching.py
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.core.cluster import MatcherCluster, MatcherSlice
+from repro.core.sharding import ShardingPolicy
+from repro.matching.poset import ContainmentForest
+from repro.sgx.cpu import scaled_spec
+from repro.workloads.datasets import _quotes_cached
+from repro.workloads.spec import get_workload
+from repro.workloads.subscriptions_gen import (SubscriptionGenerator,
+                                               merged_events)
+
+POINTS = [400, 800, 1600, 3200]
+EPC_USABLE = 160 * 1024          # scaled: cliff at ~400 subscriptions
+SPEC = scaled_spec(llc_bytes=256 * 1024,
+                   epc_bytes=EPC_USABLE + EPC_USABLE // 4,
+                   epc_reserved_bytes=EPC_USABLE // 4)
+POLICY = ShardingPolicy(split_threshold_bytes=EPC_USABLE // 2,
+                        min_split_subscriptions=32, max_slices=64)
+
+
+def _feed(count):
+    collection = _quotes_cached(20000, 100, 2016)
+    generator = SubscriptionGenerator(collection,
+                                      get_workload("e80a1"), seed=27)
+    probes = merged_events(collection, 1, 12,
+                           np.random.default_rng(9))
+    return generator.generate_many(count), probes
+
+
+def _p50(latencies):
+    return sorted(latencies)[len(latencies) // 2]
+
+
+def main() -> None:
+    stream, probes = _feed(POINTS[-1])
+    print(f"scaled platform: usable EPC "
+          f"{SPEC.epc_usable_bytes // 1024} KiB, split threshold "
+          f"{POLICY.split_threshold_bytes // 1024} KiB\n")
+
+    # -- Acts 1 & 2: one slice vs the autoscaled cluster ------------
+    flat = MatcherSlice(0, SPEC)
+    cluster = MatcherCluster(1, spec=SPEC, assignment="epc-aware",
+                             policy=POLICY)
+    rows = []
+    registered = 0
+    for point in POINTS:
+        for _ in range(point - registered):
+            subscription = next(stream)
+            flat.register(subscription, f"c{registered}")
+            cluster.register(subscription, f"c{registered}")
+            registered += 1
+        cluster.autoscale()
+        flat.warm()
+        cluster.warm()
+        flat_lat, flat_sets = [], []
+        for event in probes:
+            matched, elapsed = flat.match(event)
+            flat_sets.append(matched)
+            flat_lat.append(elapsed)
+        results = cluster.match_batch(probes)
+        assert [r.subscribers for r in results] == flat_sets, \
+            "sharding changed the results!"
+        rows.append([point, round(_p50(flat_lat), 1),
+                     round(_p50([r.latency_us for r in results]), 1),
+                     cluster.n_slices, cluster.migrations_completed])
+    print(format_table(
+        ["subs", "1 slice p50 us", "cluster p50 us", "slices",
+         "migrations"],
+        rows, title="the cliff (left) vs EPC-aware sharding (right)"))
+    cliff = rows[-1][1] / rows[0][1]
+    flatness = rows[-1][2] / rows[1][2]
+    print(f"\nunsharded latency grew {cliff:.0f}x past the cliff; the "
+          f"cluster stayed within {flatness:.2f}x of its small-scale "
+          f"latency.\nEvery migration preserved match sets exactly "
+          f"(asserted at every point).\n")
+
+    # -- Act 3: a migration window, held open by hand ----------------
+    print("staging a migration by hand and writing into the window:")
+    reference = ContainmentForest()
+    for key, (subscription, subscriber) in cluster._objects.items():
+        if cluster.table.slice_of(key) is not None:
+            reference.insert(subscription, subscriber)
+    source = max(range(cluster.n_slices),
+                 key=lambda s: len(cluster.table.members(s)))
+    ticket = cluster.stage_migration(source)
+    print(f"  sealed {len(ticket.keys)} registrations from slice "
+          f"{source} into a checkpoint (target: slice "
+          f"{ticket.target})")
+
+    staged_sub, staged_client = cluster._objects[ticket.keys[0]]
+    cluster.unregister(staged_sub, staged_client)
+    reference.remove_subscriber(staged_sub, staged_client)
+    extra_stream, _ = _feed(1)
+    newcomer = next(extra_stream)
+    cluster.register(newcomer, "late-arrival")
+    reference.insert(newcomer, "late-arrival")
+    print(f"  window writes: withdrew one staged registration, "
+          f"admitted one newcomer ({len(ticket.wal)} WAL suffix "
+          f"record(s))")
+
+    during = [cluster.match(event).subscribers for event in probes]
+    moved = cluster.complete_migration(ticket)
+    after = [cluster.match(event).subscribers for event in probes]
+    expected = [reference.match(event) for event in probes]
+    assert during == expected and after == expected
+    print(f"  completed: {moved} registrations flipped to slice "
+          f"{ticket.target} in one routing-table version bump")
+    print("  match sets during and after the window: identical to "
+          "the flat engine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ Commands::
     churn [--record]         membership chaos: partitions, churn, crashes
     hotpath [--record]       crypto/envelope/matcher wall-clock suite
     ingress [--record]       open-loop ingress load suite (overload)
+    sharding [--record]      EPC cliff vs EPC-aware sharded cluster
     profile [--top N]        cProfile the seeded hot-path workload
 """
 
@@ -455,6 +456,24 @@ def _run_ingress(args: argparse.Namespace) -> int:
     return ingress_main(argv)
 
 
+def _run_sharding(args: argparse.Namespace) -> int:
+    """EPC cliff vs sharded cluster (delegates to bench.sharding)."""
+    from repro.bench.sharding import main as sharding_main
+    argv: List[str] = ["--subs", str(args.subs),
+                       "--out", args.out,
+                       "--matcher-backend", args.matcher_backend,
+                       "--seed", str(args.seed)]
+    if args.reduced:
+        argv.append("--reduced")
+    if args.record:
+        argv.append("--record")
+    if args.require_flat:
+        argv.append("--require-flat")
+    if args.metrics:
+        argv.append("--metrics")
+    return sharding_main(argv)
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     """cProfile the seeded hot-path workload; top-N cumulative table.
 
@@ -777,6 +796,30 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("--seed", type=int, default=20260808,
                     help="seed for world build + arrival schedules")
     pi.set_defaults(func=_run_ingress)
+
+    psh = sub.add_parser(
+        "sharding", help="EPC-exhaustion cliff vs EPC-aware sharded "
+                         "cluster with live migration")
+    psh.add_argument("--subs", type=int, default=1_000_000,
+                     help="sweep ceiling (subscriptions)")
+    psh.add_argument("--reduced", action="store_true",
+                     help="small sweep for smoke runs "
+                          "(SCBR_SHARDING_SUBS overrides the size)")
+    psh.add_argument("--record", action="store_true",
+                     help="write BENCH_sharding.json")
+    psh.add_argument("--out", default=".", metavar="DIR",
+                     help="directory for BENCH_sharding.json")
+    psh.add_argument("--require-flat", action="store_true",
+                     help="fail unless the cliff shows and the "
+                          "cluster stays flat")
+    psh.add_argument("--metrics", action="store_true",
+                     help="dump the cluster gauge snapshot")
+    psh.add_argument("--matcher-backend", default="forest",
+                     choices=("forest", "columnar"),
+                     help="matcher backend inside each slice")
+    psh.add_argument("--seed", type=int, default=2016,
+                     help="seed for workload generation")
+    psh.set_defaults(func=_run_sharding)
 
     pp = sub.add_parser(
         "profile", help="cProfile the seeded hot-path workload")

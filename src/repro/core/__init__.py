@@ -7,6 +7,9 @@ formats, key management, and the enclave-resident routing engine.
 from repro.core.cluster import (ClusterMatchResult, MatcherCluster,
                                 MatcherSlice)
 from repro.core.deadletter import DeadLetter, DeadLetterQueue
+from repro.core.sharding import (MigrationTicket, RoutingTable,
+                                 ScaleAction, ShardingPolicy,
+                                 SliceSample)
 from repro.core.engine import PROVISION_AAD, ScbrEnclaveLibrary
 from repro.core.keys import GroupKeyManager, ProviderKeyChain
 from repro.core.messages import (SecureChannel, decode_header,
@@ -21,6 +24,8 @@ from repro.core.subscriber import Client
 
 __all__ = [
     "MatcherCluster", "MatcherSlice", "ClusterMatchResult",
+    "RoutingTable", "ShardingPolicy", "ScaleAction", "SliceSample",
+    "MigrationTicket",
     "ScbrEnclaveLibrary", "PROVISION_AAD",
     "RetryPolicy", "DeadLetter", "DeadLetterQueue",
     "GroupKeyManager", "ProviderKeyChain",

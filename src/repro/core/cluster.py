@@ -15,6 +15,23 @@ slices shrinks each slice's index — the scale-out escape hatch the
 paper's conclusion offers for both the EPC limit and matching latency.
 The ``ext_scaleout`` benchmark measures the resulting speedup curve.
 
+Placement is an explicit, mutable **routing table**
+(:class:`repro.core.sharding.RoutingTable`), not a hash: every
+registration is assigned a slice once (round-robin, symbol-hash or
+EPC-aware least-loaded) and the assignment can later be *changed* by a
+live migration. Migration is stage/complete: ``stage_migration`` seals
+a CMAC-tagged checkpoint of the selected source entries and opens a
+registration-WAL suffix for them; writes that touch staged keys keep
+landing on the source (matching never sees a partial move) while being
+journalled; ``complete_migration`` replays checkpoint + WAL suffix
+onto the target, atomically flips the routing table, and removes the
+moved entries from the source. Because matches union slice results,
+and the flip is a single synchronous commit between match batches,
+match sets are byte-identical to an unsharded engine before, during
+and after a migration. ``autoscale`` drives migrations from a
+:class:`repro.core.sharding.ShardingPolicy` over the slices' simulated
+EPC working sets — split before the Fig. 8 cliff, never fall off it.
+
 Two execution backends realise the same cluster semantics:
 
 * ``backend="serial"`` (default) — slices are matched one after the
@@ -39,11 +56,17 @@ import multiprocessing
 import zlib
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import RoutingError
+from repro.core.sharding import (MigrationTicket, RoutingKey,
+                                 RoutingTable, ScaleAction, ShardingPolicy,
+                                 SliceSample)
+from repro.crypto.encoding import pack_fields, unpack_fields
+from repro.errors import RoutingError, WalError
 from repro.matching.columnar import ColumnarMatchPlane, validate_backend
 from repro.matching.events import Event
 from repro.matching.poset import ContainmentForest
 from repro.matching.subscriptions import Subscription
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.wal import WriteAheadLog
 from repro.sgx.cpu import PlatformSpec, SKYLAKE_I7_6700
 from repro.sgx.platform import SgxPlatform
 
@@ -73,11 +96,45 @@ class MatcherSlice:
                  subscriber: object) -> None:
         self.forest.insert(subscription, subscriber)
 
+    def unregister(self, subscription: Subscription,
+                   subscriber: object) -> bool:
+        """Withdraw one registration; True when it was present.
+
+        Removal goes through the forest, which frees the node's arena
+        allocation when its last subscriber leaves — so a migrated-out
+        or unsubscribed slice's modelled working set genuinely shrinks.
+        """
+        return self.forest.remove_subscriber(subscription, subscriber)
+
+    def apply(self, ops: Sequence[Tuple[str, Subscription, object]]
+              ) -> int:
+        """Apply a mixed register/unregister batch in order."""
+        applied = 0
+        for op, subscription, subscriber in ops:
+            if op == "reg":
+                self.register(subscription, subscriber)
+                applied += 1
+            elif op == "unreg":
+                if self.unregister(subscription, subscriber):
+                    applied += 1
+            else:
+                raise RoutingError(f"unknown slice op {op!r}")
+        return applied
+
     def warm(self) -> None:
         """Prefault the slice's index pages (post-registration state)."""
         self.platform.memory.prefault(self.arena.base,
                                       self.arena.allocated_bytes,
                                       enclave=True)
+
+    def sample(self) -> Tuple[int, int, int, int, int, int]:
+        """Working-set snapshot: (subscriptions, index bytes, arena
+        live bytes, arena allocated bytes, EPC resident bytes,
+        cumulative EPC faults)."""
+        epc = self.platform.memory.epc
+        return (self.forest.n_subscriptions, self.forest.index_bytes,
+                self.arena.live_bytes, self.arena.allocated_bytes,
+                epc.resident_bytes, epc.faults)
 
     def match(self, event: Event) -> Tuple[Set[object], float]:
         """Match one event; returns (subscribers, simulated µs)."""
@@ -139,6 +196,8 @@ def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec,
                 for subscription, subscriber in payload:
                     matcher_slice.register(subscription, subscriber)
                 conn.send(("ok", len(payload)))
+            elif op == "apply":
+                conn.send(("ok", matcher_slice.apply(payload)))
             elif op == "warm":
                 matcher_slice.warm()
                 conn.send(("ok", None))
@@ -146,9 +205,7 @@ def _slice_worker_main(conn, slice_id: int, spec: PlatformSpec,
                 conn.send(("ok", [matcher_slice.match(event)
                                   for event in payload]))
             elif op == "stats":
-                forest = matcher_slice.forest
-                conn.send(("ok", (forest.n_subscriptions,
-                                  forest.index_bytes)))
+                conn.send(("ok", matcher_slice.sample()))
             else:
                 conn.send(("error", f"unknown op {op!r}"))
         except Exception as exc:  # noqa: BLE001 — reply, don't die
@@ -226,16 +283,27 @@ class _SliceWorker:
         self._close_conn()
 
 
+def _subscriber_token(subscriber: object) -> bytes:
+    """Stable byte token naming a subscriber inside WAL/checkpoint
+    frames. The live object never round-trips through bytes — replay
+    resolves tokens back to the registered objects — the token only
+    has to bind the frame to one registration for tamper evidence."""
+    return repr(subscriber).encode()
+
+
 class MatcherCluster:
     """N matcher slices behind one logical router.
 
-    ``assignment`` chooses how subscriptions spread across slices:
+    ``assignment`` chooses how *new* subscriptions are placed (the
+    routing table owns the assignment afterwards — migrations move it):
 
     * ``"round-robin"`` (default) — balanced sizes, StreamHub style;
     * ``"symbol-hash"`` — subscriptions pinning a ``symbol`` equality
       are routed by its hash (keeps same-symbol subscriptions together,
       preserving containment density within a slice); subscriptions
-      without one fall back to round-robin.
+      without one fall back to round-robin;
+    * ``"epc-aware"`` — least-loaded by estimated working set, so new
+      load drains toward the slice with the most EPC headroom.
 
     ``backend`` chooses how slices execute (see module docstring):
     ``"serial"`` keeps everything in-process (``self.slices`` holds the
@@ -243,9 +311,12 @@ class MatcherCluster:
     in a persistent worker process (``self.slices`` is empty — the
     slices live in the workers) and should be closed via
     :meth:`close` or by using the cluster as a context manager.
+
+    ``policy`` (a :class:`~repro.core.sharding.ShardingPolicy`) is the
+    default autoscaler consulted by :meth:`autoscale`.
     """
 
-    ASSIGNMENTS = ("round-robin", "symbol-hash")
+    ASSIGNMENTS = ("round-robin", "symbol-hash", "epc-aware")
     BACKENDS = ("serial", "process")
 
     def __init__(self, n_slices: int,
@@ -254,7 +325,9 @@ class MatcherCluster:
                  symbol_attribute: str = "symbol",
                  backend: str = "serial",
                  start_method: Optional[str] = None,
-                 matcher_backend: str = "forest") -> None:
+                 matcher_backend: str = "forest",
+                 policy: Optional[ShardingPolicy] = None,
+                 metrics=None) -> None:
         if n_slices < 1:
             raise RoutingError("cluster needs at least one slice")
         if assignment not in self.ASSIGNMENTS:
@@ -267,12 +340,43 @@ class MatcherCluster:
         self.assignment = assignment
         self.symbol_attribute = symbol_attribute
         self.backend = backend
+        self.policy = policy if policy is not None else ShardingPolicy()
         self._next = 0
         self.n_subscriptions = 0
-        #: every registration ever accepted, with its owning slice —
-        #: the journal :meth:`recover_slice` replays when a member dies.
-        self._journal: List[Tuple[Subscription, object, int]] = []
+        #: subscription→slice placement; :meth:`recover_slice` replays
+        #: a dead member's entries from here, migrations flip it.
+        self.table = RoutingTable(n_slices)
+        #: live (subscription, subscriber) objects by routing key —
+        #: append-only, so WAL/checkpoint replay resolves byte tokens
+        #: back to the exact objects callers registered (subscribers
+        #: are arbitrary hashable objects, not serialisable values).
+        self._objects: Dict[RoutingKey,
+                            Tuple[Subscription, object]] = {}
+        #: per-slice estimated working set (sum of subscription record
+        #: sizes). Placement-time signal only; policy decisions use the
+        #: slices' real sampled accounting.
+        self._estimated_bytes: List[int] = [0] * n_slices
+        self._retired: Set[int] = set()
+        self._staged_by_source: Dict[int, MigrationTicket] = {}
+        self._tickets: List[MigrationTicket] = []
+        self._migration_store = CheckpointStore(retain=8)
+        self._next_mig_id = 1
         self.slices_recovered = 0
+        self.migrations_staged = 0
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
+        self.migrated_subscriptions = 0
+        self.migrated_bytes = 0
+        self.splits = 0
+        self.grows = 0
+        self.rebalances = 0
+        self.merges = 0
+        #: monotonically counts state changes; derived caches (working
+        #: set samples, per-slice gauges) invalidate on it.
+        self._mutations = 0
+        self._samples_at = -1
+        self._samples: List[SliceSample] = []
+        self._metrics = None
         self._closed = False
         if backend == "process":
             if start_method is None:
@@ -284,8 +388,11 @@ class MatcherCluster:
                 _SliceWorker(i, spec, self._ctx,
                              matcher_backend=matcher_backend)
                 for i in range(n_slices)]
-            #: registrations not yet shipped to workers, per slice.
-            self._pending: List[List[Tuple[Subscription, object]]] = [
+            #: slice ops not yet shipped to workers, per slice —
+            #: ("reg"|"unreg", subscription, subscriber) triples in
+            #: arrival order.
+            self._pending: List[List[Tuple[str, Subscription,
+                                           object]]] = [
                 [] for _ in range(n_slices)]
         else:
             self._ctx = None
@@ -294,24 +401,50 @@ class MatcherCluster:
                 for i in range(n_slices)]
             self._workers = []
             self._pending = []
+        if metrics is not None:
+            self.attach_metrics(metrics)
 
     # -- registration ------------------------------------------------------
 
     def _slice_id_for(self, subscription: Subscription) -> int:
+        """Placement for a *new* registration. O(1): a crc32/modulo for
+        symbol-hash, a counter for round-robin, a running-minimum scan
+        over per-slice byte estimates for epc-aware (n_slices entries,
+        no index walk) — existing keys never come here, they are O(1)
+        routing-table hits in :meth:`register`."""
         if self.assignment == "symbol-hash":
             for attribute, constraint in subscription.items:
                 if attribute == self.symbol_attribute \
                         and constraint.is_string \
                         and constraint.equals is not None:
                     digest = zlib.crc32(constraint.equals.encode())
-                    return digest % self.n_slices
+                    hashed = digest % self.n_slices
+                    if hashed not in self._retired:
+                        return hashed
+        if self.assignment == "epc-aware":
+            estimates = self._estimated_bytes
+            best, best_bytes = -1, None
+            for slice_id in range(self.n_slices):
+                if slice_id in self._retired:
+                    continue
+                if best_bytes is None \
+                        or estimates[slice_id] < best_bytes:
+                    best, best_bytes = slice_id, estimates[slice_id]
+            return best
         chosen = self._next % self.n_slices
         self._next += 1
+        while chosen in self._retired:
+            chosen = self._next % self.n_slices
+            self._next += 1
         return chosen
 
     def register(self, subscription: Subscription,
                  subscriber: object) -> int:
         """Register into the owning slice; returns the slice id.
+
+        Re-registering a live (subscription, subscriber) pair is
+        idempotent — it stays on its current slice (matching the
+        containment forest's dedup semantics) and is not re-placed.
 
         The process backend buffers registrations and ships them as
         one batch per slice right before the next match/warm/stat —
@@ -319,26 +452,87 @@ class MatcherCluster:
         observed operation order (all registrations still precede the
         match that follows them, exactly as in the serial backend).
         """
+        key: RoutingKey = (subscription.key(), subscriber)
+        existing = self.table.slice_of(key)
+        if existing is not None:
+            return existing
         slice_id = self._slice_id_for(subscription)
+        self.table.assign(key, slice_id)
+        self._objects[key] = (subscription, subscriber)
+        self._estimated_bytes[slice_id] += subscription.size_bytes()
+        self.n_subscriptions += 1
+        self._mutations += 1
         if self.backend == "process":
-            self._pending[slice_id].append((subscription, subscriber))
+            self._pending[slice_id].append(
+                ("reg", subscription, subscriber))
         else:
             self.slices[slice_id].register(subscription, subscriber)
-        self.n_subscriptions += 1
-        self._journal.append((subscription, subscriber, slice_id))
+        self._journal_window_op(slice_id, "REG", key, subscription)
         return slice_id
 
+    def unregister(self, subscription: Subscription,
+                   subscriber: object) -> bool:
+        """Withdraw a registration; True when it was live.
+
+        The routing table drops the key immediately, the owning slice
+        removes (and arena-frees) the entry, and — when the key is part
+        of a staged migration — the withdrawal is journalled in the
+        migration's WAL suffix so completion replays it on the target.
+        """
+        key: RoutingKey = (subscription.key(), subscriber)
+        owner = self.table.slice_of(key)
+        if owner is None:
+            return False
+        self.table.remove(key)
+        self._estimated_bytes[owner] -= subscription.size_bytes()
+        self.n_subscriptions -= 1
+        self._mutations += 1
+        if self.backend == "process":
+            self._pending[owner].append(
+                ("unreg", subscription, subscriber))
+        else:
+            self.slices[owner].unregister(subscription, subscriber)
+        self._journal_window_op(owner, "UNREG", key, subscription)
+        return True
+
+    def _journal_window_op(self, slice_id: int, kind: str,
+                           key: RoutingKey,
+                           subscription: Subscription) -> None:
+        """Append a REG/UNREG frame to the WAL suffix of a staged
+        migration when the op lands on its source and touches one of
+        its staged keys — the record set ``complete_migration``
+        replays onto the target."""
+        ticket = self._staged_by_source.get(slice_id)
+        if ticket is None or key not in ticket.key_set:
+            return
+        from repro.core.messages import encode_subscription
+        frame = pack_fields([encode_subscription(subscription),
+                             _subscriber_token(key[1])])
+        ticket.wal.append(kind, frame)
+
     def _flush_registrations(self) -> None:
-        """Ship buffered registrations to their workers (batched)."""
+        """Ship buffered slice ops to their workers (batched)."""
         awaiting = []
         for slice_id, batch in enumerate(self._pending):
             if batch:
                 worker = self._workers[slice_id]
-                worker.send("register", batch)
+                worker.send("apply", batch)
                 awaiting.append(worker)
                 self._pending[slice_id] = []
         for worker in awaiting:
             worker.recv()
+
+    def _apply_ops(self, slice_id: int,
+                   ops: List[Tuple[str, Subscription, object]]) -> None:
+        """Apply a mixed op batch to one slice, after the pending
+        buffer (order-preserving on both backends)."""
+        if not ops:
+            return
+        if self.backend == "process":
+            self._flush_registrations()
+            self._workers[slice_id].call("apply", ops)
+        else:
+            self.slices[slice_id].apply(ops)
 
     def warm(self) -> None:
         if self.backend == "process":
@@ -351,6 +545,221 @@ class MatcherCluster:
         for matcher_slice in self.slices:
             matcher_slice.warm()
 
+    # -- topology ----------------------------------------------------------
+
+    def add_slice(self) -> int:
+        """Provision one more (empty) slice; returns its id."""
+        new_id = self.n_slices
+        self.table.add_slice()
+        self._estimated_bytes.append(0)
+        if self.backend == "process":
+            self._workers.append(_SliceWorker(
+                new_id, self.spec, self._ctx,
+                matcher_backend=self.matcher_backend))
+            self._pending.append([])
+        else:
+            self.slices.append(MatcherSlice(
+                new_id, self.spec,
+                matcher_backend=self.matcher_backend))
+        self.n_slices += 1
+        self._mutations += 1
+        if self._metrics is not None:
+            self._register_slice_gauges(new_id)
+        return new_id
+
+    # -- live migration ----------------------------------------------------
+
+    def stage_migration(self, source: int, target: Optional[int] = None,
+                        keys: Optional[Sequence[RoutingKey]] = None,
+                        fraction: float = 0.5) -> MigrationTicket:
+        """Seal a source-slice checkpoint and open the migration window.
+
+        Selects ``keys`` (default: the newest ``fraction`` of the
+        source's members), seals them into a CMAC-tagged checkpoint
+        published on the migration store, and opens a fresh WAL whose
+        records — appended by register/unregister while the migration
+        is staged — form the replay suffix. The source keeps serving
+        matches for the staged keys until :meth:`complete_migration`
+        flips the routing table; ``target=None`` provisions a new
+        slice. One staged migration per source at a time.
+        """
+        self._check_slice_id(source)
+        if source in self._staged_by_source:
+            raise RoutingError(
+                f"slice {source} already has a staged migration")
+        if target is None:
+            target = self.add_slice()
+        self._check_slice_id(target)
+        if target == source:
+            raise RoutingError("migration target equals source")
+        if keys is None:
+            members = self.table.members(source)
+            count = max(1, int(len(members) * fraction))
+            keys = members[-count:]
+        else:
+            keys = list(keys)
+            for key in keys:
+                if self.table.slice_of(key) != source:
+                    raise RoutingError(
+                        f"key not routed to slice {source}: {key!r}")
+        if not keys:
+            raise RoutingError(f"slice {source} has nothing to migrate")
+        if self.backend == "process":
+            self._flush_registrations()
+        from repro.core.messages import encode_subscription
+        entries = [self._objects[key] for key in keys]
+        payload = pack_fields([
+            pack_fields([encode_subscription(subscription),
+                         _subscriber_token(subscriber)])
+            for subscription, subscriber in entries])
+        wal = WriteAheadLog()
+        mig_id = self._next_mig_id
+        self._next_mig_id += 1
+        checkpoint = self._migration_store.publish(
+            wal.seal_payload(payload),
+            counter_id=mig_id.to_bytes(8, "big"),
+            wal_seq=wal.last_seq)
+        ticket = MigrationTicket(mig_id, source, target, tuple(keys),
+                                 wal, checkpoint)
+        self._staged_by_source[source] = ticket
+        self._tickets.append(ticket)
+        self.migrations_staged += 1
+        return ticket
+
+    def complete_migration(self, ticket: MigrationTicket) -> int:
+        """Transfer, replay the WAL suffix, flip routing atomically.
+
+        Replays the sealed checkpoint onto the target, then the WAL
+        suffix (register/unregister ops that touched staged keys during
+        the window) — the target ends at exactly the source's current
+        truth for those keys. The routing-table flip is one version
+        bump between match batches, and the moved entries are then
+        removed from the source, so no match ever sees a key in zero
+        or two slices. Returns how many registrations moved.
+        """
+        if ticket.state != "staged":
+            raise RoutingError(
+                f"migration {ticket.mig_id} is {ticket.state}, "
+                "not staged")
+        from repro.core.messages import decode_subscription
+        try:
+            payload = ticket.wal.open_payload(
+                ticket.checkpoint.sealed_bytes)
+        except WalError as exc:
+            raise RoutingError(
+                f"migration {ticket.mig_id} checkpoint failed "
+                "verification") from exc
+        by_token = {(key[0], _subscriber_token(key[1])): key
+                    for key in ticket.keys}
+        target_ops: List[Tuple[str, Subscription, object]] = []
+        sealed_fields = unpack_fields(payload)
+        if len(sealed_fields) != len(ticket.keys):
+            raise RoutingError(
+                f"migration {ticket.mig_id} checkpoint entry count "
+                "does not match the staged key set")
+        for field_blob, key in zip(sealed_fields, ticket.keys):
+            sub_blob, token = unpack_fields(field_blob)
+            subscription = decode_subscription(sub_blob)
+            if (subscription.key(), token) != (key[0],
+                                               _subscriber_token(key[1])):
+                raise RoutingError(
+                    f"migration {ticket.mig_id} checkpoint entry "
+                    "disagrees with the staged key set")
+            target_ops.append(("reg",) + self._objects[key])
+        for record in ticket.wal.records_after(0):
+            sub_blob, token = unpack_fields(record.frame)
+            subscription = decode_subscription(sub_blob)
+            key = by_token.get((subscription.key(), token))
+            if key is None:
+                raise RoutingError(
+                    f"migration {ticket.mig_id} WAL suffix names an "
+                    "unstaged key")
+            op = "reg" if record.kind == "REG" else "unreg"
+            target_ops.append((op,) + self._objects[key])
+        self._apply_ops(ticket.target, target_ops)
+        alive = [key for key in ticket.keys
+                 if self.table.slice_of(key) == ticket.source]
+        self.table.flip({key: ticket.target for key in alive})
+        moved_bytes = 0
+        for key in alive:
+            size = self._objects[key][0].size_bytes()
+            moved_bytes += size
+            self._estimated_bytes[ticket.source] -= size
+            self._estimated_bytes[ticket.target] += size
+        self._apply_ops(ticket.source,
+                        [("unreg",) + self._objects[key]
+                         for key in alive])
+        ticket.state = "completed"
+        ticket.moved = len(alive)
+        del self._staged_by_source[ticket.source]
+        self.migrations_completed += 1
+        self.migrated_subscriptions += len(alive)
+        self.migrated_bytes += moved_bytes
+        self._mutations += 1
+        return len(alive)
+
+    def abort_migration(self, ticket: MigrationTicket) -> None:
+        """Drop a staged migration; the source keeps everything (it
+        never stopped serving the staged keys, so aborting is purely
+        bookkeeping)."""
+        if ticket.state != "staged":
+            raise RoutingError(
+                f"migration {ticket.mig_id} is {ticket.state}, "
+                "not staged")
+        ticket.state = "aborted"
+        del self._staged_by_source[ticket.source]
+        self.migrations_aborted += 1
+
+    def migrate(self, source: int, target: Optional[int] = None,
+                keys: Optional[Sequence[RoutingKey]] = None,
+                fraction: float = 0.5) -> MigrationTicket:
+        """Stage and immediately complete one migration."""
+        ticket = self.stage_migration(source, target, keys=keys,
+                                      fraction=fraction)
+        self.complete_migration(ticket)
+        return ticket
+
+    # -- autoscaling -------------------------------------------------------
+
+    def autoscale(self, policy: Optional[ShardingPolicy] = None
+                  ) -> List[ScaleAction]:
+        """Sample working sets, ask the policy, apply its actions.
+
+        Returns the actions (planned-only under ``policy.dry_run``).
+        Splits/grows provision new slices; rebalances/merges move
+        between existing ones; a merged-out slice is retired from
+        placement so it drains for good.
+        """
+        policy = policy if policy is not None else self.policy
+        actions = policy.decide(self.slice_samples(refresh=True))
+        if policy.dry_run:
+            return actions
+        for action in actions:
+            if action.kind == "split":
+                members = self.table.members(action.source)
+                self.migrate(action.source,
+                             keys=members[-action.move:])
+                self.splits += 1
+            elif action.kind == "grow":
+                self.add_slice()
+                self.grows += 1
+            elif action.kind == "rebalance":
+                members = self.table.members(action.source)
+                self.migrate(action.source, action.target,
+                             keys=members[-action.move:])
+                self.rebalances += 1
+            elif action.kind == "merge":
+                members = self.table.members(action.source)
+                if members:
+                    self.migrate(action.source, action.target,
+                                 keys=members)
+                self._retired.add(action.source)
+                self.merges += 1
+            else:  # pragma: no cover — policy emits known kinds
+                raise RoutingError(
+                    f"unknown scale action {action.kind!r}")
+        return actions
+
     # -- member recovery ---------------------------------------------------
 
     def recover_slice(self, slice_id: int) -> int:
@@ -359,29 +768,32 @@ class MatcherCluster:
 
         The cluster's peers are unaffected (their platforms are
         independent machines); the dead member is replaced by a fresh
-        slice — new platform, new arena, empty index — and its share of
-        the journal is replayed into it, exactly the peer
-        re-registration step a supervised restart performs for a
-        cluster member. Slice assignment is journalled, not re-derived,
-        so round-robin state cannot skew the rebuilt placement.
+        slice — new platform, new arena, empty index — and its routing-
+        table membership is replayed into it in original registration
+        order, exactly the peer re-registration step a supervised
+        restart performs for a cluster member. Ownership is read from
+        the routing table, not re-derived, so neither round-robin state
+        nor past migrations can skew the rebuilt placement — and a
+        migration staged *from* this slice stays staged: its checkpoint
+        and WAL suffix live in the parent, so completion still works
+        against the recovered member.
 
         On the process backend the member's worker is hard-killed and
-        respawned; the journal replay (which already includes any
-        registrations still buffered for that slice) rebuilds its
-        index in the fresh worker.
+        respawned; the replay (which already includes any registrations
+        still buffered for that slice) rebuilds its index in the fresh
+        worker.
         """
-        if not 0 <= slice_id < self.n_slices:
-            raise RoutingError(f"no slice {slice_id} in this cluster")
-        replay = [(subscription, subscriber)
-                  for subscription, subscriber, owner in self._journal
-                  if owner == slice_id]
+        self._check_slice_id(slice_id)
+        replay = [self._objects[key]
+                  for key in self.table.members(slice_id)]
+        self._mutations += 1
         if self.backend == "process":
             self._workers[slice_id].kill()
             replacement_worker = _SliceWorker(
                 slice_id, self.spec, self._ctx,
                 matcher_backend=self.matcher_backend)
             self._workers[slice_id] = replacement_worker
-            self._pending[slice_id] = []  # journal supersedes buffer
+            self._pending[slice_id] = []  # table replay supersedes it
             if replay:
                 replacement_worker.call("register", replay)
             self.slices_recovered += 1
@@ -401,6 +813,7 @@ class MatcherCluster:
         """Fan the publication out to every slice; union the matches."""
         if self.backend == "process":
             return self.match_batch([event])[0]
+        self._mutations += 1
         subscribers: Set[object] = set()
         latencies: List[float] = []
         for matcher_slice in self.slices:
@@ -424,6 +837,7 @@ class MatcherCluster:
             return []
         if self.backend != "process":
             return [self.match(event) for event in events]
+        self._mutations += 1
         self._flush_registrations()
         for worker in self._workers:
             worker.send("match", events)
@@ -466,18 +880,116 @@ class MatcherCluster:
 
     # -- introspection -----------------------------------------------------------
 
-    def _worker_stats(self) -> List[Tuple[int, int]]:
-        self._flush_registrations()
-        for worker in self._workers:
-            worker.send("stats")
-        return [worker.recv() for worker in self._workers]
+    def _check_slice_id(self, slice_id: int) -> None:
+        if not 0 <= slice_id < self.n_slices:
+            raise RoutingError(f"no slice {slice_id} in this cluster")
+
+    def slice_samples(self, refresh: bool = False) -> List[SliceSample]:
+        """Per-slice working-set snapshot (cached until state changes).
+
+        Serial slices are read directly; process workers answer one
+        ``stats`` round-trip each. The cache key is the cluster's
+        mutation counter, so gauge snapshots that read several fields
+        of several slices cost one sampling pass, not one RPC per
+        gauge."""
+        if not refresh and self._samples_at == self._mutations:
+            return self._samples
+        if self.backend == "process":
+            self._flush_registrations()
+            for worker in self._workers:
+                worker.send("stats")
+            raw = [worker.recv() for worker in self._workers]
+        else:
+            raw = [matcher_slice.sample()
+                   for matcher_slice in self.slices]
+        self._samples = [
+            SliceSample(slice_id=i, subscriptions=subs,
+                        index_bytes=index_bytes, live_bytes=live,
+                        allocated_bytes=allocated,
+                        resident_bytes=resident,
+                        epc_faults=faults)
+            for i, (subs, index_bytes, live, allocated, resident,
+                    faults) in enumerate(raw)]
+        self._samples_at = self._mutations
+        return self._samples
 
     def slice_sizes(self) -> List[int]:
-        if self.backend == "process":
-            return [n for n, _b in self._worker_stats()]
-        return [s.forest.n_subscriptions for s in self.slices]
+        return [sample.subscriptions for sample in self.slice_samples()]
 
     def slice_index_bytes(self) -> List[int]:
-        if self.backend == "process":
-            return [b for _n, b in self._worker_stats()]
-        return [s.forest.index_bytes for s in self.slices]
+        return [sample.index_bytes for sample in self.slice_samples()]
+
+    def working_set_bytes(self) -> List[int]:
+        """Per-slice working sets, the autoscaler's split signal."""
+        return [sample.working_set_bytes
+                for sample in self.slice_samples()]
+
+    # -- metrics -----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Expose occupancy and migration state as callback gauges.
+
+        Per-slice occupancy (``cluster.slice_bytes.N``,
+        ``cluster.slice_subscriptions.N``,
+        ``cluster.slice_resident_pages.N``) plus cluster-wide totals
+        and ``cluster.*`` migration/autoscaler counts. Callback-backed:
+        the register/match hot paths pay nothing until a snapshot is
+        taken (one working-set sampling pass serves every gauge).
+        """
+        self._metrics = registry
+        registry.gauge("cluster.slices", "provisioned matcher slices",
+                       fn=lambda: self.n_slices)
+        registry.gauge("cluster.subscriptions",
+                       "live registrations across all slices",
+                       fn=lambda: self.n_subscriptions)
+        registry.gauge("cluster.routing_version",
+                       "routing-table flips applied",
+                       fn=lambda: self.table.version)
+        registry.gauge("cluster.epc_resident_pages",
+                       "EPC-resident pages summed over slices",
+                       fn=lambda: sum(s.resident_bytes
+                                      for s in self.slice_samples())
+                       // self.spec.page_bytes)
+        registry.gauge("cluster.migrations_staged",
+                       "migrations staged (checkpoint sealed)",
+                       fn=lambda: self.migrations_staged)
+        registry.gauge("cluster.migrations_completed",
+                       "migrations completed (routing flipped)",
+                       fn=lambda: self.migrations_completed)
+        registry.gauge("cluster.migrations_aborted",
+                       "staged migrations dropped before the flip",
+                       fn=lambda: self.migrations_aborted)
+        registry.gauge("cluster.migrated_subscriptions",
+                       "registrations moved by completed migrations",
+                       fn=lambda: self.migrated_subscriptions)
+        registry.gauge("cluster.migrated_bytes",
+                       "modelled bytes moved by completed migrations",
+                       fn=lambda: self.migrated_bytes)
+        registry.gauge("cluster.splits", "autoscaler splits applied",
+                       fn=lambda: self.splits)
+        registry.gauge("cluster.grows", "autoscaler grows applied",
+                       fn=lambda: self.grows)
+        registry.gauge("cluster.rebalances",
+                       "autoscaler rebalances applied",
+                       fn=lambda: self.rebalances)
+        registry.gauge("cluster.merges", "autoscaler merges applied",
+                       fn=lambda: self.merges)
+        for slice_id in range(self.n_slices):
+            self._register_slice_gauges(slice_id)
+
+    def _register_slice_gauges(self, slice_id: int) -> None:
+        registry = self._metrics
+
+        def _sample(index: int = slice_id) -> SliceSample:
+            return self.slice_samples()[index]
+
+        registry.gauge(f"cluster.slice_bytes.{slice_id}",
+                       "modelled index bytes of this slice",
+                       fn=lambda: _sample().index_bytes)
+        registry.gauge(f"cluster.slice_subscriptions.{slice_id}",
+                       "live registrations on this slice",
+                       fn=lambda: _sample().subscriptions)
+        registry.gauge(f"cluster.slice_resident_pages.{slice_id}",
+                       "EPC-resident pages on this slice's platform",
+                       fn=lambda: _sample().resident_bytes
+                       // self.spec.page_bytes)

@@ -175,6 +175,15 @@ class ScbrEnclaveLibrary(EnclaveLibrary):
                 fn=lambda: self._forest.n_nodes)
         m.gauge("engine.index_bytes", "modelled index bytes",
                 fn=lambda: self._forest.index_bytes)
+        # Working-set legs the EPC-aware sharding tracker samples per
+        # slice — exposed here too so a flat (unsharded) engine's
+        # distance from the Fig. 8 cliff is observable the same way.
+        m.gauge("engine.arena_live_bytes",
+                "live enclave-arena allocation",
+                fn=lambda: self.runtime.arena.live_bytes)
+        m.gauge("engine.epc_resident_bytes",
+                "EPC-resident bytes on this enclave's platform",
+                fn=lambda: self.runtime.memory.epc.resident_bytes)
 
     # -- internal helpers -------------------------------------------------------
 

@@ -1,0 +1,334 @@
+"""EPC-aware sharding primitives: routing, working sets, autoscaling.
+
+The paper's headline performance result is the EPC-exhaustion cliff
+(Fig. 8: ~18x slowdown once the matching structures outgrow the ~90 MB
+usable EPC). The production answer, sketched in the paper's StreamHub
+discussion and realised by PubSub-SGX, is to *never hit it*: partition
+the subscription database across enclaves and keep every partition's
+working set below the threshold.
+
+This module holds the data-plane-independent pieces the cluster builds
+on:
+
+* :class:`RoutingTable` — the explicit, mutable subscription→slice
+  assignment that replaces hash-mod placement. Lookups are O(1) dict
+  hits; bulk reassignment (:meth:`RoutingTable.flip`) is the atomic
+  commit point of a live migration and bumps a version stamp readers
+  can use to invalidate derived caches.
+* :class:`SliceSample` — one slice's simulated working set, fed by the
+  existing accounting (modelled index bytes, arena live bytes, EPC
+  residency). No new counters: sharding decisions read what the
+  simulation already tracks.
+* :class:`ShardingPolicy` — the autoscaler. Pure decision logic
+  (samples in, :class:`ScaleAction` list out) so it is trivially
+  testable and supports dry-run; the cluster applies the actions.
+* :class:`MigrationTicket` — one staged live migration: the sealed
+  source checkpoint, the registration-WAL suffix that accumulates
+  while the migration is in flight, and the key set that will flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.recovery.checkpoint import Checkpoint
+from repro.recovery.wal import WriteAheadLog
+from repro.sgx.cpu import SKYLAKE_I7_6700
+
+__all__ = ["RoutingKey", "RoutingTable", "SliceSample", "ScaleAction",
+           "ShardingPolicy", "MigrationTicket",
+           "PAPER_EPC_THRESHOLD_BYTES"]
+
+#: A registration's identity: ``(subscription.key(), subscriber)`` —
+#: the same pair the containment forest dedups on.
+RoutingKey = Tuple[Tuple, object]
+
+#: The paper's usable EPC (128 MB minus ~38 MB reserved ≈ 90 MB) — the
+#: Fig. 8 cliff edge and therefore the default split threshold.
+PAPER_EPC_THRESHOLD_BYTES = SKYLAKE_I7_6700.epc_usable_bytes
+
+
+class RoutingTable:
+    """Explicit subscription→slice assignment with atomic bulk flips.
+
+    Two indexes are kept in lockstep: ``key -> slice`` for O(1)
+    routing-time lookups, and per-slice insertion-ordered key sets for
+    O(members) recovery replay and migration key selection. ``version``
+    increments once per :meth:`flip`, never per single assignment, so
+    derived caches can distinguish "grew normally" from "placement
+    rewired under me".
+    """
+
+    __slots__ = ("version", "_assigned", "_members")
+
+    def __init__(self, n_slices: int) -> None:
+        if n_slices < 1:
+            raise RoutingError("routing table needs at least one slice")
+        self.version = 0
+        self._assigned: Dict[RoutingKey, int] = {}
+        # Python dicts preserve insertion order; a dict-of-None per
+        # slice is an ordered set with O(1) add/discard.
+        self._members: List[Dict[RoutingKey, None]] = [
+            {} for _ in range(n_slices)]
+
+    @property
+    def n_slices(self) -> int:
+        return len(self._members)
+
+    def add_slice(self) -> int:
+        """Provision routing state for one more slice; returns its id."""
+        self._members.append({})
+        return len(self._members) - 1
+
+    def assign(self, key: RoutingKey, slice_id: int) -> None:
+        """Route ``key`` to ``slice_id`` (must not be assigned yet)."""
+        if key in self._assigned:
+            raise RoutingError(f"key already routed: {key!r}")
+        self._check_slice(slice_id)
+        self._assigned[key] = slice_id
+        self._members[slice_id][key] = None
+
+    def remove(self, key: RoutingKey) -> int:
+        """Drop ``key``; returns the slice that owned it."""
+        slice_id = self._assigned.pop(key, None)
+        if slice_id is None:
+            raise RoutingError(f"key not routed: {key!r}")
+        del self._members[slice_id][key]
+        return slice_id
+
+    def slice_of(self, key: RoutingKey) -> Optional[int]:
+        """Owning slice of ``key`` (None when unrouted) — O(1)."""
+        return self._assigned.get(key)
+
+    def members(self, slice_id: int) -> List[RoutingKey]:
+        """Keys routed to ``slice_id``, in insertion order."""
+        self._check_slice(slice_id)
+        return list(self._members[slice_id])
+
+    def counts(self) -> List[int]:
+        """Live registrations per slice."""
+        return [len(members) for members in self._members]
+
+    def flip(self, moves: Mapping[RoutingKey, int]) -> None:
+        """Atomically reroute every key in ``moves``.
+
+        This is a migration's commit point: all moves land under a
+        single version bump, so there is no observable state in which
+        part of the batch has moved. Keys must currently be routed.
+        """
+        for key, target in moves.items():
+            if key not in self._assigned:
+                raise RoutingError(f"cannot flip unrouted key: {key!r}")
+            self._check_slice(target)
+        for key, target in moves.items():
+            source = self._assigned[key]
+            if source == target:
+                continue
+            del self._members[source][key]
+            self._members[target][key] = None
+            self._assigned[key] = target
+        self.version += 1
+
+    def _check_slice(self, slice_id: int) -> None:
+        if not 0 <= slice_id < len(self._members):
+            raise RoutingError(f"no slice {slice_id} in routing table")
+
+    def __len__(self) -> int:
+        return len(self._assigned)
+
+    def __contains__(self, key: RoutingKey) -> bool:
+        return key in self._assigned
+
+
+@dataclass(frozen=True)
+class SliceSample:
+    """One slice's simulated working set at sampling time.
+
+    All fields come from accounting the simulation already keeps:
+    ``index_bytes`` is the containment forest's modelled node storage,
+    ``live_bytes``/``allocated_bytes`` the slice arena's live and
+    high-water allocations, ``resident_bytes`` the EPC pages currently
+    resident on the slice's platform, ``epc_faults`` its cumulative
+    fault counter.
+    """
+
+    slice_id: int
+    subscriptions: int
+    index_bytes: int
+    live_bytes: int
+    allocated_bytes: int
+    resident_bytes: int
+    epc_faults: int
+
+    @property
+    def working_set_bytes(self) -> int:
+        """The split signal: the larger of modelled index and live
+        arena bytes (residency is capped by EPC capacity, so it cannot
+        signal *how far past* the cliff a slice has grown)."""
+        return max(self.index_bytes, self.live_bytes)
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """One autoscaler decision, in cluster-applicable form.
+
+    ``target is None`` means "a slice the cluster must create first"
+    (splits and grows); ``move`` is the planned number of
+    subscriptions to migrate (0 for a pure grow).
+    """
+
+    kind: str  # "split" | "grow" | "rebalance" | "merge"
+    source: Optional[int]
+    target: Optional[int]
+    move: int
+    reason: str
+
+
+class ShardingPolicy:
+    """Split/merge/rebalance decisions over slice working sets.
+
+    Pure function of the sampled working sets: ``decide`` never mutates
+    cluster state, and with ``dry_run=True`` the cluster reports the
+    planned actions without applying them. At most one *kind* of action
+    is emitted per round, in priority order:
+
+    1. **split** every slice whose working set crossed
+       ``split_threshold_bytes`` (the Fig. 8 cliff edge, ~90 MB by
+       default) — each into a fresh slice;
+    2. **grow** one empty slice when every existing slice is at least
+       ``grow_fill`` full — pre-emptive headroom so EPC-aware placement
+       never has to place *onto* a near-threshold slice;
+    3. **rebalance** the largest slice into the smallest when they
+       diverge by more than ``rebalance_ratio``;
+    4. **merge** the two smallest slices when both fit comfortably in
+       one (disabled unless ``merge_fill`` > 0, since spreading wider
+       than necessary is harmless in simulation).
+    """
+
+    def __init__(self,
+                 split_threshold_bytes: int = PAPER_EPC_THRESHOLD_BYTES,
+                 grow_fill: float = 0.75,
+                 split_fraction: float = 0.5,
+                 min_split_subscriptions: int = 64,
+                 max_slices: int = 256,
+                 rebalance_ratio: float = 4.0,
+                 rebalance_min_bytes: Optional[int] = None,
+                 merge_fill: float = 0.0,
+                 dry_run: bool = False) -> None:
+        if split_threshold_bytes <= 0:
+            raise RoutingError("split threshold must be positive")
+        if not 0.0 < grow_fill <= 1.0:
+            raise RoutingError("grow_fill must be in (0, 1]")
+        if not 0.0 < split_fraction < 1.0:
+            raise RoutingError("split_fraction must be in (0, 1)")
+        if max_slices < 1:
+            raise RoutingError("max_slices must be >= 1")
+        if rebalance_ratio <= 1.0:
+            raise RoutingError("rebalance_ratio must exceed 1")
+        if not 0.0 <= merge_fill <= 1.0:
+            raise RoutingError("merge_fill must be in [0, 1]")
+        self.split_threshold_bytes = split_threshold_bytes
+        self.grow_fill = grow_fill
+        self.split_fraction = split_fraction
+        self.min_split_subscriptions = min_split_subscriptions
+        self.max_slices = max_slices
+        self.rebalance_ratio = rebalance_ratio
+        self.rebalance_min_bytes = rebalance_min_bytes \
+            if rebalance_min_bytes is not None \
+            else split_threshold_bytes // 8
+        self.merge_fill = merge_fill
+        self.dry_run = dry_run
+
+    def decide(self, samples: Iterable[SliceSample]) -> List[ScaleAction]:
+        """Plan this round's actions from one working-set snapshot."""
+        samples = sorted(samples, key=lambda s: s.slice_id)
+        if not samples:
+            return []
+        threshold = self.split_threshold_bytes
+        headroom = self.max_slices - len(samples)
+
+        splits: List[ScaleAction] = []
+        for sample in samples:
+            if len(splits) >= headroom:
+                break
+            if sample.working_set_bytes >= threshold \
+                    and sample.subscriptions >= \
+                    self.min_split_subscriptions:
+                move = max(1, int(sample.subscriptions
+                                  * self.split_fraction))
+                splits.append(ScaleAction(
+                    "split", sample.slice_id, None, move,
+                    f"working set {sample.working_set_bytes}B >= "
+                    f"threshold {threshold}B"))
+        if splits:
+            return splits
+
+        if headroom > 0 and all(
+                s.working_set_bytes >= self.grow_fill * threshold
+                for s in samples):
+            return [ScaleAction(
+                "grow", None, None, 0,
+                f"every slice >= {self.grow_fill:.0%} of threshold")]
+
+        largest = max(samples, key=lambda s: (s.working_set_bytes,
+                                              -s.slice_id))
+        smallest = min(samples, key=lambda s: (s.working_set_bytes,
+                                               s.slice_id))
+        if largest.slice_id != smallest.slice_id \
+                and largest.working_set_bytes >= self.rebalance_min_bytes \
+                and largest.working_set_bytes > self.rebalance_ratio \
+                * max(smallest.working_set_bytes, 1):
+            move = (largest.subscriptions - smallest.subscriptions) // 2
+            if move > 0:
+                return [ScaleAction(
+                    "rebalance", largest.slice_id, smallest.slice_id,
+                    move,
+                    f"slice {largest.slice_id} holds "
+                    f"{largest.working_set_bytes}B vs "
+                    f"{smallest.working_set_bytes}B on slice "
+                    f"{smallest.slice_id}")]
+
+        if self.merge_fill > 0.0 and len(samples) > 1:
+            by_size = sorted(samples,
+                             key=lambda s: (s.working_set_bytes,
+                                            s.slice_id))
+            a, b = by_size[0], by_size[1]
+            combined = a.working_set_bytes + b.working_set_bytes
+            if a.subscriptions > 0 \
+                    and combined <= self.merge_fill * threshold:
+                return [ScaleAction(
+                    "merge", a.slice_id, b.slice_id, a.subscriptions,
+                    f"slices {a.slice_id}+{b.slice_id} fit in "
+                    f"{self.merge_fill:.0%} of one threshold")]
+        return []
+
+
+@dataclass
+class MigrationTicket:
+    """One staged live migration, from seal to flip.
+
+    Created by ``MatcherCluster.stage_migration``: ``checkpoint`` holds
+    the CMAC-sealed image of the selected source entries, ``wal`` the
+    registration-WAL suffix — every register/unregister that touches a
+    staged key while the migration is in flight is journalled here and
+    replayed onto the target at completion, so the window between seal
+    and flip loses nothing. ``keys`` is the frozen selection; the set
+    that actually flips is whatever subset is still routed to the
+    source at completion time (``moved``).
+    """
+
+    mig_id: int
+    source: int
+    target: int
+    keys: Tuple[RoutingKey, ...]
+    wal: WriteAheadLog
+    checkpoint: Checkpoint
+    state: str = "staged"  # staged | completed | aborted
+    moved: int = 0
+    key_set: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.key_set:
+            self.key_set = frozenset(self.keys)

@@ -94,6 +94,19 @@ class CrashSchedule:
         mode = MODE_ENTER if self._rng.random() < 0.5 else MODE_EXIT
         return fuse, mode
 
+    def pick(self, n: int) -> int:
+        """Seeded choice among ``n`` crash targets.
+
+        Cluster-level chaos (a matcher-slice worker killed while a
+        migration is staged) draws its victim here, so one seed fully
+        determines where every crash lands, exactly as ``draw``
+        determines when — the sharding crash tests and harness reuse
+        the same schedule object for both decisions.
+        """
+        if n < 1:
+            raise RecoveryError("need at least one crash target")
+        return self._rng.randrange(n)
+
 
 class _CrashingEnclave:
     """Ecall proxy that burns the armed fuse and kills the enclave."""

@@ -88,6 +88,31 @@ class WriteAheadLog:
                 + b"|" + frame)
         return cmac(self.chain_key, body)
 
+    def seal_payload(self, payload: bytes) -> bytes:
+        """Tag an out-of-band blob with this log's chain key.
+
+        Slice migration seals its checkpoint image with the same key
+        that chains the window's WAL suffix, so one key decision covers
+        both artefacts that cross machines; :meth:`open_payload`
+        verifies and strips the tag. Same honest limits as the chain
+        itself (module docstring): tamper-evidence, not secrecy.
+        """
+        payload = bytes(payload)
+        return payload + cmac(self.chain_key, payload)
+
+    def open_payload(self, blob: bytes) -> bytes:
+        """Verify a :meth:`seal_payload` blob; returns the payload.
+
+        Raises :class:`~repro.errors.WalError` on a damaged or forged
+        tag.
+        """
+        if len(blob) < _TAG:
+            raise WalError("sealed payload shorter than its tag")
+        payload, tag = bytes(blob[:-_TAG]), bytes(blob[-_TAG:])
+        if cmac(self.chain_key, payload) != tag:
+            raise WalError("sealed payload failed verification")
+        return payload
+
     def append(self, kind: str, frame: bytes) -> int:
         """Journal one frame; returns its sequence number.
 

@@ -34,11 +34,12 @@ class EpcManager:
     (:mod:`repro.sgx.paging`; chosen via ``spec.epc_policy``).
     """
 
-    __slots__ = ("capacity_pages", "_resident", "_versions", "faults",
-                 "evictions", "loads", "policy")
+    __slots__ = ("capacity_pages", "page_bytes", "_resident",
+                 "_versions", "faults", "evictions", "loads", "policy")
 
     def __init__(self, spec: PlatformSpec) -> None:
         self.capacity_pages = spec.epc_usable_pages
+        self.page_bytes = spec.page_bytes
         if self.capacity_pages <= 0:
             raise EpcError("EPC has no usable pages")
         self._resident: Dict[int, bool] = {}
@@ -52,6 +53,17 @@ class EpcManager:
     def resident_pages(self) -> int:
         """Number of pages currently resident in the EPC."""
         return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently resident in the EPC — the residency leg of
+        the sharding working-set tracker."""
+        return len(self._resident) * self.page_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Resident fraction of usable EPC capacity (0.0–1.0)."""
+        return len(self._resident) / self.capacity_pages
 
     def is_resident(self, page: int) -> bool:
         return page in self._resident

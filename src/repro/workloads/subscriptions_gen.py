@@ -26,7 +26,7 @@ evaluation measures:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -211,3 +211,15 @@ class SubscriptionGenerator:
     def generate(self, count: int) -> List[Subscription]:
         """Synthesise ``count`` subscriptions."""
         return [self.generate_one() for _ in range(count)]
+
+    def generate_many(self, count: int) -> Iterator[Subscription]:
+        """Lazily yield ``count`` subscriptions, one at a time.
+
+        Same stream as :meth:`generate` for the same generator state
+        (both just repeat :meth:`generate_one`), but nothing is
+        materialised: the million-subscription sharding sweep registers
+        each subscription as it is drawn and lets it go, so host memory
+        holds the indexes being measured, never the workload itself.
+        """
+        for _ in range(count):
+            yield self.generate_one()

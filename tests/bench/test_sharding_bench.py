@@ -1,0 +1,90 @@
+"""Sharding bench: geometry helpers, a micro sweep, gates, recording."""
+
+import json
+import os
+
+from repro.bench.sharding import (BENCH_NAME, _default_points,
+                                  _percentile, main,
+                                  run_sharding_bench)
+
+
+class TestHelpers:
+
+    def test_percentile_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert _percentile(values, 0.50) == 3.0
+        assert _percentile(values, 0.99) == 5.0
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile([], 0.5) == 0.0
+
+    def test_default_points_geometric_to_ceiling(self):
+        points = _default_points(1_000_000)
+        assert points[-1] == 1_000_000
+        assert points == sorted(points)
+        assert len(points) == 6
+        # tiny ceilings still produce valid (floored) points
+        assert all(p >= 64 for p in _default_points(100))
+
+
+class TestMicroSweep:
+
+    def test_cliff_and_flat_gates_on_reduced_geometry(self):
+        record = run_sharding_bench(max_subs=2_000, probes=8,
+                                    seed=2016)
+        gates = record["gates"]
+        # the unsharded arm falls off the scaled cliff...
+        assert gates["cliff_shown"], gates
+        assert gates["cliff_latency_ratio"] >= 3.0
+        # ...the sharded arm does not...
+        assert gates["cluster_flat"], gates
+        # ...and stays byte-identical to it at every shared point
+        assert gates["match_sets_equal"]
+        assert gates["equivalence_points"] >= 2
+        # live migrations actually happened along the way
+        assert record["migrations"]["completed"] >= 1
+        assert record["migrations"]["subscriptions_moved"] > 0
+        assert record["migrations"]["final_slices"] > 1
+
+    def test_record_structure(self):
+        record = run_sharding_bench(max_subs=1_000, probes=6,
+                                    seed=7)
+        assert record["config"]["max_subs"] == 1_000
+        points = record["points"]
+        assert [p["subs"] for p in points] == \
+            record["config"]["points"]
+        for point in points:
+            cluster = point["cluster"]
+            assert cluster["p99_us"] >= cluster["p50_us"]
+            assert cluster["slices"] >= 1
+        # unsharded arm is capped: later points carry no flat probe
+        capped = [p for p in points
+                  if p["subs"] > record["config"]["unsharded_max"]]
+        assert all(p["unsharded"] is None for p in capped)
+        # the gauge snapshot rode along
+        assert record["cluster_metrics"]["cluster.slices"] == \
+            record["migrations"]["final_slices"]
+        assert "cluster.slice_subscriptions.0" in \
+            record["cluster_metrics"]
+
+
+class TestCli:
+
+    def test_main_records_and_gates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SCBR_SHARDING_SUBS", "1500")
+        code = main(["--reduced", "--record", "--require-flat",
+                     "--quiet", "--probes", "6",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        written = tmp_path / f"BENCH_{BENCH_NAME}.json"
+        assert written.exists()
+        payload = json.loads(written.read_text())
+        assert "python" in payload["meta"]  # provenance stamp
+        assert payload["config"]["max_subs"] == 1500
+        assert payload["gates"]["match_sets_equal"]
+
+    def test_env_cap_overrides_subs(self, capsys, monkeypatch):
+        monkeypatch.setenv("SCBR_SHARDING_SUBS", "1200")
+        code = main(["--subs", "999999", "--quiet", "--probes", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1200" in out

@@ -138,6 +138,29 @@ class TestSpecs:
             WorkloadSpec("bad", {0: 1.0}, 1, "weird")
 
 
+class TestGenerateMany:
+
+    def test_lazy_iterator_equals_eager_list(self):
+        collection = generate_quotes(200, seed=1)
+        spec = get_workload("e80a1")
+        eager = SubscriptionGenerator(collection, spec,
+                                      seed=5).generate(40)
+        lazy = SubscriptionGenerator(collection, spec, seed=5)
+        stream = lazy.generate_many(40)
+        assert iter(stream) is stream  # a true iterator, not a list
+        assert list(stream) == eager
+
+    def test_streaming_draws_continue_the_sequence(self):
+        collection = generate_quotes(200, seed=1)
+        spec = get_workload("e80a1")
+        reference = SubscriptionGenerator(collection, spec,
+                                          seed=9).generate(30)
+        split = SubscriptionGenerator(collection, spec, seed=9)
+        first = list(split.generate_many(10))
+        rest = list(split.generate_many(20))
+        assert first + rest == reference
+
+
 class TestMergedEvents:
 
     def test_multiplier_one_plain(self):
